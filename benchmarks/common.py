@@ -1,0 +1,54 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark reproduces one table or figure from the paper's
+evaluation: it runs the scenario on the simulated testbed, registers a
+paper-style text table through :func:`report`, and asserts the
+qualitative *shape* of the result (who wins, where crossovers fall,
+rough factors).  The registered tables are printed in pytest's terminal
+summary by ``benchmarks/conftest.py`` and are the material for
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Iterable, Sequence
+
+MB = 1024 * 1024
+
+#: Tables registered by benchmarks during the run, printed at the end.
+REPORTS: list[tuple[str, list[str]]] = []
+
+
+def report(title: str, lines: Iterable[str]) -> None:
+    """Register a result table for the end-of-run summary."""
+    REPORTS.append((title, list(lines)))
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> list[str]:
+    """Fixed-width text table (the paper-style rows/series)."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells):
+        return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+    out = [fmt(headers), fmt(["-" * w for w in widths])]
+    out.extend(fmt(row) for row in rows)
+    return out
+
+
+def mean_std(values: Sequence[float]) -> tuple[float, float]:
+    if len(values) == 1:
+        return values[0], 0.0
+    return statistics.mean(values), statistics.stdev(values)
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    The wall-clock time pytest-benchmark records is the cost of running
+    the simulation; the *simulated* metrics are what the benchmark
+    reports and asserts.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

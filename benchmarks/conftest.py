@@ -1,0 +1,29 @@
+"""Benchmark-suite plumbing: print and persist registered result tables."""
+
+from pathlib import Path
+
+from benchmarks.common import REPORTS
+
+#: Where the reproduced tables are saved after a benchmark run.
+RESULTS_FILE = Path(__file__).parent / "results.txt"
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not REPORTS:
+        return
+    tr = terminalreporter
+    tr.write_sep("=", "Cloud4Home reproduction results (paper tables/figures)")
+    chunks = []
+    for title, lines in sorted(REPORTS):
+        chunks.append(f"\n## {title}")
+        chunks.extend(lines)
+    for chunk in chunks:
+        tr.write_line(chunk)
+    tr.write_line("")
+    try:
+        RESULTS_FILE.write_text(
+            "Cloud4Home reproduction results\n" + "\n".join(chunks) + "\n"
+        )
+        tr.write_line(f"(results saved to {RESULTS_FILE})")
+    except OSError:
+        pass

@@ -1,0 +1,64 @@
+"""Ablation: metadata replication factor under node failures.
+
+Section III-A: "state can be replicated using a fixed replication
+factor" for "improved availability and reliability".  The ablation
+crashes nodes abruptly and counts how many metadata entries survive
+with replication factors 0 and 2.
+"""
+
+import pytest
+
+from benchmarks.common import format_table, report, run_once
+from repro import Cloud4Home, ClusterConfig
+from repro.kvstore import KeyNotFoundError
+from repro.net import NetworkError
+
+N_KEYS = 40
+N_CRASHES = 2
+
+
+def measure(replication_factor, seed):
+    c4h = Cloud4Home(
+        ClusterConfig(seed=seed, replication_factor=replication_factor)
+    )
+    c4h.start(monitors=False)
+    writer = c4h.devices[0]
+    for i in range(N_KEYS):
+        c4h.run(writer.kv.put(f"meta-{i}", {"value": i}))
+    c4h.sim.run()  # drain replica pushes
+    # Crash nodes that are not the reader.
+    for victim in c4h.devices[-N_CRASHES:]:
+        victim.chimera.fail_abruptly()
+        c4h.network.take_offline(victim.name)
+    reader = c4h.devices[1]
+    survived = 0
+    for i in range(N_KEYS):
+        try:
+            value = c4h.run(reader.kv.get(f"meta-{i}"))
+            if value == {"value": i}:
+                survived += 1
+        except (KeyNotFoundError, NetworkError):
+            pass
+    return survived
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_replication_factor(benchmark):
+    def scenario():
+        return measure(0, seed=1800), measure(2, seed=1800)
+
+    survived_r0, survived_r2 = run_once(benchmark, scenario)
+
+    report(
+        "Ablation — replication factor vs availability "
+        f"({N_CRASHES} of 6 nodes crash)",
+        format_table(
+            ["replication", f"keys surviving (of {N_KEYS})"],
+            [["0", f"{survived_r0}"], ["2", f"{survived_r2}"]],
+        ),
+    )
+
+    # Unreplicated state dies with its owners; replicated state survives.
+    assert survived_r0 < N_KEYS
+    assert survived_r2 == N_KEYS
+    assert survived_r2 > survived_r0

@@ -1,0 +1,80 @@
+"""Future work (v): collaborating Cloud4Home infrastructures.
+
+"A concrete example ... would be a 'neighborhood security' system in
+which multiple Cloud4Home systems interact to provide effective
+security services for entire neighborhoods." (Section VII.)
+
+Measures the primitives such a system needs: alert propagation latency
+across homes, and snapshot sharing (publish + neighbour fetch) compared
+with home-internal access.
+"""
+
+import pytest
+
+from benchmarks.common import format_table, report, run_once
+from repro.cluster import Federation
+
+
+@pytest.mark.benchmark(group="federation")
+def test_neighborhood_security_primitives(benchmark):
+    def scenario():
+        fed = Federation.build(n_homes=3, seed=2200, devices_per_home=3)
+        fed.start()
+        deliveries = []
+        fed.on_alert.append(lambda idx, body: deliveries.append(fed.sim.now))
+
+        # Alert propagation latency.
+        t0 = fed.sim.now
+        fed.run(fed.broadcast_alert(0, {"kind": "intruder", "zone": "yard"}))
+        fed.sim.run()
+        alert_latencies = [t - t0 for t in deliveries]
+
+        # Publish a 2 MB snapshot and fetch it from a neighbour.
+        home0 = fed.homes[0]
+        home0.run(
+            home0.devices[1].client.store_file(
+                "evidence.jpg", 2.0, access="public"
+            )
+        )
+        t0 = fed.sim.now
+        fed.run(fed.publish(0, "evidence.jpg"))
+        publish_s = fed.sim.now - t0
+        t0 = fed.sim.now
+        fed.run(fed.fetch_published(1, "evidence.jpg"))
+        neighbour_fetch_s = fed.sim.now - t0
+
+        # Home-internal fetch of the same object for comparison.
+        t0 = fed.sim.now
+        home0.run(home0.devices[2].client.fetch_object("evidence.jpg"))
+        home_fetch_s = fed.sim.now - t0
+
+        return alert_latencies, publish_s, neighbour_fetch_s, home_fetch_s
+
+    alerts, publish_s, neighbour_s, home_s = run_once(benchmark, scenario)
+
+    report(
+        "Federation — neighborhood security primitives (future work v)",
+        format_table(
+            ["primitive", "time (s)"],
+            [
+                ["alert -> neighbour 1", f"{alerts[0]:.3f}"],
+                ["alert -> neighbour 2", f"{alerts[1]:.3f}"],
+                ["publish 2 MB snapshot", f"{publish_s:.2f}"],
+                ["neighbour fetch (via cloud)", f"{neighbour_s:.2f}"],
+                ["home-internal fetch", f"{home_s:.2f}"],
+            ],
+        )
+        + [
+            "expected: alerts are sub-second (control plane); "
+            "cross-home data rides the cloud and costs much more than "
+            "home-internal access"
+        ],
+    )
+
+    assert len(alerts) == 2
+    # Alerts are small control messages: sub-second even over two WAN hops.
+    assert all(a < 1.0 for a in alerts)
+    # Data sharing pays the cloud path: publish (upload) dominates, and
+    # a neighbour fetch is far slower than home-internal access.
+    assert publish_s > neighbour_s * 0.3
+    assert neighbour_s > 3.0 * home_s

@@ -1,0 +1,134 @@
+"""Figure 4: home vs. remote cloud latency and latency variation.
+
+Paper: "Figure 4 shows the latency and the latency variation for fetch
+and store accesses to data stored in nodes in a home vs. a public
+remote cloud.  ...  both the absolute latency and particularly the
+latency variability are significantly increased when accessing public
+cloud storage.  These increases become more significant for larger data
+sizes.  For remote cloud accesses, additional variability exists
+between the two types of storage operations, due to differences in the
+available upload vs. download bandwidth."
+"""
+
+import pytest
+
+from benchmarks.common import format_table, mean_std, report, run_once
+from repro import (
+    Cloud4Home,
+    ClusterConfig,
+    Placement,
+    PlacementTarget,
+    StorePolicy,
+)
+
+SIZES_MB = [1, 5, 10, 20, 50]
+TRIALS = 4
+
+
+def measure_home(size_mb, trials, seed):
+    """Store/fetch latencies within the home cloud (on- and off-node)."""
+    c4h = Cloud4Home(ClusterConfig(seed=seed))
+    c4h.start(monitors=False)
+    n = len(c4h.devices)
+    stores, fetches = [], []
+    for t in range(trials):
+        owner = c4h.devices[t % n]
+        # Distribute the dataset across nodes: alternate between
+        # on-node placement and a named peer, as the paper's setup does.
+        if t % 2 == 0:
+            owner.vstore.store_policy = StorePolicy()
+        else:
+            peer = c4h.devices[(t + 1) % n].name
+            owner.vstore.store_policy = StorePolicy(
+                default=Placement(PlacementTarget.NAMED_NODE, node=peer)
+            )
+        name = f"home-{size_mb}-{t}.bin"
+        t0 = c4h.sim.now
+        c4h.run(owner.client.store_file(name, float(size_mb)))
+        stores.append(c4h.sim.now - t0)
+        reader = c4h.devices[(t + 2) % n]
+        t0 = c4h.sim.now
+        c4h.run(reader.client.fetch_object(name))
+        fetches.append(c4h.sim.now - t0)
+    return stores, fetches
+
+
+def measure_remote(size_mb, trials, seed):
+    """Store/fetch latencies against the simulated public cloud."""
+    c4h = Cloud4Home(ClusterConfig(seed=seed))
+    c4h.start(monitors=False)
+    remote_policy = StorePolicy(default=Placement(PlacementTarget.REMOTE_CLOUD))
+    stores, fetches = [], []
+    for t in range(trials):
+        owner = c4h.devices[t % len(c4h.devices)]
+        owner.vstore.store_policy = remote_policy
+        name = f"remote-{size_mb}-{t}.bin"
+        t0 = c4h.sim.now
+        c4h.run(owner.client.store_file(name, float(size_mb)))
+        stores.append(c4h.sim.now - t0)
+        reader = c4h.devices[(t + 3) % len(c4h.devices)]
+        t0 = c4h.sim.now
+        c4h.run(reader.client.fetch_object(name))
+        fetches.append(c4h.sim.now - t0)
+    return stores, fetches
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_home_vs_remote_latency(benchmark):
+    def scenario():
+        rows = {}
+        for size in SIZES_MB:
+            h_store, h_fetch = measure_home(size, TRIALS, seed=100 + size)
+            r_store, r_fetch = measure_remote(size, TRIALS, seed=200 + size)
+            rows[size] = {
+                "home_store": mean_std(h_store),
+                "home_fetch": mean_std(h_fetch),
+                "remote_store": mean_std(r_store),
+                "remote_fetch": mean_std(r_fetch),
+            }
+        return rows
+
+    rows = run_once(benchmark, scenario)
+
+    table = []
+    for size in SIZES_MB:
+        r = rows[size]
+        table.append(
+            [
+                f"{size}",
+                f"{r['home_fetch'][0]:.2f}±{r['home_fetch'][1]:.2f}",
+                f"{r['home_store'][0]:.2f}±{r['home_store'][1]:.2f}",
+                f"{r['remote_fetch'][0]:.2f}±{r['remote_fetch'][1]:.2f}",
+                f"{r['remote_store'][0]:.2f}±{r['remote_store'][1]:.2f}",
+            ]
+        )
+    report(
+        "Figure 4 — home vs remote cloud latency (seconds, mean±std)",
+        format_table(
+            ["size MB", "home fetch", "home store", "remote fetch", "remote store"],
+            table,
+        )
+        + [
+            "paper shape: remote >> home; remote variability >> home; "
+            "gap grows with size; remote store > remote fetch"
+        ],
+    )
+
+    for size in SIZES_MB:
+        r = rows[size]
+        # Remote accesses are much slower than home accesses.
+        assert r["remote_fetch"][0] > 2.0 * r["home_fetch"][0], size
+        assert r["remote_store"][0] > 2.0 * r["home_store"][0], size
+        # Upload bandwidth < download bandwidth: stores hurt more.
+        assert r["remote_store"][0] > r["remote_fetch"][0], size
+
+    # Remote variability exceeds home variability (aggregate over sizes —
+    # per-size std from 4 trials is noisy).
+    remote_var = sum(rows[s]["remote_fetch"][1] for s in SIZES_MB)
+    home_var = sum(rows[s]["home_fetch"][1] for s in SIZES_MB)
+    assert remote_var > home_var
+
+    # The absolute gap grows with object size.
+    gap_small = rows[SIZES_MB[0]]["remote_fetch"][0] - rows[SIZES_MB[0]]["home_fetch"][0]
+    gap_large = rows[SIZES_MB[-1]]["remote_fetch"][0] - rows[SIZES_MB[-1]]["home_fetch"][0]
+    assert gap_large > gap_small

@@ -1,0 +1,89 @@
+"""Figure 5: remote-cloud throughput vs. object size (optimal ~20 MB).
+
+Paper: "as the size of individual file transfers to and from the remote
+cloud increases, the aggregate throughput actually increases" (TCP slow
+start amortization and the provider's ~1.6 MB window cap) ... "Beyond a
+certain point, throughput starts to deteriorate rapidly ... primarily
+due to traffic shaping and rate limiting policies enforced by ISP
+providers ...  In our experimental setup, the best aggregate throughput
+levels are achieved when using remote clouds for object sizes of
+approximately 20 MB."
+
+Method 1 keeps the total bytes per size point constant; Method 2 keeps
+the number of files constant.  Both show the same trend in the paper.
+The access mix is the modified eDonkey trace's 60 % store / 40 % fetch.
+"""
+
+import pytest
+
+from benchmarks.common import MB, format_table, report, run_once
+from repro import Cloud4Home, ClusterConfig
+from repro.sim import RandomSource
+
+SIZES_MB = [5, 10, 20, 30, 50, 100]
+TOTAL_MB_METHOD1 = 260.0
+FILES_METHOD2 = 5
+STORE_FRACTION = 0.6
+
+
+def run_access_mix(size_mb, n_files, seed):
+    """Sequential remote-cloud interactions; returns MB/s aggregate."""
+    c4h = Cloud4Home(ClusterConfig(seed=seed))
+    c4h.start(monitors=False)
+    rng = RandomSource(seed).fork("fig5")
+    s3 = c4h.s3
+    names = [f"obj-{size_mb}-{i}" for i in range(n_files)]
+    # Seed the bucket so fetches always have something to download.
+    for name in names:
+        c4h.run(s3.put_object("netbook0", name, size_mb * MB))
+
+    t0 = c4h.sim.now
+    moved_mb = 0.0
+    n_ops = max(n_files, 8)
+    clients = [d.name for d in c4h.devices]
+    for i in range(n_ops):
+        name = rng.choice(names)
+        client = rng.choice(clients)
+        if rng.random() < STORE_FRACTION:
+            c4h.run(s3.put_object(client, name, size_mb * MB))
+        else:
+            c4h.run(s3.get_object(client, name))
+        moved_mb += size_mb
+    return moved_mb / (c4h.sim.now - t0)
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_throughput_vs_object_size(benchmark):
+    def scenario():
+        method1 = {}
+        method2 = {}
+        for size in SIZES_MB:
+            n1 = max(2, round(TOTAL_MB_METHOD1 / size))
+            method1[size] = run_access_mix(size, n1, seed=500 + size)
+            method2[size] = run_access_mix(size, FILES_METHOD2, seed=700 + size)
+        return method1, method2
+
+    method1, method2 = run_once(benchmark, scenario)
+
+    rows = [
+        [f"{s}", f"{method1[s]:.2f}", f"{method2[s]:.2f}"] for s in SIZES_MB
+    ]
+    report(
+        "Figure 5 — remote cloud throughput vs object size (MB/s)",
+        format_table(["size MB", "Method 1", "Method 2"], rows)
+        + [
+            "paper shape: rises with size, peaks near ~20-30 MB, degrades "
+            "for large transfers (ISP shaping); both methods show the trend"
+        ],
+    )
+
+    for series in (method1, method2):
+        values = [series[s] for s in SIZES_MB]
+        peak_index = values.index(max(values))
+        peak_size = SIZES_MB[peak_index]
+        # Interior peak in the paper's "approximately 20 MB" region.
+        assert 10 <= peak_size <= 30, f"peak at {peak_size} MB"
+        # Rising limb: the peak beats the smallest size.
+        assert values[peak_index] > values[0]
+        # Falling limb: 100 MB transfers are clearly worse than the peak.
+        assert values[-1] < 0.9 * values[peak_index]

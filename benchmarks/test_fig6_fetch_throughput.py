@@ -1,0 +1,153 @@
+"""Figure 6: aggregate fetch throughput vs. % of data in the remote cloud.
+
+Paper setup: the synthetic dataset restricted to 'optimal'-size objects
+(10-25 MB), ~700 MB fetched in total, placed across home and remote
+resources; 3 of the 6 devices run client applications with 1, 2, or 3
+fetch threads.  Findings: "when content is present mostly in the home
+cloud, as the number of concurrent requests ... increase, the overall
+throughput of system increases by factor of 45%"; with more content
+remote, concurrency still helps but the gains shrink because flows
+"contend for the aggregate bandwidth available to the remote cloud";
+single-thread throughput decreases as the remote share grows; the
+remote-cloud-only curve sits lowest.
+"""
+
+import pytest
+
+from benchmarks.common import format_table, report, run_once
+from repro import (
+    Cloud4Home,
+    ClusterConfig,
+    Placement,
+    PlacementTarget,
+    StorePolicy,
+)
+from repro.sim import Store
+from repro.workloads import EDonkeyTraceGenerator
+
+REMOTE_PERCENTS = [0, 10, 25, 40, 55]
+THREAD_COUNTS = [1, 2, 3]
+TOTAL_FETCH_MB = 700.0
+ACTIVE_CLIENTS = 3  # "We avoid using all 6 home devices"
+
+
+def build_dataset(seed):
+    gen = EDonkeyTraceGenerator(
+        rng=None, n_clients=6, n_files=60, size_range=(10.0, 25.0)
+    )
+    files = []
+    acc = 0.0
+    for f in gen.files():
+        files.append(f)
+        acc += f.size_mb
+        if acc >= TOTAL_FETCH_MB:
+            break
+    return files
+
+
+def place_dataset(c4h, files, remote_fraction):
+    """Store files so ~remote_fraction of the bytes live in S3."""
+    total = sum(f.size_mb for f in files)
+    remote_budget = total * remote_fraction
+    remote_acc = 0.0
+    remote_policy = StorePolicy(default=Placement(PlacementTarget.REMOTE_CLOUD))
+    for i, f in enumerate(files):
+        owner = c4h.devices[i % len(c4h.devices)]
+        if remote_acc + f.size_mb <= remote_budget or (
+            remote_budget > 0 and remote_acc == 0.0
+        ):
+            owner.vstore.store_policy = remote_policy
+            remote_acc += f.size_mb
+        else:
+            owner.vstore.store_policy = StorePolicy()
+        c4h.run(owner.client.store_file(f.name, f.size_mb))
+
+
+def timed_fetch_all(c4h, files, n_threads):
+    """Fetch every file once using n_threads concurrent fetch threads.
+
+    The single-thread case is the paper's "single thread performs
+    sequential object accesses"; additional threads spread across the
+    active client devices.  Returns aggregate MB/s.
+    """
+    queue = Store(c4h.sim)
+    for f in files:
+        queue.put(f)
+    for _ in range(n_threads):
+        queue.put(None)  # poison pills
+
+    def worker(device):
+        while True:
+            item = yield queue.get()
+            if item is None:
+                return
+            yield from device.client.fetch_object(item.name)
+
+    clients = c4h.devices[:ACTIVE_CLIENTS]
+    t0 = c4h.sim.now
+    procs = []
+    for t in range(n_threads):
+        procs.append(c4h.sim.process(worker(clients[t % ACTIVE_CLIENTS])))
+    from repro.sim import AllOf
+
+    c4h.sim.run(until=AllOf(c4h.sim, procs))
+    makespan = c4h.sim.now - t0
+    return sum(f.size_mb for f in files) / makespan
+
+
+def run_point(remote_pct, n_threads, seed):
+    c4h = Cloud4Home(ClusterConfig(seed=seed))
+    c4h.start(monitors=False)
+    files = build_dataset(seed)
+    place_dataset(c4h, files, remote_pct / 100.0)
+    return timed_fetch_all(c4h, files, n_threads)
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_fetch_throughput(benchmark):
+    def scenario():
+        curves = {t: {} for t in THREAD_COUNTS}
+        for pct in REMOTE_PERCENTS:
+            for t in THREAD_COUNTS:
+                curves[t][pct] = run_point(pct, t, seed=900 + pct * 10 + t)
+        # Remote-cloud-only reference (all data remote, 3 threads).
+        remote_only = run_point(100, 3, seed=990)
+        return curves, remote_only
+
+    curves, remote_only = run_once(benchmark, scenario)
+
+    rows = []
+    for pct in REMOTE_PERCENTS:
+        rows.append(
+            [f"{pct}%"]
+            + [f"{curves[t][pct]:.2f}" for t in THREAD_COUNTS]
+        )
+    report(
+        "Figure 6 — aggregate fetch throughput (MB/s) vs % data remote",
+        format_table(["remote %", "1 thread", "2 threads", "3 threads"], rows)
+        + [
+            f"remote-cloud-only reference: {remote_only:.2f} MB/s",
+            "paper shape: concurrency helps (~45% at mostly-home); "
+            "throughput falls as remote share rises; remote-only lowest",
+        ],
+    )
+
+    # Concurrency gain when content is mostly at home (paper: ~45 %).
+    assert curves[3][0] > 1.35 * curves[1][0]
+    assert curves[2][0] > curves[1][0]
+
+    # Single-thread throughput degrades as the remote share grows.
+    assert curves[1][0] > curves[1][25] > curves[1][55]
+
+    # Concurrency still helps with more remote content, but the
+    # absolute benefit shrinks: the extra threads contend for the
+    # aggregate remote-cloud bandwidth.
+    assert curves[3][55] > curves[1][55]
+    gain_home = curves[3][0] - curves[1][0]
+    gain_remote = curves[3][55] - curves[1][55]
+    assert gain_home > gain_remote
+
+    # The remote-only deployment sits below every point of the
+    # equally-concurrent (3-thread) mixed curve.
+    for pct in REMOTE_PERCENTS:
+        assert remote_only < curves[3][pct]

@@ -1,0 +1,117 @@
+"""Scaling study: larger @home overlays (paper future-work item (iii)).
+
+"There remain many open issues with Cloud4Home, the most notable ones
+being ... (iii) to understand how to scale to larger numbers of @home
+and then in the cloud participants" (Section VII).  This benchmark
+grows the overlay from the paper's 6 devices to 48 and measures what
+the metadata layer costs: DHT lookup latency and route hop counts
+should grow logarithmically (prefix routing), not linearly.
+"""
+
+import math
+
+import pytest
+
+from benchmarks.common import format_table, report, run_once
+from repro.kvstore import DhtKeyValueStore
+from repro.net import Link, Network, Route
+from repro.overlay import ChimeraNode, NodeId, PeerInfo
+from repro.sim import RandomSource, Simulator
+
+OVERLAY_SIZES = [6, 12, 24, 48]
+N_KEYS = 30
+
+
+def build_overlay(n, seed):
+    """An n-node overlay with complete state (fast static build) plus
+    KV stores, on one home LAN."""
+    sim = Simulator()
+    net = Network(sim, RandomSource(seed))
+    link = Link(sim, bandwidth=95.5e6 / 8, name="lan")
+    net.connect_groups("home", "home", Route(link, base_latency=0.0008))
+    nodes = []
+    for i in range(n):
+        host = net.add_host(f"node{i:03d}", group="home")
+        node = ChimeraNode(net, host, leaf_size=2)
+        node.start()
+        nodes.append(node)
+    for node in nodes:
+        for other in nodes:
+            if other is not node:
+                node._add_peer(PeerInfo(other.name, other.id))
+    stores = [DhtKeyValueStore(node) for node in nodes]
+    return sim, nodes, stores
+
+
+def run(sim, generator):
+    proc = sim.process(generator)
+    return sim.run(until=proc)
+
+
+def measure(n, seed):
+    sim, nodes, stores = build_overlay(n, seed)
+    # Static hop counts from prefix routing (leaf set capped at 2/side,
+    # so big overlays really do take multiple hops).
+    hops = []
+    for i in range(N_KEYS):
+        key = NodeId.from_name(f"scale-key-{i}")
+        current = nodes[i % n]
+        count = 0
+        while True:
+            nxt = current.next_hop(key)
+            if nxt is None:
+                break
+            current = next(x for x in nodes if x.name == nxt.name)
+            count += 1
+        hops.append(count)
+    # Dynamic lookup latency through the real KV store.
+    for i in range(N_KEYS):
+        run(sim, stores[i % n].put(f"scale-key-{i}", i))
+    latencies = []
+    for i in range(N_KEYS):
+        reader = stores[(i * 7 + 1) % n]
+        t0 = sim.now
+        run(sim, reader.get(f"scale-key-{i}"))
+        latencies.append(sim.now - t0)
+    return (
+        sum(hops) / len(hops),
+        max(hops),
+        sum(latencies) / len(latencies),
+    )
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_overlay_scaling(benchmark):
+    def scenario():
+        return {n: measure(n, seed=2100 + n) for n in OVERLAY_SIZES}
+
+    results = run_once(benchmark, scenario)
+
+    rows = [
+        [
+            f"{n}",
+            f"{results[n][0]:.2f}",
+            f"{results[n][1]}",
+            f"{results[n][2] * 1000:.1f}",
+        ]
+        for n in OVERLAY_SIZES
+    ]
+    report(
+        "Scaling — overlay size vs metadata costs (future work iii)",
+        format_table(
+            ["nodes", "mean hops", "max hops", "mean lookup (ms)"], rows
+        )
+        + ["expected: logarithmic growth (prefix routing), not linear"],
+    )
+
+    mean_hops = {n: results[n][0] for n in OVERLAY_SIZES}
+    lookups = {n: results[n][2] for n in OVERLAY_SIZES}
+
+    # An 8x larger overlay must cost far less than 8x the hops: the
+    # growth is bounded by the log16 factor of prefix routing.
+    growth = mean_hops[48] / max(mean_hops[6], 0.5)
+    assert growth < 8 / math.log2(8), f"hop growth {growth:.2f} too steep"
+    # Lookup latency also grows sub-linearly.
+    assert lookups[48] < 4.0 * lookups[6]
+    # And stays in the milliseconds regime even at 48 nodes.
+    assert lookups[48] < 0.1

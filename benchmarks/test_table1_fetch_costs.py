@@ -1,0 +1,95 @@
+"""Table I: home-cloud fetch cost analysis.
+
+Paper (Table I): for fetches within the home cloud, the total cost
+decomposes into inter-node transfer (dominant, linear in object size),
+inter-domain XenSocket delivery (linear, much smaller), and the DHT
+metadata lookup (~12-16 ms, constant regardless of object size).
+Paper values: 1 MB -> total 228 ms (inter-node 103, inter-domain 25,
+DHT 12); 100 MB -> total 15.2 s (13.6 s, 1.6 s, 12 ms).
+"""
+
+import pytest
+
+from benchmarks.common import format_table, report, run_once
+from repro import Cloud4Home, ClusterConfig
+
+SIZES_MB = [1, 2, 5, 10, 20, 50, 100]
+
+PAPER_ROWS = {
+    1: (228, 103, 25, 12),
+    2: (454, 190, 37, 13),
+    5: (1160, 513, 57, 13),
+    10: (2522, 1042, 189, 14),
+    20: (2477, 2079, 386, 12),
+    50: (5174, 4678, 480, 16),
+    100: (15180, 13577, 1603, 12),
+}
+
+
+def measure(size_mb, seed):
+    c4h = Cloud4Home(ClusterConfig(seed=seed))
+    c4h.start(monitors=False)
+    owner = c4h.devices[0]
+    reader = c4h.devices[2]
+    name = f"table1-{size_mb}.bin"
+    c4h.run(owner.client.store_file(name, float(size_mb)))
+    fetch = c4h.run(reader.vstore.fetch_object(name))
+    assert fetch.served_from == owner.name
+    return fetch
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_fetch_cost_breakdown(benchmark):
+    def scenario():
+        return {size: measure(size, seed=300 + size) for size in SIZES_MB}
+
+    results = run_once(benchmark, scenario)
+
+    rows = []
+    for size in SIZES_MB:
+        f = results[size]
+        p = PAPER_ROWS[size]
+        rows.append(
+            [
+                f"{size}",
+                f"{f.total_s * 1000:.0f}",
+                f"{f.inter_node_s * 1000:.0f}",
+                f"{f.inter_domain_s * 1000:.0f}",
+                f"{f.dht_lookup_s * 1000:.1f}",
+                f"{p[0]}/{p[1]}/{p[2]}/{p[3]}",
+            ]
+        )
+    report(
+        "Table I — home cloud fetch cost analysis (ms)",
+        format_table(
+            ["size MB", "total", "inter-node", "inter-domain", "DHT", "paper T/N/D/K"],
+            rows,
+        ),
+    )
+
+    lookups = [results[s].dht_lookup_s for s in SIZES_MB]
+    inter_node = [results[s].inter_node_s for s in SIZES_MB]
+    inter_domain = [results[s].inter_domain_s for s in SIZES_MB]
+
+    # DHT lookup cost is constant-ish and in the paper's millisecond range.
+    assert max(lookups) < 0.05
+    assert max(lookups) / max(min(lookups), 1e-9) < 5.0
+
+    # Inter-node dominates inter-domain at every size.
+    for n, d in zip(inter_node, inter_domain):
+        assert n > d
+
+    # Both transfer components grow roughly linearly with size.
+    assert inter_node[-1] / inter_node[0] == pytest.approx(100, rel=0.5)
+    assert inter_domain[-1] / inter_domain[0] == pytest.approx(100, rel=0.6)
+
+    # Magnitudes in the same ballpark as the paper's testbed (within 2x).
+    assert results[100].inter_node_s == pytest.approx(13.577, rel=1.0)
+    assert results[100].inter_domain_s == pytest.approx(1.603, rel=1.0)
+
+    # Total is the sum of its parts plus small command/processing costs.
+    for size in SIZES_MB:
+        f = results[size]
+        parts = f.inter_node_s + f.inter_domain_s + f.dht_lookup_s
+        assert f.total_s >= parts
+        assert f.total_s < parts + 0.5

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Disconnected operation: the home cloud survives losing the Internet.
+
+The paper's introduction motivates Cloud4Home with exactly this
+weakness of thin-client models: they "are subject to challenges when
+devices must operate in disconnected mode".  Here the uplink dies
+mid-session: home-placed objects and home services keep working at full
+speed; only remote-cloud objects become unreachable — and reconnection
+restores them.
+
+Run:  python examples/disconnected_operation.py
+"""
+
+from repro import (
+    Cloud4Home,
+    ClusterConfig,
+    Placement,
+    PlacementTarget,
+    StorePolicy,
+    size_rule,
+)
+from repro.net import NetworkError
+from repro.services import FaceDetection
+from repro.vstore import VStoreError
+
+
+def main() -> None:
+    c4h = Cloud4Home(ClusterConfig(seed=99))
+    c4h.start()
+    camera = c4h.device("netbook0")
+    camera.vstore.store_policy = StorePolicy(
+        [size_rule(Placement(PlacementTarget.REMOTE_CLOUD), min_mb=30.0)]
+    )
+    c4h.deploy_service(lambda: FaceDetection(), nodes=["netbook0", "desktop"])
+
+    c4h.run(camera.client.store_file("frame.jpg", 0.5))
+    c4h.run(camera.client.store_file("archive.tar", 60.0))  # -> S3
+    print("stored: frame.jpg (home), archive.tar (remote cloud)")
+
+    # The Internet connection drops.
+    for cloud_host in ("s3", "ec2-xl-0"):
+        c4h.network.take_offline(cloud_host)
+    print("\n*** uplink down: operating disconnected ***")
+
+    fetch = c4h.run(c4h.device("desktop").client.fetch_object("frame.jpg"))
+    print(f"home fetch still works: frame.jpg in {fetch.total_s:.2f} s")
+    result = c4h.run(camera.client.process("frame.jpg", "face-detect#v1"))
+    print(
+        f"home processing still works: face-detect on {result.executed_on} "
+        f"in {result.total_s:.2f} s"
+    )
+    try:
+        c4h.run(camera.client.fetch_object("archive.tar"))
+    except (NetworkError, VStoreError) as exc:
+        print(f"remote object unavailable (as expected): {type(exc).__name__}")
+
+    # Connectivity returns.
+    for cloud_host in ("s3", "ec2-xl-0"):
+        c4h.network.bring_online(cloud_host)
+    print("\n*** uplink restored ***")
+    fetch = c4h.run(camera.client.fetch_object("archive.tar"))
+    print(f"remote fetch works again: archive.tar in {fetch.total_s:.1f} s")
+
+    print()
+    print(c4h.storage_report())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Home surveillance: the paper's motivating application.
+
+A camera attached to a low-end netbook captures frames; each frame is
+stored through VStore++ and pushed through the face-detection →
+face-recognition pipeline.  The placement decision weighs the capture
+node, a beefier desktop, and an EC2 instance — small frames process
+locally for low latency, big frames migrate to stronger machines
+(compare the paper's Figure 7).
+
+Run:  python examples/home_surveillance.py
+"""
+
+from repro import Cloud4Home, ClusterConfig
+from repro.services import FaceDetection, FaceRecognition
+from repro.workloads import SurveillanceWorkload
+
+
+def main() -> None:
+    c4h = Cloud4Home(ClusterConfig(seed=42))
+    c4h.start()
+    camera = c4h.device("netbook0")
+
+    # Deploy the pipeline on the camera node, the desktop, and EC2.
+    for factory in (
+        lambda: FaceDetection(),
+        lambda: FaceRecognition(training_mb=60.0),
+    ):
+        c4h.deploy_service(factory, nodes=["netbook0", "desktop"])
+    # The camera node runs the pipeline continuously: warm models.
+    for service in camera.registry.local.values():
+        service.prewarm(camera.guest)
+
+    pipeline = ["face-detect#v1", "face-recognize#v1"]
+    workload = SurveillanceWorkload(image_size_mb=0.5, period_s=2.0)
+
+    print("frame-by-frame processing (0.5 MB frames):")
+    for frame in workload.sequence(4):
+        c4h.run(camera.client.store_file(frame.name, frame.size_mb))
+        result = c4h.run(camera.client.process_pipeline(frame.name, pipeline))
+        print(
+            f"  {frame.name}: executed on {result.executed_on:9s} "
+            f"in {result.total_s:5.2f} s "
+            f"(decision {result.decision_s * 1000:5.1f} ms, "
+            f"move {result.move_s:4.2f} s, exec {result.execute_s:4.2f} s)"
+        )
+
+    print("\nplacement across frame sizes (paper Figure 7's sweep):")
+    for size in [0.25, 0.5, 1.0, 2.0]:
+        name = f"probe-{size:g}mb.jpg"
+        c4h.run(camera.client.store_file(name, size))
+        result = c4h.run(camera.client.process_pipeline(name, pipeline))
+        print(
+            f"  {size:4g} MB frame -> {result.executed_on:9s} "
+            f"({result.total_s:5.2f} s total)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so that ``pip install -e .`` works in offline environments where the
+``wheel`` package (required by PEP 517 editable builds) is unavailable;
+all metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,54 @@
+"""Cloud4Home / VStore++ reproduction.
+
+A complete, simulation-backed reimplementation of *Cloud4Home —
+Enhancing Data Services with @Home Clouds* (Kannan, Gavrilovska,
+Schwan; ICDCS 2011): a virtualized object store whose data placement
+and manipulation-service execution span home devices and the remote
+public cloud.
+
+Quick start::
+
+    from repro import Cloud4Home, ClusterConfig
+
+    c4h = Cloud4Home(ClusterConfig(seed=1))
+    c4h.start()
+    device = c4h.device("netbook0")
+    c4h.run(device.client.store_file("camera.jpg", 0.5))
+    fetch = c4h.run(c4h.device("desktop").client.fetch_object("camera.jpg"))
+    print(fetch.total_s, fetch.served_from)
+
+Subpackages (substrates upward): ``sim`` (discrete-event kernel),
+``net`` (links/TCP/topology), ``virt`` (Xen-like hypervisor +
+XenSocket), ``overlay`` (Chimera-like prefix routing), ``kvstore``
+(DHT key-value store), ``monitoring`` (resources + decisions),
+``services`` (FDet/FRec/x264 models), ``cloud`` (S3/EC2),
+``vstore`` (the VStore++ core), ``cluster`` (assembly),
+``workloads`` (trace generators).
+"""
+
+from repro.cluster import Cloud4Home, ClusterConfig, DeviceConfig
+from repro.monitoring import DecisionPolicy
+from repro.vstore import (
+    Placement,
+    PlacementTarget,
+    StorePolicy,
+    size_rule,
+    tag_rule,
+    type_rule,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cloud4Home",
+    "ClusterConfig",
+    "DeviceConfig",
+    "DecisionPolicy",
+    "StorePolicy",
+    "Placement",
+    "PlacementTarget",
+    "size_rule",
+    "type_rule",
+    "tag_rule",
+    "__version__",
+]

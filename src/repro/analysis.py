@@ -1,0 +1,123 @@
+"""Shape analysis for experiment series.
+
+The reproduction validates *shapes* — who wins, where curves peak,
+where crossovers fall — rather than absolute 2011-testbed numbers.
+These helpers make those checks explicit and reusable: benchmarks and
+tests state their expectations through them instead of ad-hoc index
+arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = [
+    "argmin",
+    "argmax",
+    "is_monotone_increasing",
+    "is_monotone_decreasing",
+    "has_interior_peak",
+    "peak_position",
+    "crossover_points",
+    "relative_spread",
+    "speedup",
+]
+
+
+def _validate(series: Sequence[float], min_len: int = 1) -> None:
+    if len(series) < min_len:
+        raise ValueError(f"series needs at least {min_len} points")
+
+
+def argmin(series: Sequence[float]) -> int:
+    """Index of the smallest value (first occurrence)."""
+    _validate(series)
+    return min(range(len(series)), key=lambda i: series[i])
+
+
+def argmax(series: Sequence[float]) -> int:
+    """Index of the largest value (first occurrence)."""
+    _validate(series)
+    return max(range(len(series)), key=lambda i: series[i])
+
+
+def is_monotone_increasing(
+    series: Sequence[float], tolerance: float = 0.0
+) -> bool:
+    """True if each step rises (allowing dips up to ``tolerance``
+    fraction of the previous value)."""
+    _validate(series, 2)
+    for a, b in zip(series, series[1:]):
+        if b < a * (1.0 - tolerance):
+            return False
+    return True
+
+
+def is_monotone_decreasing(
+    series: Sequence[float], tolerance: float = 0.0
+) -> bool:
+    """True if each step falls (allowing rises up to ``tolerance``)."""
+    _validate(series, 2)
+    for a, b in zip(series, series[1:]):
+        if b > a * (1.0 + tolerance):
+            return False
+    return True
+
+
+def has_interior_peak(series: Sequence[float], margin: float = 0.0) -> bool:
+    """True if the maximum sits strictly inside the series and exceeds
+    both endpoints by at least ``margin`` (fractional)."""
+    _validate(series, 3)
+    peak = argmax(series)
+    if peak == 0 or peak == len(series) - 1:
+        return False
+    top = series[peak]
+    return top > series[0] * (1.0 + margin) and top > series[-1] * (
+        1.0 + margin
+    )
+
+
+def peak_position(
+    xs: Sequence[float], ys: Sequence[float]
+) -> float:
+    """The x value at which ``ys`` peaks."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    _validate(ys)
+    return xs[argmax(ys)]
+
+
+def crossover_points(
+    xs: Sequence[float], a: Sequence[float], b: Sequence[float]
+) -> list[float]:
+    """x positions where series ``a`` and ``b`` swap order.
+
+    Each crossover is reported as the midpoint of the bracketing xs.
+    Touching (equal values) does not count as a crossover.
+    """
+    if not (len(xs) == len(a) == len(b)):
+        raise ValueError("xs, a, b must have equal length")
+    _validate(xs, 2)
+    out = []
+    for i in range(len(xs) - 1):
+        d0 = a[i] - b[i]
+        d1 = a[i + 1] - b[i + 1]
+        if d0 * d1 < 0:
+            out.append((xs[i] + xs[i + 1]) / 2.0)
+    return out
+
+
+def relative_spread(series: Sequence[float]) -> float:
+    """(max - min) / mean: how much a series varies."""
+    _validate(series)
+    mean = sum(series) / len(series)
+    if mean == 0:
+        return 0.0
+    return (max(series) - min(series)) / mean
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """baseline / improved; raises on non-positive improved."""
+    if improved <= 0:
+        raise ValueError("improved time must be positive")
+    return baseline / improved

@@ -1,0 +1,202 @@
+"""Command-line interface: quick looks at a simulated deployment.
+
+Usage::
+
+    python -m repro demo                 # store/fetch walkthrough
+    python -m repro topology             # show the assembled testbed
+    python -m repro trace --files 12     # sample the eDonkey workload
+    python -m repro surveillance         # run the camera pipeline once
+    python -m repro bench-help           # how to regenerate the paper
+
+All subcommands run entirely offline on the discrete-event simulator.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional
+
+from repro import __version__
+from repro.cluster import Cloud4Home, ClusterConfig, MetricsCollector
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cloud4Home / VStore++ reproduction (ICDCS 2011)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="store/fetch walkthrough")
+    demo.add_argument("--seed", type=int, default=7)
+
+    topology = sub.add_parser("topology", help="show the assembled testbed")
+    topology.add_argument("--seed", type=int, default=0)
+
+    trace = sub.add_parser("trace", help="sample the eDonkey workload")
+    trace.add_argument("--files", type=int, default=10)
+    trace.add_argument("--accesses", type=int, default=10)
+    trace.add_argument("--seed", type=int, default=0)
+
+    surveillance = sub.add_parser(
+        "surveillance", help="run the camera pipeline once"
+    )
+    surveillance.add_argument("--image-mb", type=float, default=0.5)
+    surveillance.add_argument("--seed", type=int, default=42)
+
+    overlay = sub.add_parser("overlay", help="inspect the DHT ring")
+    overlay.add_argument("--seed", type=int, default=0)
+    overlay.add_argument(
+        "--keys",
+        nargs="*",
+        default=["camera.jpg", "movie.avi", "song.mp3"],
+        help="object names to map onto owners",
+    )
+
+    sub.add_parser("bench-help", help="how to regenerate the paper's results")
+    return parser
+
+
+def cmd_demo(args) -> int:
+    c4h = Cloud4Home(ClusterConfig(seed=args.seed))
+    c4h.start(monitors=False)
+    metrics = MetricsCollector(c4h)
+    device = c4h.devices[0]
+    print(f"deployment: {[d.name for d in c4h.devices]} + S3/EC2")
+    for name, size in [("photo.jpg", 2.0), ("album.mp3", 6.0)]:
+        result = c4h.run(
+            metrics.timed(
+                "store", device.name, device.client.store_file(name, size)
+            )
+        )
+        print(f"stored {name} -> {result.meta.location} ({result.total_s:.2f}s)")
+    fetch = c4h.run(
+        metrics.timed(
+            "fetch", "desktop", c4h.device("desktop").client.fetch_object("photo.jpg")
+        )
+    )
+    print(f"fetched photo.jpg from {fetch.served_from} ({fetch.total_s:.2f}s)")
+    print()
+    print(metrics.report())
+    return 0
+
+
+def cmd_topology(args) -> int:
+    c4h = Cloud4Home(ClusterConfig(seed=args.seed))
+    print("Cloud4Home testbed (paper Section V):")
+    for device in c4h.devices:
+        profile = device.profile
+        power = "mains" if device.config.battery is None else "battery"
+        print(
+            f"  {device.name:10s} {profile.name:13s} "
+            f"{profile.cpu_cores}x{profile.cpu_ghz:g} GHz "
+            f"{profile.mem_mb:.0f} MB "
+            f"(guest VM: {device.guest.vcpus} vcpu / "
+            f"{device.guest.mem_mb:.0f} MB, {power})"
+        )
+    lan = c4h.config.lan
+    wan = c4h.config.wan
+    print(f"  LAN: {lan.bandwidth_mbps:g} Mbps, {lan.latency_s * 1000:g} ms")
+    print(
+        f"  WAN: up {wan.up_flow_mean_mb_s:g} MB/s / "
+        f"down {wan.down_flow_mean_mb_s:g} MB/s mean per transfer, "
+        f"shaping after {wan.shaping_after_s:g}s"
+    )
+    print(f"  cloud: S3 bucket + {len(c4h.ec2)} EC2 instance(s)")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.sim import RandomSource
+    from repro.workloads import EDonkeyTraceGenerator
+
+    gen = EDonkeyTraceGenerator(
+        rng=RandomSource(args.seed), n_files=args.files
+    )
+    print(f"files ({args.files}):")
+    for f in gen.files():
+        print(f"  {f.name:22s} {f.size_mb:6.1f} MB  [{f.bucket}]")
+    print(f"accesses ({args.accesses}, 60/40 store/fetch):")
+    for a in gen.accesses(args.accesses):
+        print(f"  client {a.client}: {a.op:5s} {a.file.name}")
+    return 0
+
+
+def cmd_surveillance(args) -> int:
+    from repro.services import FaceDetection, FaceRecognition
+
+    c4h = Cloud4Home(ClusterConfig(seed=args.seed))
+    c4h.start(monitors=False)
+    camera = c4h.device("netbook0")
+    c4h.deploy_service(lambda: FaceDetection(), nodes=["netbook0", "desktop"])
+    c4h.deploy_service(
+        lambda: FaceRecognition(training_mb=60.0), nodes=["netbook0", "desktop"]
+    )
+    for svc in camera.registry.local.values():
+        svc.prewarm(camera.guest)
+    c4h.run(camera.client.store_file("frame.jpg", args.image_mb))
+    result = c4h.run(
+        camera.client.process_pipeline(
+            "frame.jpg", ["face-detect#v1", "face-recognize#v1"]
+        )
+    )
+    print(
+        f"{args.image_mb:g} MB frame: pipeline ran on {result.executed_on} "
+        f"in {result.total_s:.2f}s (decision {result.decision_s * 1000:.0f} ms, "
+        f"move {result.move_s:.2f}s, exec {result.execute_s:.2f}s)"
+    )
+    return 0
+
+
+def cmd_overlay(args) -> int:
+    from repro.overlay import NodeId, ring_diagram, routing_summary
+
+    c4h = Cloud4Home(ClusterConfig(seed=args.seed))
+    c4h.start(monitors=False)
+    nodes = [d.chimera for d in c4h.devices]
+    keys = {name: NodeId.from_name(f"object:{name}") for name in args.keys}
+    print(ring_diagram(nodes, keys=keys))
+    print()
+    print(routing_summary(nodes[0]))
+    return 0
+
+
+def cmd_bench_help(args) -> int:
+    print("Regenerate every table and figure from the paper with:")
+    print()
+    print("    pytest benchmarks/ --benchmark-only")
+    print()
+    print("Individual experiments:")
+    for bench, what in [
+        ("test_fig4_home_vs_remote.py", "Figure 4: home vs remote latency"),
+        ("test_table1_fetch_costs.py", "Table I: fetch cost breakdown"),
+        ("test_fig5_optimal_object_size.py", "Figure 5: optimal object size"),
+        ("test_fig6_fetch_throughput.py", "Figure 6: concurrent fetch throughput"),
+        ("test_split_processing.py", "Sec. V-B: home/EC2/split recognition"),
+        ("test_fig7_service_placement.py", "Figure 7: pipeline placement"),
+        ("test_fig8_dynamic_routing.py", "Figure 8: Town vs Topt"),
+        ("test_scaling.py", "future work (iii): overlay scaling"),
+        ("test_ablation_*.py", "design ablations"),
+    ]:
+        print(f"    pytest benchmarks/{bench:36s} # {what}")
+    return 0
+
+
+COMMANDS = {
+    "demo": cmd_demo,
+    "topology": cmd_topology,
+    "trace": cmd_trace,
+    "surveillance": cmd_surveillance,
+    "overlay": cmd_overlay,
+    "bench-help": cmd_bench_help,
+}
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)

@@ -1,0 +1,22 @@
+"""Simulated public cloud: S3-style storage and EC2-style compute.
+
+Public surface:
+
+* :class:`S3Store`, :class:`S3Object`, :class:`S3Error` — blocking
+  object storage behind the uplink.
+* :class:`Ec2Instance` — rentable compute with the EC2-XL profile.
+* :class:`PublicCloudInterface` — the per-node (or gateway-routed)
+  doorway VStore++ uses.
+"""
+
+from repro.cloud.ec2 import Ec2Instance
+from repro.cloud.interface import PublicCloudInterface
+from repro.cloud.s3 import S3Error, S3Object, S3Store
+
+__all__ = [
+    "S3Store",
+    "S3Object",
+    "S3Error",
+    "Ec2Instance",
+    "PublicCloudInterface",
+]

@@ -1,0 +1,89 @@
+"""Simulated EC2 compute instances.
+
+The paper offloads face detection/recognition to "an extra large EC2
+para-virtualized instance with five 2.9 GHZ CPUs with 14 GB memory"
+(S3 in Figure 7).  An :class:`Ec2Instance` is a cloud-group network
+host backed by the virtualization substrate: one hypervisor, one
+para-virtualized domain sized to the instance type.
+"""
+
+from __future__ import annotations
+
+from repro.net import Network
+from repro.services import Service, ServiceResult
+from repro.virt import EC2_XL, DeviceProfile, Domain, Hypervisor
+
+__all__ = ["Ec2Instance"]
+
+
+class Ec2Instance:
+    """One rented cloud VM that can run VStore++ services."""
+
+    def __init__(
+        self,
+        network: Network,
+        name: str = "ec2-xl-1",
+        profile: DeviceProfile = EC2_XL,
+        boot_overhead_s: float = 0.5,
+    ) -> None:
+        self.network = network
+        self.profile = profile
+        self.boot_overhead_s = boot_overhead_s
+        if name not in network.hosts:
+            network.add_host(name, group="cloud")
+        self.name = name
+        self.hypervisor = Hypervisor(network.sim, profile)
+        # A para-virtualized instance is one big domain on the host.
+        self.domain: Domain = self.hypervisor.create_domain(
+            name, vcpus=profile.cpu_cores, mem_mb=profile.mem_mb
+        )
+        #: Services deployed on this instance, by qualified name.
+        self.services: dict[str, Service] = {}
+        self._booted = False
+
+    @property
+    def sim(self):
+        return self.network.sim
+
+    def deploy(self, service: Service) -> None:
+        """Install a service image on the instance."""
+        self.services[service.qualified_name] = service
+
+    def boot(self):
+        """Process: first-use instance start-up cost (paid once)."""
+        if not self._booted:
+            yield self.sim.timeout(self.boot_overhead_s)
+            self._booted = True
+
+    def upload_input(self, src_node: str, nbytes: float):
+        """Process: move service input from a home node to the instance."""
+        yield self.network.transfer(src_node, self.name, nbytes)
+
+    def download_output(self, dst_node: str, nbytes: float):
+        """Process: return a result object to a home node."""
+        if nbytes > 0:
+            yield self.network.transfer(self.name, dst_node, nbytes)
+        return nbytes
+
+    def run_service(self, qualified_name: str, input_mb: float):
+        """Process: execute a deployed service on already-present data.
+
+        Returns the :class:`ServiceResult`.  Raises KeyError if the
+        service is not deployed.
+        """
+        service = self.services[qualified_name]
+        yield from self.boot()
+        result: ServiceResult = yield from service.execute(self.domain, input_mb)
+        return result
+
+    def offload(self, src_node: str, qualified_name: str, input_mb: float):
+        """Process: the full offload path — upload, execute, download.
+
+        Returns (ServiceResult, total_elapsed_s).
+        """
+        started = self.sim.now
+        nbytes = input_mb * 1024 * 1024
+        yield from self.upload_input(src_node, nbytes)
+        result = yield from self.run_service(qualified_name, input_mb)
+        yield from self.download_output(src_node, result.output_mb * 1024 * 1024)
+        return result, self.sim.now - started

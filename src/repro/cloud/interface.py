@@ -1,0 +1,69 @@
+"""The per-node public-cloud interface module.
+
+"A key component of VStore++ is its ability to interface the home cloud
+infrastructure with remote public clouds ...  One or more nodes in the
+home cloud support a public cloud interface module, responsible for
+routing all remote cloud interactions.  In our current implementation,
+the VStore++ domain on each node includes an interface to Amazon's S3
+storage cloud, but other implementations, where the public cloud
+interactions are performed only via some subset of designated nodes ...
+are possible." (Section III-C.)
+
+:class:`PublicCloudInterface` supports both modes: every node talks to
+S3 directly, or traffic relays through a designated gateway node.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cloud.s3 import S3Store
+from repro.net import Network
+
+__all__ = ["PublicCloudInterface"]
+
+
+class PublicCloudInterface:
+    """One home node's doorway to the remote cloud."""
+
+    def __init__(
+        self,
+        network: Network,
+        node_name: str,
+        s3: S3Store,
+        gateway: Optional[str] = None,
+    ) -> None:
+        self.network = network
+        self.node_name = node_name
+        self.s3 = s3
+        self.gateway = gateway
+        self.uploads = 0
+        self.downloads = 0
+
+    @property
+    def sim(self):
+        return self.network.sim
+
+    def store_remote(self, key: str, nbytes: float):
+        """Process: push an object to S3 (blocking); returns the URL."""
+        if self.gateway is not None and self.gateway != self.node_name:
+            # Hop to the designated gateway over the home LAN first.
+            yield self.network.transfer(self.node_name, self.gateway, nbytes)
+            origin = self.gateway
+        else:
+            origin = self.node_name
+        url = yield from self.s3.put_object(origin, key, nbytes)
+        self.uploads += 1
+        return url
+
+    def fetch_remote(self, key: str):
+        """Process: pull an object from S3; returns bytes received."""
+        if self.gateway is not None and self.gateway != self.node_name:
+            report = yield from self.s3.get_object(self.gateway, key)
+            yield self.network.transfer(
+                self.gateway, self.node_name, report.nbytes
+            )
+        else:
+            report = yield from self.s3.get_object(self.node_name, key)
+        self.downloads += 1
+        return report.nbytes

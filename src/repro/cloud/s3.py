@@ -1,0 +1,118 @@
+"""Simulated Amazon-S3-style object storage.
+
+The prototype wrapped the s3tools interface: "a blocking call that uses
+a TCP/IP-based data transfer mechanism" (Section IV).  Our S3 lives on
+a ``cloud``-group network host; puts ride the home→cloud uplink route
+and gets ride the cloud→home downlink route, both of which carry the
+TCP slow-start/window-cap/ISP-shaping model that produces the paper's
+Figure 5 throughput curve.
+
+Objects are metadata only (key → size); the bytes themselves are what
+the network model moves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net import Network, TransferReport
+
+__all__ = ["S3Object", "S3Store"]
+
+
+class S3Error(Exception):
+    """S3-side failures (missing objects, bad arguments)."""
+
+
+@dataclass
+class S3Object:
+    """One stored object's cloud-side metadata."""
+
+    key: str
+    size_bytes: float
+    stored_at: float
+
+    @property
+    def size_mb(self) -> float:
+        return self.size_bytes / (1024 * 1024)
+
+
+class S3Store:
+    """The cloud-side storage service.
+
+    ``request_overhead_s`` models per-request authentication/HTTP
+    overhead on top of the data transfer itself.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        host_name: str = "s3",
+        bucket: str = "vstore-bucket",
+        request_overhead_s: float = 0.08,
+    ) -> None:
+        self.network = network
+        self.bucket = bucket
+        self.request_overhead_s = request_overhead_s
+        if host_name not in network.hosts:
+            network.add_host(host_name, group="cloud")
+        self.host_name = host_name
+        self.objects: dict[str, S3Object] = {}
+        self.puts = 0
+        self.gets = 0
+
+    @property
+    def sim(self):
+        return self.network.sim
+
+    def url_for(self, key: str) -> str:
+        """The S3 URL stored as the object's location in the KV store."""
+        return f"s3://{self.bucket}/{key}"
+
+    def contains(self, key: str) -> bool:
+        return key in self.objects
+
+    def size_of(self, key: str) -> float:
+        """Size in bytes; raises S3Error for unknown keys."""
+        obj = self.objects.get(key)
+        if obj is None:
+            raise S3Error(f"no such object {key!r} in bucket {self.bucket!r}")
+        return obj.size_bytes
+
+    # -- blocking data operations (processes) --------------------------------
+
+    def put_object(self, src_node: str, key: str, nbytes: float):
+        """Process: upload ``nbytes`` from ``src_node``; returns the URL."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        yield self.sim.timeout(self.request_overhead_s)
+        yield self.network.transfer(src_node, self.host_name, nbytes)
+        self.objects[key] = S3Object(key, float(nbytes), self.sim.now)
+        self.puts += 1
+        return self.url_for(key)
+
+    def get_object(self, dst_node: str, key: str):
+        """Process: download the object to ``dst_node``.
+
+        Returns the network :class:`TransferReport`.  Raises
+        :class:`S3Error` for unknown keys.
+        """
+        obj = self.objects.get(key)
+        if obj is None:
+            raise S3Error(f"no such object {key!r} in bucket {self.bucket!r}")
+        yield self.sim.timeout(self.request_overhead_s)
+        report: TransferReport = yield self.network.transfer(
+            self.host_name, dst_node, obj.size_bytes
+        )
+        self.gets += 1
+        return report
+
+    def delete_object(self, key: str) -> None:
+        """Remove the object's metadata (no data transfer needed)."""
+        if key not in self.objects:
+            raise S3Error(f"no such object {key!r} in bucket {self.bucket!r}")
+        del self.objects[key]
+
+    @property
+    def stored_bytes(self) -> float:
+        return sum(o.size_bytes for o in self.objects.values())

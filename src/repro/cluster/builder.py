@@ -1,0 +1,399 @@
+"""Assembly of a complete Cloud4Home deployment.
+
+:class:`Cloud4Home` wires every layer of the reproduction together the
+way the prototype deployment did: per-device hypervisors with a dom0
+and a guest domain joined by a XenSocket channel, a Chimera overlay
+with the DHT key-value store, resource monitors, service registries,
+the VStore++ node and client, a home LAN, and the WAN path to the
+simulated S3/EC2 cloud.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cloud import Ec2Instance, PublicCloudInterface, S3Store
+from repro.kvstore import DhtKeyValueStore
+from repro.monitoring import (
+    BandwidthEstimator,
+    DecisionEngine,
+    FileSystemWatcher,
+    ResourceMonitor,
+    ResourceSnapshot,
+)
+from repro.net import Link, Network, Route, TcpProfile
+from repro.overlay import ChimeraNode
+from repro.services import Service, ServiceRegistry
+from repro.sim import RandomSource, Simulator
+from repro.virt import (
+    ATOM_NETBOOK,
+    ATOM_S1,
+    EC2_XL,
+    QUAD_DESKTOP,
+    QUAD_S2,
+    DeviceProfile,
+    Domain,
+    Hypervisor,
+    TransferEngine,
+    XenSocketChannel,
+)
+from repro.vstore import VStoreClient, VStoreNode
+from repro.cluster.config import ClusterConfig, DeviceConfig
+
+__all__ = ["Device", "Cloud4Home", "PROFILES"]
+
+MB = 1024 * 1024
+
+PROFILES: dict[str, DeviceProfile] = {
+    "atom-netbook": ATOM_NETBOOK,
+    "quad-desktop": QUAD_DESKTOP,
+    "atom-s1": ATOM_S1,
+    "quad-s2": QUAD_S2,
+    "ec2-xl": EC2_XL,
+}
+
+
+@dataclass
+class Device:
+    """One fully assembled home device."""
+
+    config: DeviceConfig
+    profile: DeviceProfile
+    hypervisor: Hypervisor
+    dom0: Domain
+    guest: Domain
+    xensocket: XenSocketChannel
+    chimera: ChimeraNode
+    kv: DhtKeyValueStore
+    registry: ServiceRegistry
+    watcher: FileSystemWatcher
+    monitor: ResourceMonitor
+    decision: DecisionEngine
+    bandwidth: BandwidthEstimator
+    cloud: PublicCloudInterface
+    vstore: VStoreNode
+    client: VStoreClient
+
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+
+def _lognormal_sampler(mean_mb_s: float, sigma: float, cap_mb_s: float):
+    """Per-transfer bandwidth sampler: lognormal with the given mean,
+    clipped to the direction's physical maximum."""
+    # For a lognormal, mean = exp(mu + sigma^2/2).
+    mu = math.log(mean_mb_s * MB) - sigma * sigma / 2.0
+
+    def sample(rng: RandomSource) -> float:
+        return min(rng.lognormal(mu, sigma), cap_mb_s * MB)
+
+    return sample
+
+
+class Cloud4Home:
+    """A running Cloud4Home deployment (home cloud + remote cloud).
+
+    Passing an existing ``network`` (and optionally a shared ``s3``)
+    places this home on a shared fabric — the basis for federating
+    multiple Cloud4Home infrastructures (Section VII (v)).
+    ``home_group`` names this home's location group on that fabric.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ClusterConfig] = None,
+        network: Optional[Network] = None,
+        s3: Optional[S3Store] = None,
+        home_group: str = "home",
+    ) -> None:
+        self.config = config or ClusterConfig()
+        self.home_group = home_group
+        if network is None:
+            self.sim = Simulator()
+            self.rng = RandomSource(self.config.seed)
+            self.network = Network(self.sim, self.rng)
+        else:
+            self.network = network
+            self.sim = network.sim
+            self.rng = RandomSource(self.config.seed).fork(home_group)
+        self._build_fabric()
+        self.s3 = s3 or S3Store(
+            self.network,
+            request_overhead_s=self.config.wan.s3_request_overhead_s,
+        )
+        self.ec2: list[Ec2Instance] = []
+        if self.config.with_ec2:
+            for i in range(self.config.ec2_instances):
+                name = f"ec2-xl-{i}" if home_group == "home" else f"{home_group}-ec2-{i}"
+                self.ec2.append(Ec2Instance(self.network, name=name))
+        self.devices: list[Device] = [
+            self._build_device(dc) for dc in self.config.devices
+        ]
+        self._started = False
+
+    # -- fabric -----------------------------------------------------------
+
+    def _build_fabric(self) -> None:
+        lan = self.config.lan
+        wan = self.config.wan
+        lan_link = Link(
+            self.sim,
+            bandwidth=lan.bandwidth_mbps * 1e6 / 8,
+            name=f"{self.home_group}-lan",
+        )
+        self.lan_link = lan_link
+        self.network.connect_groups(
+            self.home_group,
+            self.home_group,
+            Route(
+                lan_link,
+                base_latency=lan.latency_s,
+                jitter=lan.jitter,
+                cap_sampler=lambda rng: lan.flow_cap_mb_s * MB,
+            ),
+        )
+        up_tcp = TcpProfile(
+            rtt=wan.tcp_rtt_s,
+            init_window=wan.tcp_init_window,
+            max_window=wan.tcp_max_window,
+            shaping_after_s=wan.shaping_after_s,
+            shaped_rate=wan.shaped_up_mb_s * MB,
+        )
+        down_tcp = TcpProfile(
+            rtt=wan.tcp_rtt_s,
+            init_window=wan.tcp_init_window,
+            max_window=wan.tcp_max_window,
+            shaping_after_s=wan.shaping_after_s,
+            shaped_rate=wan.shaped_down_mb_s * MB,
+        )
+        self.uplink = Link(
+            self.sim,
+            bandwidth=wan.up_capacity_mb_s * MB,
+            name=f"{self.home_group}-uplink",
+        )
+        self.downlink = Link(
+            self.sim,
+            bandwidth=wan.down_capacity_mb_s * MB,
+            name=f"{self.home_group}-downlink",
+        )
+        self._up_tcp = up_tcp
+        self._down_tcp = down_tcp
+        self._up_sampler = _lognormal_sampler(
+            wan.up_flow_mean_mb_s, wan.flow_sigma, wan.up_capacity_mb_s
+        )
+        self.network.connect_groups(
+            self.home_group,
+            "cloud",
+            Route(
+                self.uplink,
+                base_latency=wan.latency_s,
+                jitter=wan.jitter,
+                tcp=up_tcp,
+                cap_sampler=_lognormal_sampler(
+                    wan.up_flow_mean_mb_s, wan.flow_sigma, wan.up_capacity_mb_s
+                ),
+            ),
+        )
+        self.network.connect_groups(
+            "cloud",
+            self.home_group,
+            Route(
+                self.downlink,
+                base_latency=wan.latency_s,
+                jitter=wan.jitter,
+                tcp=down_tcp,
+                cap_sampler=_lognormal_sampler(
+                    wan.down_flow_mean_mb_s, wan.flow_sigma, wan.down_capacity_mb_s
+                ),
+            ),
+        )
+        # Cloud-internal traffic (S3 <-> EC2) is fast and flat.
+        cloud_link = Link(self.sim, bandwidth=200 * MB, name="cloud-internal")
+        self.network.connect_groups(
+            "cloud", "cloud", Route(cloud_link, base_latency=0.002)
+        )
+
+    # -- devices ------------------------------------------------------------
+
+    def _build_device(self, dc: DeviceConfig) -> Device:
+        profile = PROFILES[dc.profile_name]
+        host = self.network.add_host(dc.name, group=self.home_group)
+        hypervisor = Hypervisor(self.sim, profile)
+        guest = hypervisor.create_domain(
+            f"{dc.name}-guest", vcpus=dc.guest_vcpus, mem_mb=dc.guest_mem_mb
+        )
+        dom0 = hypervisor.create_domain(
+            f"{dc.name}-dom0",
+            vcpus=profile.cpu_cores,
+            mem_mb=hypervisor.free_mem_mb(),
+            is_control=True,
+        )
+        xensocket = XenSocketChannel(
+            self.sim,
+            page_size=dc.xensocket_page_size,
+            page_count=dc.xensocket_page_count,
+        )
+        chimera = ChimeraNode(self.network, host, leaf_size=self.config.leaf_size)
+        kv = DhtKeyValueStore(
+            chimera,
+            replication_factor=self.config.replication_factor,
+            cache_enabled=self.config.cache_enabled,
+        )
+        registry = ServiceRegistry(kv)
+        decision = DecisionEngine(chimera, kv)
+        bandwidth = BandwidthEstimator(
+            default_mbps=self.config.lan.bandwidth_mbps
+        )
+        transfer = TransferEngine(
+            self.network, zero_copy=True, observer=bandwidth.observe_report
+        )
+        cloud = PublicCloudInterface(
+            self.network, dc.name, self.s3, gateway=self.config.cloud_gateway
+        )
+        vstore = VStoreNode(
+            chimera=chimera,
+            kv=kv,
+            registry=registry,
+            decision=decision,
+            transfer=transfer,
+            mandatory_mb=dc.mandatory_mb,
+            voluntary_mb=dc.voluntary_mb,
+            guest_domain=guest,
+            dom0_domain=dom0,
+            xensocket=xensocket,
+            cloud=cloud,
+            ec2=self.ec2[0] if self.ec2 else None,
+            disk_mb_s=profile.disk_mb_s,
+        )
+        watcher = FileSystemWatcher(vstore.mandatory, vstore.voluntary)
+
+        def sampler(
+            dc=dc, profile=profile, hypervisor=hypervisor, guest=guest, watcher=watcher
+        ) -> ResourceSnapshot:
+            return ResourceSnapshot(
+                node=dc.name,
+                device_type=profile.name,
+                vcpus=dc.guest_vcpus,
+                cpu_cores=profile.cpu_cores,
+                cpu_ghz=profile.cpu_ghz,
+                cpu_load=hypervisor.instantaneous_load(),
+                mem_total_mb=profile.mem_mb,
+                # The guest VM's allocation bounds what services see.
+                mem_free_mb=guest.mem_mb,
+                mandatory_free_mb=watcher.mandatory_free_mb(),
+                voluntary_free_mb=watcher.voluntary_free_mb(),
+                # Adaptive: observed throughput once transfers happened,
+                # the nominal LAN figure before that.
+                bandwidth_mbps=bandwidth.overall_mbps(),
+                battery=dc.battery,
+                taken_at=self.sim.now,
+            )
+
+        vstore.snapshot_fn = sampler
+        monitor = ResourceMonitor(kv, sampler, period_s=self.config.monitor_period_s)
+        client = VStoreClient(vstore)
+        return Device(
+            config=dc,
+            profile=profile,
+            hypervisor=hypervisor,
+            dom0=dom0,
+            guest=guest,
+            xensocket=xensocket,
+            chimera=chimera,
+            kv=kv,
+            registry=registry,
+            watcher=watcher,
+            monitor=monitor,
+            decision=decision,
+            bandwidth=bandwidth,
+            cloud=cloud,
+            vstore=vstore,
+            client=client,
+        )
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start(self, monitors: bool = True) -> None:
+        """Join all devices into one overlay and publish resources."""
+        if self._started:
+            return
+        bootstrap = self.devices[0]
+        bootstrap.chimera.start()
+        for device in self.devices[1:]:
+            self.run(device.chimera.join(bootstrap=bootstrap.name))
+            self.sim.run()  # drain join announcements
+        for device in self.devices:
+            self.run(device.monitor.publish_once())
+            if monitors:
+                device.monitor.start(publish_immediately=False)
+        self._started = True
+
+    def device(self, name: str) -> Device:
+        """Look up one assembled device by name (KeyError if absent)."""
+        for device in self.devices:
+            if device.name == name:
+                return device
+        raise KeyError(f"no device named {name!r}")
+
+    def run(self, generator):
+        """Drive a process generator to completion; return its value."""
+        proc = self.sim.process(generator)
+        return self.sim.run(until=proc)
+
+    def object_inventory(self) -> dict:
+        """Where every physically stored object lives, cluster-wide.
+
+        Maps object name -> {"node": name or "@remote-cloud",
+        "bin": bin name or "s3", "size_mb": size}.
+        """
+        out: dict[str, dict] = {}
+        for device in self.devices:
+            inv = device.vstore.inventory()
+            for bin_name in ("mandatory", "voluntary"):
+                for name, size_mb in inv[bin_name].items():
+                    out[name] = {
+                        "node": device.name,
+                        "bin": bin_name,
+                        "size_mb": size_mb,
+                    }
+        for key, obj in self.s3.objects.items():
+            out.setdefault(
+                key,
+                {"node": "@remote-cloud", "bin": "s3", "size_mb": obj.size_mb},
+            )
+        return out
+
+    def storage_report(self) -> str:
+        """Human-readable cluster storage summary."""
+        lines = ["== storage =="]
+        for device in self.devices:
+            inv = device.vstore.inventory()
+            lines.append(
+                f"{device.name}: mandatory "
+                f"{len(inv['mandatory'])} objs "
+                f"({inv['mandatory_free_mb']:.0f} MB free), voluntary "
+                f"{len(inv['voluntary'])} objs "
+                f"({inv['voluntary_free_mb']:.0f} MB free)"
+            )
+        lines.append(
+            f"s3: {len(self.s3.objects)} objs "
+            f"({self.s3.stored_bytes / (1024 * 1024):.1f} MB)"
+        )
+        return "\n".join(lines)
+
+    def deploy_service(self, service_factory, nodes: Optional[list[str]] = None):
+        """Register a service (built per node by ``service_factory``)
+        on the named nodes (default: all), and on EC2 when present."""
+        targets = (
+            self.devices
+            if nodes is None
+            else [self.device(name) for name in nodes]
+        )
+        for device in targets:
+            service: Service = service_factory()
+            self.run(device.registry.register(service))
+        for instance in self.ec2:
+            instance.deploy(service_factory())

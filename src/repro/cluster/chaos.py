@@ -1,0 +1,158 @@
+"""Fault injection for Cloud4Home deployments.
+
+The home environment's defining property is dynamism: "nodes may
+periodically go off-line and become unavailable" (Section III), and the
+paper's future work asks for "mechanisms that adapt to the changing
+network conditions" (Section VII (iv)).  The :class:`ChaosSchedule`
+scripts that dynamism against a running deployment:
+
+* **crash** — a device fails abruptly (no notifications);
+* **leave** — a device departs gracefully (keys handed off first);
+* **revive** — a crashed device comes back and rejoins the overlay;
+* **degrade / restore** — a link's capacity drops (e.g. the wireless
+  uplink during rain) and later recovers.
+
+Fault times are relative delays (seconds after :meth:`start`, or after
+scheduling for faults added to a running schedule); the applied sequence
+is recorded in ``events`` for assertions and post-mortems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cluster.builder import Cloud4Home, Device
+from repro.net import Link
+
+__all__ = ["ChaosSchedule", "ChaosEvent"]
+
+
+@dataclass
+class ChaosEvent:
+    """One applied fault, for the post-mortem log."""
+
+    at: float
+    kind: str
+    target: str
+    detail: str = ""
+
+
+class ChaosSchedule:
+    """Scripted fault sequence against one deployment."""
+
+    def __init__(self, cluster: Cloud4Home) -> None:
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.events: list[ChaosEvent] = []
+        self._pending: list = []
+        self._started = False
+
+    # -- schedule construction (fluent) -----------------------------------
+
+    def crash(self, after: float, device_name: str) -> "ChaosSchedule":
+        """Abrupt failure: the device vanishes without a word."""
+        self._add(after, self._do_crash, device_name)
+        return self
+
+    def leave(self, after: float, device_name: str) -> "ChaosSchedule":
+        """Graceful departure: keys are redistributed first."""
+        self._add(after, self._do_leave, device_name)
+        return self
+
+    def revive(
+        self, after: float, device_name: str, bootstrap: Optional[str] = None
+    ) -> "ChaosSchedule":
+        """A crashed/departed device rejoins the overlay."""
+        self._add(after, self._do_revive, device_name, bootstrap)
+        return self
+
+    def degrade_link(
+        self,
+        after: float,
+        link: Link,
+        factor: float,
+        duration: Optional[float] = None,
+    ) -> "ChaosSchedule":
+        """Scale a link's bandwidth by ``factor`` (restoring after
+        ``duration`` seconds, if given)."""
+        if not 0 < factor:
+            raise ValueError("factor must be positive")
+        self._add(after, self._do_degrade, link, factor, duration)
+        return self
+
+    def start(self) -> None:
+        """Arm the schedule (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for delay, action, args in self._pending:
+            self.sim.process(self._fire(delay, action, args))
+
+    # -- internals ----------------------------------------------------------
+
+    def _add(self, after: float, action, *args) -> None:
+        """Schedule ``action`` ``after`` seconds from now (from
+        :meth:`start` for faults queued before it)."""
+        if after < 0:
+            raise ValueError(f"fault delay {after} is negative")
+        if self._started:
+            self.sim.process(self._fire(after, action, args))
+        else:
+            self._pending.append((after, action, args))
+
+    def _fire(self, delay: float, action, args):
+        yield self.sim.timeout(delay)
+        yield from action(*args)
+
+    def _device(self, name: str) -> Device:
+        return self.cluster.device(name)
+
+    def _do_crash(self, name: str):
+        device = self._device(name)
+        device.monitor.stop()
+        device.chimera.fail_abruptly()
+        self.cluster.network.take_offline(name)
+        self.events.append(ChaosEvent(self.sim.now, "crash", name))
+        return
+        yield  # pragma: no cover - generator marker
+
+    def _do_leave(self, name: str):
+        device = self._device(name)
+        device.monitor.stop()
+        yield from device.kv.leave()
+        self.cluster.network.take_offline(name)
+        self.events.append(ChaosEvent(self.sim.now, "leave", name))
+
+    def _do_revive(self, name: str, bootstrap: Optional[str]):
+        device = self._device(name)
+        self.cluster.network.bring_online(name)
+        if bootstrap is None:
+            bootstrap = next(
+                d.name
+                for d in self.cluster.devices
+                if d.name != name and d.chimera.joined
+            )
+        yield from device.chimera.join(bootstrap=bootstrap)
+        yield from device.monitor.publish_once()
+        self.events.append(
+            ChaosEvent(self.sim.now, "revive", name, f"via {bootstrap}")
+        )
+
+    def _do_degrade(self, link: Link, factor: float, duration: Optional[float]):
+        original = link.bandwidth
+        link.set_bandwidth(original * factor)
+        self.events.append(
+            ChaosEvent(
+                self.sim.now,
+                "degrade",
+                link.name,
+                f"x{factor:g} for {duration if duration is not None else 'ever'}",
+            )
+        )
+        if duration is not None:
+            yield self.sim.timeout(duration)
+            link.set_bandwidth(original)
+            self.events.append(
+                ChaosEvent(self.sim.now, "restore", link.name)
+            )

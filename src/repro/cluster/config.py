@@ -1,0 +1,108 @@
+"""Configuration for assembling a Cloud4Home deployment.
+
+Defaults reproduce the paper's testbed (Section V): five dual-core
+1.66 GHz Atom netbooks plus a 2.3 GHz quad-core desktop on a 95.5 Mbps
+Ethernet LAN, reaching Amazon EC2/S3 over a wireless uplink with
+~6.5 Mbps download / ~4.5 Mbps upload maxima and ~1.5 Mbps averages.
+The WAN TCP parameters (window cap ≈1.6 MB, ISP traffic shaping of
+long transfers) are the ones behind Figure 5's optimum object size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["WanConfig", "LanConfig", "DeviceConfig", "ClusterConfig"]
+
+MB = 1024 * 1024
+
+
+@dataclass
+class LanConfig:
+    """The home Ethernet segment."""
+
+    bandwidth_mbps: float = 95.5
+    latency_s: float = 0.0008
+    jitter: float = 0.15
+    #: Effective per-flow TCP throughput on commodity devices; Table I's
+    #: inter-node column implies ≈8 MB/s for a single stream.
+    flow_cap_mb_s: float = 8.0
+
+
+@dataclass
+class WanConfig:
+    """The path between the home and the remote public cloud."""
+
+    latency_s: float = 0.045
+    jitter: float = 0.35
+    #: Aggregate link capacity in each direction, MB/s.
+    down_capacity_mb_s: float = 2.6
+    up_capacity_mb_s: float = 1.8
+    #: Per-transfer achievable throughput (lognormal), MB/s — the
+    #: wireless variability behind Figure 4's error bars.
+    down_flow_mean_mb_s: float = 1.5
+    up_flow_mean_mb_s: float = 1.0
+    flow_sigma: float = 0.30
+    #: TCP behaviour: S3's window cap and slow start.
+    tcp_rtt_s: float = 0.15
+    tcp_init_window: int = 4 * 1024
+    tcp_max_window: int = int(1.6 * MB)
+    #: ISP traffic shaping of long, bandwidth-hogging transfers.
+    shaping_after_s: float = 15.0
+    shaped_down_mb_s: float = 0.80
+    shaped_up_mb_s: float = 0.50
+    #: Per-request S3 overhead (auth + HTTP), seconds.
+    s3_request_overhead_s: float = 0.08
+
+
+@dataclass
+class DeviceConfig:
+    """One home device and its domain layout."""
+
+    name: str
+    profile_name: str = "atom-netbook"  # key into repro.virt profiles
+    guest_mem_mb: float = 512.0
+    guest_vcpus: int = 1
+    mandatory_mb: float = 4096.0
+    voluntary_mb: float = 8192.0
+    battery: float | None = 0.8  # None = mains powered
+    xensocket_page_size: int = 4 * 1024
+    xensocket_page_count: int = 32
+
+
+def default_devices() -> list[DeviceConfig]:
+    """The paper's testbed: 5 Atom netbooks + 1 quad desktop."""
+    devices = [
+        DeviceConfig(name=f"netbook{i}", profile_name="atom-netbook")
+        for i in range(5)
+    ]
+    devices.append(
+        DeviceConfig(
+            name="desktop",
+            profile_name="quad-desktop",
+            guest_mem_mb=1024.0,
+            guest_vcpus=4,
+            battery=None,
+        )
+    )
+    return devices
+
+
+@dataclass
+class ClusterConfig:
+    """Everything needed to build a Cloud4Home deployment."""
+
+    devices: list[DeviceConfig] = field(default_factory=default_devices)
+    lan: LanConfig = field(default_factory=LanConfig)
+    wan: WanConfig = field(default_factory=WanConfig)
+    seed: int = 0
+    replication_factor: int = 2
+    cache_enabled: bool = True
+    leaf_size: int = 4
+    monitor_period_s: float = 5.0
+    with_ec2: bool = True
+    ec2_instances: int = 1
+    #: When set, all public-cloud traffic relays through this device
+    #: ("the public cloud interactions are performed only via some
+    #: subset of designated nodes", Section III-C).
+    cloud_gateway: str | None = None

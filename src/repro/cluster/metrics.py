@@ -1,0 +1,193 @@
+"""Cluster-wide metrics collection.
+
+Production deployments need observability: per-operation latency
+distributions, link utilization, device load, and KV-store behaviour.
+The :class:`MetricsCollector` gathers these from a running deployment —
+benchmarks and examples use it to report the same quantities the
+paper's evaluation measures.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cluster.builder import Cloud4Home
+
+__all__ = ["OperationRecord", "MetricsCollector"]
+
+
+@dataclass
+class OperationRecord:
+    """One timed operation."""
+
+    op: str
+    device: str
+    started_at: float
+    finished_at: float
+    bytes_moved: float = 0.0
+    ok: bool = True
+
+    @property
+    def latency_s(self) -> float:
+        return self.finished_at - self.started_at
+
+
+@dataclass
+class LatencySummary:
+    """Distribution summary for one operation kind."""
+
+    count: int
+    mean_s: float
+    median_s: float
+    p95_s: float
+    max_s: float
+    throughput_mb_s: float
+
+
+class MetricsCollector:
+    """Collects and summarizes metrics from one deployment."""
+
+    def __init__(self, cluster: Cloud4Home) -> None:
+        self.cluster = cluster
+        self.records: list[OperationRecord] = []
+        self._started_at = cluster.sim.now
+
+    @property
+    def sim(self):
+        return self.cluster.sim
+
+    # -- recording -----------------------------------------------------------
+
+    def timed(self, op: str, device: str, generator, bytes_moved: float = 0.0):
+        """Process: run ``generator`` and record its latency.
+
+        Returns the wrapped operation's value; failures are recorded
+        with ``ok=False`` and re-raised.
+        """
+        started = self.sim.now
+        try:
+            result = yield from generator
+        except Exception:
+            self.records.append(
+                OperationRecord(
+                    op, device, started, self.sim.now, bytes_moved, ok=False
+                )
+            )
+            raise
+        self.records.append(
+            OperationRecord(op, device, started, self.sim.now, bytes_moved)
+        )
+        return result
+
+    def record(
+        self,
+        op: str,
+        device: str,
+        started_at: float,
+        finished_at: float,
+        bytes_moved: float = 0.0,
+        ok: bool = True,
+    ) -> None:
+        """Record an externally timed operation."""
+        self.records.append(
+            OperationRecord(op, device, started_at, finished_at, bytes_moved, ok)
+        )
+
+    # -- summaries -------------------------------------------------------------
+
+    def ops(self, op: Optional[str] = None, ok_only: bool = True):
+        out = self.records
+        if op is not None:
+            out = [r for r in out if r.op == op]
+        if ok_only:
+            out = [r for r in out if r.ok]
+        return out
+
+    def summary(self, op: str) -> Optional[LatencySummary]:
+        """Latency distribution for one operation kind (None if empty)."""
+        records = self.ops(op)
+        if not records:
+            return None
+        latencies = sorted(r.latency_s for r in records)
+        span = max(r.finished_at for r in records) - min(
+            r.started_at for r in records
+        )
+        total_mb = sum(r.bytes_moved for r in records) / (1024 * 1024)
+        p95_index = min(len(latencies) - 1, int(0.95 * len(latencies)))
+        return LatencySummary(
+            count=len(latencies),
+            mean_s=statistics.mean(latencies),
+            median_s=statistics.median(latencies),
+            p95_s=latencies[p95_index],
+            max_s=latencies[-1],
+            throughput_mb_s=total_mb / span if span > 0 else 0.0,
+        )
+
+    def error_rate(self, op: Optional[str] = None) -> float:
+        relevant = [r for r in self.records if op is None or r.op == op]
+        if not relevant:
+            return 0.0
+        return sum(1 for r in relevant if not r.ok) / len(relevant)
+
+    def link_utilization(self) -> dict[str, float]:
+        """Fraction of each cluster link's capacity used since start."""
+        elapsed = self.sim.now - self._started_at
+        if elapsed <= 0:
+            return {}
+        out = {}
+        for link in (
+            self.cluster.lan_link,
+            self.cluster.uplink,
+            self.cluster.downlink,
+        ):
+            out[link.name] = min(
+                1.0, link.bytes_delivered / (link.bandwidth * elapsed)
+            )
+        return out
+
+    def device_loads(self) -> dict[str, float]:
+        """Average core utilization per device since boot."""
+        return {
+            d.name: d.hypervisor.average_load() for d in self.cluster.devices
+        }
+
+    def kv_totals(self) -> dict[str, int]:
+        """Aggregated KV-store counters across all devices."""
+        totals = {"puts": 0, "gets": 0, "cache_hits": 0, "forwards": 0}
+        for device in self.cluster.devices:
+            stats = device.kv.stats
+            totals["puts"] += stats.puts
+            totals["gets"] += stats.gets
+            totals["cache_hits"] += stats.cache_hits
+            totals["forwards"] += stats.forwards
+        return totals
+
+    def report(self) -> str:
+        """Human-readable metrics dump."""
+        lines = ["== cluster metrics =="]
+        for op in sorted({r.op for r in self.records}):
+            s = self.summary(op)
+            if s is None:
+                continue
+            lines.append(
+                f"{op}: n={s.count} mean={s.mean_s:.3f}s "
+                f"median={s.median_s:.3f}s p95={s.p95_s:.3f}s "
+                f"max={s.max_s:.3f}s thr={s.throughput_mb_s:.2f}MB/s"
+            )
+            rate = self.error_rate(op)
+            if rate:
+                lines.append(f"  error rate: {rate:.1%}")
+        lines.append("link utilization:")
+        for name, util in self.link_utilization().items():
+            lines.append(f"  {name}: {util:.1%}")
+        lines.append("device loads:")
+        for name, load in self.device_loads().items():
+            lines.append(f"  {name}: {load:.1%}")
+        kv = self.kv_totals()
+        lines.append(
+            f"kv: puts={kv['puts']} gets={kv['gets']} "
+            f"cache_hits={kv['cache_hits']} forwards={kv['forwards']}"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Ready-made cluster configurations.
+
+The paper's evaluation uses several distinct setups; these constructors
+reproduce them by name so benchmarks, examples, and downstream users
+build the right testbed in one line.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.config import ClusterConfig, DeviceConfig, default_devices
+
+__all__ = [
+    "paper_testbed",
+    "figure7_pair",
+    "minimal_pair",
+    "large_home",
+]
+
+
+def paper_testbed(seed: int = 0, **overrides) -> ClusterConfig:
+    """Section V's testbed: 5 Atom netbooks + a quad desktop, EC2/S3."""
+    return ClusterConfig(devices=default_devices(), seed=seed, **overrides)
+
+
+def figure7_pair(seed: int = 0, **overrides) -> ClusterConfig:
+    """Figure 7's S1/S2 hosts (S3 is the EC2 instance).
+
+    S1: low-end 1.3 GHz dual-core Atom with a 512 MB, 1-VCPU VM.
+    S2: 1.8 GHz quad core with a 128 MB, multi-VCPU VM.
+    """
+    devices = [
+        DeviceConfig(
+            name="S1",
+            profile_name="atom-s1",
+            guest_mem_mb=512.0,
+            guest_vcpus=1,
+        ),
+        DeviceConfig(
+            name="S2",
+            profile_name="quad-s2",
+            guest_mem_mb=128.0,
+            guest_vcpus=4,
+            battery=None,
+        ),
+    ]
+    return ClusterConfig(devices=devices, seed=seed, **overrides)
+
+
+def minimal_pair(seed: int = 0, **overrides) -> ClusterConfig:
+    """Two netbooks, no cloud: the smallest overlay that exercises
+    inter-node behaviour (fast for unit-style experiments)."""
+    devices = [
+        DeviceConfig(name="alpha"),
+        DeviceConfig(name="beta"),
+    ]
+    overrides.setdefault("with_ec2", False)
+    return ClusterConfig(devices=devices, seed=seed, **overrides)
+
+
+def large_home(n_devices: int = 24, seed: int = 0, **overrides) -> ClusterConfig:
+    """A scaled-up home/office deployment (future work iii): mostly
+    netbook-class devices with a desktop every eighth node."""
+    if n_devices < 2:
+        raise ValueError("large_home needs at least 2 devices")
+    devices = []
+    for i in range(n_devices):
+        if i % 8 == 7:
+            devices.append(
+                DeviceConfig(
+                    name=f"desktop{i // 8}",
+                    profile_name="quad-desktop",
+                    guest_mem_mb=1024.0,
+                    guest_vcpus=4,
+                    battery=None,
+                )
+            )
+        else:
+            devices.append(DeviceConfig(name=f"dev{i:02d}"))
+    overrides.setdefault("leaf_size", 2)
+    return ClusterConfig(devices=devices, seed=seed, **overrides)

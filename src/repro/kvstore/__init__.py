@@ -1,0 +1,32 @@
+"""DHT-based key-value store: the VStore++ metadata layer.
+
+Public surface:
+
+* :class:`DhtKeyValueStore` — per-node store instance.
+* :class:`OverwritePolicy`, :class:`Record`, :class:`VersionedValue` —
+  the value model.
+* :class:`KvStats` — per-node operation counters.
+* Errors: :class:`KvError`, :class:`KeyNotFoundError`,
+  :class:`KeyExistsError`.
+"""
+
+from repro.kvstore.errors import KeyExistsError, KeyNotFoundError, KvError
+from repro.kvstore.records import (
+    OverwritePolicy,
+    Record,
+    VersionedValue,
+    payload_size,
+)
+from repro.kvstore.store import DhtKeyValueStore, KvStats
+
+__all__ = [
+    "DhtKeyValueStore",
+    "KvStats",
+    "OverwritePolicy",
+    "Record",
+    "VersionedValue",
+    "payload_size",
+    "KvError",
+    "KeyNotFoundError",
+    "KeyExistsError",
+]

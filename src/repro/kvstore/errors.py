@@ -1,0 +1,29 @@
+"""Exception types for the DHT key-value store."""
+
+from __future__ import annotations
+
+
+class KvError(Exception):
+    """Base class for key-value store errors."""
+
+
+class KeyNotFoundError(KvError):
+    """The requested key does not exist anywhere in the store."""
+
+    def __init__(self, key: str) -> None:
+        super().__init__(f"key {key!r} not found")
+        self.key = key
+
+
+class KeyExistsError(KvError):
+    """A put with OverwritePolicy.ERROR hit an existing key.
+
+    The paper: updates "have an overwrite policy value that determines
+    if the metadata needs to be overwritten, if newer version of
+    metadata is to be added by chaining, or if an error should be
+    returned".
+    """
+
+    def __init__(self, key: str) -> None:
+        super().__init__(f"key {key!r} already exists")
+        self.key = key

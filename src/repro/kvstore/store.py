@@ -1,0 +1,497 @@
+"""The DHT-based key-value store (VStore++ metadata layer).
+
+One :class:`DhtKeyValueStore` runs on every overlay node.  Keys are
+40-bit hashes of object/service names and node addresses; values are
+serialized metadata.  The store implements the paper's Section III-A
+mechanisms:
+
+* **Prefix-routed put/get/delete** — requests travel hop by hop through
+  the Chimera overlay to the key's root node.
+* **Overwrite policies** — overwrite, version chaining, or error.
+* **Intermediate-hop caching** — "key-value entries are cached onto
+  intermediate hops on each request's path through the DHT overlay";
+  the owner remembers which nodes hold cached copies and pushes updates
+  to them when the entry is modified.
+* **Replication** — "state can be replicated using a fixed replication
+  factor"; the owner pushes copies to its clockwise leaf neighbours, and
+  a new owner promotes a replica when the previous owner crashed.
+* **Key redistribution** — records move to a joining node that becomes
+  their root, and a gracefully departing node hands all its records to
+  their new owners before leaving.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.net import HostDownError, RemoteError, Request, RpcTimeoutError
+from repro.overlay import ChimeraNode, NodeId, PeerInfo
+from repro.kvstore.errors import KeyExistsError, KeyNotFoundError, KvError
+from repro.kvstore.records import (
+    OverwritePolicy,
+    Record,
+    payload_size,
+)
+
+__all__ = ["DhtKeyValueStore", "KvStats"]
+
+MSG_PUT = "kv.put"
+MSG_GET = "kv.get"
+MSG_DELETE = "kv.delete"
+MSG_REPLICA = "kv.replica"
+MSG_REPLICA_DELETE = "kv.replica-delete"
+MSG_CACHE_UPDATE = "kv.cache-update"
+MSG_CACHE_INVALIDATE = "kv.cache-invalidate"
+MSG_TRANSFER = "kv.transfer"
+
+
+@dataclass
+class KvStats:
+    """Operation counters for one node's store."""
+
+    puts: int = 0
+    gets: int = 0
+    deletes: int = 0
+    cache_hits: int = 0
+    served_primary: int = 0
+    served_replica: int = 0
+    forwards: int = 0
+    records_received: int = 0
+    lookup_times: list = field(default_factory=list)
+
+    @property
+    def mean_lookup_time(self) -> float:
+        times = self.lookup_times
+        return sum(times) / len(times) if times else 0.0
+
+
+class DhtKeyValueStore:
+    """Key-value store instance bound to one overlay node.
+
+    Parameters
+    ----------
+    chimera:
+        The overlay node providing routing and membership.
+    replication_factor:
+        Number of clockwise neighbours that receive replica copies
+        (0 disables replication).
+    cache_enabled / cache_capacity:
+        Intermediate-hop caching switch and per-node LRU capacity.
+    processing_s:
+        Local store processing cost per handled request.
+    """
+
+    def __init__(
+        self,
+        chimera: ChimeraNode,
+        replication_factor: int = 2,
+        cache_enabled: bool = True,
+        cache_capacity: int = 512,
+        processing_s: float = 0.004,
+    ) -> None:
+        if replication_factor < 0:
+            raise ValueError("replication_factor must be >= 0")
+        if cache_capacity <= 0:
+            raise ValueError("cache_capacity must be positive")
+        self.chimera = chimera
+        self.replication_factor = replication_factor
+        self.cache_enabled = cache_enabled
+        self.cache_capacity = cache_capacity
+        self.processing_s = processing_s
+        self.primary: dict[str, Record] = {}
+        self.replicas: dict[str, Record] = {}
+        self.cache: "OrderedDict[str, Record]" = OrderedDict()
+        #: Owner-side map: key -> names of nodes holding cached copies.
+        self.cache_holders: dict[str, set[str]] = {}
+        self.stats = KvStats()
+        self._register_handlers()
+        chimera.on_node_joined.append(self._on_node_joined)
+        chimera.on_node_left.append(self._on_node_left)
+
+    # -- naming helpers ------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.chimera.name
+
+    @property
+    def sim(self):
+        return self.chimera.sim
+
+    @property
+    def endpoint(self):
+        return self.chimera.endpoint
+
+    @staticmethod
+    def key_for(name_or_key: "str | NodeId") -> NodeId:
+        """Hash a name into the key space (NodeIds pass through)."""
+        if isinstance(name_or_key, NodeId):
+            return name_or_key
+        return NodeId.from_name(name_or_key)
+
+    def is_owner(self, key: NodeId) -> bool:
+        """True if this node is currently the root for ``key``."""
+        return self.chimera.next_hop(key) is None
+
+    # -- public client API (generators; run under sim.process / yield from) --
+
+    def put(
+        self,
+        name: str,
+        value: Any,
+        policy: OverwritePolicy = OverwritePolicy.OVERWRITE,
+    ):
+        """Process: store ``value`` under ``name``; returns the Record."""
+        key = self.key_for(name)
+        body = {
+            "key": key.hex,
+            "name": name if isinstance(name, str) else "",
+            "value": value,
+            "policy": policy.value,
+            "path": [],
+        }
+        self.stats.puts += 1
+        reply = yield from self._put_local(body)
+        return Record.from_wire(reply["record"])
+
+    def get(self, name: str):
+        """Process: return the latest value stored under ``name``."""
+        record = yield from self.get_record(name)
+        return record.latest.value
+
+    def get_record(self, name: str):
+        """Process: return the full :class:`Record` (with version chain)."""
+        key = self.key_for(name)
+        started = self.sim.now
+        self.stats.gets += 1
+        reply = yield from self._get_local({"key": key.hex, "path": []})
+        self.stats.lookup_times.append(self.sim.now - started)
+        return Record.from_wire(reply["record"])
+
+    def get_chain(self, name: str):
+        """Process: all chained versions (oldest first) for ``name``."""
+        record = yield from self.get_record(name)
+        return [v.value for v in record.versions]
+
+    def delete(self, name: str):
+        """Process: remove ``name``; raises KeyNotFoundError if absent."""
+        key = self.key_for(name)
+        self.stats.deletes += 1
+        yield from self._delete_local({"key": key.hex, "path": []})
+
+    def leave(self):
+        """Process: hand every primary record to its new owner, then
+        leave the overlay gracefully."""
+        outgoing: dict[str, list[dict]] = {}
+        for key_hex, record in list(self.primary.items()):
+            key = NodeId.from_hex(key_hex)
+            target = self._owner_excluding_self(key)
+            if target is None:
+                continue  # last node standing keeps its records
+            outgoing.setdefault(target.name, []).append(record.wire())
+        for target_name, records in outgoing.items():
+            try:
+                yield self.endpoint.call(
+                    target_name,
+                    MSG_TRANSFER,
+                    {"records": records},
+                    size=payload_size(records),
+                )
+            except (HostDownError, RpcTimeoutError, RemoteError):
+                continue
+        # Our replica copies vanish with us: re-home them so keys whose
+        # owner later crashes still have the promised redundancy.
+        for key_hex, replica in list(self.replicas.items()):
+            wire = replica.wire()
+            for peer in self._replica_targets(key_hex):
+                self._safe_notify(
+                    peer.name,
+                    MSG_REPLICA,
+                    {"record": wire},
+                    size=payload_size(wire),
+                )
+        yield from self.chimera.leave()
+
+    # -- local entry points shared with the RPC handlers ---------------------
+
+    def _put_local(self, body: dict):
+        key = NodeId.from_hex(body["key"])
+        yield self.sim.timeout(self.processing_s)
+        hop = self.chimera.next_hop(key)
+        while hop is not None:
+            self.stats.forwards += 1
+            try:
+                reply = yield self.endpoint.call(
+                    hop.name,
+                    MSG_PUT,
+                    {**body, "path": body["path"] + [self.name]},
+                    size=payload_size(body["value"]),
+                )
+            except (HostDownError, RpcTimeoutError):
+                self.chimera._forget(hop.id)
+                hop = self.chimera.next_hop(key)
+                continue
+            except RemoteError as exc:
+                raise self._translate(exc)
+            # Keep any cached copy coherent with the accepted write.
+            if body["key"] in self.cache:
+                self.cache[body["key"]] = Record.from_wire(reply["record"])
+            return reply
+        return self._apply_put(body)
+
+    def _apply_put(self, body: dict) -> dict:
+        key_hex = body["key"]
+        policy = OverwritePolicy(body["policy"])
+        record = self.primary.get(key_hex)
+        if record is None:
+            record = Record(key_hex=key_hex, name=body.get("name", ""))
+            self.primary[key_hex] = record
+        elif policy is OverwritePolicy.ERROR:
+            raise KeyExistsError(body.get("name") or key_hex)
+        record.apply(body["value"], policy, self.sim.now)
+        self._push_replicas(record)
+        self._push_cache_updates(record)
+        return {"record": record.wire(), "owner": self.name}
+
+    def _get_local(self, body: dict):
+        key = NodeId.from_hex(body["key"])
+        key_hex = body["key"]
+        yield self.sim.timeout(self.processing_s)
+        hop = self.chimera.next_hop(key)
+        if hop is None:
+            return self._serve_as_owner(key_hex, body["path"])
+        if self.cache_enabled and key_hex in self.cache:
+            self.cache.move_to_end(key_hex)
+            self.stats.cache_hits += 1
+            return {
+                "record": self.cache[key_hex].wire(),
+                "owner": self.name,
+                "source": "cache",
+            }
+        while hop is not None:
+            self.stats.forwards += 1
+            try:
+                reply = yield self.endpoint.call(
+                    hop.name,
+                    MSG_GET,
+                    {**body, "path": body["path"] + [self.name]},
+                )
+            except (HostDownError, RpcTimeoutError):
+                self.chimera._forget(hop.id)
+                hop = self.chimera.next_hop(key)
+                continue
+            except RemoteError as exc:
+                raise self._translate(exc)
+            if self.cache_enabled and reply.get("source") != "cache":
+                self._cache_insert(Record.from_wire(reply["record"]))
+            return reply
+        return self._serve_as_owner(key_hex, body["path"])
+
+    def _serve_as_owner(self, key_hex: str, path: list[str]) -> dict:
+        record = self.primary.get(key_hex)
+        source = "primary"
+        if record is None:
+            replica = self.replicas.get(key_hex)
+            if replica is not None:
+                # The previous owner crashed; promote our replica.
+                record = replica.copy()
+                self.primary[key_hex] = record
+                del self.replicas[key_hex]
+                self._push_replicas(record)
+                source = "replica"
+                self.stats.served_replica += 1
+        if record is None:
+            raise KeyNotFoundError(key_hex)
+        if source == "primary":
+            self.stats.served_primary += 1
+        if self.cache_enabled and path:
+            holders = self.cache_holders.setdefault(key_hex, set())
+            holders.update(path)
+        return {"record": record.wire(), "owner": self.name, "source": source}
+
+    def _delete_local(self, body: dict):
+        key = NodeId.from_hex(body["key"])
+        key_hex = body["key"]
+        yield self.sim.timeout(self.processing_s)
+        hop = self.chimera.next_hop(key)
+        while hop is not None:
+            self.stats.forwards += 1
+            try:
+                reply = yield self.endpoint.call(
+                    hop.name,
+                    MSG_DELETE,
+                    {**body, "path": body["path"] + [self.name]},
+                )
+            except (HostDownError, RpcTimeoutError):
+                self.chimera._forget(hop.id)
+                hop = self.chimera.next_hop(key)
+                continue
+            except RemoteError as exc:
+                raise self._translate(exc)
+            self.cache.pop(key_hex, None)
+            return reply
+        if key_hex not in self.primary:
+            raise KeyNotFoundError(key_hex)
+        del self.primary[key_hex]
+        self.cache.pop(key_hex, None)
+        for peer in self._replica_targets(key_hex):
+            self._safe_notify(peer.name, MSG_REPLICA_DELETE, {"key": key_hex})
+        for holder in self.cache_holders.pop(key_hex, set()):
+            self._safe_notify(holder, MSG_CACHE_INVALIDATE, {"key": key_hex})
+        return {"deleted": True, "owner": self.name}
+
+    # -- replication / caching plumbing ------------------------------------
+
+    def _replica_targets(self, key_hex: str) -> list[PeerInfo]:
+        """The peers that hold copies of a key: the nodes next-closest
+        to the key after the owner.
+
+        Ownership is "numerically closest on the ring" (either side),
+        so replicas must sit with the nodes that would *become* owner
+        if we crashed — not merely clockwise successors.
+        """
+        if self.replication_factor == 0:
+            return []
+        key = NodeId.from_hex(key_hex)
+        peers = sorted(
+            self.chimera.peers(),
+            key=lambda p: (p.id.distance(key), p.id.value),
+        )
+        return peers[: self.replication_factor]
+
+    def _push_replicas(self, record: Record) -> None:
+        wire = record.wire()
+        for peer in self._replica_targets(record.key_hex):
+            self._safe_notify(
+                peer.name, MSG_REPLICA, {"record": wire}, size=payload_size(wire)
+            )
+
+    def _push_cache_updates(self, record: Record) -> None:
+        holders = self.cache_holders.get(record.key_hex)
+        if not holders:
+            return
+        wire = record.wire()
+        for holder in list(holders):
+            self._safe_notify(
+                holder, MSG_CACHE_UPDATE, {"record": wire}, size=payload_size(wire)
+            )
+
+    def _cache_insert(self, record: Record) -> None:
+        self.cache[record.key_hex] = record
+        self.cache.move_to_end(record.key_hex)
+        while len(self.cache) > self.cache_capacity:
+            self.cache.popitem(last=False)
+
+    def _safe_notify(self, dst: str, msg_type: str, body: dict, size: int = 64) -> None:
+        try:
+            self.endpoint.notify(dst, msg_type, body, size=size)
+        except HostDownError:
+            pass
+
+    def _owner_excluding_self(self, key: NodeId) -> Optional[PeerInfo]:
+        best: Optional[PeerInfo] = None
+        best_rank = None
+        for peer in self.chimera.peers():
+            rank = (peer.id.distance(key), peer.id.value)
+            if best_rank is None or rank < best_rank:
+                best_rank = rank
+                best = peer
+        return best
+
+    def _translate(self, exc: RemoteError) -> KvError:
+        """Map remote handler failures back to typed client errors."""
+        if "KeyNotFoundError" in exc.detail:
+            return KeyNotFoundError(exc.detail.split(":", 1)[-1].strip())
+        if "KeyExistsError" in exc.detail:
+            return KeyExistsError(exc.detail.split(":", 1)[-1].strip())
+        return KvError(exc.detail)
+
+    # -- membership-change reactions -----------------------------------------
+
+    def _on_node_joined(self, peer: PeerInfo) -> None:
+        self.sim.process(self._redistribute_to(peer))
+
+    def _on_node_left(self, peer: PeerInfo) -> None:
+        """Repair redundancy after a departure/crash.
+
+        Replicas we now own get promoted; and since the departed node
+        may have held replica copies of our primaries, every primary is
+        re-replicated to the current target set.
+        """
+        for key_hex, replica in list(self.replicas.items()):
+            key = NodeId.from_hex(key_hex)
+            if self.chimera.closest_known(key).id == self.chimera.id:
+                if key_hex not in self.primary:
+                    self.primary[key_hex] = replica.copy()
+                del self.replicas[key_hex]
+        for record in self.primary.values():
+            self._push_replicas(record)
+
+    def _redistribute_to(self, peer: PeerInfo):
+        """Hand records whose root the joiner has become over to it."""
+        moving = []
+        for key_hex, record in list(self.primary.items()):
+            key = NodeId.from_hex(key_hex)
+            if self.chimera.closest_known(key).id == peer.id:
+                moving.append(record.wire())
+                del self.primary[key_hex]
+                # Keep a replica locally: we are very likely one of the
+                # new owner's neighbours.
+                self.replicas[key_hex] = record
+        if not moving:
+            return
+        try:
+            yield self.endpoint.call(
+                peer.name,
+                MSG_TRANSFER,
+                {"records": moving},
+                size=payload_size(moving),
+            )
+        except (HostDownError, RpcTimeoutError, RemoteError):
+            # The joiner vanished again; reclaim the records.
+            for wire in moving:
+                record = Record.from_wire(wire)
+                self.primary[record.key_hex] = record
+                self.replicas.pop(record.key_hex, None)
+
+    # -- RPC handlers ---------------------------------------------------------
+
+    def _register_handlers(self) -> None:
+        ep = self.endpoint
+        ep.register(MSG_PUT, lambda req: self._put_local(req.body))
+        ep.register(MSG_GET, lambda req: self._get_local(req.body))
+        ep.register(MSG_DELETE, lambda req: self._delete_local(req.body))
+        ep.register(MSG_REPLICA, self._handle_replica)
+        ep.register(MSG_REPLICA_DELETE, self._handle_replica_delete)
+        ep.register(MSG_CACHE_UPDATE, self._handle_cache_update)
+        ep.register(MSG_CACHE_INVALIDATE, self._handle_cache_invalidate)
+        ep.register(MSG_TRANSFER, self._handle_transfer)
+
+    def _handle_replica(self, request: Request) -> None:
+        record = Record.from_wire(request.body["record"])
+        self.replicas[record.key_hex] = record
+
+    def _handle_replica_delete(self, request: Request) -> None:
+        self.replicas.pop(request.body["key"], None)
+
+    def _handle_cache_update(self, request: Request) -> None:
+        record = Record.from_wire(request.body["record"])
+        if record.key_hex in self.cache:
+            self.cache[record.key_hex] = record
+
+    def _handle_cache_invalidate(self, request: Request) -> None:
+        self.cache.pop(request.body["key"], None)
+
+    def _handle_transfer(self, request: Request) -> dict:
+        count = 0
+        for wire in request.body["records"]:
+            record = Record.from_wire(wire)
+            existing = self.primary.get(record.key_hex)
+            if existing is None or existing.version <= record.version:
+                self.primary[record.key_hex] = record
+            self.replicas.pop(record.key_hex, None)
+            count += 1
+        self.stats.records_received += count
+        return {"accepted": count}

@@ -1,0 +1,33 @@
+"""Resource monitoring and placement decisions.
+
+Public surface:
+
+* :class:`ResourceSnapshot` — the per-node resource schema.
+* :class:`ResourceMonitor` — periodic publication into the KV store.
+* :class:`FileSystemWatcher` — mandatory/voluntary bin tracking.
+* :class:`DecisionEngine`, :class:`DecisionPolicy`, :class:`Candidate` —
+  the ``chimeraGetDecision`` machinery.
+"""
+
+from repro.monitoring.bandwidth import BandwidthEstimator
+from repro.monitoring.decision import (
+    Candidate,
+    DecisionEngine,
+    DecisionPolicy,
+    chimera_get_decision,
+)
+from repro.monitoring.monitor import ResourceMonitor, resource_key
+from repro.monitoring.snapshot import ResourceSnapshot
+from repro.monitoring.watcher import FileSystemWatcher
+
+__all__ = [
+    "ResourceSnapshot",
+    "ResourceMonitor",
+    "resource_key",
+    "FileSystemWatcher",
+    "DecisionEngine",
+    "DecisionPolicy",
+    "Candidate",
+    "chimera_get_decision",
+    "BandwidthEstimator",
+]

@@ -1,0 +1,93 @@
+"""Adaptive bandwidth estimation from observed transfers.
+
+The paper's future work (Section VII (iv)) calls for "mechanisms that
+adapt to the changing network conditions".  This module provides the
+building block: an exponentially weighted moving average of achieved
+throughput per remote peer, fed by completed transfers.  Plugged into a
+device's resource sampler, it replaces the static link-capacity number
+in published snapshots with what the node has *actually* been getting —
+so placement decisions adapt when the wireless path degrades.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net import TransferReport
+
+__all__ = ["BandwidthEstimator"]
+
+
+class BandwidthEstimator:
+    """Per-peer EWMA throughput estimates (Mbit/s).
+
+    The smoothing is asymmetric: degradation is folded in quickly
+    (``alpha_down``) while improvements are trusted slowly
+    (``alpha_up``) — conservative in the same spirit as TCP's reaction
+    to loss, so placement decisions stop shipping data into a collapsed
+    link after a couple of bad transfers.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.3,
+        default_mbps: float = 100.0,
+        alpha_down: float = 0.7,
+    ) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if not 0.0 < alpha_down <= 1.0:
+            raise ValueError("alpha_down must be in (0, 1]")
+        if default_mbps <= 0:
+            raise ValueError("default_mbps must be positive")
+        self.alpha = alpha
+        self.alpha_down = alpha_down
+        self.default_mbps = default_mbps
+        self._estimates: dict[str, float] = {}
+        self._overall: Optional[float] = None
+        self.observations = 0
+
+    def _fold(self, previous: Optional[float], mbps: float) -> float:
+        if previous is None:
+            return mbps
+        alpha = self.alpha_down if mbps < previous else self.alpha
+        return alpha * mbps + (1.0 - alpha) * previous
+
+    def observe(self, peer: str, nbytes: float, duration_s: float) -> None:
+        """Fold one completed transfer into the estimates.
+
+        Zero-duration or zero-byte transfers carry no signal and are
+        ignored.
+        """
+        if duration_s <= 0 or nbytes <= 0:
+            return
+        mbps = nbytes * 8.0 / 1e6 / duration_s
+        self._estimates[peer] = self._fold(self._estimates.get(peer), mbps)
+        self._overall = self._fold(self._overall, mbps)
+        self.observations += 1
+
+    def observe_report(self, report: TransferReport) -> None:
+        """Convenience: fold a network-layer :class:`TransferReport`."""
+        self.observe(report.dst, report.nbytes, report.duration)
+
+    def estimate_mbps(self, peer: str) -> float:
+        """Current estimate toward ``peer`` (default until observed)."""
+        return self._estimates.get(peer, self.default_mbps)
+
+    def overall_mbps(self) -> float:
+        """Recency-weighted estimate across all transfers (default if
+        nothing has been observed yet)."""
+        if self._overall is None:
+            return self.default_mbps
+        return self._overall
+
+    def peers(self) -> list[str]:
+        return list(self._estimates)
+
+    def reset(self, peer: Optional[str] = None) -> None:
+        """Forget one peer's history (or everything)."""
+        if peer is None:
+            self._estimates.clear()
+            self._overall = None
+        else:
+            self._estimates.pop(peer, None)

@@ -1,0 +1,95 @@
+"""Resource snapshots: what one node publishes about itself.
+
+The prototype used the Linux ``glibtop`` library to sample CPU, memory,
+and I/O state; here the numbers come from the simulated device models,
+but the schema — and its journey through the key-value store with the
+node's address as key — is the same (Figure 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["ResourceSnapshot"]
+
+
+@dataclass
+class ResourceSnapshot:
+    """One node's resource state at a point in time.
+
+    Attributes
+    ----------
+    node:
+        The publishing node's name (also the key in the KV store).
+    cpu_cores, cpu_ghz:
+        Processor capability (static per device).
+    cpu_load:
+        Utilization in [0, 1].
+    mem_total_mb, mem_free_mb:
+        Memory capacity and availability, MB.
+    mandatory_free_mb, voluntary_free_mb:
+        Free space in the two storage bins, MB.
+    bandwidth_mbps:
+        Estimated available network bandwidth, Mbit/s.
+    battery:
+        Remaining battery fraction in [0, 1]; None means mains power.
+    device_type:
+        The device profile name (e.g. "atom-netbook"); lets service
+        profiles express per-node-type requirements.
+    taken_at:
+        Simulation time of the sample.
+    """
+
+    node: str
+    device_type: str = ""
+    #: VCPUs of the guest VM where services execute (0 = unknown; use
+    #: cpu_cores).  A 4-core device with a 1-VCPU guest runs a service
+    #: at 1-core speed — this is what placement estimates must use.
+    vcpus: int = 0
+    cpu_cores: int = 1
+    cpu_ghz: float = 1.0
+    cpu_load: float = 0.0
+    mem_total_mb: float = 1024.0
+    mem_free_mb: float = 1024.0
+    mandatory_free_mb: float = 0.0
+    voluntary_free_mb: float = 0.0
+    bandwidth_mbps: float = 100.0
+    battery: Optional[float] = None
+    taken_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.cpu_load <= 1.0:
+            raise ValueError(f"cpu_load must be in [0, 1], got {self.cpu_load!r}")
+        if self.battery is not None and not 0.0 <= self.battery <= 1.0:
+            raise ValueError(f"battery must be in [0, 1], got {self.battery!r}")
+
+    @property
+    def free_compute_ghz(self) -> float:
+        """Aggregate idle compute, GHz-cores."""
+        return self.cpu_cores * self.cpu_ghz * (1.0 - self.cpu_load)
+
+    @property
+    def on_mains(self) -> bool:
+        return self.battery is None
+
+    def wire(self) -> dict:
+        return {
+            "node": self.node,
+            "device_type": self.device_type,
+            "vcpus": self.vcpus,
+            "cpu_cores": self.cpu_cores,
+            "cpu_ghz": self.cpu_ghz,
+            "cpu_load": self.cpu_load,
+            "mem_total_mb": self.mem_total_mb,
+            "mem_free_mb": self.mem_free_mb,
+            "mandatory_free_mb": self.mandatory_free_mb,
+            "voluntary_free_mb": self.voluntary_free_mb,
+            "bandwidth_mbps": self.bandwidth_mbps,
+            "battery": self.battery,
+            "taken_at": self.taken_at,
+        }
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "ResourceSnapshot":
+        return cls(**data)

@@ -1,0 +1,88 @@
+"""File-system watcher for the mandatory and voluntary storage bins.
+
+"A simple file system watcher component keeps track of mandatory and
+voluntary bin space" (Section IV).  The watcher observes any objects
+exposing ``capacity_mb`` and ``used_mb`` (the VStore++ bins do) and
+reports free space; it also lets callers register alarms that fire when
+a bin crosses a fullness threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol
+
+__all__ = ["BinLike", "FileSystemWatcher"]
+
+
+class BinLike(Protocol):
+    """Anything with a capacity and a usage, in MB."""
+
+    @property
+    def capacity_mb(self) -> float: ...
+
+    @property
+    def used_mb(self) -> float: ...
+
+
+class FileSystemWatcher:
+    """Tracks free space in the two bins and raises threshold alarms."""
+
+    def __init__(
+        self,
+        mandatory: Optional[BinLike] = None,
+        voluntary: Optional[BinLike] = None,
+    ) -> None:
+        self.mandatory = mandatory
+        self.voluntary = voluntary
+        self._alarms: list[tuple[str, float, Callable[[str, float], None]]] = []
+
+    def mandatory_free_mb(self) -> float:
+        if self.mandatory is None:
+            return 0.0
+        return max(0.0, self.mandatory.capacity_mb - self.mandatory.used_mb)
+
+    def voluntary_free_mb(self) -> float:
+        if self.voluntary is None:
+            return 0.0
+        return max(0.0, self.voluntary.capacity_mb - self.voluntary.used_mb)
+
+    def fullness(self, which: str) -> float:
+        """Fraction used of the named bin ('mandatory'/'voluntary')."""
+        target = self._bin(which)
+        if target is None or target.capacity_mb <= 0:
+            return 0.0
+        return min(1.0, target.used_mb / target.capacity_mb)
+
+    def add_alarm(
+        self,
+        which: str,
+        threshold: float,
+        callback: Callable[[str, float], None],
+    ) -> None:
+        """Call ``callback(which, fullness)`` when fullness >= threshold.
+
+        Alarms are edge-checked by :meth:`poll`; each alarm fires at
+        most once per crossing (it re-arms when fullness drops below).
+        """
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        self._bin(which)  # validates the name
+        self._alarms.append([which, threshold, callback, False])  # type: ignore[arg-type]
+
+    def poll(self) -> None:
+        """Check alarms against current fullness."""
+        for alarm in self._alarms:
+            which, threshold, callback, fired = alarm
+            level = self.fullness(which)
+            if level >= threshold and not fired:
+                alarm[3] = True
+                callback(which, level)
+            elif level < threshold and fired:
+                alarm[3] = False
+
+    def _bin(self, which: str) -> Optional[BinLike]:
+        if which == "mandatory":
+            return self.mandatory
+        if which == "voluntary":
+            return self.voluntary
+        raise ValueError(f"unknown bin {which!r}")

@@ -1,0 +1,44 @@
+"""Network substrate: fluid fair-share links, TCP behaviour, topology.
+
+Public surface:
+
+* :class:`Link`, :class:`Flow` — the fluid fair-share bottleneck model.
+* :class:`TcpProfile` — slow start / window cap / ISP shaping schedule.
+* :class:`Network`, :class:`Host`, :class:`Route`, :class:`Message`,
+  :class:`TransferReport` — the topology façade.
+* Errors: :class:`NetworkError`, :class:`HostDownError`,
+  :class:`NoRouteError`, :class:`TransferAborted`.
+"""
+
+from repro.net.errors import (
+    HostDownError,
+    NetworkError,
+    NoRouteError,
+    TransferAborted,
+)
+from repro.net.link import Flow, Link
+from repro.net.rpc import RemoteError, Request, RpcEndpoint, RpcError, RpcTimeoutError
+from repro.net.tcp import RatePhase, TcpProfile, UNCAPPED
+from repro.net.topology import Host, Message, Network, Route, TransferReport
+
+__all__ = [
+    "Link",
+    "Flow",
+    "TcpProfile",
+    "RatePhase",
+    "UNCAPPED",
+    "Network",
+    "Host",
+    "Route",
+    "Message",
+    "TransferReport",
+    "RpcEndpoint",
+    "Request",
+    "RpcError",
+    "RpcTimeoutError",
+    "RemoteError",
+    "NetworkError",
+    "HostDownError",
+    "NoRouteError",
+    "TransferAborted",
+]

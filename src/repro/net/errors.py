@@ -1,0 +1,28 @@
+"""Exception types for the network substrate."""
+
+from __future__ import annotations
+
+
+class NetworkError(Exception):
+    """Base class for network-substrate errors."""
+
+
+class HostDownError(NetworkError):
+    """A message or transfer was addressed to an offline host."""
+
+    def __init__(self, host: str) -> None:
+        super().__init__(f"host {host!r} is offline")
+        self.host = host
+
+
+class NoRouteError(NetworkError):
+    """No path is configured between the two endpoints."""
+
+    def __init__(self, src: str, dst: str) -> None:
+        super().__init__(f"no route from {src!r} to {dst!r}")
+        self.src = src
+        self.dst = dst
+
+
+class TransferAborted(NetworkError):
+    """A bulk transfer was cancelled (e.g. endpoint went offline)."""

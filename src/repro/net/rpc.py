@@ -1,0 +1,228 @@
+"""Request/response messaging on top of the network control plane.
+
+The paper's VStore++ uses a *command-based interface* — small (<50 byte)
+command packets over TCP sockets and IPC — between guest VMs, the
+VStore++ control domain, the Chimera overlay, and remote nodes.  This
+module provides the equivalent: an :class:`RpcEndpoint` bound to a
+:class:`~repro.net.topology.Host` that dispatches typed requests to
+registered handlers and correlates responses, with timeouts and remote
+error propagation.
+
+Handlers may be plain functions (fast, synchronous with respect to
+simulated time) or generator functions (full simulation processes that
+can themselves wait on transfers, other RPCs, etc.).
+"""
+
+from __future__ import annotations
+
+import inspect
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.sim import AnyOf, Event, Simulator
+from repro.net.errors import HostDownError, NetworkError
+from repro.net.topology import Host, Network
+
+__all__ = [
+    "RpcError",
+    "RpcTimeoutError",
+    "RemoteError",
+    "RpcEndpoint",
+    "Request",
+]
+
+
+class RpcError(NetworkError):
+    """Base class for RPC-layer errors."""
+
+
+class RpcTimeoutError(RpcError):
+    """No response arrived within the caller's deadline."""
+
+    def __init__(self, dst: str, msg_type: str, timeout: float) -> None:
+        super().__init__(
+            f"rpc {msg_type!r} to {dst!r} timed out after {timeout:g}s"
+        )
+        self.dst = dst
+        self.msg_type = msg_type
+        self.timeout = timeout
+
+
+class RemoteError(RpcError):
+    """The remote handler raised; carries the remote exception text."""
+
+    def __init__(self, dst: str, msg_type: str, detail: str) -> None:
+        super().__init__(f"rpc {msg_type!r} failed on {dst!r}: {detail}")
+        self.dst = dst
+        self.msg_type = msg_type
+        self.detail = detail
+
+
+@dataclass
+class Request:
+    """An inbound request as seen by a handler."""
+
+    src: str
+    msg_type: str
+    body: Any
+    req_id: int
+
+
+@dataclass
+class _Envelope:
+    kind: str  # "request" | "response" | "notify"
+    msg_type: str
+    body: Any
+    req_id: int = 0
+    error: Optional[str] = None
+
+
+class RpcEndpoint:
+    """Typed request/response messaging for one host.
+
+    Usage::
+
+        ep = RpcEndpoint(network, host)
+        ep.register("ping", lambda req: "pong")
+        ep.start()
+        ...
+        reply = yield ep.call("other-host", "ping", None)
+    """
+
+    #: Default per-call deadline, seconds.  Generous relative to home
+    #: LAN latencies; callers on slow paths pass their own.
+    DEFAULT_TIMEOUT = 30.0
+
+    def __init__(self, network: Network, host: Host) -> None:
+        self.network = network
+        self.host = host
+        self.sim: Simulator = network.sim
+        self._handlers: dict[str, Callable[[Request], Any]] = {}
+        self._pending: dict[int, Event] = {}
+        self._req_ids = itertools.count(1)
+        self._dispatcher = None
+        #: Count of requests served, for tests/diagnostics.
+        self.requests_served = 0
+
+    @property
+    def name(self) -> str:
+        return self.host.name
+
+    def register(self, msg_type: str, handler: Callable[[Request], Any]) -> None:
+        """Register ``handler`` for ``msg_type`` requests.
+
+        A generator-function handler runs as a simulation process; its
+        return value becomes the response body.  Re-registering a type
+        replaces the previous handler.
+        """
+        self._handlers[msg_type] = handler
+
+    def start(self) -> None:
+        """Start the dispatcher process (idempotent)."""
+        if self._dispatcher is None or not self._dispatcher.is_alive:
+            self._dispatcher = self.sim.process(self._dispatch_loop())
+
+    def stop(self) -> None:
+        """Stop dispatching (e.g. when the node leaves the overlay)."""
+        if self._dispatcher is not None and self._dispatcher.is_alive:
+            self._dispatcher.interrupt("endpoint stopped")
+        self._dispatcher = None
+
+    # -- client side -------------------------------------------------------
+
+    def call(
+        self,
+        dst: str,
+        msg_type: str,
+        body: Any = None,
+        timeout: Optional[float] = None,
+        size: int = 64,
+    ) -> Event:
+        """Send a request; the returned event yields the response body.
+
+        Fails with :class:`HostDownError` (destination offline at send
+        time), :class:`RpcTimeoutError`, or :class:`RemoteError`.
+        """
+        deadline = self.DEFAULT_TIMEOUT if timeout is None else timeout
+        result = self.sim.event()
+        req_id = next(self._req_ids)
+        envelope = _Envelope("request", msg_type, body, req_id)
+        try:
+            self.network.send(self.name, dst, envelope, size=size)
+        except HostDownError as exc:
+            result.fail(exc)
+            return result
+
+        reply = self.sim.event()
+        self._pending[req_id] = reply
+
+        def wait():
+            timer = self.sim.timeout(deadline)
+            outcome = yield AnyOf(self.sim, [reply, timer])
+            self._pending.pop(req_id, None)
+            if reply in outcome:
+                response: _Envelope = outcome[reply]
+                if response.error is not None:
+                    result.fail(RemoteError(dst, msg_type, response.error))
+                else:
+                    result.succeed(response.body)
+            else:
+                result.fail(RpcTimeoutError(dst, msg_type, deadline))
+
+        self.sim.process(wait())
+        return result
+
+    def notify(self, dst: str, msg_type: str, body: Any = None, size: int = 64) -> None:
+        """Fire-and-forget one-way message; errors at send time propagate."""
+        envelope = _Envelope("notify", msg_type, body)
+        self.network.send(self.name, dst, envelope, size=size)
+
+    # -- server side -------------------------------------------------------
+
+    def _dispatch_loop(self):
+        from repro.sim import Interrupt
+
+        while True:
+            get_event = self.host.receive()
+            try:
+                message = yield get_event
+            except Interrupt:
+                # Withdraw the abandoned get so a later dispatcher
+                # instance sees the next message.
+                self.host.inbox.cancel(get_event)
+                return
+            envelope = message.payload
+            if not isinstance(envelope, _Envelope):
+                continue  # stray traffic from another protocol
+            if envelope.kind == "response":
+                pending = self._pending.pop(envelope.req_id, None)
+                if pending is not None:
+                    pending.succeed(envelope)
+            else:
+                self.sim.process(self._serve(message.src, envelope))
+
+    def _serve(self, src: str, envelope: _Envelope):
+        request = Request(src, envelope.msg_type, envelope.body, envelope.req_id)
+        handler = self._handlers.get(envelope.msg_type)
+        error: Optional[str] = None
+        value: Any = None
+        if handler is None:
+            error = f"no handler for {envelope.msg_type!r}"
+        else:
+            try:
+                outcome = handler(request)
+                if inspect.isgenerator(outcome):
+                    value = yield self.sim.process(outcome)
+                else:
+                    value = outcome
+            except Exception as exc:  # noqa: BLE001 - forwarded to caller
+                error = f"{type(exc).__name__}: {exc}"
+        self.requests_served += 1
+        if envelope.kind == "notify":
+            return
+        response = _Envelope("response", envelope.msg_type, value, envelope.req_id, error)
+        try:
+            self.network.send(self.name, src, response, size=64)
+        except HostDownError:
+            pass  # caller vanished; its timeout handles it

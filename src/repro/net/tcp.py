@@ -1,0 +1,142 @@
+"""TCP behaviour model for bulk transfers.
+
+The paper's Figure 5 shows that remote-cloud throughput is a
+*non-monotone* function of object size: it rises with size (slow start
+amortization plus the provider growing the TCP window up to ~1.6 MB for
+S3) and then collapses for very large transfers because ISP traffic
+shaping kicks in for long, bandwidth-hogging flows.
+
+We capture that with a *rate-cap schedule*: a transfer progresses
+through phases, each with a maximum sending rate.
+
+* **Slow start** — the congestion window starts at ``init_window`` and
+  doubles every RTT; the instantaneous rate cap is ``cwnd / rtt``.
+* **Steady state** — once the window reaches the provider's cap
+  (``max_window``) the rate cap is ``max_window / rtt`` (congestion
+  avoidance growth beyond that point is negligible at these scales).
+* **Shaping** — after the flow has been active for
+  ``shaping_after_s`` seconds, the ISP throttles it to ``shaped_rate``
+  bytes/s for the remainder.
+
+The schedule is consumed by :class:`repro.net.link.Link`, whose fluid
+fair-share model additionally bounds every flow by its share of the
+link bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+__all__ = ["TcpProfile", "RatePhase", "UNCAPPED"]
+
+#: Sentinel cap meaning "limited only by the link share".
+UNCAPPED = float("inf")
+
+
+@dataclass(frozen=True)
+class RatePhase:
+    """One phase of a flow's rate-cap schedule.
+
+    ``duration`` is in seconds of flow-active time (``None`` means
+    "until the transfer finishes"); ``cap`` is a rate in bytes/second.
+    """
+
+    duration: Optional[float]
+    cap: float
+
+
+@dataclass(frozen=True)
+class TcpProfile:
+    """Parameters describing TCP behaviour on a path.
+
+    Attributes
+    ----------
+    rtt:
+        Round-trip time of the path, seconds.
+    init_window:
+        Initial congestion window, bytes (RFC 3390-era: ~4 KB).
+    max_window:
+        Maximum window the provider/receiver allows, bytes.  The paper
+        measures ~1.6 MB for Amazon S3.
+    shaping_after_s:
+        Flow-active seconds after which the ISP throttles the flow;
+        ``None`` disables shaping.
+    shaped_rate:
+        Post-shaping rate cap, bytes/second.
+    """
+
+    rtt: float = 0.05
+    init_window: int = 4 * 1024
+    max_window: int = int(1.6 * 1024 * 1024)
+    shaping_after_s: Optional[float] = None
+    shaped_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rtt <= 0:
+            raise ValueError(f"rtt must be positive, got {self.rtt!r}")
+        if self.init_window <= 0 or self.max_window < self.init_window:
+            raise ValueError(
+                "window sizes must satisfy 0 < init_window <= max_window"
+            )
+        if self.shaping_after_s is not None:
+            if self.shaping_after_s < 0:
+                raise ValueError("shaping_after_s must be non-negative")
+            if self.shaped_rate <= 0:
+                raise ValueError("shaped_rate must be positive when shaping")
+
+    def phases(self) -> Iterator[RatePhase]:
+        """Yield the flow's rate-cap schedule, in order.
+
+        Slow-start phases last one RTT each; the steady phase runs until
+        the shaping deadline (if any); the shaped phase is final.
+        """
+        elapsed = 0.0
+        cwnd = float(self.init_window)
+        deadline = self.shaping_after_s
+
+        while cwnd < self.max_window:
+            duration = self.rtt
+            if deadline is not None and elapsed + duration >= deadline:
+                # Shaping interrupts slow start.
+                remaining = max(0.0, deadline - elapsed)
+                if remaining > 0:
+                    yield RatePhase(remaining, cwnd / self.rtt)
+                yield RatePhase(None, self.shaped_rate)
+                return
+            yield RatePhase(duration, cwnd / self.rtt)
+            elapsed += duration
+            cwnd = min(cwnd * 2.0, float(self.max_window))
+
+        steady_cap = self.max_window / self.rtt
+        if deadline is None:
+            yield RatePhase(None, steady_cap)
+            return
+        remaining = max(0.0, deadline - elapsed)
+        if remaining > 0:
+            yield RatePhase(remaining, steady_cap)
+        yield RatePhase(None, self.shaped_rate)
+
+    def ideal_transfer_time(self, nbytes: float, link_rate: float) -> float:
+        """Transfer time for ``nbytes`` on an otherwise idle link.
+
+        Walks the phase schedule applying ``min(cap, link_rate)`` in each
+        phase.  Used by unit tests and analytical sanity checks; the
+        fluid link model reproduces this exactly for a single flow.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        remaining = float(nbytes)
+        elapsed = 0.0
+        for phase in self.phases():
+            rate = min(phase.cap, link_rate)
+            if phase.duration is None:
+                if rate <= 0:
+                    raise ValueError("final phase has zero rate; transfer stalls")
+                return elapsed + remaining / rate
+            sendable = rate * phase.duration
+            if sendable >= remaining:
+                return elapsed + (remaining / rate if rate > 0 else float("inf"))
+            remaining -= sendable
+            elapsed += phase.duration
+        raise AssertionError("phase schedule ended without a final phase")

@@ -1,0 +1,38 @@
+"""Chimera-like structured peer-to-peer overlay (prefix routing).
+
+Public surface:
+
+* :class:`NodeId` — 40-bit identifiers for nodes, objects, services.
+* :class:`ChimeraNode`, :class:`PeerInfo` — the overlay participant.
+* :class:`RoutingTable`, :class:`LeafSet` — per-node routing state.
+* :class:`RedBlackTree` — the ordered "logical tree view" structure.
+* Errors: :class:`OverlayError`, :class:`NotJoinedError`,
+  :class:`RoutingFailure`.
+"""
+
+from repro.overlay.errors import NotJoinedError, OverlayError, RoutingFailure
+from repro.overlay.ids import ID_BITS, ID_DIGITS, ID_SPACE, NodeId
+from repro.overlay.inspect import ownership_map, ring_diagram, routing_summary
+from repro.overlay.node import ChimeraNode, PeerInfo
+from repro.overlay.rbtree import RedBlackTree
+from repro.overlay.stabilizer import Stabilizer
+from repro.overlay.state import LeafSet, RoutingTable
+
+__all__ = [
+    "NodeId",
+    "ID_BITS",
+    "ID_DIGITS",
+    "ID_SPACE",
+    "ChimeraNode",
+    "PeerInfo",
+    "RoutingTable",
+    "LeafSet",
+    "RedBlackTree",
+    "Stabilizer",
+    "ring_diagram",
+    "routing_summary",
+    "ownership_map",
+    "OverlayError",
+    "NotJoinedError",
+    "RoutingFailure",
+]

@@ -1,0 +1,15 @@
+"""Exception types for the overlay layer."""
+
+from __future__ import annotations
+
+
+class OverlayError(Exception):
+    """Base class for overlay errors."""
+
+
+class NotJoinedError(OverlayError):
+    """An operation requires the node to have joined the overlay."""
+
+
+class RoutingFailure(OverlayError):
+    """A key could not be routed (all candidate next hops failed)."""

@@ -1,0 +1,372 @@
+"""The Chimera-like structured overlay node.
+
+Implements the peer-to-peer layer the paper builds its metadata
+key-value store on: prefix routing (Tapestry/Pastry-style), node join
+with state transfer from the join path, graceful leave with
+left/right-neighbour notification, failure-driven state repair, and the
+red-black-tree "logical tree view" of known nodes that
+``chimeraGetDecision`` reads (Figure 2).
+
+A node owns the keys for which it is the numerically closest live
+identifier.  Upper layers (the key-value store) subscribe to
+``on_node_joined`` / ``on_node_left`` to redistribute keys when
+membership changes — "a departing node's keys are always redistributed
+among the available set of nodes" (Section III-A).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.net import (
+    HostDownError,
+    Network,
+    RemoteError,
+    Request,
+    RpcEndpoint,
+    RpcTimeoutError,
+)
+from repro.net.topology import Host
+from repro.overlay.errors import NotJoinedError, RoutingFailure
+from repro.overlay.ids import NodeId
+from repro.overlay.rbtree import RedBlackTree
+from repro.overlay.state import LeafSet, RoutingTable
+
+__all__ = ["ChimeraNode", "PeerInfo"]
+
+#: Message types (namespaced to keep VStore++ traffic distinct).
+MSG_JOIN = "chimera.join"
+MSG_ROUTE = "chimera.route"
+MSG_NODE_JOINED = "chimera.node-joined"
+MSG_NODE_LEFT = "chimera.node-left"
+MSG_PING = "chimera.ping"
+
+
+class PeerInfo:
+    """(name, id) pair for a known overlay member."""
+
+    __slots__ = ("name", "id")
+
+    def __init__(self, name: str, node_id: NodeId) -> None:
+        self.name = name
+        self.id = node_id
+
+    def wire(self) -> dict:
+        return {"name": self.name, "id": self.id.hex}
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "PeerInfo":
+        return cls(data["name"], NodeId.from_hex(data["id"]))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PeerInfo({self.name!r}, {self.id})"
+
+
+class ChimeraNode:
+    """One overlay participant, bound to a network host and endpoint.
+
+    Parameters
+    ----------
+    network, host:
+        Where the node lives.
+    endpoint:
+        Shared :class:`RpcEndpoint`; created (and started) if omitted.
+        Sharing lets VStore++ and Chimera traffic ride one transport,
+        mirroring the paper's single control-domain process.
+    leaf_size:
+        Leaf-set entries per side.
+    hop_processing_s:
+        Per-hop processing cost added by each node when forwarding a
+        route (user-level Chimera work plus the VStore++↔Chimera IPC the
+        paper describes).  This is what makes the DHT-lookup column of
+        Table I a few milliseconds rather than pure wire time.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        host: Host,
+        endpoint: Optional[RpcEndpoint] = None,
+        leaf_size: int = 4,
+        hop_processing_s: float = 0.002,
+    ) -> None:
+        self.network = network
+        self.host = host
+        self.endpoint = endpoint or RpcEndpoint(network, host)
+        self.id = NodeId.from_name(host.name)
+        self.leaf = LeafSet(self.id, per_side=leaf_size)
+        self.table = RoutingTable(self.id)
+        #: Red-black tree: id -> peer name ("logical tree view", Fig. 2).
+        self.known = RedBlackTree()
+        self.hop_processing_s = hop_processing_s
+        self.joined = False
+        self.on_node_joined: list[Callable[[PeerInfo], None]] = []
+        self.on_node_left: list[Callable[[PeerInfo], None]] = []
+        #: Diagnostics: total hops taken by route requests we initiated.
+        self.routes_resolved = 0
+        self._register_handlers()
+
+    @property
+    def name(self) -> str:
+        return self.host.name
+
+    @property
+    def sim(self):
+        return self.network.sim
+
+    # -- membership views ---------------------------------------------------
+
+    def peers(self) -> list[PeerInfo]:
+        """All known peers in id order (from the red-black tree)."""
+        return [PeerInfo(name, nid) for nid, name in self.known.items()]
+
+    def name_of(self, node_id: NodeId) -> Optional[str]:
+        """The host name for a known overlay id (None if unknown)."""
+        if node_id == self.id:
+            return self.name
+        return self.known.get(node_id)
+
+    def closest_known(self, key: NodeId) -> PeerInfo:
+        """The member of our view (including ourselves) closest to ``key``.
+
+        Used by the key-value layer to decide which records must move
+        when membership changes.  Ties break toward the smaller id, the
+        same rule the leaf set uses, so all nodes agree.
+        """
+        best_id = self.id
+        best = (self.id.distance(key), self.id.value)
+        for nid, _name in self.known.items():
+            candidate = (nid.distance(key), nid.value)
+            if candidate < best:
+                best = candidate
+                best_id = nid
+        if best_id == self.id:
+            return PeerInfo(self.name, self.id)
+        return PeerInfo(self._peer_name(best_id), best_id)
+
+    def successors(self, count: int) -> list[PeerInfo]:
+        """Up to ``count`` clockwise neighbours (replica targets)."""
+        out = []
+        for nid in self.leaf.rights()[:count]:
+            out.append(PeerInfo(self._peer_name(nid), nid))
+        return out
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start serving overlay traffic as a single-node overlay."""
+        self.endpoint.start()
+        self.joined = True
+
+    def join(self, bootstrap: Optional[str] = None):
+        """Process: join via ``bootstrap`` (or start a new overlay).
+
+        The join request is routed toward our own identifier; every node
+        on the path contributes the routing-table row matching its
+        shared prefix with us, and the root contributes its leaf set and
+        full known view.  We then announce ourselves so existing members
+        (and their key-value stores) can react.
+        """
+        self.start()
+        if bootstrap is None:
+            return
+            yield  # pragma: no cover - makes this a generator
+        reply = yield self.endpoint.call(
+            bootstrap, MSG_JOIN, {"joiner": PeerInfo(self.name, self.id).wire()}
+        )
+        for wire in reply["peers"]:
+            self._add_peer(PeerInfo.from_wire(wire))
+        self._announce()
+
+    def leave(self):
+        """Process: gracefully leave the overlay.
+
+        Notifies known peers (the paper's left/right neighbours plus the
+        rest of our view — cheap at home scale) so they drop us and
+        redistribute; the key-value layer transfers its keys *before*
+        calling this.
+        """
+        me = PeerInfo(self.name, self.id).wire()
+        for peer in self.peers():
+            try:
+                self.endpoint.notify(peer.name, MSG_NODE_LEFT, {"peer": me})
+            except HostDownError:
+                continue
+        self.joined = False
+        self.endpoint.stop()
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def fail_abruptly(self) -> None:
+        """Crash without notifying anyone (for churn experiments)."""
+        self.joined = False
+        self.endpoint.stop()
+        self.host.set_online(False)
+
+    # -- routing ---------------------------------------------------------------
+
+    def next_hop(self, key: NodeId) -> Optional[PeerInfo]:
+        """The peer to forward ``key`` to, or None if we are the root.
+
+        Pastry rules: leaf set if it covers the key; otherwise the
+        routing-table entry for the key's next digit; otherwise any
+        known node strictly closer to the key with at least as long a
+        shared prefix (the rare-case fallback that guarantees progress).
+        """
+        if not self.joined:
+            raise NotJoinedError(f"{self.name} has not joined the overlay")
+        if key == self.id or not self.known:
+            return None
+        if self.leaf.covers(key):
+            closest = self.leaf.closest(key)
+            if closest == self.id:
+                return None
+            return PeerInfo(self._peer_name(closest), closest)
+        entry = self.table.lookup(key)
+        if entry is not None:
+            return PeerInfo(self._peer_name(entry), entry)
+        # Fallback: strictly closer node with >= shared prefix length.
+        own_prefix = self.id.shared_prefix_len(key)
+        own_distance = self.id.distance(key)
+        best: Optional[NodeId] = None
+        for nid, _name in self.known.items():
+            if nid.shared_prefix_len(key) < own_prefix:
+                continue
+            if nid.distance(key) >= own_distance:
+                continue
+            if best is None or nid.distance(key) < best.distance(key):
+                best = nid
+        if best is None:
+            return None
+        return PeerInfo(self._peer_name(best), best)
+
+    def resolve(self, key: NodeId):
+        """Process: find the overlay root for ``key``.
+
+        Returns a :class:`PeerInfo` for the owner.  Failed next hops are
+        forgotten and routing retries alternatives; if every candidate
+        fails, :class:`RoutingFailure` is raised.
+        """
+        hop = self.next_hop(key)
+        if hop is None:
+            self.routes_resolved += 1
+            return PeerInfo(self.name, self.id)
+        yield self.sim.timeout(self.hop_processing_s)
+        while True:
+            try:
+                reply = yield self.endpoint.call(
+                    hop.name, MSG_ROUTE, {"key": key.hex, "hops": 1}
+                )
+                self.routes_resolved += 1
+                return PeerInfo.from_wire(reply["owner"])
+            except (HostDownError, RpcTimeoutError, RemoteError):
+                self._forget(hop.id)
+                hop = self.next_hop(key)
+                if hop is None:
+                    self.routes_resolved += 1
+                    return PeerInfo(self.name, self.id)
+
+    # -- handlers -----------------------------------------------------------------
+
+    def _register_handlers(self) -> None:
+        self.endpoint.register(MSG_JOIN, self._handle_join)
+        self.endpoint.register(MSG_ROUTE, self._handle_route)
+        self.endpoint.register(MSG_NODE_JOINED, self._handle_node_joined)
+        self.endpoint.register(MSG_NODE_LEFT, self._handle_node_left)
+        self.endpoint.register(MSG_PING, lambda req: "pong")
+
+    def _handle_join(self, request: Request):
+        joiner = PeerInfo.from_wire(request.body["joiner"])
+        yield self.sim.timeout(self.hop_processing_s)
+        contribution = self._state_for(joiner)
+        hop = self.next_hop(joiner.id)
+        self._add_peer(joiner)
+        if hop is None or hop.id == joiner.id:
+            return {"peers": contribution}
+        reply = yield self.endpoint.call(hop.name, MSG_JOIN, request.body)
+        merged = {entry["id"]: entry for entry in reply["peers"]}
+        for entry in contribution:
+            merged.setdefault(entry["id"], entry)
+        return {"peers": list(merged.values())}
+
+    def _handle_route(self, request: Request):
+        key = NodeId.from_hex(request.body["key"])
+        hops = request.body["hops"]
+        yield self.sim.timeout(self.hop_processing_s)
+        hop = self.next_hop(key)
+        while hop is not None:
+            try:
+                reply = yield self.endpoint.call(
+                    hop.name, MSG_ROUTE, {"key": key.hex, "hops": hops + 1}
+                )
+                return reply
+            except (HostDownError, RpcTimeoutError):
+                self._forget(hop.id)
+                hop = self.next_hop(key)
+        return {"owner": PeerInfo(self.name, self.id).wire(), "hops": hops}
+
+    def _handle_node_joined(self, request: Request) -> None:
+        self._add_peer(PeerInfo.from_wire(request.body["peer"]))
+
+    def _handle_node_left(self, request: Request) -> None:
+        peer = PeerInfo.from_wire(request.body["peer"])
+        self._forget(peer.id, notify=True)
+
+    # -- state maintenance ----------------------------------------------------------
+
+    def _state_for(self, joiner: PeerInfo) -> list[dict]:
+        """Our contribution to a joiner's state: ourselves, the routing
+        row for our shared prefix with it, and our leaf set."""
+        row_index = self.id.shared_prefix_len(joiner.id)
+        entries = {self.id}
+        if row_index < len(self.table._rows):
+            entries.update(e for e in self.table.row(row_index) if e is not None)
+        entries.update(self.leaf.members())
+        out = []
+        for nid in entries:
+            name = self._peer_name(nid) if nid != self.id else self.name
+            out.append(PeerInfo(name, nid).wire())
+        return out
+
+    def _add_peer(self, peer: PeerInfo) -> None:
+        if peer.id == self.id:
+            return
+        is_new = peer.id not in self.known
+        self.known.insert(peer.id, peer.name)
+        self.leaf.add(peer.id)
+        self.table.add(peer.id)
+        if is_new:
+            for callback in self.on_node_joined:
+                callback(peer)
+
+    def _forget(self, node_id: NodeId, notify: bool = True) -> None:
+        name = self.known.get(node_id)
+        if name is None:
+            return
+        self.known.delete(node_id)
+        self.leaf.remove(node_id)
+        self.table.remove(node_id)
+        # Backfill the leaf set from the remaining known view so the
+        # ring stays connected after departures.
+        self.leaf.update(nid for nid, _ in self.known.items())
+        if notify:
+            peer = PeerInfo(name, node_id)
+            for callback in self.on_node_left:
+                callback(peer)
+
+    def _announce(self) -> None:
+        me = PeerInfo(self.name, self.id).wire()
+        for peer in self.peers():
+            try:
+                self.endpoint.notify(peer.name, MSG_NODE_JOINED, {"peer": me})
+            except HostDownError:
+                self._forget(peer.id)
+
+    def _peer_name(self, node_id: NodeId) -> str:
+        name = self.known.get(node_id)
+        if name is None:
+            raise RoutingFailure(f"{self.name}: no name known for {node_id}")
+        return name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ChimeraNode {self.name!r} id={self.id} peers={len(self.known)}>"

@@ -1,0 +1,173 @@
+"""Per-node routing state: prefix routing table and leaf set.
+
+Chimera provides "functionality to that of prefix routing protocols like
+Tapestry and Pastry" (Section III-A).  Each node therefore keeps:
+
+* a :class:`RoutingTable` — rows indexed by shared-prefix length, 16
+  columns per row (one per hex digit); the entry at (r, c) is a node
+  whose ID shares an r-digit prefix with ours and whose next digit is c;
+* a :class:`LeafSet` — the ``per_side`` numerically closest nodes on
+  each side of our ID on the ring, used for the final hop(s) and as the
+  "left and right nodes" that join/leave notifications target.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.overlay.ids import ID_DIGITS, NodeId
+
+__all__ = ["RoutingTable", "LeafSet"]
+
+
+class RoutingTable:
+    """Pastry-style prefix routing table (first-writer-wins slots)."""
+
+    COLUMNS = 16
+
+    def __init__(self, owner: NodeId) -> None:
+        self.owner = owner
+        self._rows: list[list[Optional[NodeId]]] = [
+            [None] * self.COLUMNS for _ in range(ID_DIGITS)
+        ]
+
+    def add(self, node: NodeId) -> bool:
+        """Record ``node``; returns True if it filled an empty slot.
+
+        The physical-proximity refinement of real Pastry is out of scope
+        (the home LAN is flat), so an occupied slot is kept as-is.
+        """
+        if node == self.owner:
+            return False
+        row = self.owner.shared_prefix_len(node)
+        col = node.digit(row)
+        if self._rows[row][col] is None:
+            self._rows[row][col] = node
+            return True
+        return False
+
+    def remove(self, node: NodeId) -> bool:
+        """Forget ``node`` (e.g. it failed); returns True if present."""
+        if node == self.owner:
+            return False
+        row = self.owner.shared_prefix_len(node)
+        col = node.digit(row)
+        if self._rows[row][col] == node:
+            self._rows[row][col] = None
+            return True
+        return False
+
+    def lookup(self, key: NodeId) -> Optional[NodeId]:
+        """The next-hop entry for ``key``, or None if the slot is empty."""
+        row = self.owner.shared_prefix_len(key)
+        if row >= ID_DIGITS:
+            return None  # key equals our own id
+        return self._rows[row][key.digit(row)]
+
+    def row(self, index: int) -> list[Optional[NodeId]]:
+        """A copy of row ``index`` (used to seed joining nodes)."""
+        return list(self._rows[index])
+
+    def entries(self) -> Iterable[NodeId]:
+        """All populated entries."""
+        for row in self._rows:
+            for entry in row:
+                if entry is not None:
+                    yield entry
+
+    def __contains__(self, node: NodeId) -> bool:
+        row = self.owner.shared_prefix_len(node)
+        if row >= ID_DIGITS:
+            return False
+        return self._rows[row][node.digit(row)] == node
+
+
+class LeafSet:
+    """The numerically closest neighbours on each side of the owner."""
+
+    def __init__(self, owner: NodeId, per_side: int = 4) -> None:
+        if per_side <= 0:
+            raise ValueError("per_side must be positive")
+        self.owner = owner
+        self.per_side = per_side
+        self._members: set[NodeId] = set()
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._members
+
+    def members(self) -> set[NodeId]:
+        return set(self._members)
+
+    def add(self, node: NodeId) -> None:
+        if node == self.owner:
+            return
+        self._members.add(node)
+        self._prune()
+
+    def update(self, nodes: Iterable[NodeId]) -> None:
+        for node in nodes:
+            if node != self.owner:
+                self._members.add(node)
+        self._prune()
+
+    def remove(self, node: NodeId) -> bool:
+        if node in self._members:
+            self._members.remove(node)
+            return True
+        return False
+
+    # -- ring-ordered views --------------------------------------------------
+
+    def rights(self) -> list[NodeId]:
+        """Members ordered clockwise from the owner (closest first)."""
+        ordered = sorted(self._members, key=self.owner.clockwise_distance)
+        return ordered[: self.per_side]
+
+    def lefts(self) -> list[NodeId]:
+        """Members ordered counter-clockwise from the owner."""
+        ordered = sorted(
+            self._members, key=lambda n: n.clockwise_distance(self.owner)
+        )
+        return ordered[: self.per_side]
+
+    def neighbours(self) -> list[NodeId]:
+        """Immediate left and right neighbours (0, 1, or 2 nodes)."""
+        out = []
+        rights = self.rights()
+        lefts = self.lefts()
+        if rights:
+            out.append(rights[0])
+        if lefts and (not out or lefts[0] != out[0]):
+            out.append(lefts[0])
+        return out
+
+    def covers(self, key: NodeId) -> bool:
+        """True if ``key`` falls within the leaf-set arc.
+
+        When the set is not full the node effectively knows its whole
+        vicinity, so the leaf set covers every key.
+        """
+        if len(self._members) < 2 * self.per_side:
+            return True
+        leftmost = self.lefts()[-1]
+        rightmost = self.rights()[-1]
+        return key.between(leftmost, rightmost)
+
+    def closest(self, key: NodeId) -> NodeId:
+        """Member (or the owner) numerically closest to ``key``.
+
+        Ties break toward the smaller identifier so every node resolves
+        ownership identically.
+        """
+        candidates = [self.owner, *self._members]
+        return min(candidates, key=lambda n: (n.distance(key), n.value))
+
+    # -- internal ------------------------------------------------------------
+
+    def _prune(self) -> None:
+        """Keep only the per-side closest members in each direction."""
+        keep = set(self.rights()) | set(self.lefts())
+        self._members = keep

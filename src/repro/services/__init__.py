@@ -1,0 +1,38 @@
+"""Data-manipulation services and service discovery.
+
+Public surface:
+
+* :class:`Service`, :class:`ComputeModel`, :class:`ServiceProfile`,
+  :class:`ServiceResult` — the framework.
+* :class:`FaceDetection`, :class:`FaceRecognition`,
+  :func:`surveillance_pipeline` — the home-surveillance use case.
+* :class:`MediaConversion` — the x264 media use case.
+* :class:`ServiceRegistry` — KV-store-backed service discovery.
+"""
+
+from repro.services.base import (
+    ComputeModel,
+    Service,
+    ServiceProfile,
+    ServiceResult,
+)
+from repro.services.media import MediaConversion
+from repro.services.registry import ServiceRegistry, service_key
+from repro.services.vision import (
+    FaceDetection,
+    FaceRecognition,
+    surveillance_pipeline,
+)
+
+__all__ = [
+    "Service",
+    "ComputeModel",
+    "ServiceProfile",
+    "ServiceResult",
+    "FaceDetection",
+    "FaceRecognition",
+    "surveillance_pipeline",
+    "MediaConversion",
+    "ServiceRegistry",
+    "service_key",
+]

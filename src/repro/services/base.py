@@ -1,0 +1,184 @@
+"""Service framework: compute models, profiles, and execution.
+
+VStore++ associates *services* (object manipulation functions) with
+storage: face detection and recognition for the surveillance use case,
+x264 media conversion for the multimedia one.  We cannot run OpenCV or
+x264 against real pixels here, so each service carries an analytic
+:class:`ComputeModel` — calibrated so that CPU-bound services scale with
+processor speed and parallelism, and memory-bound services thrash when
+the hosting VM's memory is smaller than their working set.  Those are
+exactly the effects the paper's Figure 7 placement experiment turns on.
+
+"Additional service information is maintained in service profiles,
+which encode the minimum resource requirements for a service for a
+given SLA ...  such profiles are determined a priori and made available
+to VStore++ when services are deployed." (Section III-A.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.monitoring import ResourceSnapshot
+from repro.virt import Domain
+
+__all__ = ["ComputeModel", "ServiceProfile", "ServiceResult", "Service"]
+
+
+@dataclass(frozen=True)
+class ComputeModel:
+    """Analytic cost of processing ``input_mb`` of data.
+
+    ``cycles = base_cycles + cycles_per_mb * input_mb ** size_exponent``
+
+    ``working_set_mb = working_set_base_mb
+    + working_set_per_mb * input_mb ** working_set_exponent``
+    (decompressed pixels, model state, temporary buffers; a super-linear
+    exponent models feature/pyramid blow-up for larger inputs).
+    """
+
+    base_cycles: float = 0.0
+    cycles_per_mb: float = 1e9
+    size_exponent: float = 1.0
+    working_set_base_mb: float = 0.0
+    working_set_per_mb: float = 0.0
+    working_set_exponent: float = 1.0
+
+    def cycles(self, input_mb: float) -> float:
+        if input_mb < 0:
+            raise ValueError("input_mb must be non-negative")
+        return self.base_cycles + self.cycles_per_mb * input_mb**self.size_exponent
+
+    def working_set_mb(self, input_mb: float) -> float:
+        return (
+            self.working_set_base_mb
+            + self.working_set_per_mb * input_mb**self.working_set_exponent
+        )
+
+
+@dataclass(frozen=True)
+class ServiceProfile:
+    """Minimum resource requirements for acceptable service quality."""
+
+    min_mem_mb: float = 0.0
+    min_free_compute_ghz: float = 0.0
+    parallelism: int = 1
+
+    def admits(self, snapshot: ResourceSnapshot) -> bool:
+        """Does a node's snapshot satisfy this profile?"""
+        return (
+            snapshot.mem_free_mb >= self.min_mem_mb
+            and snapshot.free_compute_ghz >= self.min_free_compute_ghz
+        )
+
+
+@dataclass
+class ServiceResult:
+    """Outcome of one service execution."""
+
+    service: str
+    node: str
+    input_mb: float
+    output_mb: float
+    elapsed_s: float
+    extra: dict = field(default_factory=dict)
+
+
+class Service:
+    """A deployable object-manipulation function.
+
+    ``service_id`` disambiguates multiple deployments of the same
+    algorithm (the registry key is "service name concatenated with
+    service ID").  ``output_ratio`` sizes the result object relative to
+    the input (e.g. an ``.avi``→``.mp4`` downgrade shrinks it).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        compute: ComputeModel,
+        profile: Optional[ServiceProfile] = None,
+        service_id: str = "v1",
+        output_ratio: float = 1.0,
+        setup_mb: float = 0.0,
+        node_profiles: Optional[dict[str, ServiceProfile]] = None,
+    ) -> None:
+        if output_ratio < 0:
+            raise ValueError("output_ratio must be non-negative")
+        if setup_mb < 0:
+            raise ValueError("setup_mb must be non-negative")
+        self.name = name
+        self.compute = compute
+        self.profile = profile or ServiceProfile()
+        #: Per-device-type requirement overrides: "service profiles ...
+        #: encode the minimum resource requirements for a service for a
+        #: given SLA for the different types of nodes" (Section III-A).
+        self.node_profiles: dict[str, ServiceProfile] = dict(node_profiles or {})
+        self.service_id = service_id
+        self.output_ratio = output_ratio
+        #: Data read from local disk on first invocation at a node
+        #: (model/cascade/training files).  A node that has run the
+        #: service keeps it warm; a freshly chosen remote target pays
+        #: this cold-start — the asymmetry that lets a low-end owner
+        #: beat a faster remote node for small inputs (Figure 7).
+        self.setup_mb = setup_mb
+        self._warm_domains: set[int] = set()
+
+    @property
+    def qualified_name(self) -> str:
+        """Registry key component: name concatenated with service id."""
+        return f"{self.name}#{self.service_id}"
+
+    def cycles(self, input_mb: float) -> float:
+        return self.compute.cycles(input_mb)
+
+    def working_set_mb(self, input_mb: float) -> float:
+        return self.compute.working_set_mb(input_mb)
+
+    def output_mb(self, input_mb: float) -> float:
+        return input_mb * self.output_ratio
+
+    def profile_for(self, device_type: str) -> ServiceProfile:
+        """The requirement profile applying to a given node type."""
+        return self.node_profiles.get(device_type, self.profile)
+
+    def admits(self, snapshot: ResourceSnapshot) -> bool:
+        """Does a node satisfy this service's requirements for its type?"""
+        return self.profile_for(snapshot.device_type).admits(snapshot)
+
+    def is_warm(self, domain: Domain) -> bool:
+        return id(domain) in self._warm_domains
+
+    def prewarm(self, domain: Domain) -> None:
+        """Mark the service's model data as already resident on a node."""
+        self._warm_domains.add(id(domain))
+
+    def execute(self, domain: Domain, input_mb: float):
+        """Process: run the service on ``domain`` over ``input_mb``.
+
+        Returns a :class:`ServiceResult`.  The execution charges the
+        domain's VCPUs (so concurrent services contend) and applies the
+        memory-thrashing slowdown when the working set exceeds the
+        domain's allocation.  The first execution on a domain pays the
+        ``setup_mb`` disk load (cold start) unless :meth:`prewarm` ran.
+        """
+        started = domain.sim.now
+        if self.setup_mb > 0 and not self.is_warm(domain):
+            yield domain.sim.timeout(self.setup_mb / domain.profile.disk_mb_s)
+            self._warm_domains.add(id(domain))
+        yield from domain.execute(
+            self.cycles(input_mb),
+            parallelism=self.profile.parallelism,
+            working_set_mb=self.working_set_mb(input_mb),
+        )
+        return ServiceResult(
+            service=self.qualified_name,
+            node=domain.name,
+            input_mb=input_mb,
+            output_mb=self.output_mb(input_mb),
+            elapsed_s=domain.sim.now - started,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Service {self.qualified_name!r}>"

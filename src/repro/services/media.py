@@ -1,0 +1,45 @@
+"""Media conversion service (the x264 use case).
+
+"We use another example, based on a media conversion service that
+downgrades files from the '.avi' video format to a mobile compatible
+'.mp4' format, using the x264 CPU-intensive library." (Section V-B.)
+
+Encoding is CPU-bound and parallelizes well across cores; the output is
+substantially smaller than the input (a mobile-resolution downgrade).
+"""
+
+from __future__ import annotations
+
+from repro.services.base import ComputeModel, Service, ServiceProfile
+
+__all__ = ["MediaConversion"]
+
+
+class MediaConversion(Service):
+    """x264-style ``.avi`` → ``.mp4`` transcoder."""
+
+    def __init__(
+        self,
+        parallelism: int = 4,
+        service_id: str = "v1",
+        output_ratio: float = 0.35,
+    ) -> None:
+        super().__init__(
+            name="media-convert",
+            compute=ComputeModel(
+                base_cycles=0.5e9,
+                cycles_per_mb=4.0e9,
+                size_exponent=1.0,
+                working_set_base_mb=48.0,
+                working_set_per_mb=2.0,
+            ),
+            profile=ServiceProfile(
+                min_mem_mb=128.0,
+                min_free_compute_ghz=1.0,
+                parallelism=parallelism,
+            ),
+            service_id=service_id,
+            output_ratio=output_ratio,
+            # Encoder binaries/preset data loaded at first invocation.
+            setup_mb=10.0,
+        )

@@ -1,0 +1,103 @@
+"""The home-surveillance vision services: face detection + recognition.
+
+"Captured images are first processed by a CPU-intensive face detection
+step (FDet), followed by memory-intensive face recognition (FRec)"
+(Section V-B).  The prototype ran OpenCV with a training dataset; here
+the two steps are analytic compute models with the same character:
+
+* **FDet** — CPU-bound: cycles grow slightly superlinearly with image
+  size (cascade detectors rescan at multiple scales); tiny working set.
+* **FRec** — memory-bound: the training dataset must be resident
+  ("the training data for FRec is usually very large"), so the working
+  set is the training set plus a large decompressed-image factor.  On a
+  small VM (S2's 128 MB) this thrashes — the effect that hands the
+  largest images to the remote cloud in Figure 7.
+
+Calibration targets the Figure 7 crossovers, not OpenCV's absolute
+speed on 2011 hardware.
+"""
+
+from __future__ import annotations
+
+from repro.services.base import ComputeModel, Service, ServiceProfile
+
+__all__ = ["FaceDetection", "FaceRecognition", "surveillance_pipeline"]
+
+
+class FaceDetection(Service):
+    """CPU-intensive cascade face detector (the paper's FDet step)."""
+
+    def __init__(self, parallelism: int = 4, service_id: str = "v1") -> None:
+        super().__init__(
+            name="face-detect",
+            compute=ComputeModel(
+                base_cycles=0.05e9,
+                cycles_per_mb=0.75e9,
+                size_exponent=1.3,
+                working_set_base_mb=20.0,
+                working_set_per_mb=8.0,
+            ),
+            profile=ServiceProfile(
+                min_mem_mb=64.0,
+                min_free_compute_ghz=0.5,
+                parallelism=parallelism,
+            ),
+            service_id=service_id,
+            # Output: face crops plus bounding-box metadata.
+            output_ratio=0.10,
+            # The Haar cascade files loaded at first invocation.
+            setup_mb=8.0,
+        )
+
+
+class FaceRecognition(Service):
+    """Memory-intensive face recognizer (the paper's FRec step).
+
+    ``training_mb`` is the resident training dataset; the paper assumes
+    it is already available at every processing location, so it costs
+    memory but not movement.
+    """
+
+    def __init__(
+        self,
+        training_mb: float = 60.0,
+        parallelism: int = 4,
+        service_id: str = "v1",
+    ) -> None:
+        if training_mb < 0:
+            raise ValueError("training_mb must be non-negative")
+        self.training_mb = training_mb
+        super().__init__(
+            name="face-recognize",
+            compute=ComputeModel(
+                base_cycles=0.07e9,
+                cycles_per_mb=1.4e9,
+                size_exponent=1.3,
+                working_set_base_mb=training_mb,
+                # Feature matrices and the decompressed multi-scale
+                # pyramid blow up super-linearly with image size; this
+                # is what overwhelms S2's 128 MB VM for 2 MB images.
+                working_set_per_mb=100.0,
+                working_set_exponent=2.0,
+            ),
+            profile=ServiceProfile(
+                min_mem_mb=96.0,
+                min_free_compute_ghz=0.5,
+                parallelism=parallelism,
+            ),
+            service_id=service_id,
+            # Output: the ID of the best-matched image.
+            output_ratio=0.001,
+            # The training dataset read from disk at first invocation.
+            setup_mb=training_mb,
+        )
+
+
+def surveillance_pipeline(
+    training_mb: float = 60.0, parallelism: int = 4
+) -> list[Service]:
+    """The two-step FDet → FRec pipeline used by the use case."""
+    return [
+        FaceDetection(parallelism=parallelism),
+        FaceRecognition(training_mb=training_mb, parallelism=parallelism),
+    ]

@@ -1,0 +1,38 @@
+"""Exception types raised by the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class SimulationError(Exception):
+    """Base class for all simulation-kernel errors."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to stop :meth:`Simulator.run` at a target event.
+
+    The exception carries the value of the event that caused the stop so
+    that ``run(until=event)`` can return it.
+    """
+
+    def __init__(self, value: Any = None) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class EventAlreadyTriggered(SimulationError):
+    """An event was triggered (succeeded or failed) more than once."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt` and typically explains why the interrupt
+    happened (e.g. a node crash or a cancelled transfer).
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause

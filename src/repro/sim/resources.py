@@ -1,0 +1,196 @@
+"""Shared-resource primitives for the simulation kernel.
+
+Three primitives cover everything the upper layers need:
+
+* :class:`Resource` — a counted resource (e.g. CPU cores, a link's
+  transfer slots).  Processes ``yield resource.request()`` and must
+  ``release()`` when done; ``resource.use(duration)`` wraps both.
+* :class:`Container` — a continuous quantity (e.g. bytes of disk in a
+  storage bin) with ``put`` / ``get`` amounts.
+* :class:`Store` — a FIFO queue of arbitrary items (used as message
+  channels between simulated nodes and domains).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Generator, Optional
+
+from repro.sim.errors import SimulationError
+from repro.sim.kernel import Event, Simulator
+
+__all__ = ["Request", "Resource", "Container", "Store"]
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot."""
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.sim)
+        self.resource = resource
+        resource._do_request(self)
+
+    def release(self) -> None:
+        """Give the slot back (or withdraw a not-yet-granted claim)."""
+        self.resource._do_release(self)
+
+
+class Resource:
+    """A resource with ``capacity`` identical slots, granted FIFO."""
+
+    def __init__(self, sim: Simulator, capacity: int = 1) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity!r}")
+        self.sim = sim
+        self.capacity = capacity
+        self._users: list[Request] = []
+        self._waiting: deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently in use."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    def request(self) -> Request:
+        """Claim a slot; the returned event triggers when granted."""
+        return Request(self)
+
+    def release(self, request: Request) -> None:
+        """Release a previously granted slot."""
+        request.release()
+
+    def use(self, duration: float) -> Generator:
+        """Process helper: hold one slot for ``duration`` seconds."""
+        req = self.request()
+        yield req
+        try:
+            yield self.sim.timeout(duration)
+        finally:
+            req.release()
+
+    # -- internal ----------------------------------------------------------
+
+    def _do_request(self, request: Request) -> None:
+        if len(self._users) < self.capacity:
+            self._users.append(request)
+            request.succeed(request)
+        else:
+            self._waiting.append(request)
+
+    def _do_release(self, request: Request) -> None:
+        if request in self._users:
+            self._users.remove(request)
+            self._grant_next()
+        else:
+            try:
+                self._waiting.remove(request)
+            except ValueError:
+                raise SimulationError("releasing a request unknown to this resource")
+
+    def _grant_next(self) -> None:
+        while self._waiting and len(self._users) < self.capacity:
+            nxt = self._waiting.popleft()
+            self._users.append(nxt)
+            nxt.succeed(nxt)
+
+
+class Container:
+    """A continuous quantity with a maximum level.
+
+    ``put``/``get`` are immediate bookkeeping operations (storage bins do
+    not need blocking semantics in this system); attempting to exceed
+    capacity or go below zero raises :class:`SimulationError`.
+    """
+
+    def __init__(
+        self, sim: Simulator, capacity: float = float("inf"), init: float = 0.0
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity!r}")
+        if not 0 <= init <= capacity:
+            raise ValueError(f"init {init!r} outside [0, {capacity!r}]")
+        self.sim = sim
+        self.capacity = capacity
+        self._level = float(init)
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    @property
+    def free(self) -> float:
+        return self.capacity - self._level
+
+    def put(self, amount: float) -> None:
+        if amount < 0:
+            raise ValueError("put amount must be non-negative")
+        if self._level + amount > self.capacity + 1e-9:
+            raise SimulationError(
+                f"container overflow: level {self._level} + {amount} "
+                f"> capacity {self.capacity}"
+            )
+        self._level += amount
+
+    def get(self, amount: float) -> None:
+        if amount < 0:
+            raise ValueError("get amount must be non-negative")
+        if amount > self._level + 1e-9:
+            raise SimulationError(
+                f"container underflow: level {self._level} - {amount} < 0"
+            )
+        self._level -= amount
+
+
+class Store:
+    """An unbounded FIFO queue of items with blocking ``get``.
+
+    ``put(item)`` never blocks.  ``get()`` returns an event that triggers
+    with the next item (immediately if one is queued).  This is the
+    message-channel primitive used between simulated domains and nodes.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Enqueue ``item``, waking the oldest waiting getter if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Event that triggers with the next queued item."""
+        event = Event(self.sim)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Withdraw a pending ``get`` so no item is consumed by it.
+
+        Needed when the process that was waiting is interrupted (e.g. a
+        message dispatcher shutting down); otherwise the abandoned
+        getter would silently swallow the next item.  Cancelling an
+        event that is not waiting is a no-op.
+        """
+        try:
+            self._getters.remove(event)
+        except ValueError:
+            pass
+
+    def peek(self) -> Optional[Any]:
+        """The next item without removing it, or None if empty."""
+        return self._items[0] if self._items else None

@@ -1,0 +1,35 @@
+"""Xen-like virtualization substrate.
+
+Public surface:
+
+* :class:`DeviceProfile` and the testbed profiles (`ATOM_NETBOOK`,
+  `QUAD_DESKTOP`, `ATOM_S1`, `QUAD_S2`, `EC2_XL`).
+* :class:`Hypervisor`, :class:`Domain` — CPU/memory model.
+* :class:`XenSocketChannel` — shared-memory inter-domain transport.
+* :class:`TransferEngine` — zero-copy inter-node object transfers.
+"""
+
+from repro.virt.device import (
+    ATOM_NETBOOK,
+    ATOM_S1,
+    EC2_XL,
+    QUAD_DESKTOP,
+    QUAD_S2,
+    DeviceProfile,
+)
+from repro.virt.hypervisor import Domain, Hypervisor
+from repro.virt.splice import TransferEngine
+from repro.virt.xensocket import XenSocketChannel
+
+__all__ = [
+    "DeviceProfile",
+    "ATOM_NETBOOK",
+    "QUAD_DESKTOP",
+    "ATOM_S1",
+    "QUAD_S2",
+    "EC2_XL",
+    "Hypervisor",
+    "Domain",
+    "XenSocketChannel",
+    "TransferEngine",
+]

@@ -1,0 +1,71 @@
+"""Device profiles for the hardware the paper's testbed used.
+
+"The experimental testbed consists of 5 dual-core 1.66 GHz Intel Atom
+N280 netbooks and a 2.3 GHZ 32 bit Intel Quad core desktop machine,
+running Linux 2.6.28 on Xen" (Section V).  The service-placement
+experiment (Figure 7) additionally names S1 (1.3 GHz dual-core Atom,
+512 MB VM, 1 VCPU), S2 (1.8 GHz quad-core, 128 MB multi-VCPU VM), and
+S3 (extra-large EC2 instance: five 2.9 GHz CPUs, 14 GB memory).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "DeviceProfile",
+    "ATOM_NETBOOK",
+    "QUAD_DESKTOP",
+    "ATOM_S1",
+    "QUAD_S2",
+    "EC2_XL",
+]
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Static hardware capability of one physical machine.
+
+    ``virt_overhead`` is the fractional CPU cost of running virtualized
+    ("virtualization requires additional memory resources and tends to
+    result in higher CPU utilization", Section V-A); it inflates every
+    computation's cycle count.
+    """
+
+    name: str
+    cpu_cores: int
+    cpu_ghz: float
+    mem_mb: float
+    disk_mb_s: float = 80.0
+    virt_overhead: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.cpu_cores <= 0:
+            raise ValueError("cpu_cores must be positive")
+        if self.cpu_ghz <= 0:
+            raise ValueError("cpu_ghz must be positive")
+        if self.mem_mb <= 0:
+            raise ValueError("mem_mb must be positive")
+        if not 0 <= self.virt_overhead < 1:
+            raise ValueError("virt_overhead must be in [0, 1)")
+
+    @property
+    def cycles_per_second(self) -> float:
+        """Single-core cycle rate."""
+        return self.cpu_ghz * 1e9
+
+
+#: The home testbed netbooks (Intel Atom N280).
+ATOM_NETBOOK = DeviceProfile("atom-netbook", cpu_cores=2, cpu_ghz=1.66, mem_mb=2048)
+
+#: The home desktop (quad core, 2.3 GHz).
+QUAD_DESKTOP = DeviceProfile("quad-desktop", cpu_cores=4, cpu_ghz=2.3, mem_mb=4096)
+
+#: Figure 7's S1 host: low-end dual-core Atom.
+ATOM_S1 = DeviceProfile("atom-s1", cpu_cores=2, cpu_ghz=1.3, mem_mb=1024)
+
+#: Figure 7's S2 host: 1.8 GHz quad core.
+QUAD_S2 = DeviceProfile("quad-s2", cpu_cores=4, cpu_ghz=1.8, mem_mb=4096)
+
+#: Figure 7's S3: extra-large EC2 para-virtualized instance.
+EC2_XL = DeviceProfile("ec2-xl", cpu_cores=5, cpu_ghz=2.9, mem_mb=14 * 1024)

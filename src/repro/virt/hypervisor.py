@@ -1,0 +1,177 @@
+"""Hypervisor and domain model: CPU scheduling and memory accounting.
+
+Applications using VStore++ "reside in guest virtual machines (VMs)
+running on nodes in the home environment, which is virtualized with the
+hypervisor"; the VStore++ component itself runs "in the control domain
+(i.e., dom0 in Xen)" (Section III).  This module models that split:
+
+* a :class:`Hypervisor` per physical device, multiplexing the device's
+  cores across domains;
+* :class:`Domain` instances (``dom0`` plus guests), each with a VCPU
+  count and a memory allocation;
+* ``execute(cycles)`` — a simulation process that charges compute work
+  against both the domain's VCPUs and the physical cores, inflated by
+  the virtualization overhead;
+* memory-pressure accounting: work whose resident set exceeds the
+  domain's memory runs slower (the effect that delays face recognition
+  in S2's 128 MB VM in Figure 7).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim import AllOf, Resource, Simulator
+from repro.virt.device import DeviceProfile
+
+__all__ = ["Hypervisor", "Domain"]
+
+
+class Domain:
+    """One VM (or the control domain) on a hypervisor."""
+
+    def __init__(
+        self,
+        hypervisor: "Hypervisor",
+        name: str,
+        vcpus: int,
+        mem_mb: float,
+        is_control: bool = False,
+    ) -> None:
+        if vcpus <= 0:
+            raise ValueError("vcpus must be positive")
+        if mem_mb <= 0:
+            raise ValueError("mem_mb must be positive")
+        self.hypervisor = hypervisor
+        self.name = name
+        self.vcpus = vcpus
+        self.mem_mb = mem_mb
+        self.is_control = is_control
+        self._vcpu = Resource(hypervisor.sim, capacity=vcpus)
+        #: Cumulative busy VCPU-seconds, for utilization reporting.
+        self.busy_cpu_seconds = 0.0
+
+    @property
+    def sim(self) -> Simulator:
+        return self.hypervisor.sim
+
+    @property
+    def profile(self) -> DeviceProfile:
+        return self.hypervisor.profile
+
+    # -- compute -------------------------------------------------------------
+
+    def execute(self, cycles: float, parallelism: int = 1, working_set_mb: float = 0.0):
+        """Process: run ``cycles`` of work in this domain.
+
+        ``parallelism`` splits the work across up to that many VCPUs
+        (bounded by the domain's allocation and, transitively, by the
+        physical cores).  ``working_set_mb`` triggers the thrashing
+        penalty when it exceeds the domain's memory.  Returns the
+        elapsed time.
+        """
+        if cycles < 0:
+            raise ValueError("cycles must be non-negative")
+        started = self.sim.now
+        effective = cycles * (1.0 + self.profile.virt_overhead)
+        effective *= self.memory_slowdown(working_set_mb)
+        workers = max(1, min(parallelism, self.vcpus))
+        per_worker = effective / workers
+        procs = [
+            self.sim.process(self._worker(per_worker)) for _ in range(workers)
+        ]
+        yield AllOf(self.sim, procs)
+        return self.sim.now - started
+
+    def memory_slowdown(self, working_set_mb: float) -> float:
+        """Thrashing multiplier for a given resident-set size.
+
+        1.0 while the working set fits; beyond that the domain pages,
+        and the slowdown grows with the overcommit ratio.  The linear
+        coefficient is calibrated so a 2× overcommit roughly quadruples
+        runtime — coarse, but it reproduces the S2-vs-S3 crossover for
+        large images in Figure 7.
+        """
+        if working_set_mb <= self.mem_mb:
+            return 1.0
+        overcommit = working_set_mb / self.mem_mb - 1.0
+        return 1.0 + 3.0 * overcommit
+
+    def _worker(self, cycles: float):
+        vcpu_req = self._vcpu.request()
+        yield vcpu_req
+        core_req = self.hypervisor.cpu.request()
+        yield core_req
+        try:
+            duration = cycles / self.profile.cycles_per_second
+            yield self.sim.timeout(duration)
+            self.busy_cpu_seconds += duration
+            self.hypervisor.busy_core_seconds += duration
+        finally:
+            core_req.release()
+            vcpu_req.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "dom0" if self.is_control else "guest"
+        return f"<Domain {self.name!r} {kind} vcpus={self.vcpus} mem={self.mem_mb}MB>"
+
+
+class Hypervisor:
+    """The per-device virtualization layer (Xen in the prototype)."""
+
+    def __init__(self, sim: Simulator, profile: DeviceProfile) -> None:
+        self.sim = sim
+        self.profile = profile
+        self.cpu = Resource(sim, capacity=profile.cpu_cores)
+        self.domains: dict[str, Domain] = {}
+        self.busy_core_seconds = 0.0
+        self._started_at = sim.now
+
+    def create_domain(
+        self,
+        name: str,
+        vcpus: Optional[int] = None,
+        mem_mb: Optional[float] = None,
+        is_control: bool = False,
+    ) -> Domain:
+        """Create a domain; defaults claim the whole device."""
+        if name in self.domains:
+            raise ValueError(f"duplicate domain name {name!r}")
+        allocated = sum(d.mem_mb for d in self.domains.values())
+        mem = mem_mb if mem_mb is not None else self.profile.mem_mb - allocated
+        if mem <= 0 or allocated + mem > self.profile.mem_mb:
+            raise ValueError(
+                f"cannot allocate {mem_mb!r} MB: {allocated} of "
+                f"{self.profile.mem_mb} MB already committed"
+            )
+        domain = Domain(
+            self,
+            name,
+            vcpus if vcpus is not None else self.profile.cpu_cores,
+            mem,
+            is_control=is_control,
+        )
+        self.domains[name] = domain
+        return domain
+
+    def control_domain(self) -> Optional[Domain]:
+        for domain in self.domains.values():
+            if domain.is_control:
+                return domain
+        return None
+
+    def instantaneous_load(self) -> float:
+        """Fraction of physical cores busy right now."""
+        return self.cpu.count / self.cpu.capacity
+
+    def average_load(self) -> float:
+        """Average core utilization since the hypervisor booted."""
+        elapsed = self.sim.now - self._started_at
+        if elapsed <= 0:
+            return 0.0
+        return min(
+            1.0, self.busy_core_seconds / (elapsed * self.profile.cpu_cores)
+        )
+
+    def free_mem_mb(self) -> float:
+        return self.profile.mem_mb - sum(d.mem_mb for d in self.domains.values())

@@ -1,0 +1,74 @@
+"""VStore++: the virtualized object storage and manipulation service.
+
+Public surface:
+
+* :class:`VStoreNode` — the control-domain (dom0) component.
+* :class:`VStoreClient` — the guest-VM application API
+  (CreateObject / StoreObject / FetchObject / Process / FetchProcess).
+* :class:`ObjectMeta`, :class:`StorageBin` — the object model.
+* :class:`StorePolicy`, :class:`Placement`, :class:`PlacementTarget`,
+  rule helpers — placement policies.
+* :class:`StoreResult`, :class:`FetchResult`, :class:`ProcessResult` —
+  operation outcomes with timing breakdowns.
+* :func:`estimate_completion` — the process-placement cost model.
+* Errors under :class:`VStoreError`.
+"""
+
+from repro.vstore.bins import StorageBin
+from repro.vstore.client import VStoreClient
+from repro.vstore.commands import Command, CommandType
+from repro.vstore.errors import (
+    BinFullError,
+    ObjectExistsError,
+    ObjectNotFoundError,
+    PlacementError,
+    ServiceUnavailableError,
+    VStoreError,
+)
+from repro.vstore.node import (
+    FetchResult,
+    ProcessResult,
+    StoreResult,
+    VStoreNode,
+    object_key,
+)
+from repro.vstore.objects import LOCATION_REMOTE, ObjectMeta
+from repro.vstore.placement import PlacementEstimate, estimate_completion
+from repro.vstore.policies import (
+    Placement,
+    PlacementTarget,
+    Rule,
+    StorePolicy,
+    size_rule,
+    tag_rule,
+    type_rule,
+)
+
+__all__ = [
+    "VStoreNode",
+    "VStoreClient",
+    "ObjectMeta",
+    "LOCATION_REMOTE",
+    "StorageBin",
+    "Command",
+    "CommandType",
+    "StorePolicy",
+    "Placement",
+    "PlacementTarget",
+    "Rule",
+    "size_rule",
+    "type_rule",
+    "tag_rule",
+    "StoreResult",
+    "FetchResult",
+    "ProcessResult",
+    "PlacementEstimate",
+    "estimate_completion",
+    "object_key",
+    "VStoreError",
+    "ObjectNotFoundError",
+    "ObjectExistsError",
+    "BinFullError",
+    "PlacementError",
+    "ServiceUnavailableError",
+]

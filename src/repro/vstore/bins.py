@@ -1,0 +1,66 @@
+"""Mandatory and voluntary storage bins.
+
+"On each node, a set of mandatory resources is available for the
+execution of services ... on behalf of applications deployed on that
+node.  In addition, nodes can contribute voluntary resources to the
+aggregate storage pool available to any node in the VStore++ home
+cloud." (Section III.)  The mandatory bin serves the node's own
+applications; the voluntary bin accepts spill-over from peers.
+"""
+
+from __future__ import annotations
+
+from repro.vstore.errors import BinFullError, ObjectNotFoundError
+
+__all__ = ["StorageBin"]
+
+
+class StorageBin:
+    """A capacity-bounded pool of locally stored objects."""
+
+    def __init__(self, name: str, capacity_mb: float) -> None:
+        if capacity_mb <= 0:
+            raise ValueError("capacity_mb must be positive")
+        self.name = name
+        self.capacity_mb = float(capacity_mb)
+        self._objects: dict[str, float] = {}
+
+    @property
+    def used_mb(self) -> float:
+        return sum(self._objects.values())
+
+    @property
+    def free_mb(self) -> float:
+        return self.capacity_mb - self.used_mb
+
+    def fits(self, size_mb: float) -> bool:
+        return size_mb <= self.free_mb
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._objects
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def names(self) -> list[str]:
+        return list(self._objects)
+
+    def size_of(self, name: str) -> float:
+        if name not in self._objects:
+            raise ObjectNotFoundError(name)
+        return self._objects[name]
+
+    def store(self, name: str, size_mb: float) -> None:
+        """Place an object (replacing any same-named predecessor)."""
+        if size_mb < 0:
+            raise ValueError("size_mb must be non-negative")
+        previous = self._objects.get(name, 0.0)
+        if size_mb - previous > self.free_mb + 1e-9:
+            raise BinFullError(self.name, size_mb, self.free_mb + previous)
+        self._objects[name] = size_mb
+
+    def remove(self, name: str) -> float:
+        """Delete an object, returning its size."""
+        if name not in self._objects:
+            raise ObjectNotFoundError(name)
+        return self._objects.pop(name)

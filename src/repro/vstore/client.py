@@ -1,0 +1,135 @@
+"""The guest-VM side of VStore++: the application-facing API.
+
+"Applications using VStore++ API reside in guest virtual machines ...
+All requests are passed to the VStore++ component residing in the
+control domain (i.e., dom0 in Xen) via shared memory-based
+communication channels." (Section III.)
+
+Each API call builds a :class:`~repro.vstore.commands.Command` packet
+(under 50 bytes) and pushes it through the node's XenSocket channel
+before the control-domain operation runs; bulk data movement costs are
+charged inside the node operations themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.monitoring import DecisionPolicy
+from repro.vstore.commands import Command, CommandType
+from repro.vstore.node import VStoreNode
+
+__all__ = ["VStoreClient"]
+
+
+class VStoreClient:
+    """API stub linked into an application running in the guest VM."""
+
+    def __init__(self, node: VStoreNode, domain_id: int = 1) -> None:
+        self.node = node
+        self.domain_id = domain_id
+        self.commands_sent = 0
+
+    @property
+    def sim(self):
+        return self.node.sim
+
+    def _send_command(self, command_type: CommandType, data=None, service_id=""):
+        """Process: push one command packet into the control domain."""
+        command = Command(
+            command_type,
+            service_id=service_id,
+            domain_id=self.domain_id,
+            data=data,
+        )
+        if self.node.xensocket is not None:
+            yield from self.node.xensocket.transfer(command.length)
+        self.commands_sent += 1
+        return command
+
+    # -- API operations ------------------------------------------------------
+
+    def create_object(
+        self,
+        name: str,
+        size_mb: float,
+        tags: Optional[list[str]] = None,
+        access: str = "home",
+    ):
+        """Process: CreateObject() — map a file to a named object."""
+        yield from self._send_command(CommandType.CREATE_OBJECT, {"name": name})
+        return self.node.create_object(name, size_mb, tags=tags, access=access)
+
+    def store_object(self, name: str, blocking: bool = True):
+        """Process: StoreObject() — place the object per policy."""
+        yield from self._send_command(CommandType.STORE_OBJECT, {"name": name})
+        result = yield from self.node.store_object(name, blocking=blocking)
+        return result
+
+    def fetch_object(self, name: str):
+        """Process: FetchObject() — bring the object into this VM."""
+        yield from self._send_command(CommandType.FETCH_OBJECT, {"name": name})
+        result = yield from self.node.fetch_object(name)
+        return result
+
+    def prefetch_object(self, name: str):
+        """Process: start an asynchronous fetch; returns its handle.
+
+        "The command based mechanism helps with implementing
+        asynchronous fetch and store operations" (Section IV).  The
+        returned process event can be awaited later (or ignored); the
+        bytes stream in meanwhile.
+        """
+        yield from self._send_command(CommandType.FETCH_OBJECT, {"name": name})
+        handle = self.sim.process(self.node.fetch_object(name))
+        return handle
+
+    def process(
+        self,
+        name: str,
+        qualified_service: str,
+        policy: DecisionPolicy = DecisionPolicy.PERFORMANCE,
+    ):
+        """Process: explicitly run a service over a stored object."""
+        yield from self._send_command(
+            CommandType.PROCESS, {"name": name}, service_id=qualified_service
+        )
+        result = yield from self.node.process(name, qualified_service, policy=policy)
+        return result
+
+    def process_pipeline(
+        self,
+        name: str,
+        qualified_services: list[str],
+        policy: DecisionPolicy = DecisionPolicy.PERFORMANCE,
+    ):
+        """Process: run a multi-step pipeline (e.g. FDet then FRec) at
+        one decision-chosen target, moving the argument only once."""
+        yield from self._send_command(
+            CommandType.PROCESS,
+            {"name": name, "pipeline": qualified_services},
+            service_id="+".join(qualified_services),
+        )
+        result = yield from self.node.process_pipeline(
+            name, qualified_services, policy=policy
+        )
+        return result
+
+    def fetch_process(self, name: str, qualified_service: str):
+        """Process: fetch with an attached manipulation function."""
+        yield from self._send_command(
+            CommandType.FETCH_PROCESS, {"name": name}, service_id=qualified_service
+        )
+        result = yield from self.node.fetch_process(name, qualified_service)
+        return result
+
+    def delete_object(self, name: str):
+        """Process: remove an object everywhere."""
+        yield from self._send_command(CommandType.DELETE_OBJECT, {"name": name})
+        yield from self.node.delete_object(name)
+
+    def store_file(self, name: str, size_mb: float, blocking: bool = True, **kwargs):
+        """Process: convenience create+store in one call."""
+        yield from self.create_object(name, size_mb, **kwargs)
+        result = yield from self.store_object(name, blocking=blocking)
+        return result

@@ -1,0 +1,61 @@
+"""The command protocol between guest VMs and the VStore++ domain.
+
+"Every method call in VStore++ is converted into a command.  The
+command based interface is used for communicating between virtual
+machines and remote nodes.  Each command packet consists of packet
+length, command type, the requesting service ID, VMs domain ID, shared
+memory reference and command data.  ...  Commands are usually less than
+50 bytes." (Section IV.)
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+__all__ = ["CommandType", "Command"]
+
+
+class CommandType(Enum):
+    CREATE_OBJECT = "create"
+    STORE_OBJECT = "store"
+    FETCH_OBJECT = "fetch"
+    PROCESS = "process"
+    FETCH_PROCESS = "fetch-process"
+    DELETE_OBJECT = "delete"
+    ACK = "ack"
+
+
+@dataclass
+class Command:
+    """One command packet."""
+
+    command_type: CommandType
+    service_id: str = ""
+    domain_id: int = 0
+    #: Reference to the shared-memory region carrying bulk data (the
+    #: XenSocket grant, in the prototype); 0 when none is attached.
+    shm_ref: int = 0
+    data: Any = None
+    #: Wire length, bytes; computed on construction.
+    length: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        self.length = self._encoded_length()
+
+    def _encoded_length(self) -> int:
+        # Fixed header: length(4) + type(1) + service id(8) + domain(2)
+        # + shm ref(4); plus the command data.
+        header = 19
+        try:
+            body = len(json.dumps(self.data, default=str)) if self.data else 0
+        except (TypeError, ValueError):
+            body = 32
+        return header + body
+
+    @property
+    def is_small(self) -> bool:
+        """Commands are usually under 50 bytes (sanity check hook)."""
+        return self.length < 50

@@ -1,0 +1,61 @@
+"""Exception types for the VStore++ layer."""
+
+from __future__ import annotations
+
+
+class VStoreError(Exception):
+    """Base class for VStore++ errors."""
+
+
+class ObjectNotFoundError(VStoreError):
+    """No object with this name exists anywhere in the store."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"object {name!r} not found")
+        self.name = name
+
+
+class ObjectExistsError(VStoreError):
+    """CreateObject on a name that is already mapped."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"object {name!r} already exists")
+        self.name = name
+
+
+class BinFullError(VStoreError):
+    """A storage bin cannot hold the object."""
+
+    def __init__(self, bin_name: str, needed_mb: float, free_mb: float) -> None:
+        super().__init__(
+            f"bin {bin_name!r} full: need {needed_mb:.1f} MB, "
+            f"only {free_mb:.1f} MB free"
+        )
+        self.bin_name = bin_name
+        self.needed_mb = needed_mb
+        self.free_mb = free_mb
+
+
+class ServiceUnavailableError(VStoreError):
+    """No node can currently execute the requested service."""
+
+    def __init__(self, service: str) -> None:
+        super().__init__(f"no node available to run service {service!r}")
+        self.service = service
+
+
+class PlacementError(VStoreError):
+    """No placement target satisfies the store policy."""
+
+
+class AccessDeniedError(VStoreError):
+    """The requesting device may not read this object.
+
+    Enforcement of the metadata's access field — the paper's future-work
+    item (i), "richer access control methods and policies".
+    """
+
+    def __init__(self, name: str, device: str) -> None:
+        super().__init__(f"device {device!r} may not access object {name!r}")
+        self.name = name
+        self.device = device

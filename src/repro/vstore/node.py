@@ -1,0 +1,1000 @@
+"""The VStore++ control-domain component: store, fetch, and process.
+
+This is the paper's core contribution (Section III-B): a virtualized
+object store whose operations name only the object and/or service —
+*where* the object lives and *where* manipulation functions run is
+decided at the metadata layer, using placement policies and the
+resource-monitoring state in the DHT key-value store.
+
+One :class:`VStoreNode` runs in each device's control domain (dom0).
+It composes every substrate in this reproduction:
+
+* the Chimera overlay + KV store for metadata and discovery,
+* the decision engine for resource-aware target selection,
+* XenSocket channels for guest↔dom0 data movement,
+* the zero-copy transfer engine for node↔node object movement,
+* the public-cloud interface (S3) and optional EC2 instances.
+
+All operation methods are generators intended to be driven as
+simulation processes; they return result objects carrying the timing
+breakdowns the paper's Table I and Figures 4-8 report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.cloud import Ec2Instance, PublicCloudInterface
+from repro.kvstore import DhtKeyValueStore, KeyNotFoundError
+from repro.monitoring import DecisionEngine, DecisionPolicy, ResourceSnapshot
+from repro.net import HostDownError, RemoteError, Request, RpcTimeoutError
+from repro.overlay import ChimeraNode
+from repro.services import Service, ServiceRegistry
+from repro.virt import Domain, TransferEngine, XenSocketChannel
+from repro.vstore.bins import StorageBin
+from repro.vstore.errors import (
+    AccessDeniedError,
+    BinFullError,
+    ObjectExistsError,
+    ObjectNotFoundError,
+    PlacementError,
+    ServiceUnavailableError,
+    VStoreError,
+)
+from repro.vstore.objects import LOCATION_REMOTE, ObjectMeta
+from repro.vstore.placement import PlacementEstimate, estimate_completion
+from repro.vstore.policies import Placement, PlacementTarget, StorePolicy
+
+__all__ = ["VStoreNode", "StoreResult", "FetchResult", "ProcessResult"]
+
+MSG_STORE_VOLUNTARY = "vstore.store-voluntary"
+MSG_FETCH = "vstore.fetch"
+MSG_PROCESS_REMOTE = "vstore.process-remote"
+MSG_PROCESS_PIPELINE = "vstore.process-pipeline"
+MSG_DELETE = "vstore.delete"
+
+
+def object_key(name: str) -> str:
+    """KV-store key for an object's metadata entry."""
+    return f"object:{name}"
+
+
+@dataclass
+class StoreResult:
+    """Outcome and cost breakdown of a store operation."""
+
+    meta: ObjectMeta
+    placement: Placement
+    total_s: float
+    inter_domain_s: float = 0.0
+    placement_s: float = 0.0
+    metadata_s: float = 0.0
+    blocking: bool = True
+
+
+@dataclass
+class FetchResult:
+    """Outcome and cost breakdown of a fetch (Table I's columns)."""
+
+    meta: ObjectMeta
+    total_s: float
+    dht_lookup_s: float = 0.0
+    inter_node_s: float = 0.0
+    inter_domain_s: float = 0.0
+    remote_cloud_s: float = 0.0
+    served_from: str = ""
+
+
+@dataclass
+class ProcessResult:
+    """Outcome of a process / fetch-and-process operation."""
+
+    object_name: str
+    service: str
+    executed_on: str
+    output_mb: float
+    total_s: float
+    decision_s: float = 0.0
+    move_s: float = 0.0
+    execute_s: float = 0.0
+    estimates: list = field(default_factory=list)
+
+
+class VStoreNode:
+    """The per-device VStore++ service (dom0 component)."""
+
+    def __init__(
+        self,
+        chimera: ChimeraNode,
+        kv: DhtKeyValueStore,
+        registry: ServiceRegistry,
+        decision: DecisionEngine,
+        transfer: TransferEngine,
+        mandatory_mb: float = 2048.0,
+        voluntary_mb: float = 4096.0,
+        store_policy: Optional[StorePolicy] = None,
+        guest_domain: Optional[Domain] = None,
+        dom0_domain: Optional[Domain] = None,
+        xensocket: Optional[XenSocketChannel] = None,
+        cloud: Optional[PublicCloudInterface] = None,
+        ec2: Optional[Ec2Instance] = None,
+        snapshot_fn: Optional[Callable[[], ResourceSnapshot]] = None,
+        op_overhead_s: float = 0.002,
+        disk_mb_s: float = 80.0,
+    ) -> None:
+        self.chimera = chimera
+        self.kv = kv
+        self.registry = registry
+        self.decision = decision
+        self.transfer = transfer
+        self.mandatory = StorageBin("mandatory", mandatory_mb)
+        self.voluntary = StorageBin("voluntary", voluntary_mb)
+        self.store_policy = store_policy or StorePolicy()
+        self.guest_domain = guest_domain
+        self.dom0_domain = dom0_domain
+        self.xensocket = xensocket
+        self.cloud = cloud
+        self.ec2 = ec2
+        self.snapshot_fn = snapshot_fn
+        self.op_overhead_s = op_overhead_s
+        self.disk_mb_s = disk_mb_s
+        #: Objects created but not yet stored (CreateObject staging).
+        self.staged: dict[str, ObjectMeta] = {}
+        self._register_handlers()
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.chimera.name
+
+    @property
+    def sim(self):
+        return self.chimera.sim
+
+    @property
+    def endpoint(self):
+        return self.chimera.endpoint
+
+    def snapshot(self) -> Optional[ResourceSnapshot]:
+        """This node's current resource state (None if no sampler)."""
+        return self.snapshot_fn() if self.snapshot_fn else None
+
+    # -- object lifecycle -----------------------------------------------------
+
+    def create_object(
+        self,
+        name: str,
+        size_mb: float,
+        tags: Optional[list[str]] = None,
+        access: str = "home",
+    ) -> ObjectMeta:
+        """Map a file to an object and create its mandatory metadata.
+
+        Purely local; :meth:`store_object` performs the distributed
+        placement and the KV-store update.
+        """
+        if name in self.staged or name in self.mandatory or name in self.voluntary:
+            raise ObjectExistsError(name)
+        meta = ObjectMeta(
+            name=name,
+            size_mb=size_mb,
+            tags=list(tags or []),
+            access=access,
+            created_by=self.name,
+            created_at=self.sim.now,
+        )
+        self.staged[name] = meta
+        return meta
+
+    def store_object(self, name: str, blocking: bool = True, from_guest: bool = True):
+        """Process: place a created object and publish its metadata.
+
+        Blocking stores wait for placement and the metadata update (and
+        pay the acknowledgement); non-blocking stores return right
+        after the object reaches the control domain, with placement
+        completing in the background.
+        """
+        meta = self.staged.get(name)
+        if meta is None:
+            raise ObjectNotFoundError(name)
+        started = self.sim.now
+        yield self.sim.timeout(self.op_overhead_s)
+        inter_domain_s = 0.0
+        if from_guest and self.xensocket is not None:
+            t0 = self.sim.now
+            yield from self.xensocket.transfer(meta.size_bytes)
+            inter_domain_s = self.sim.now - t0
+        del self.staged[name]
+
+        if not blocking:
+            self.sim.process(self._place_and_publish(meta))
+            return StoreResult(
+                meta=meta,
+                placement=self.store_policy.decide(meta),
+                total_s=self.sim.now - started,
+                inter_domain_s=inter_domain_s,
+                blocking=False,
+            )
+
+        placement, placement_s, metadata_s = yield from self._place_and_publish(meta)
+        # Blocking stores "incur the cost of an additional
+        # acknowledgement" back to the guest.
+        if self.xensocket is not None:
+            yield from self.xensocket.transfer(64)
+        return StoreResult(
+            meta=meta,
+            placement=placement,
+            total_s=self.sim.now - started,
+            inter_domain_s=inter_domain_s,
+            placement_s=placement_s,
+            metadata_s=metadata_s,
+            blocking=True,
+        )
+
+    def _place_and_publish(self, meta: ObjectMeta):
+        t0 = self.sim.now
+        placement = yield from self._place(meta)
+        placement_s = self.sim.now - t0
+        t1 = self.sim.now
+        yield from self.kv.put(object_key(meta.name), meta.wire())
+        metadata_s = self.sim.now - t1
+        return placement, placement_s, metadata_s
+
+    def _place(self, meta: ObjectMeta):
+        """Execute the policy decision, with the paper's fallbacks."""
+        placement = self.store_policy.decide(meta)
+        target = placement.target
+        if target is PlacementTarget.LOCAL_MANDATORY:
+            if self.mandatory.fits(meta.size_mb):
+                self.mandatory.store(meta.name, meta.size_mb)
+                meta.location = self.name
+                meta.bin_name = "mandatory"
+                return placement
+            # Mandatory bin full: spill to voluntary space elsewhere,
+            # then to the remote cloud.
+            target = PlacementTarget.HOME_VOLUNTARY
+
+        if target is PlacementTarget.NAMED_NODE:
+            stored = yield from self._store_on_peer(meta, placement.node)
+            if stored:
+                return placement
+            target = PlacementTarget.HOME_VOLUNTARY
+
+        if target is PlacementTarget.HOME_VOLUNTARY:
+            candidates = yield from self.decision.decide(
+                DecisionPolicy.BALANCED,
+                require=lambda s: s.voluntary_free_mb >= meta.size_mb,
+            )
+            for candidate in candidates:
+                if candidate.node == self.name:
+                    if self.voluntary.fits(meta.size_mb):
+                        self.voluntary.store(meta.name, meta.size_mb)
+                        meta.location = self.name
+                        meta.bin_name = "voluntary"
+                        return Placement(PlacementTarget.HOME_VOLUNTARY, self.name)
+                    continue
+                stored = yield from self._store_on_peer(meta, candidate.node)
+                if stored:
+                    return Placement(PlacementTarget.HOME_VOLUNTARY, candidate.node)
+            target = PlacementTarget.REMOTE_CLOUD
+
+        if target is PlacementTarget.REMOTE_CLOUD:
+            if self.cloud is None:
+                raise PlacementError(
+                    f"object {meta.name!r}: no home capacity and no "
+                    "public-cloud interface configured"
+                )
+            url = yield from self.cloud.store_remote(meta.name, meta.size_bytes)
+            meta.location = LOCATION_REMOTE
+            meta.bin_name = ""
+            meta.url = url
+            return Placement(PlacementTarget.REMOTE_CLOUD)
+
+        raise PlacementError(f"unhandled placement target {target!r}")
+
+    def _store_on_peer(self, meta: ObjectMeta, peer: str):
+        try:
+            yield self.endpoint.call(
+                peer,
+                MSG_STORE_VOLUNTARY,
+                {"name": meta.name, "size_mb": meta.size_mb, "src": self.name},
+                timeout=120.0,
+            )
+        except (HostDownError, RpcTimeoutError, RemoteError):
+            return False
+        meta.location = peer
+        meta.bin_name = "voluntary"
+        return True
+
+    # -- fetch ------------------------------------------------------------------
+
+    def fetch_object(self, name: str, to_guest: bool = True):
+        """Process: bring an object to this node (and its guest VM).
+
+        Returns a :class:`FetchResult` with the Table I cost breakdown:
+        DHT lookup, inter-node transfer (or remote-cloud download), and
+        inter-domain (XenSocket) delivery.
+        """
+        started = self.sim.now
+        yield self.sim.timeout(self.op_overhead_s)
+        meta, dht_s = yield from self._lookup_meta(name)
+        self._check_access(meta)
+
+        inter_node_s = 0.0
+        remote_s = 0.0
+        if meta.is_remote:
+            t0 = self.sim.now
+            if self.cloud is None:
+                raise VStoreError(
+                    f"object {name!r} is in the remote cloud but this node "
+                    "has no public-cloud interface"
+                )
+            yield from self.cloud.fetch_remote(name)
+            remote_s = self.sim.now - t0
+            served_from = "remote-cloud"
+        elif meta.location == self.name:
+            # Local disk read.
+            yield self.sim.timeout(meta.size_mb / self.disk_mb_s)
+            served_from = "local"
+        else:
+            t0 = self.sim.now
+            yield self.endpoint.call(
+                meta.location,
+                MSG_FETCH,
+                {"name": name, "to": self.name},
+                timeout=600.0,
+            )
+            inter_node_s = self.sim.now - t0
+            served_from = meta.location
+
+        inter_domain_s = 0.0
+        if to_guest and self.xensocket is not None:
+            t0 = self.sim.now
+            yield from self.xensocket.transfer(meta.size_bytes)
+            inter_domain_s = self.sim.now - t0
+
+        return FetchResult(
+            meta=meta,
+            total_s=self.sim.now - started,
+            dht_lookup_s=dht_s,
+            inter_node_s=inter_node_s,
+            inter_domain_s=inter_domain_s,
+            remote_cloud_s=remote_s,
+            served_from=served_from,
+        )
+
+    def delete_object(self, name: str):
+        """Process: remove an object and its metadata everywhere."""
+        meta, _ = yield from self._lookup_meta(name)
+        if meta.is_remote:
+            if self.cloud is not None:
+                self.cloud.s3.delete_object(name)
+        elif meta.location == self.name:
+            self._remove_local(name)
+        else:
+            try:
+                yield self.endpoint.call(meta.location, MSG_DELETE, {"name": name})
+            except (HostDownError, RpcTimeoutError, RemoteError):
+                pass
+        yield from self.kv.delete(object_key(name))
+
+    def _lookup_meta(self, name: str):
+        t0 = self.sim.now
+        try:
+            value = yield from self.kv.get(object_key(name))
+        except KeyNotFoundError:
+            raise ObjectNotFoundError(name) from None
+        return ObjectMeta.from_wire(value), self.sim.now - t0
+
+    def _check_access(self, meta: ObjectMeta) -> None:
+        """Enforce the object's access level for this requesting device.
+
+        Devices within one home cloud share the "home" level; "private"
+        objects are only readable by their creating device.  (Cross-home
+        federation performs its own "public"-only check.)
+        """
+        if not meta.readable_by(self.name, same_home=True):
+            raise AccessDeniedError(meta.name, self.name)
+
+    def _remove_local(self, name: str) -> None:
+        if name in self.mandatory:
+            self.mandatory.remove(name)
+        elif name in self.voluntary:
+            self.voluntary.remove(name)
+
+    def holds(self, name: str) -> bool:
+        """Is the object physically stored in one of this node's bins?"""
+        return name in self.mandatory or name in self.voluntary
+
+    def inventory(self) -> dict:
+        """What this node physically stores, by bin."""
+        return {
+            "mandatory": {
+                name: self.mandatory.size_of(name)
+                for name in self.mandatory.names()
+            },
+            "voluntary": {
+                name: self.voluntary.size_of(name)
+                for name in self.voluntary.names()
+            },
+            "mandatory_free_mb": self.mandatory.free_mb,
+            "voluntary_free_mb": self.voluntary.free_mb,
+            "staged": list(self.staged),
+        }
+
+    # -- process -----------------------------------------------------------------
+
+    def process(
+        self,
+        name: str,
+        qualified_service: str,
+        policy: DecisionPolicy = DecisionPolicy.PERFORMANCE,
+        return_output: bool = True,
+    ):
+        """Process: run a service on a stored object (Section III-B).
+
+        Placement follows the paper's fetch-and-process decision:
+
+        1. if the requesting node hosts the service and has the
+           resources, the object is fetched and processed here;
+        2. otherwise, if the object's owner hosts the service, it runs
+           there;
+        3. otherwise the service's registry entry supplies the
+           candidate set (including EC2 when configured) and the
+           completion-time estimate picks the target.
+
+        Returns a :class:`ProcessResult`; all timing includes the
+        decision process itself, as the paper's results do.
+        """
+        started = self.sim.now
+        yield self.sim.timeout(self.op_overhead_s)
+        meta, dht_s = yield from self._lookup_meta(name)
+        self._check_access(meta)
+        decision_t0 = self.sim.now
+        target, estimates, _snapshots = yield from self._choose_processing_target(
+            meta, qualified_service, policy
+        )
+        decision_s = self.sim.now - decision_t0
+
+        move_t0 = self.sim.now
+        if target == "@ec2":
+            result = yield from self._process_on_ec2(
+                meta, qualified_service, return_output
+            )
+            move_s = result.pop("move_s")
+            executed_on = self.ec2.name
+            output_mb = result["output_mb"]
+            execute_s = result["execute_s"]
+        elif target == self.name:
+            yield from self._ensure_local(meta)
+            move_s = self.sim.now - move_t0
+            exec_t0 = self.sim.now
+            service = self.registry.local[qualified_service]
+            domain = self.guest_domain or self.dom0_domain
+            if domain is None:
+                raise VStoreError(f"{self.name} has no domain to execute in")
+            svc_result = yield from service.execute(domain, meta.size_mb)
+            execute_s = self.sim.now - exec_t0
+            executed_on = self.name
+            output_mb = svc_result.output_mb
+        else:
+            reply = yield self.endpoint.call(
+                target,
+                MSG_PROCESS_REMOTE,
+                {
+                    "name": name,
+                    "service": qualified_service,
+                    "owner": meta.location,
+                    "size_mb": meta.size_mb,
+                    "reply_to": self.name if return_output else None,
+                },
+                timeout=3600.0,
+            )
+            move_s = reply["move_s"]
+            execute_s = reply["execute_s"]
+            output_mb = reply["output_mb"]
+            executed_on = target
+
+        return ProcessResult(
+            object_name=name,
+            service=qualified_service,
+            executed_on=executed_on,
+            output_mb=output_mb,
+            total_s=self.sim.now - started,
+            decision_s=decision_s + dht_s,
+            move_s=move_s,
+            execute_s=execute_s,
+            estimates=estimates,
+        )
+
+    def process_pipeline(
+        self,
+        name: str,
+        qualified_services: list[str],
+        policy: DecisionPolicy = DecisionPolicy.PERFORMANCE,
+        return_output: bool = True,
+    ):
+        """Process: run a multi-step pipeline over one stored object.
+
+        The surveillance use case invokes "a process operation ... on a
+        set of stored images, to first perform face detection, and next
+        face recognition processing on each image" (Section III-B).
+        The argument object moves to the chosen target *once*; the
+        steps execute back to back there.  The target minimizes the
+        summed completion-time estimate across all steps.
+        """
+        if not qualified_services:
+            raise ValueError("pipeline needs at least one service")
+        started = self.sim.now
+        yield self.sim.timeout(self.op_overhead_s)
+        meta, dht_s = yield from self._lookup_meta(name)
+        self._check_access(meta)
+        decision_t0 = self.sim.now
+        per_service = []
+        all_snapshots: dict[str, ResourceSnapshot] = {}
+        for qs in qualified_services:
+            target, estimates, snapshots = yield from self._choose_processing_target(
+                meta, qs, policy
+            )
+            per_service.append((qs, target, estimates))
+            all_snapshots.update(snapshots)
+        # One target for the whole pipeline: the policy-preferred node
+        # minimizing the summed estimates (falling back to the first
+        # step's choice when estimates are unavailable).
+        # The argument moves to the pipeline target once, so movement
+        # and locate costs count once per candidate; execution and
+        # setup accumulate across the steps.
+        base: dict[str, float] = {}
+        work: dict[str, float] = {}
+        counts: dict[str, int] = {}
+        for _qs, target, estimates in per_service:
+            for est in estimates:
+                base[est.node] = max(
+                    base.get(est.node, 0.0), est.move_s + est.locate_s
+                )
+                work[est.node] = (
+                    work.get(est.node, 0.0) + est.execute_s + est.setup_s
+                )
+                counts[est.node] = counts.get(est.node, 0) + 1
+        totals = {n: base[n] + work[n] for n in base}
+        # Only nodes able to run every step qualify.
+        eligible = [n for n, c in counts.items() if c == len(qualified_services)]
+        if eligible:
+            target = min(
+                eligible,
+                key=lambda n: self._policy_rank(
+                    policy, all_snapshots[n], totals[n]
+                ),
+            )
+        else:
+            target = per_service[0][1]
+        decision_s = self.sim.now - decision_t0
+
+        if target == "@ec2":
+            move_t0 = self.sim.now
+            source = meta.location if not meta.is_remote else self.name
+            if meta.is_remote:
+                yield self.sim.timeout(meta.size_mb / 200.0)
+            else:
+                yield from self.ec2.upload_input(source, meta.size_bytes)
+            move_s = self.sim.now - move_t0
+            exec_t0 = self.sim.now
+            output_mb = meta.size_mb
+            for qs in qualified_services:
+                result = yield from self.ec2.run_service(qs, meta.size_mb)
+                output_mb = result.output_mb
+            execute_s = self.sim.now - exec_t0
+            if return_output:
+                yield from self.ec2.download_output(
+                    self.name, output_mb * 1024 * 1024
+                )
+            executed_on = self.ec2.name
+        elif target == self.name:
+            move_t0 = self.sim.now
+            yield from self._ensure_local(meta)
+            move_s = self.sim.now - move_t0
+            exec_t0 = self.sim.now
+            domain = self.guest_domain or self.dom0_domain
+            output_mb = meta.size_mb
+            for qs in qualified_services:
+                service = self.registry.local[qs]
+                result = yield from service.execute(domain, meta.size_mb)
+                output_mb = result.output_mb
+            execute_s = self.sim.now - exec_t0
+            executed_on = self.name
+        else:
+            reply = yield self.endpoint.call(
+                target,
+                MSG_PROCESS_PIPELINE,
+                {
+                    "name": name,
+                    "services": qualified_services,
+                    "owner": meta.location,
+                    "size_mb": meta.size_mb,
+                    "reply_to": self.name if return_output else None,
+                },
+                timeout=3600.0,
+            )
+            move_s = reply["move_s"]
+            execute_s = reply["execute_s"]
+            output_mb = reply["output_mb"]
+            executed_on = target
+
+        return ProcessResult(
+            object_name=name,
+            service="+".join(qualified_services),
+            executed_on=executed_on,
+            output_mb=output_mb,
+            total_s=self.sim.now - started,
+            decision_s=decision_s + dht_s,
+            move_s=move_s,
+            execute_s=execute_s,
+        )
+
+    def fetch_process(self, name: str, qualified_service: str):
+        """Process: fetch an object with processing attached.
+
+        "When the node storing the object receives the request, it uses
+        the service identifier to first determine if the requesting
+        node is capable of executing the service itself" — in which
+        case the object is simply fetched and processed in the
+        requester's guest domain; otherwise the processing is placed
+        like a regular process operation and only the (usually smaller)
+        output moves.
+        """
+        started = self.sim.now
+        snapshot = self.snapshot()
+        service = self.registry.local.get(qualified_service)
+        if (
+            service is not None
+            and snapshot is not None
+            and service.profile.admits(snapshot)
+        ):
+            fetch = yield from self.fetch_object(name)
+            domain = self.guest_domain or self.dom0_domain
+            svc_result = yield from service.execute(domain, fetch.meta.size_mb)
+            return ProcessResult(
+                object_name=name,
+                service=qualified_service,
+                executed_on=self.name,
+                output_mb=svc_result.output_mb,
+                total_s=self.sim.now - started,
+                move_s=fetch.total_s,
+                execute_s=svc_result.elapsed_s,
+            )
+        return (yield from self.process(name, qualified_service))
+
+    # -- processing-target selection -------------------------------------------
+
+    def _choose_processing_target(
+        self, meta: ObjectMeta, qualified_service: str, policy: DecisionPolicy
+    ):
+        """Pick where to run a service, returning (target, estimates).
+
+        "The destination of the service execution is chosen ... by
+        selecting the most suitable of all possible locations that
+        support the service" (Section III-B): every node advertising
+        the service in the registry (plus EC2 when configured) gets a
+        completion-time estimate — locate + argument movement +
+        execution — and the minimum wins.  ``"@ec2"`` is the marker for
+        the configured EC2 instance.
+        """
+        service = self.registry.local.get(qualified_service)
+        ec2_has_it = self.ec2 is not None and qualified_service in self.ec2.services
+        try:
+            entry = yield from self.registry.lookup(qualified_service)
+            hosts = list(entry["nodes"])
+            profile = self.registry.profile_of(entry)
+            admits = self.registry.admitter(entry)
+        except KeyNotFoundError:
+            # Never registered in the home cloud; EC2 (or a local
+            # deployment) may still carry it.
+            if not ec2_has_it:
+                if service is not None:
+                    return self.name, [], {}
+                raise ServiceUnavailableError(qualified_service) from None
+            hosts = []
+            profile = service.profile if service is not None else None
+            if profile is None:
+                from repro.services import ServiceProfile
+
+                profile = ServiceProfile()
+            admits = service.admits if service is not None else profile.admits
+
+        estimates: list[PlacementEstimate] = []
+        snapshots: dict[str, ResourceSnapshot] = {}
+        reference = self._service_for_estimation(qualified_service, profile)
+        candidates = yield from self.decision.decide(
+            policy, require=admits, among=hosts
+        )
+        # Movement rides the same network we have been observing: cap
+        # every candidate's advertised bandwidth by our own recent
+        # experience, so the decision adapts to degraded conditions
+        # even before the candidates republish (future work iv).
+        own = self.snapshot()
+        observed_mbps = own.bandwidth_mbps if own is not None else None
+        for candidate in candidates:
+            snapshot = candidate.snapshot
+            if (
+                observed_mbps is not None
+                and snapshot.bandwidth_mbps > observed_mbps
+            ):
+                from dataclasses import replace
+
+                snapshot = replace(snapshot, bandwidth_mbps=observed_mbps)
+            estimates.append(
+                estimate_completion(
+                    reference,
+                    meta.size_mb,
+                    snapshot,
+                    meta.location,
+                    setup_s=self._setup_estimate_s(
+                        reference, candidate.node, qualified_service
+                    ),
+                )
+            )
+            snapshots[candidate.node] = snapshot
+        if ec2_has_it:
+            ec2_snapshot = ResourceSnapshot(
+                node="@ec2",
+                cpu_cores=self.ec2.profile.cpu_cores,
+                cpu_ghz=self.ec2.profile.cpu_ghz,
+                cpu_load=self.ec2.hypervisor.instantaneous_load(),
+                mem_total_mb=self.ec2.profile.mem_mb,
+                mem_free_mb=self.ec2.profile.mem_mb,
+                bandwidth_mbps=self._uplink_mbps(),
+                taken_at=self.sim.now,
+            )
+            ec2_service = self.ec2.services[qualified_service]
+            ec2_setup = (
+                0.0
+                if ec2_service.is_warm(self.ec2.domain)
+                else ec2_service.setup_mb / self.ec2.profile.disk_mb_s
+            )
+            estimates.append(
+                estimate_completion(
+                    reference,
+                    meta.size_mb,
+                    ec2_snapshot,
+                    meta.location,
+                    setup_s=ec2_setup,
+                )
+            )
+            snapshots["@ec2"] = ec2_snapshot
+        if not estimates:
+            if service is not None:
+                # Last resort: run it here even if resources are tight.
+                return self.name, [], {}
+            raise ServiceUnavailableError(qualified_service)
+        best = min(
+            estimates,
+            key=lambda e: self._policy_rank(policy, snapshots[e.node], e.total_s),
+        )
+        return best.node, estimates, snapshots
+
+    @staticmethod
+    def _policy_rank(
+        policy: DecisionPolicy, snapshot: ResourceSnapshot, total_s: float
+    ) -> tuple:
+        """Final-selection ordering under a decision policy.
+
+        PERFORMANCE minimizes estimated completion time; BALANCED
+        prefers lightly loaded nodes; BATTERY refuses to drain portable
+        devices before considering speed.
+        """
+        if policy is DecisionPolicy.BALANCED:
+            return (round(snapshot.cpu_load, 2), total_s)
+        if policy is DecisionPolicy.BATTERY:
+            return (0 if snapshot.on_mains else 1, total_s)
+        return (0, total_s)
+
+    def _setup_estimate_s(
+        self, reference: Service, candidate: str, qualified_service: str
+    ) -> float:
+        """Cold-start cost expected at a candidate.
+
+        We know our own warmth exactly; for remote candidates the
+        conservative assumption is a cold model load (the surveillance
+        node that runs the pipeline continuously is the one that
+        benefits — Figure 7's S1).
+        """
+        if reference.setup_mb <= 0:
+            return 0.0
+        if candidate == self.name:
+            service = self.registry.local.get(qualified_service)
+            domain = self.guest_domain or self.dom0_domain
+            if service is not None and domain is not None and service.is_warm(domain):
+                return 0.0
+        return reference.setup_mb / self.disk_mb_s
+
+    def _service_for_estimation(self, qualified_service, profile) -> Service:
+        local = self.registry.local.get(qualified_service)
+        if local is not None:
+            return local
+        # Estimate with a generic model scaled by the profile when the
+        # service is not deployed locally; candidates that host it will
+        # execute the real model.
+        from repro.services import ComputeModel
+
+        return Service(
+            qualified_service.split("#")[0],
+            ComputeModel(cycles_per_mb=2e9),
+            profile=profile,
+            service_id=qualified_service.split("#")[-1],
+        )
+
+    def _snapshot_of(self, node_name: str):
+        from repro.monitoring import resource_key
+
+        try:
+            value = yield from self.kv.get(resource_key(node_name))
+        except (KeyNotFoundError, HostDownError, RpcTimeoutError, RemoteError):
+            return None
+        return ResourceSnapshot.from_wire(value)
+
+    def _uplink_mbps(self) -> float:
+        """Rough uplink estimate used for EC2 placement estimates."""
+        snapshot = self.snapshot()
+        if snapshot is not None:
+            return min(snapshot.bandwidth_mbps, 4.5)
+        return 1.5
+
+    def _ensure_local(self, meta: ObjectMeta):
+        """Bring the argument object to this node if it is elsewhere."""
+        if meta.location == self.name:
+            yield self.sim.timeout(meta.size_mb / self.disk_mb_s)
+            return
+        if meta.is_remote:
+            if self.cloud is None:
+                raise VStoreError(f"cannot reach remote object {meta.name!r}")
+            yield from self.cloud.fetch_remote(meta.name)
+            return
+        yield self.endpoint.call(
+            meta.location,
+            MSG_FETCH,
+            {"name": meta.name, "to": self.name},
+            timeout=600.0,
+        )
+
+    def _process_on_ec2(self, meta: ObjectMeta, qualified_service, return_output):
+        move_t0 = self.sim.now
+        source = meta.location if not meta.is_remote else self.name
+        if meta.is_remote:
+            # The instance pulls from S3 — both sit in the cloud, so the
+            # movement is cloud-internal and fast.
+            yield self.sim.timeout(meta.size_mb / 200.0)
+        else:
+            yield from self.ec2.upload_input(source, meta.size_bytes)
+        move_s = self.sim.now - move_t0
+        exec_t0 = self.sim.now
+        result = yield from self.ec2.run_service(qualified_service, meta.size_mb)
+        execute_s = self.sim.now - exec_t0
+        if return_output:
+            yield from self.ec2.download_output(
+                self.name, result.output_mb * 1024 * 1024
+            )
+        return {
+            "output_mb": result.output_mb,
+            "execute_s": execute_s,
+            "move_s": move_s,
+        }
+
+    # -- RPC handlers ---------------------------------------------------------------
+
+    def _register_handlers(self) -> None:
+        ep = self.endpoint
+        ep.register(MSG_STORE_VOLUNTARY, self._handle_store_voluntary)
+        ep.register(MSG_FETCH, self._handle_fetch)
+        ep.register(MSG_PROCESS_REMOTE, self._handle_process_remote)
+        ep.register(MSG_PROCESS_PIPELINE, self._handle_process_pipeline)
+        ep.register(MSG_DELETE, self._handle_delete)
+
+    def _handle_store_voluntary(self, request: Request):
+        body = request.body
+        if not self.voluntary.fits(body["size_mb"]):
+            raise BinFullError("voluntary", body["size_mb"], self.voluntary.free_mb)
+        yield from self.transfer.send(
+            body["src"], self.name, body["size_mb"] * 1024 * 1024
+        )
+        self.voluntary.store(body["name"], body["size_mb"])
+        return {"stored": True, "bin": "voluntary"}
+
+    def _handle_fetch(self, request: Request):
+        body = request.body
+        name = body["name"]
+        if name in self.mandatory:
+            size_mb = self.mandatory.size_of(name)
+        elif name in self.voluntary:
+            size_mb = self.voluntary.size_of(name)
+        else:
+            raise ObjectNotFoundError(name)
+        # Disk read, then the zero-copy push to the requester.
+        yield self.sim.timeout(size_mb / self.disk_mb_s)
+        yield from self.transfer.send(self.name, body["to"], size_mb * 1024 * 1024)
+        return {"size_mb": size_mb}
+
+    def _handle_process_remote(self, request: Request):
+        body = request.body
+        service = self.registry.local.get(body["service"])
+        if service is None:
+            raise ServiceUnavailableError(body["service"])
+        move_t0 = self.sim.now
+        if not self.holds(body["name"]):
+            owner = body["owner"]
+            if owner == LOCATION_REMOTE:
+                if self.cloud is None:
+                    raise VStoreError("no cloud interface for remote argument")
+                yield from self.cloud.fetch_remote(body["name"])
+            else:
+                yield self.endpoint.call(
+                    owner,
+                    MSG_FETCH,
+                    {"name": body["name"], "to": self.name},
+                    timeout=600.0,
+                )
+        move_s = self.sim.now - move_t0
+        exec_t0 = self.sim.now
+        domain = self.guest_domain or self.dom0_domain
+        if domain is None:
+            raise VStoreError(f"{self.name} has no domain to execute in")
+        result = yield from service.execute(domain, body["size_mb"])
+        execute_s = self.sim.now - exec_t0
+        reply_to = body.get("reply_to")
+        if reply_to and reply_to != self.name and result.output_mb > 0:
+            yield from self.transfer.send(
+                self.name, reply_to, result.output_mb * 1024 * 1024
+            )
+        return {
+            "output_mb": result.output_mb,
+            "execute_s": execute_s,
+            "move_s": move_s,
+        }
+
+    def _handle_process_pipeline(self, request: Request):
+        body = request.body
+        services = []
+        for qs in body["services"]:
+            service = self.registry.local.get(qs)
+            if service is None:
+                raise ServiceUnavailableError(qs)
+            services.append(service)
+        move_t0 = self.sim.now
+        if not self.holds(body["name"]):
+            owner = body["owner"]
+            if owner == LOCATION_REMOTE:
+                if self.cloud is None:
+                    raise VStoreError("no cloud interface for remote argument")
+                yield from self.cloud.fetch_remote(body["name"])
+            else:
+                yield self.endpoint.call(
+                    owner,
+                    MSG_FETCH,
+                    {"name": body["name"], "to": self.name},
+                    timeout=600.0,
+                )
+        move_s = self.sim.now - move_t0
+        exec_t0 = self.sim.now
+        domain = self.guest_domain or self.dom0_domain
+        if domain is None:
+            raise VStoreError(f"{self.name} has no domain to execute in")
+        output_mb = body["size_mb"]
+        for service in services:
+            result = yield from service.execute(domain, body["size_mb"])
+            output_mb = result.output_mb
+        execute_s = self.sim.now - exec_t0
+        reply_to = body.get("reply_to")
+        if reply_to and reply_to != self.name and output_mb > 0:
+            yield from self.transfer.send(
+                self.name, reply_to, output_mb * 1024 * 1024
+            )
+        return {
+            "output_mb": output_mb,
+            "execute_s": execute_s,
+            "move_s": move_s,
+        }
+
+    def _handle_delete(self, request: Request) -> dict:
+        self._remove_local(request.body["name"])
+        return {"deleted": True}

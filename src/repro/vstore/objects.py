@@ -1,0 +1,97 @@
+"""Object model: what VStore++ stores and what its metadata says.
+
+"Internally, it uses a standard file system to represent objects, using
+a one-to-one mapping of objects to files.  ...  The object name is
+hashed, and the object information is routed to a node with an ID
+closest to the hash value. ...  The value entry in the key-value store
+is a serialized data containing object location and metadata, such as
+tags, access information, etc.  The location field can map to a node in
+the local home cloud or to a remote cloud." (Sections III / III-A.)
+
+Objects here carry sizes, not real bytes — the simulation moves and
+accounts for the bytes; content identity is tracked by version.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["ObjectMeta", "LOCATION_REMOTE"]
+
+#: Location marker for objects living in the remote cloud.
+LOCATION_REMOTE = "@remote-cloud"
+
+
+@dataclass
+class ObjectMeta:
+    """An object's entry in the metadata key-value store."""
+
+    name: str
+    size_mb: float
+    object_type: str = ""
+    #: Home node name holding the object, or LOCATION_REMOTE.
+    location: str = ""
+    #: Which bin on the holding node ("mandatory"/"voluntary"); empty
+    #: for remote objects.
+    bin_name: str = ""
+    #: S3 URL when the object lives in the remote cloud.
+    url: Optional[str] = None
+    tags: list[str] = field(default_factory=list)
+    #: Access level: "private" (only the creating device), "home" (any
+    #: device in the home cloud — the default), or "public" (also
+    #: federated homes).  The paper stores access information in the
+    #: metadata and names richer access control as future work
+    #: (Section VII (i)); this reproduction enforces these three levels.
+    access: str = "home"
+    #: Device that created the object (the subject for "private").
+    created_by: str = ""
+    created_at: float = 0.0
+    version: int = 1
+
+    VALID_ACCESS = ("private", "home", "public")
+
+    def __post_init__(self) -> None:
+        if self.size_mb < 0:
+            raise ValueError("size_mb must be non-negative")
+        if self.access not in self.VALID_ACCESS:
+            raise ValueError(
+                f"access must be one of {self.VALID_ACCESS}, got {self.access!r}"
+            )
+        if not self.object_type and "." in self.name:
+            self.object_type = self.name.rsplit(".", 1)[-1].lower()
+
+    def readable_by(self, device: str, same_home: bool = True) -> bool:
+        """May ``device`` fetch/process this object?"""
+        if self.access == "private":
+            return device == self.created_by
+        if self.access == "home":
+            return same_home
+        return True
+
+    @property
+    def size_bytes(self) -> float:
+        return self.size_mb * 1024 * 1024
+
+    @property
+    def is_remote(self) -> bool:
+        return self.location == LOCATION_REMOTE
+
+    def wire(self) -> dict:
+        return {
+            "name": self.name,
+            "size_mb": self.size_mb,
+            "object_type": self.object_type,
+            "location": self.location,
+            "bin_name": self.bin_name,
+            "url": self.url,
+            "tags": list(self.tags),
+            "access": self.access,
+            "created_by": self.created_by,
+            "created_at": self.created_at,
+            "version": self.version,
+        }
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "ObjectMeta":
+        return cls(**data)

@@ -1,0 +1,138 @@
+"""Store-placement policies: statically encoded rule sets.
+
+"The target location for the store operation is determined via the
+policy associated with the store.  The service policy describes a set
+of rules which 'guide' the routing of the store request.  For instance,
+in the home surveillance application, we may specify a service policy
+where objects (i.e., images) are stored on a desktop in the home cloud
+vs. in the remote cloud based on their size. ...  In our current
+implementation, these policies are represented as a set of statically
+encoded rules." (Section III-B.)
+
+A :class:`StorePolicy` evaluates its rules in order against an
+:class:`~repro.vstore.objects.ObjectMeta`; the first matching rule's
+target wins, with a configurable default.  Helper constructors cover
+the rule shapes the paper's evaluation uses: size-based placement
+(Figure 5/7 discussions) and privacy/type-based placement ("a policy
+that stores private data (in our case all .mp3 files) locally and
+shareable data ... remotely", Section V-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Optional
+
+from repro.vstore.objects import ObjectMeta
+
+__all__ = [
+    "PlacementTarget",
+    "Placement",
+    "Rule",
+    "StorePolicy",
+    "size_rule",
+    "type_rule",
+    "tag_rule",
+]
+
+
+class PlacementTarget(Enum):
+    """Where a store request may land."""
+
+    #: This node's mandatory bin (the default).
+    LOCAL_MANDATORY = "local-mandatory"
+    #: Another home node's voluntary bin (decision-engine selected).
+    HOME_VOLUNTARY = "home-voluntary"
+    #: The remote public cloud (S3).
+    REMOTE_CLOUD = "remote-cloud"
+    #: A specific named node's voluntary bin.
+    NAMED_NODE = "named-node"
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A concrete placement decision (target kind + optional node)."""
+
+    target: PlacementTarget
+    node: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.target is PlacementTarget.NAMED_NODE and not self.node:
+            raise ValueError("NAMED_NODE placement requires a node name")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One statically encoded placement rule."""
+
+    description: str
+    predicate: Callable[[ObjectMeta], bool]
+    placement: Placement
+
+    def matches(self, meta: ObjectMeta) -> bool:
+        return bool(self.predicate(meta))
+
+
+class StorePolicy:
+    """An ordered rule list with a default placement."""
+
+    def __init__(
+        self,
+        rules: Optional[list[Rule]] = None,
+        default: Placement = Placement(PlacementTarget.LOCAL_MANDATORY),
+    ) -> None:
+        self.rules = list(rules or [])
+        self.default = default
+
+    def add_rule(self, rule: Rule) -> "StorePolicy":
+        self.rules.append(rule)
+        return self
+
+    def decide(self, meta: ObjectMeta) -> Placement:
+        """First matching rule wins; otherwise the default."""
+        for rule in self.rules:
+            if rule.matches(meta):
+                return rule.placement
+        return self.default
+
+    def explain(self, meta: ObjectMeta) -> str:
+        """Human-readable reason for the decision (for diagnostics)."""
+        for rule in self.rules:
+            if rule.matches(meta):
+                return rule.description
+        return "default placement"
+
+
+def size_rule(
+    placement: Placement,
+    min_mb: float = 0.0,
+    max_mb: float = float("inf"),
+) -> Rule:
+    """Place objects whose size falls in [min_mb, max_mb)."""
+    if min_mb < 0 or max_mb <= min_mb:
+        raise ValueError("need 0 <= min_mb < max_mb")
+    return Rule(
+        description=f"size in [{min_mb:g}, {max_mb:g}) MB -> {placement.target.value}",
+        predicate=lambda meta: min_mb <= meta.size_mb < max_mb,
+        placement=placement,
+    )
+
+
+def type_rule(placement: Placement, extensions: list[str]) -> Rule:
+    """Place objects by file type (e.g. keep '.mp3' private at home)."""
+    normalized = {ext.lstrip(".").lower() for ext in extensions}
+    return Rule(
+        description=f"type in {sorted(normalized)} -> {placement.target.value}",
+        predicate=lambda meta: meta.object_type in normalized,
+        placement=placement,
+    )
+
+
+def tag_rule(placement: Placement, tag: str) -> Rule:
+    """Place objects carrying a given tag (e.g. 'private')."""
+    return Rule(
+        description=f"tag {tag!r} -> {placement.target.value}",
+        predicate=lambda meta: tag in meta.tags,
+        placement=placement,
+    )

@@ -1,0 +1,42 @@
+"""Workload generators for the paper's evaluation scenarios.
+
+Public surface:
+
+* :class:`EDonkeyTraceGenerator`, :class:`FileSpec`, :class:`Access`,
+  ``SIZE_BUCKETS`` — the modified eDonkey trace (Figures 5 and 6).
+* :class:`SurveillanceWorkload`, :class:`CapturedImage`,
+  ``PAPER_IMAGE_SIZES_MB`` — the home-security image stream (Figure 7).
+* :class:`MediaLibrary`, :class:`Video` — the media-conversion library
+  (Figure 8).
+"""
+
+from repro.workloads.edonkey import (
+    SIZE_BUCKETS,
+    Access,
+    EDonkeyTraceGenerator,
+    FileSpec,
+    bucket_of,
+)
+from repro.workloads.media import MediaLibrary, Video
+from repro.workloads.stats import TraceStats, summarize_accesses, summarize_files
+from repro.workloads.surveillance import (
+    PAPER_IMAGE_SIZES_MB,
+    CapturedImage,
+    SurveillanceWorkload,
+)
+
+__all__ = [
+    "EDonkeyTraceGenerator",
+    "FileSpec",
+    "Access",
+    "SIZE_BUCKETS",
+    "bucket_of",
+    "SurveillanceWorkload",
+    "CapturedImage",
+    "PAPER_IMAGE_SIZES_MB",
+    "MediaLibrary",
+    "Video",
+    "TraceStats",
+    "summarize_files",
+    "summarize_accesses",
+]

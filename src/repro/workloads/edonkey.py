@@ -1,0 +1,195 @@
+"""The modified eDonkey trace used by the paper's evaluation.
+
+"We use the eDonkey peer to peer dataset to demonstrate these
+tradeoffs ...  The original dataset represents a large number of
+clients performing only a few repetitive file accesses.  We modify it
+by combining clients into smaller sets (emulating 6 clients) that each
+access a large number of files (1300 in total), performing repeated
+accesses across these files.  The percentage of store vs. fetch
+operations is set to 60% and 40%, respectively." (Section V-A.)
+
+The original dataset is not redistributable, but the paper only ever
+uses its *modified* form — so this generator produces that form
+directly: 6 clients, 1300 files with sizes spanning the paper's four
+buckets (small 1-10 MB, medium 10-20 MB, large 20-50 MB, super-large
+50-100 MB), a realistic extension mix (the .mp3 share matters for the
+privacy-policy experiment), and repeated accesses with the 60/40
+store/fetch split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim import RandomSource
+
+__all__ = ["SIZE_BUCKETS", "FileSpec", "Access", "EDonkeyTraceGenerator"]
+
+#: The paper's object-size buckets, MB (lower inclusive, upper exclusive).
+SIZE_BUCKETS: dict[str, tuple[float, float]] = {
+    "small": (1.0, 10.0),
+    "medium": (10.0, 20.0),
+    "large": (20.0, 50.0),
+    "superlarge": (50.0, 100.0),
+}
+
+#: File-extension mix (eDonkey carried mostly media).
+DEFAULT_TYPE_WEIGHTS: dict[str, float] = {
+    "mp3": 0.30,
+    "avi": 0.30,
+    "mpg": 0.15,
+    "jpg": 0.10,
+    "zip": 0.10,
+    "doc": 0.05,
+}
+
+
+@dataclass(frozen=True)
+class FileSpec:
+    """One file in the trace."""
+
+    name: str
+    size_mb: float
+    ftype: str
+
+    @property
+    def bucket(self) -> str:
+        return bucket_of(self.size_mb)
+
+
+@dataclass(frozen=True)
+class Access:
+    """One operation in the trace."""
+
+    seq: int
+    client: int
+    op: str  # "store" | "fetch"
+    file: FileSpec
+
+
+def bucket_of(size_mb: float) -> str:
+    """The paper's bucket label for a size (clamping outliers)."""
+    for label, (low, high) in SIZE_BUCKETS.items():
+        if low <= size_mb < high:
+            return label
+    return "small" if size_mb < SIZE_BUCKETS["small"][0] else "superlarge"
+
+
+class EDonkeyTraceGenerator:
+    """Generates the modified trace: files, owners, and access streams."""
+
+    def __init__(
+        self,
+        rng: Optional[RandomSource] = None,
+        n_clients: int = 6,
+        n_files: int = 1300,
+        store_fraction: float = 0.6,
+        type_weights: Optional[dict[str, float]] = None,
+        size_range: Optional[tuple[float, float]] = None,
+    ) -> None:
+        if n_clients <= 0 or n_files <= 0:
+            raise ValueError("n_clients and n_files must be positive")
+        if not 0.0 <= store_fraction <= 1.0:
+            raise ValueError("store_fraction must be in [0, 1]")
+        self.rng = (rng or RandomSource(0)).fork("edonkey")
+        self.n_clients = n_clients
+        self.n_files = n_files
+        self.store_fraction = store_fraction
+        self.type_weights = dict(type_weights or DEFAULT_TYPE_WEIGHTS)
+        self.size_range = size_range
+        self._files: Optional[list[FileSpec]] = None
+
+    # -- files ----------------------------------------------------------------
+
+    def files(self) -> list[FileSpec]:
+        """The file population (stable across calls)."""
+        if self._files is None:
+            self._files = [self._make_file(i) for i in range(self.n_files)]
+        return self._files
+
+    def _make_file(self, index: int) -> FileSpec:
+        types = list(self.type_weights)
+        weights = [self.type_weights[t] for t in types]
+        ftype = self.rng.weighted_choice(types, weights)
+        if self.size_range is not None:
+            low, high = self.size_range
+            size = self.rng.uniform(low, high)
+        else:
+            # P2P file sizes are heavy-tailed: Pareto clipped to the
+            # paper's 1-100 MB span.
+            size = min(self.rng.pareto(alpha=1.1, scale=1.5), 100.0)
+            size = max(size, 1.0)
+        return FileSpec(name=f"file-{index:05d}.{ftype}", size_mb=size, ftype=ftype)
+
+    def files_in_bucket(self, bucket: str) -> list[FileSpec]:
+        if bucket not in SIZE_BUCKETS:
+            raise ValueError(f"unknown bucket {bucket!r}")
+        return [f for f in self.files() if f.bucket == bucket]
+
+    def owner_of(self, file: FileSpec) -> int:
+        """Stable assignment of each file to the client that stores it.
+
+        Uses CRC32 rather than ``hash`` so the mapping survives
+        Python's per-process string-hash randomization.
+        """
+        import zlib
+
+        return zlib.crc32(file.name.encode()) % self.n_clients
+
+    # -- accesses ---------------------------------------------------------------
+
+    def accesses(
+        self,
+        n_accesses: int,
+        files: Optional[list[FileSpec]] = None,
+        clients: Optional[list[int]] = None,
+    ) -> list[Access]:
+        """A stream of repeated accesses with the 60/40 store/fetch mix.
+
+        ``files`` restricts the population (e.g. one bucket, or the
+        Figure 6 "optimal size" subset); ``clients`` restricts who
+        issues requests (Figure 6 uses 3 of the 6 devices).
+        """
+        population = files if files is not None else self.files()
+        if not population:
+            raise ValueError("no files to access")
+        issuers = clients if clients is not None else list(range(self.n_clients))
+        out = []
+        for seq in range(n_accesses):
+            op = "store" if self.rng.random() < self.store_fraction else "fetch"
+            out.append(
+                Access(
+                    seq=seq,
+                    client=self.rng.choice(issuers),
+                    op=op,
+                    file=self.rng.choice(population),
+                )
+            )
+        return out
+
+    def total_bytes(self, files: Optional[list[FileSpec]] = None) -> float:
+        population = files if files is not None else self.files()
+        return sum(f.size_mb for f in population) * 1024 * 1024
+
+    def constant_bytes_sample(self, bucket: str, total_mb: float) -> list[FileSpec]:
+        """Method 1 of Figure 5: a bucket sample holding ~total_mb."""
+        pool = self.files_in_bucket(bucket)
+        if not pool:
+            raise ValueError(f"bucket {bucket!r} is empty")
+        out: list[FileSpec] = []
+        acc = 0.0
+        i = 0
+        while acc < total_mb:
+            f = pool[i % len(pool)]
+            out.append(f)
+            acc += f.size_mb
+            i += 1
+        return out
+
+    def constant_files_sample(self, bucket: str, n_files: int) -> list[FileSpec]:
+        """Method 2 of Figure 5: a bucket sample of exactly n_files."""
+        pool = self.files_in_bucket(bucket)
+        if not pool:
+            raise ValueError(f"bucket {bucket!r} is empty")
+        return [pool[i % len(pool)] for i in range(n_files)]

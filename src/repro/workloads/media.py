@@ -1,0 +1,59 @@
+"""Media-library workload for the conversion use case.
+
+A home media library of ``.avi`` videos owned by a low-end device,
+accessed by mobile devices that need the mobile-compatible ``.mp4``
+downgrade (Section V-B / Figure 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim import RandomSource
+
+__all__ = ["Video", "MediaLibrary"]
+
+
+@dataclass(frozen=True)
+class Video:
+    """One video file in the library."""
+
+    name: str
+    size_mb: float
+
+    @property
+    def converted_name(self) -> str:
+        stem = self.name.rsplit(".", 1)[0]
+        return f"{stem}.mp4"
+
+
+class MediaLibrary:
+    """Generates video collections with realistic size spread."""
+
+    def __init__(
+        self,
+        rng: Optional[RandomSource] = None,
+        min_size_mb: float = 20.0,
+        max_size_mb: float = 120.0,
+    ) -> None:
+        if not 0 < min_size_mb < max_size_mb:
+            raise ValueError("need 0 < min_size_mb < max_size_mb")
+        self.rng = (rng or RandomSource(0)).fork("media")
+        self.min_size_mb = min_size_mb
+        self.max_size_mb = max_size_mb
+
+    def videos(self, count: int) -> list[Video]:
+        """A library of ``count`` videos, sizes uniform in the range."""
+        return [
+            Video(
+                name=f"video-{i:04d}.avi",
+                size_mb=self.rng.uniform(self.min_size_mb, self.max_size_mb),
+            )
+            for i in range(count)
+        ]
+
+    @staticmethod
+    def size_sweep(sizes_mb: list[float]) -> list[Video]:
+        """One video at each requested size (for Figure 8's sweep)."""
+        return [Video(name=f"sweep-{s:g}mb.avi", size_mb=s) for s in sizes_mb]

@@ -1,0 +1,77 @@
+"""Descriptive statistics over generated workloads.
+
+Benchmarks and examples need to characterize the traces they replay —
+bucket composition, per-client load, operation mix — both to report
+alongside results and to verify the generator matches the paper's
+stated parameters (6 clients, 1300 files, 60/40 store/fetch).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.workloads.edonkey import Access, FileSpec
+
+__all__ = ["TraceStats", "summarize_files", "summarize_accesses"]
+
+
+@dataclass
+class TraceStats:
+    """Summary of a file population and (optionally) an access stream."""
+
+    n_files: int
+    total_mb: float
+    mean_mb: float
+    median_mb: float
+    by_bucket: dict[str, int]
+    by_type: dict[str, int]
+    n_accesses: int = 0
+    store_fraction: float = 0.0
+    by_client: dict[int, int] = None  # type: ignore[assignment]
+
+    def describe(self) -> str:
+        lines = [
+            f"files: {self.n_files} ({self.total_mb:.0f} MB total, "
+            f"mean {self.mean_mb:.1f} MB, median {self.median_mb:.1f} MB)",
+            f"buckets: {dict(sorted(self.by_bucket.items()))}",
+            f"types: {dict(sorted(self.by_type.items()))}",
+        ]
+        if self.n_accesses:
+            lines.append(
+                f"accesses: {self.n_accesses} "
+                f"({self.store_fraction:.0%} store)"
+            )
+            lines.append(f"per client: {dict(sorted(self.by_client.items()))}")
+        return "\n".join(lines)
+
+
+def summarize_files(files: list[FileSpec]) -> TraceStats:
+    """Statistics over a file population."""
+    if not files:
+        raise ValueError("no files to summarize")
+    sizes = sorted(f.size_mb for f in files)
+    return TraceStats(
+        n_files=len(files),
+        total_mb=sum(sizes),
+        mean_mb=sum(sizes) / len(sizes),
+        median_mb=sizes[len(sizes) // 2],
+        by_bucket=dict(Counter(f.bucket for f in files)),
+        by_type=dict(Counter(f.ftype for f in files)),
+        by_client={},
+    )
+
+
+def summarize_accesses(
+    files: list[FileSpec], accesses: list[Access]
+) -> TraceStats:
+    """Statistics over a file population plus its access stream."""
+    stats = summarize_files(files)
+    if not accesses:
+        return stats
+    stats.n_accesses = len(accesses)
+    stats.store_fraction = sum(
+        1 for a in accesses if a.op == "store"
+    ) / len(accesses)
+    stats.by_client = dict(Counter(a.client for a in accesses))
+    return stats

@@ -1,0 +1,105 @@
+"""Surveillance workload: sequences of captured camera images.
+
+"We use images of size 0.25, 0.5, 1 and 2 MB.  For each size, we use
+different resolution of the same image. ...  care is taken to select
+images and videos of similar complexities" (Sections IV-V) — so the
+generator produces constant-complexity frames at the paper's four
+sizes, optionally interleaved as a capture stream with motion-triggered
+bursts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim import RandomSource
+
+__all__ = ["CapturedImage", "SurveillanceWorkload", "PAPER_IMAGE_SIZES_MB"]
+
+#: The image sizes the paper's Figure 7 sweeps.
+PAPER_IMAGE_SIZES_MB: tuple[float, ...] = (0.25, 0.5, 1.0, 2.0)
+
+
+@dataclass(frozen=True)
+class CapturedImage:
+    """One frame captured by the home security camera."""
+
+    name: str
+    size_mb: float
+    captured_at: float
+
+
+class SurveillanceWorkload:
+    """Generates capture sequences for the home security use case."""
+
+    def __init__(
+        self,
+        rng: Optional[RandomSource] = None,
+        image_size_mb: float = 0.5,
+        period_s: float = 2.0,
+        burst_probability: float = 0.1,
+        burst_length: int = 5,
+    ) -> None:
+        if image_size_mb <= 0:
+            raise ValueError("image_size_mb must be positive")
+        if period_s <= 0:
+            raise ValueError("period_s must be positive")
+        self.rng = (rng or RandomSource(0)).fork("surveillance")
+        self.image_size_mb = image_size_mb
+        self.period_s = period_s
+        self.burst_probability = burst_probability
+        self.burst_length = burst_length
+
+    def sequence(self, n_images: int, start_at: float = 0.0) -> list[CapturedImage]:
+        """A fixed-size capture sequence at the configured cadence."""
+        return [
+            CapturedImage(
+                name=f"frame-{i:06d}.jpg",
+                size_mb=self.image_size_mb,
+                captured_at=start_at + i * self.period_s,
+            )
+            for i in range(n_images)
+        ]
+
+    def motion_stream(self, duration_s: float) -> list[CapturedImage]:
+        """A capture stream with motion-triggered bursts.
+
+        Idle periods produce one frame per period; with probability
+        ``burst_probability`` a motion event produces ``burst_length``
+        back-to-back frames (the situation where response time matters
+        for "detecting potentially critical events").
+        """
+        frames: list[CapturedImage] = []
+        t = 0.0
+        index = 0
+        while t < duration_s:
+            count = 1
+            if self.rng.random() < self.burst_probability:
+                count = self.burst_length
+            for j in range(count):
+                frames.append(
+                    CapturedImage(
+                        name=f"frame-{index:06d}.jpg",
+                        size_mb=self.image_size_mb,
+                        captured_at=t + j * 0.2,
+                    )
+                )
+                index += 1
+            t += self.period_s
+        return frames
+
+    @staticmethod
+    def size_sweep(n_per_size: int = 1) -> list[CapturedImage]:
+        """One image (or several) at each of the paper's four sizes."""
+        frames = []
+        for size in PAPER_IMAGE_SIZES_MB:
+            for i in range(n_per_size):
+                frames.append(
+                    CapturedImage(
+                        name=f"sweep-{size:g}mb-{i}.jpg",
+                        size_mb=size,
+                        captured_at=0.0,
+                    )
+                )
+        return frames

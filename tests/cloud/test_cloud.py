@@ -1,0 +1,151 @@
+"""Tests for the simulated S3/EC2 public cloud."""
+
+import pytest
+
+from repro.cloud import Ec2Instance, PublicCloudInterface, S3Store
+from repro.cloud.s3 import S3Error
+from repro.cluster import Cloud4Home, ClusterConfig
+from repro.services import MediaConversion
+
+MB = 1024 * 1024
+
+
+@pytest.fixture()
+def cluster():
+    c4h = Cloud4Home(ClusterConfig(seed=21))
+    c4h.start(monitors=False)
+    return c4h
+
+
+class TestS3:
+    def test_put_then_get(self, cluster):
+        s3 = cluster.s3
+        url = cluster.run(s3.put_object("netbook0", "backup.tar", 5 * MB))
+        assert url == "s3://vstore-bucket/backup.tar"
+        assert s3.contains("backup.tar")
+        assert s3.size_of("backup.tar") == 5 * MB
+        report = cluster.run(s3.get_object("netbook1", "backup.tar"))
+        assert report.nbytes == 5 * MB
+
+    def test_get_missing_raises(self, cluster):
+        with pytest.raises(S3Error):
+            cluster.run(cluster.s3.get_object("netbook0", "ghost"))
+
+    def test_delete(self, cluster):
+        cluster.run(cluster.s3.put_object("netbook0", "temp", 1 * MB))
+        cluster.s3.delete_object("temp")
+        assert not cluster.s3.contains("temp")
+        with pytest.raises(S3Error):
+            cluster.s3.delete_object("temp")
+
+    def test_upload_slower_than_download(self, cluster):
+        """Figure 4: store (upload) latencies exceed fetch (download)."""
+        sim = cluster.sim
+        t0 = sim.now
+        cluster.run(cluster.s3.put_object("netbook0", "obj", 10 * MB))
+        upload_time = sim.now - t0
+        t0 = sim.now
+        cluster.run(cluster.s3.get_object("netbook0", "obj"))
+        download_time = sim.now - t0
+        assert upload_time > download_time
+
+    def test_remote_slower_than_home_lan(self, cluster):
+        sim = cluster.sim
+        t0 = sim.now
+        cluster.run(cluster.s3.put_object("netbook0", "r", 10 * MB))
+        remote_time = sim.now - t0
+        t0 = sim.now
+        cluster.run_transfer = cluster.network.transfer("netbook0", "netbook1", 10 * MB)
+        sim.run(until=cluster.run_transfer)
+        home_time = sim.now - t0
+        assert remote_time > 3 * home_time
+
+    def test_stored_bytes_accounting(self, cluster):
+        cluster.run(cluster.s3.put_object("netbook0", "a", 2 * MB))
+        cluster.run(cluster.s3.put_object("netbook0", "b", 3 * MB))
+        assert cluster.s3.stored_bytes == 5 * MB
+
+    def test_throughput_peaks_at_intermediate_sizes(self):
+        """The Figure 5 effect end-to-end: per-object download
+        throughput rises with size, then degrades for huge objects."""
+        throughputs = {}
+        for size_mb in [1, 20, 100]:
+            c4h = Cloud4Home(ClusterConfig(seed=33))
+            c4h.start(monitors=False)
+            c4h.run(c4h.s3.put_object("netbook0", "obj", size_mb * MB))
+            t0 = c4h.sim.now
+            c4h.run(c4h.s3.get_object("netbook0", "obj"))
+            throughputs[size_mb] = size_mb / (c4h.sim.now - t0)
+        assert throughputs[20] > throughputs[1]
+        assert throughputs[20] > throughputs[100]
+
+
+class TestEc2:
+    def test_offload_round_trip(self, cluster):
+        instance = cluster.ec2[0]
+        instance.deploy(MediaConversion())
+        result, elapsed = cluster.run(
+            instance.offload("netbook0", "media-convert#v1", 10.0)
+        )
+        assert result.output_mb == pytest.approx(3.5)
+        assert elapsed > 0
+
+    def test_run_service_requires_deployment(self, cluster):
+        with pytest.raises(KeyError):
+            cluster.run(cluster.ec2[0].run_service("nope#v1", 1.0))
+
+    def test_boot_overhead_paid_once(self, cluster):
+        instance = cluster.ec2[0]
+        instance.deploy(MediaConversion())
+        t0 = cluster.sim.now
+        cluster.run(instance.run_service("media-convert#v1", 1.0))
+        first = cluster.sim.now - t0
+        t0 = cluster.sim.now
+        cluster.run(instance.run_service("media-convert#v1", 1.0))
+        second = cluster.sim.now - t0
+        assert first > second
+
+    def test_ec2_faster_than_netbook_for_compute(self, cluster):
+        instance = cluster.ec2[0]
+        service = MediaConversion()
+        instance.deploy(service)
+        t0 = cluster.sim.now
+        cluster.run(instance.run_service("media-convert#v1", 20.0))
+        ec2_time = cluster.sim.now - t0
+        guest = cluster.devices[0].guest  # Atom netbook guest VM
+        t0 = cluster.sim.now
+        cluster.run(service.execute(guest, 20.0))
+        atom_time = cluster.sim.now - t0
+        assert ec2_time < atom_time
+
+
+class TestPublicCloudInterface:
+    def test_direct_mode(self, cluster):
+        iface = cluster.devices[0].cloud
+        url = cluster.run(iface.store_remote("direct.bin", 2 * MB))
+        assert url.startswith("s3://")
+        nbytes = cluster.run(iface.fetch_remote("direct.bin"))
+        assert nbytes == 2 * MB
+        assert iface.uploads == 1 and iface.downloads == 1
+
+    def test_gateway_mode_routes_through_gateway(self, cluster):
+        direct = PublicCloudInterface(cluster.network, "netbook0", cluster.s3)
+        gatewayed = PublicCloudInterface(
+            cluster.network, "netbook0", cluster.s3, gateway="desktop"
+        )
+        t0 = cluster.sim.now
+        cluster.run(direct.store_remote("d.bin", 5 * MB))
+        direct_time = cluster.sim.now - t0
+        t0 = cluster.sim.now
+        cluster.run(gatewayed.store_remote("g.bin", 5 * MB))
+        gateway_time = cluster.sim.now - t0
+        # The extra LAN hop costs something but both succeed.
+        assert cluster.s3.contains("d.bin") and cluster.s3.contains("g.bin")
+        assert gateway_time > direct_time
+
+    def test_gateway_equal_to_self_is_direct(self, cluster):
+        iface = PublicCloudInterface(
+            cluster.network, "netbook0", cluster.s3, gateway="netbook0"
+        )
+        cluster.run(iface.store_remote("self.bin", 1 * MB))
+        assert cluster.s3.contains("self.bin")

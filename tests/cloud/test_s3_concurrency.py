@@ -1,0 +1,79 @@
+"""Concurrency and contention behaviour of the simulated public cloud."""
+
+import pytest
+
+from repro.cluster import Cloud4Home, ClusterConfig
+from repro.sim import AllOf
+
+MB = 1024 * 1024
+
+
+@pytest.fixture()
+def cluster():
+    c4h = Cloud4Home(ClusterConfig(seed=96))
+    c4h.start(monitors=False)
+    return c4h
+
+
+class TestDownlinkContention:
+    def test_concurrent_downloads_share_the_downlink(self, cluster):
+        s3 = cluster.s3
+        for i in range(6):
+            cluster.run(s3.put_object("netbook0", f"d{i}", 10 * MB))
+        # Three sequential downloads:
+        t0 = cluster.sim.now
+        for i in range(3):
+            cluster.run(s3.get_object(f"netbook{i}", f"d{i}"))
+        sequential = cluster.sim.now - t0
+        # Three concurrent downloads to different devices:
+        t0 = cluster.sim.now
+        procs = [
+            cluster.sim.process(s3.get_object(f"netbook{i}", f"d{i + 3}"))
+            for i in range(3)
+        ]
+        cluster.sim.run(until=AllOf(cluster.sim, procs))
+        together = cluster.sim.now - t0
+        # Overlap helps (faster than serial), but the aggregate downlink
+        # capacity bounds how much: 30 MB can never move faster than
+        # the link's total bandwidth allows.
+        assert together < sequential
+        capacity_bound = 30 * MB / cluster.downlink.bandwidth
+        assert together >= capacity_bound * 0.95
+
+    def test_uploads_and_downloads_use_separate_directions(self, cluster):
+        s3 = cluster.s3
+        cluster.run(s3.put_object("netbook0", "up-down", 10 * MB))
+        t0 = cluster.sim.now
+        up = cluster.sim.process(s3.put_object("netbook1", "other", 10 * MB))
+        down = cluster.sim.process(s3.get_object("netbook2", "up-down"))
+        cluster.sim.run(until=AllOf(cluster.sim, [up, down]))
+        duplex = cluster.sim.now - t0
+        # Full-duplex: the slower direction (upload) bounds the pair;
+        # the total is far below the serial sum.
+        assert duplex < 35.0
+
+    def test_transfer_variability_across_attempts(self, cluster):
+        """Each wireless transfer samples its own achievable rate."""
+        s3 = cluster.s3
+        cluster.run(s3.put_object("netbook0", "var", 10 * MB))
+        durations = []
+        for _ in range(5):
+            t0 = cluster.sim.now
+            cluster.run(s3.get_object("netbook0", "var"))
+            durations.append(cluster.sim.now - t0)
+        assert len({round(d, 4) for d in durations}) > 1
+
+
+class TestS3Accounting:
+    def test_put_get_counters(self, cluster):
+        s3 = cluster.s3
+        cluster.run(s3.put_object("netbook0", "a", 1 * MB))
+        cluster.run(s3.put_object("netbook0", "a", 2 * MB))  # overwrite
+        cluster.run(s3.get_object("netbook1", "a"))
+        assert s3.puts == 2
+        assert s3.gets == 1
+        assert s3.size_of("a") == 2 * MB
+
+    def test_negative_put_rejected(self, cluster):
+        with pytest.raises(ValueError):
+            cluster.run(cluster.s3.put_object("netbook0", "bad", -1))

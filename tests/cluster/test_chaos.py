@@ -1,0 +1,175 @@
+"""Tests for the fault-injection framework."""
+
+import pytest
+
+from repro.cluster import ChaosSchedule, Cloud4Home, ClusterConfig
+from repro.net import Link
+from repro.sim import Simulator
+
+
+def fresh_cluster(seed, **kwargs):
+    c4h = Cloud4Home(ClusterConfig(seed=seed, **kwargs))
+    c4h.start(monitors=False)
+    return c4h
+
+
+class TestLinkBandwidthChange:
+    def test_set_bandwidth_validates(self):
+        link = Link(Simulator(), bandwidth=1e6)
+        with pytest.raises(ValueError):
+            link.set_bandwidth(0)
+
+    def test_inflight_flow_slows_down(self):
+        sim = Simulator()
+        link = Link(sim, bandwidth=1e6)
+        flow = link.open_flow(2e6)
+
+        def degrade(sim, link):
+            yield sim.timeout(1.0)
+            link.set_bandwidth(0.5e6)
+
+        sim.process(degrade(sim, link))
+        sim.run(until=flow.done)
+        # 1 MB in the first second, remaining 1 MB at 0.5 MB/s -> 3 s.
+        assert sim.now == pytest.approx(3.0)
+
+    def test_inflight_flow_speeds_up(self):
+        sim = Simulator()
+        link = Link(sim, bandwidth=0.5e6)
+        flow = link.open_flow(2e6)
+
+        def upgrade(sim, link):
+            yield sim.timeout(1.0)
+            link.set_bandwidth(2e6)
+
+        sim.process(upgrade(sim, link))
+        sim.run(until=flow.done)
+        # 0.5 MB in the first second, 1.5 MB at 2 MB/s -> 1.75 s.
+        assert sim.now == pytest.approx(1.75)
+
+
+class TestChaosSchedule:
+    def test_crash_fault(self):
+        c4h = fresh_cluster(700)
+        t0 = c4h.sim.now
+        chaos = ChaosSchedule(c4h).crash(after=5.0, device_name="netbook3")
+        chaos.start()
+        c4h.sim.run(until=t0 + 10.0)
+        assert not c4h.network.hosts["netbook3"].online
+        assert chaos.events[0].kind == "crash"
+        assert chaos.events[0].at == pytest.approx(t0 + 5.0)
+
+    def test_graceful_leave_fault_hands_off_data(self):
+        c4h = fresh_cluster(701)
+        writer = c4h.devices[0]
+        for i in range(10):
+            c4h.run(writer.kv.put(f"k{i}", i))
+        chaos = ChaosSchedule(c4h).leave(after=2.0, device_name="netbook4")
+        chaos.start()
+        c4h.sim.run(until=c4h.sim.now + 20.0)
+        for i in range(10):
+            assert c4h.run(c4h.devices[1].kv.get(f"k{i}")) == i
+
+    def test_crash_then_revive_restores_membership(self):
+        c4h = fresh_cluster(702)
+        chaos = (
+            ChaosSchedule(c4h)
+            .crash(after=2.0, device_name="netbook2")
+            .revive(after=10.0, device_name="netbook2")
+        )
+        chaos.start()
+        c4h.sim.run(until=c4h.sim.now + 30.0)
+        kinds = [e.kind for e in chaos.events]
+        assert kinds == ["crash", "revive"]
+        assert c4h.network.hosts["netbook2"].online
+        # The revived node can serve VStore++ operations again.
+        c4h.run(c4h.device("netbook2").client.store_file("back.bin", 1.0))
+        fetch = c4h.run(c4h.device("netbook0").client.fetch_object("back.bin"))
+        assert fetch.served_from == "netbook2"
+
+    def test_degrade_and_restore_uplink(self):
+        c4h = fresh_cluster(703)
+        original = c4h.downlink.bandwidth
+        chaos = ChaosSchedule(c4h).degrade_link(
+            after=1.0, link=c4h.downlink, factor=0.25, duration=10.0
+        )
+        t0 = c4h.sim.now
+        chaos.start()
+        c4h.sim.run(until=t0 + 5.0)
+        assert c4h.downlink.bandwidth == pytest.approx(original * 0.25)
+        c4h.sim.run(until=t0 + 15.0)
+        assert c4h.downlink.bandwidth == pytest.approx(original)
+        assert [e.kind for e in chaos.events] == ["degrade", "restore"]
+
+    def test_degraded_uplink_slows_remote_fetch(self):
+        from repro import Placement, PlacementTarget, StorePolicy
+
+        def remote_fetch_time(degrade):
+            c4h = fresh_cluster(704)
+            d = c4h.devices[0]
+            d.vstore.store_policy = StorePolicy(
+                default=Placement(PlacementTarget.REMOTE_CLOUD)
+            )
+            c4h.run(d.client.store_file("r.bin", 10.0))
+            if degrade:
+                c4h.downlink.set_bandwidth(c4h.downlink.bandwidth * 0.1)
+                # Per-flow wireless caps must degrade too: route samplers
+                # stay, but the aggregate ceiling now binds.
+            t0 = c4h.sim.now
+            c4h.run(c4h.devices[1].client.fetch_object("r.bin"))
+            return c4h.sim.now - t0
+
+        assert remote_fetch_time(True) > remote_fetch_time(False)
+
+    def test_fault_validation(self):
+        c4h = fresh_cluster(705)
+        chaos = ChaosSchedule(c4h)
+        with pytest.raises(ValueError):
+            chaos.degrade_link(after=1.0, link=c4h.uplink, factor=0)
+        with pytest.raises(ValueError):
+            chaos.crash(after=-1.0, device_name="netbook0")
+
+    def test_faults_added_after_start(self):
+        c4h = fresh_cluster(706)
+        chaos = ChaosSchedule(c4h)
+        chaos.start()
+        chaos.crash(after=3.0, device_name="netbook1")
+        c4h.sim.run(until=c4h.sim.now + 5.0)
+        assert chaos.events and chaos.events[0].kind == "crash"
+
+    def test_start_idempotent(self):
+        c4h = fresh_cluster(707)
+        chaos = ChaosSchedule(c4h).crash(after=2.0, device_name="netbook1")
+        chaos.start()
+        chaos.start()
+        c4h.sim.run(until=c4h.sim.now + 5.0)
+        assert len(chaos.events) == 1
+
+    def test_workload_survives_chaos(self):
+        """Store/fetch keeps working while a node crashes and the LAN
+        degrades — the headline resilience scenario."""
+        c4h = fresh_cluster(708, replication_factor=2)
+        chaos = (
+            ChaosSchedule(c4h)
+            .crash(after=4.0, device_name="netbook4")
+            .degrade_link(after=6.0, link=c4h.lan_link, factor=0.5, duration=10.0)
+        )
+        chaos.start()
+        writer = c4h.devices[0]
+        survivors = [d for d in c4h.devices if d.name != "netbook4"]
+        stored = []
+        for i in range(12):
+            name = f"chaos-{i}.bin"
+            c4h.run(writer.client.store_file(name, 1.0))
+            if writer.vstore.holds(name) or any(
+                d.vstore.holds(name) for d in survivors
+            ):
+                stored.append(name)
+        # Everything stored on surviving nodes stays fetchable.
+        ok = 0
+        for name in stored:
+            holder_alive = any(d.vstore.holds(name) for d in survivors)
+            if holder_alive:
+                c4h.run(survivors[1].client.fetch_object(name))
+                ok += 1
+        assert ok > 0

@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+
+class TestCommands:
+    def test_topology(self, capsys):
+        assert main(["topology"]) == 0
+        out = capsys.readouterr().out
+        assert "netbook0" in out
+        assert "desktop" in out
+        assert "LAN" in out
+
+    def test_trace(self, capsys):
+        assert main(["trace", "--files", "4", "--accesses", "5"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("file-0000") >= 4
+        assert "store" in out or "fetch" in out
+
+    def test_trace_is_seeded(self, capsys):
+        main(["trace", "--files", "3", "--seed", "5"])
+        first = capsys.readouterr().out
+        main(["trace", "--files", "3", "--seed", "5"])
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_demo(self, capsys):
+        assert main(["demo", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "stored photo.jpg" in out
+        assert "cluster metrics" in out
+
+    def test_surveillance(self, capsys):
+        assert main(["surveillance", "--image-mb", "0.25"]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline ran on" in out
+
+    def test_bench_help(self, capsys):
+        assert main(["bench-help"]) == 0
+        out = capsys.readouterr().out
+        assert "pytest benchmarks/" in out
+        assert "Figure 7" in out

@@ -1,0 +1,76 @@
+"""Federation behaviour when homes or the hub misbehave."""
+
+import pytest
+
+from repro.cluster import Federation
+from repro.net import HostDownError, NetworkError, RpcTimeoutError
+
+
+def build(n_homes=3, seed=170):
+    fed = Federation.build(n_homes=n_homes, seed=seed, devices_per_home=2)
+    fed.start()
+    return fed
+
+
+class TestFederationChurn:
+    def test_alert_skips_offline_home(self):
+        fed = build()
+        received = []
+        fed.on_alert.append(lambda idx, body: received.append(idx))
+        # Home 2's gateway goes dark.
+        fed.directory.network.take_offline(fed.gateway(2).name)
+        fed.run(fed.broadcast_alert(0, {"kind": "smoke"}))
+        fed.sim.run()
+        assert received == [1]
+
+    def test_published_objects_survive_publisher_going_offline(self):
+        fed = build(seed=171)
+        home0 = fed.homes[0]
+        home0.run(
+            home0.devices[1].client.store_file("shared.jpg", 1.0, access="public")
+        )
+        fed.run(fed.publish(0, "shared.jpg"))
+        # The entire publishing home drops off the Internet.
+        for device in home0.devices:
+            fed.directory.network.take_offline(device.name)
+        # Neighbours still fetch from the cloud copy.
+        size = fed.run(fed.fetch_published(1, "shared.jpg"))
+        assert size == pytest.approx(1.0)
+
+    def test_hub_outage_fails_cleanly_and_recovers(self):
+        fed = build(seed=172)
+        home0 = fed.homes[0]
+        home0.run(
+            home0.devices[0].client.store_file("late.jpg", 0.5, access="public")
+        )
+        fed.directory.network.take_offline(fed.directory.host_name)
+        with pytest.raises((HostDownError, RpcTimeoutError, NetworkError)):
+            fed.run(fed.publish(0, "late.jpg"))
+        fed.directory.network.bring_online(fed.directory.host_name)
+        entry = fed.run(fed.publish(0, "late.jpg"))
+        assert entry["home"] == "home0"
+
+    def test_home_internal_service_unaffected_by_neighbor_outage(self):
+        fed = build(seed=173)
+        # Home 1 disappears entirely.
+        for device in fed.homes[1].devices:
+            fed.directory.network.take_offline(device.name)
+        home0 = fed.homes[0]
+        home0.run(home0.devices[0].client.store_file("own.bin", 2.0))
+        fetch = home0.run(home0.devices[1].client.fetch_object("own.bin"))
+        assert fetch.meta.name == "own.bin"
+
+    def test_uplinks_are_isolated_between_homes(self):
+        """Home 1 saturating its uplink does not slow home 0's."""
+        fed = build(seed=174)
+        s3 = fed.homes[0].s3
+        # Home 1 starts a huge upload.
+        big = fed.sim.process(
+            s3.put_object(fed.gateway(1).name, "huge", 200 * 1024 * 1024)
+        )
+        # Home 0's small upload proceeds at its own uplink's pace.
+        t0 = fed.sim.now
+        fed.run(s3.put_object(fed.gateway(0).name, "small", 2 * 1024 * 1024))
+        small_time = fed.sim.now - t0
+        assert small_time < 10.0  # unaffected by home 1's saturation
+        assert not big.triggered

@@ -1,0 +1,128 @@
+"""Tests for inventory APIs, the cloud-gateway config, and disconnected
+operation."""
+
+import pytest
+
+from repro import (
+    Cloud4Home,
+    ClusterConfig,
+    Placement,
+    PlacementTarget,
+    StorePolicy,
+    size_rule,
+)
+from repro.net import NetworkError
+from repro.vstore import VStoreError
+
+
+class TestInventory:
+    def test_node_inventory(self):
+        c4h = Cloud4Home(ClusterConfig(seed=81))
+        c4h.start(monitors=False)
+        d = c4h.devices[0]
+        c4h.run(d.client.store_file("inv.bin", 3.0))
+        inv = d.vstore.inventory()
+        assert inv["mandatory"] == {"inv.bin": 3.0}
+        assert inv["voluntary"] == {}
+        assert inv["mandatory_free_mb"] == pytest.approx(4096.0 - 3.0)
+        c4h.run(d.client.create_object("pending.bin", 1.0))
+        assert "pending.bin" in d.vstore.inventory()["staged"]
+
+    def test_cluster_object_inventory(self):
+        c4h = Cloud4Home(ClusterConfig(seed=82))
+        c4h.start(monitors=False)
+        c4h.devices[0].vstore.store_policy = StorePolicy(
+            default=Placement(PlacementTarget.REMOTE_CLOUD)
+        )
+        c4h.run(c4h.devices[0].client.store_file("remote.bin", 5.0))
+        c4h.run(c4h.devices[1].client.store_file("local.bin", 2.0))
+        inventory = c4h.object_inventory()
+        assert inventory["remote.bin"]["node"] == "@remote-cloud"
+        assert inventory["local.bin"]["node"] == "netbook1"
+        assert inventory["local.bin"]["bin"] == "mandatory"
+
+    def test_storage_report_renders(self):
+        c4h = Cloud4Home(ClusterConfig(seed=83))
+        c4h.start(monitors=False)
+        c4h.run(c4h.devices[0].client.store_file("x.bin", 1.0))
+        report = c4h.storage_report()
+        assert "netbook0" in report
+        assert "s3:" in report
+
+
+class TestCloudGateway:
+    def test_gateway_configured_on_all_interfaces(self):
+        c4h = Cloud4Home(ClusterConfig(seed=84, cloud_gateway="desktop"))
+        for device in c4h.devices:
+            assert device.cloud.gateway == "desktop"
+
+    def test_gateway_mode_still_stores_remotely(self):
+        c4h = Cloud4Home(ClusterConfig(seed=85, cloud_gateway="desktop"))
+        c4h.start(monitors=False)
+        d = c4h.device("netbook0")
+        d.vstore.store_policy = StorePolicy(
+            default=Placement(PlacementTarget.REMOTE_CLOUD)
+        )
+        result = c4h.run(d.client.store_file("via-gw.bin", 4.0))
+        assert result.meta.is_remote
+        assert c4h.s3.contains("via-gw.bin")
+
+    def test_gateway_adds_lan_hop_cost(self):
+        def remote_store_time(gateway):
+            c4h = Cloud4Home(ClusterConfig(seed=86, cloud_gateway=gateway))
+            c4h.start(monitors=False)
+            d = c4h.device("netbook0")
+            d.vstore.store_policy = StorePolicy(
+                default=Placement(PlacementTarget.REMOTE_CLOUD)
+            )
+            t0 = c4h.sim.now
+            c4h.run(d.client.store_file("gw.bin", 8.0))
+            return c4h.sim.now - t0
+
+        assert remote_store_time("desktop") > remote_store_time(None)
+
+
+class TestDisconnectedOperation:
+    def build(self):
+        c4h = Cloud4Home(ClusterConfig(seed=87))
+        c4h.start(monitors=False)
+        d = c4h.devices[0]
+        d.vstore.store_policy = StorePolicy(
+            # Big objects go remote, small ones stay local.
+            [size_rule(Placement(PlacementTarget.REMOTE_CLOUD), min_mb=30.0)]
+        )
+        c4h.run(d.client.store_file("small.jpg", 0.5))
+        c4h.run(d.client.store_file("big.tar", 50.0))
+        return c4h, d
+
+    def go_offline(self, c4h):
+        for host in ("s3", "ec2-xl-0"):
+            c4h.network.take_offline(host)
+
+    def test_home_operations_survive_uplink_loss(self):
+        c4h, d = self.build()
+        self.go_offline(c4h)
+        fetch = c4h.run(c4h.devices[2].client.fetch_object("small.jpg"))
+        assert fetch.served_from == d.name
+
+    def test_remote_objects_fail_cleanly_while_offline(self):
+        c4h, d = self.build()
+        self.go_offline(c4h)
+        with pytest.raises((NetworkError, VStoreError)):
+            c4h.run(d.client.fetch_object("big.tar"))
+
+    def test_reconnection_restores_remote_access(self):
+        c4h, d = self.build()
+        self.go_offline(c4h)
+        for host in ("s3", "ec2-xl-0"):
+            c4h.network.bring_online(host)
+        fetch = c4h.run(d.client.fetch_object("big.tar"))
+        assert fetch.served_from == "remote-cloud"
+
+    def test_stores_fall_back_while_offline(self):
+        """With the cloud down, a store that wants the remote cloud
+        raises cleanly rather than hanging."""
+        c4h, d = self.build()
+        self.go_offline(c4h)
+        with pytest.raises((NetworkError, VStoreError)):
+            c4h.run(d.client.store_file("another-big.tar", 40.0))

@@ -1,0 +1,65 @@
+"""Tests for the ready-made cluster presets."""
+
+import pytest
+
+from repro.cluster import (
+    Cloud4Home,
+    figure7_pair,
+    large_home,
+    minimal_pair,
+    paper_testbed,
+)
+
+
+class TestPresets:
+    def test_paper_testbed_shape(self):
+        c4h = Cloud4Home(paper_testbed(seed=1))
+        names = [d.name for d in c4h.devices]
+        assert len(names) == 6
+        assert "desktop" in names
+
+    def test_figure7_pair_shape(self):
+        c4h = Cloud4Home(figure7_pair(seed=1))
+        s1 = c4h.device("S1")
+        s2 = c4h.device("S2")
+        assert s1.profile.cpu_ghz == pytest.approx(1.3)
+        assert s1.guest.mem_mb == 512.0 and s1.guest.vcpus == 1
+        assert s2.profile.cpu_cores == 4
+        assert s2.guest.mem_mb == 128.0 and s2.guest.vcpus == 4
+        assert c4h.ec2  # S3 of Figure 7 is the EC2 instance
+
+    def test_minimal_pair_has_no_cloud_compute(self):
+        c4h = Cloud4Home(minimal_pair(seed=1))
+        assert len(c4h.devices) == 2
+        assert c4h.ec2 == []
+
+    def test_minimal_pair_works_end_to_end(self):
+        c4h = Cloud4Home(minimal_pair(seed=2))
+        c4h.start(monitors=False)
+        c4h.run(c4h.device("alpha").client.store_file("p.bin", 1.0))
+        fetch = c4h.run(c4h.device("beta").client.fetch_object("p.bin"))
+        assert fetch.served_from == "alpha"
+
+    def test_large_home_mix(self):
+        config = large_home(n_devices=16, seed=1)
+        assert len(config.devices) == 16
+        desktops = [d for d in config.devices if d.profile_name == "quad-desktop"]
+        assert len(desktops) == 2
+        assert config.leaf_size == 2
+
+    def test_large_home_validates(self):
+        with pytest.raises(ValueError):
+            large_home(n_devices=1)
+
+    def test_overrides_pass_through(self):
+        config = paper_testbed(seed=3, replication_factor=0, cache_enabled=False)
+        assert config.replication_factor == 0
+        assert not config.cache_enabled
+
+    def test_large_home_starts_and_serves(self):
+        c4h = Cloud4Home(large_home(n_devices=10, seed=4))
+        c4h.start(monitors=False)
+        writer = c4h.devices[0]
+        c4h.run(writer.client.store_file("big-home.bin", 2.0))
+        fetch = c4h.run(c4h.devices[5].client.fetch_object("big-home.bin"))
+        assert fetch.meta.name == "big-home.bin"

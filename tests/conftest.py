@@ -1,0 +1,33 @@
+"""Shared test fixtures and builders."""
+
+from repro.net import Link, Network, Route
+from repro.overlay import ChimeraNode
+from repro.sim import RandomSource, Simulator
+
+
+def build_lan(n_hosts, seed=0, latency=0.001, bandwidth=95.5e6 / 8, jitter=0.0):
+    """A simulator + network with ``n_hosts`` home hosts on one LAN."""
+    sim = Simulator()
+    net = Network(sim, RandomSource(seed))
+    link = Link(sim, bandwidth=bandwidth, name="lan")
+    net.connect_groups(
+        "home", "home", Route(link, base_latency=latency, jitter=jitter)
+    )
+    hosts = [net.add_host(f"node{i:02d}", group="home") for i in range(n_hosts)]
+    return sim, net, hosts
+
+
+def build_overlay(n_nodes, seed=0, leaf_size=4, **lan_kwargs):
+    """A fully joined overlay of ``n_nodes`` on a home LAN.
+
+    Nodes join sequentially through node00 as the bootstrap, which is
+    how a home deployment grows.  Returns (sim, net, nodes).
+    """
+    sim, net, hosts = build_lan(n_nodes, seed=seed, **lan_kwargs)
+    nodes = [ChimeraNode(net, host, leaf_size=leaf_size) for host in hosts]
+    nodes[0].start()
+    for node in nodes[1:]:
+        proc = sim.process(node.join(bootstrap=nodes[0].name))
+        sim.run(until=proc)
+        sim.run()  # drain join announcements before the next join
+    return sim, net, nodes

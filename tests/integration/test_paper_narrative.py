@@ -1,0 +1,123 @@
+"""One integration test per headline claim of the paper's evaluation.
+
+These are fast, assertion-focused versions of the benchmark scenarios —
+they guard the calibration that makes the full benchmarks reproduce the
+paper, so a regression shows up in `pytest tests/` long before anyone
+re-runs the benchmark suite.
+"""
+
+import pytest
+
+from repro import (
+    Cloud4Home,
+    ClusterConfig,
+    Placement,
+    PlacementTarget,
+    StorePolicy,
+)
+from repro.cluster import figure7_pair, paper_testbed
+from repro.services import FaceDetection, FaceRecognition, MediaConversion
+
+MB = 1024 * 1024
+
+
+def started(config):
+    c4h = Cloud4Home(config)
+    c4h.start(monitors=False)
+    return c4h
+
+
+class TestSectionVClaims:
+    def test_home_access_beats_remote_access(self):
+        """Figure 4's core claim, one size."""
+        c4h = started(paper_testbed(seed=401))
+        owner = c4h.devices[0]
+        c4h.run(owner.client.store_file("home.bin", 10.0))
+        t0 = c4h.sim.now
+        c4h.run(c4h.devices[1].client.fetch_object("home.bin"))
+        home = c4h.sim.now - t0
+        owner.vstore.store_policy = StorePolicy(
+            default=Placement(PlacementTarget.REMOTE_CLOUD)
+        )
+        c4h.run(owner.client.store_file("remote.bin", 10.0))
+        t0 = c4h.sim.now
+        c4h.run(c4h.devices[1].client.fetch_object("remote.bin"))
+        remote = c4h.sim.now - t0
+        assert remote > 2.0 * home
+
+    def test_table1_cost_ordering(self):
+        """Inter-node >> inter-domain >> DHT lookup, at 10 MB."""
+        c4h = started(paper_testbed(seed=402))
+        c4h.run(c4h.devices[0].client.store_file("t.bin", 10.0))
+        fetch = c4h.run(c4h.devices[2].vstore.fetch_object("t.bin"))
+        assert fetch.inter_node_s > fetch.inter_domain_s > fetch.dht_lookup_s
+        assert fetch.dht_lookup_s < 0.05
+
+    def test_remote_throughput_sweet_spot(self):
+        """Figure 5's claim: 20 MB beats both 2 MB and 100 MB."""
+
+        def throughput(size_mb, seed):
+            c4h = started(paper_testbed(seed=seed))
+            c4h.run(c4h.s3.put_object("netbook0", "o", size_mb * MB))
+            t0 = c4h.sim.now
+            c4h.run(c4h.s3.get_object("netbook1", "o"))
+            return size_mb / (c4h.sim.now - t0)
+
+        small = throughput(2, 403)
+        sweet = throughput(20, 404)
+        huge = throughput(100, 405)
+        assert sweet > small
+        assert sweet > huge
+
+    def test_figure7_endpoint_placements(self):
+        """Smallest image -> S1 locally; largest -> the cloud."""
+        pipeline = ["face-detect#v1", "face-recognize#v1"]
+
+        def placement(size_mb, deploy_all):
+            c4h = started(figure7_pair(seed=406))
+            s1 = c4h.device("S1")
+            for factory in (lambda: FaceDetection(), lambda: FaceRecognition()):
+                service = factory()
+                c4h.run(s1.registry.register(service))
+                service.prewarm(s1.guest)
+                if deploy_all:
+                    c4h.run(c4h.device("S2").registry.register(factory()))
+                    c4h.ec2[0].deploy(factory())
+            c4h.ec2[0]._booted = True
+            c4h.run(s1.client.store_file("img.jpg", size_mb))
+            result = c4h.run(s1.client.process_pipeline("img.jpg", pipeline))
+            return result.executed_on
+
+        # With every target available, the decision keeps small frames
+        # at the capture node (no movement, warm models)...
+        assert placement(0.25, deploy_all=True) == "S1"
+        # ...and at the largest size it never picks the 128 MB VM whose
+        # FRec would thrash (the completion estimates see the memory
+        # pressure).  Whether S1 or the cloud wins the near-tie depends
+        # on estimate precision; the benchmark measures each target
+        # explicitly, as the paper's Figure 7 does.
+        assert placement(2.0, deploy_all=True) != "S2"
+
+    def test_figure8_dynamic_routing_wins(self):
+        """Topt beats Town by a wide margin for a 40 MB conversion."""
+        c4h = started(paper_testbed(seed=407, with_ec2=False))
+        c4h.deploy_service(lambda: MediaConversion())
+        owner = c4h.device("netbook0")
+        c4h.run(owner.client.store_file("f8.avi", 40.0))
+        result = c4h.run(owner.client.process("f8.avi", "media-convert#v1"))
+        assert result.executed_on == "desktop"
+        # Compare with what the owner alone would have cost.
+        own_estimate = next(
+            e for e in result.estimates if e.node == "netbook0"
+        )
+        assert result.total_s < own_estimate.total_s / 1.5
+
+    def test_decision_cost_is_included_and_small(self):
+        c4h = started(paper_testbed(seed=408))
+        c4h.deploy_service(lambda: MediaConversion(), nodes=["desktop"])
+        owner = c4h.device("netbook1")
+        c4h.run(owner.client.store_file("d.avi", 10.0))
+        result = c4h.run(owner.client.process("d.avi", "media-convert#v1"))
+        assert result.decision_s > 0
+        assert result.decision_s < 0.5
+        assert result.decision_s < 0.1 * result.total_s

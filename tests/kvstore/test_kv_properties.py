@@ -1,0 +1,96 @@
+"""Property-based tests: the DHT key-value store vs. a model dict."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kvstore import (
+    DhtKeyValueStore,
+    KeyExistsError,
+    KeyNotFoundError,
+    OverwritePolicy,
+)
+from tests.conftest import build_overlay
+
+# Operations: (op, key_index, value)
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["put", "chain", "put_error", "get", "delete"]),
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=0, max_value=999),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+def run(sim, generator):
+    proc = sim.process(generator)
+    return sim.run(until=proc)
+
+
+class TestKvModel:
+    @settings(max_examples=25, deadline=None)
+    @given(ops)
+    def test_matches_reference_dict(self, operations):
+        sim, net, nodes = build_overlay(4, seed=3)
+        stores = [DhtKeyValueStore(node) for node in nodes]
+        model: dict[str, list] = {}
+        for i, (op, key_index, value) in enumerate(operations):
+            key = f"k{key_index}"
+            store = stores[i % len(stores)]
+            if op == "put":
+                run(sim, store.put(key, value))
+                model[key] = [value]
+            elif op == "chain":
+                run(sim, store.put(key, value, policy=OverwritePolicy.CHAIN))
+                model.setdefault(key, []).append(value)
+            elif op == "put_error":
+                if key in model:
+                    with pytest.raises(KeyExistsError):
+                        run(
+                            sim,
+                            store.put(key, value, policy=OverwritePolicy.ERROR),
+                        )
+                else:
+                    run(sim, store.put(key, value, policy=OverwritePolicy.ERROR))
+                    model[key] = [value]
+            elif op == "get":
+                if key in model:
+                    assert run(sim, store.get(key)) == model[key][-1]
+                else:
+                    with pytest.raises(KeyNotFoundError):
+                        run(sim, store.get(key))
+            elif op == "delete":
+                if key in model:
+                    run(sim, store.delete(key))
+                    del model[key]
+                else:
+                    with pytest.raises(KeyNotFoundError):
+                        run(sim, store.delete(key))
+        sim.run()  # drain replication/cache traffic
+        # Final state agrees from every node's viewpoint.
+        for key, versions in model.items():
+            for store in stores:
+                assert run(sim, store.get_chain(key)) == versions
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 9), st.integers(0, 99)),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_exactly_one_primary_per_key(self, puts):
+        sim, net, nodes = build_overlay(5, seed=4)
+        stores = [DhtKeyValueStore(node) for node in nodes]
+        for i, (key_index, value) in enumerate(puts):
+            run(sim, stores[i % 5].put(f"k{key_index}", value))
+        sim.run()
+        for key_index in {k for k, _ in puts}:
+            from repro.overlay import NodeId
+
+            key_hex = NodeId.from_name(f"k{key_index}").hex
+            holders = [s for s in stores if key_hex in s.primary]
+            assert len(holders) == 1

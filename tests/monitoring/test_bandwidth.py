@@ -1,0 +1,120 @@
+"""Tests for the adaptive bandwidth estimator (future work iv)."""
+
+import pytest
+
+from repro.cluster import Cloud4Home, ClusterConfig
+from repro.monitoring import BandwidthEstimator
+from repro.net import TransferReport
+
+
+class TestEstimator:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BandwidthEstimator(alpha=0.0)
+        with pytest.raises(ValueError):
+            BandwidthEstimator(alpha=1.5)
+        with pytest.raises(ValueError):
+            BandwidthEstimator(default_mbps=0)
+
+    def test_default_until_observed(self):
+        est = BandwidthEstimator(default_mbps=50.0)
+        assert est.estimate_mbps("anyone") == 50.0
+        assert est.overall_mbps() == 50.0
+
+    def test_single_observation(self):
+        est = BandwidthEstimator()
+        # 1 MB in 1 s = 8.389 Mbit/s.
+        est.observe("peer", 1024 * 1024, 1.0)
+        assert est.estimate_mbps("peer") == pytest.approx(8.389, rel=0.01)
+
+    def test_ewma_converges_toward_recent(self):
+        est = BandwidthEstimator(alpha=0.5)
+        est.observe("p", 10e6, 1.0)  # 80 Mbit/s
+        for _ in range(10):
+            est.observe("p", 1e6, 1.0)  # 8 Mbit/s
+        assert est.estimate_mbps("p") == pytest.approx(8.0, rel=0.05)
+
+    def test_zero_duration_ignored(self):
+        est = BandwidthEstimator()
+        est.observe("p", 1e6, 0.0)
+        est.observe("p", 0.0, 1.0)
+        assert est.observations == 0
+
+    def test_per_peer_isolation(self):
+        est = BandwidthEstimator()
+        est.observe("fast", 100e6, 1.0)
+        est.observe("slow", 1e6, 1.0)
+        assert est.estimate_mbps("fast") > est.estimate_mbps("slow")
+        assert set(est.peers()) == {"fast", "slow"}
+
+    def test_overall_tracks_observations(self):
+        est = BandwidthEstimator()
+        est.observe("a", 1e6, 1.0)  # 8 Mbit/s
+        est.observe("b", 3e6, 1.0)  # 24 Mbit/s
+        assert 8.0 <= est.overall_mbps() <= 24.0
+
+    def test_degradation_adapts_faster_than_recovery(self):
+        """The asymmetric EWMA: a slow transfer after fast ones drops
+        the estimate much further than a fast transfer after slow ones
+        raises it."""
+        dropping = BandwidthEstimator()
+        dropping.observe("p", 10e6, 1.0)  # 80 Mbit/s
+        dropping.observe("p", 1e6, 8.0)  # 1 Mbit/s
+        drop_move = 80.0 - dropping.estimate_mbps("p")
+
+        rising = BandwidthEstimator()
+        rising.observe("p", 1e6, 8.0)  # 1 Mbit/s
+        rising.observe("p", 10e6, 1.0)  # 80 Mbit/s
+        rise_move = rising.estimate_mbps("p") - 1.0
+
+        assert drop_move > rise_move
+
+    def test_alpha_down_validated(self):
+        with pytest.raises(ValueError):
+            BandwidthEstimator(alpha_down=0.0)
+
+    def test_reset(self):
+        est = BandwidthEstimator(default_mbps=10.0)
+        est.observe("a", 1e6, 1.0)
+        est.reset("a")
+        assert est.estimate_mbps("a") == 10.0
+        est.observe("a", 1e6, 1.0)
+        est.observe("b", 1e6, 1.0)
+        est.reset()
+        assert not est.peers()
+
+    def test_observe_report(self):
+        est = BandwidthEstimator()
+        report = TransferReport(
+            src="a", dst="b", nbytes=2e6, started_at=0.0, finished_at=2.0
+        )
+        est.observe_report(report)
+        assert est.estimate_mbps("b") == pytest.approx(8.0, rel=0.01)
+
+
+class TestClusterIntegration:
+    def test_estimator_learns_from_vstore_transfers(self):
+        c4h = Cloud4Home(ClusterConfig(seed=55))
+        c4h.start(monitors=False)
+        owner = c4h.devices[0]
+        c4h.run(owner.client.store_file("bw-probe.bin", 20.0))
+        reader = c4h.devices[2]
+        assert owner.bandwidth.observations == 0
+        c4h.run(reader.client.fetch_object("bw-probe.bin"))
+        # The owner pushed the object; its estimator saw the transfer.
+        assert owner.bandwidth.observations == 1
+        observed = owner.bandwidth.estimate_mbps(reader.name)
+        # Observed throughput reflects the ~8 MB/s effective LAN flow,
+        # not the nominal 95.5 Mbps link.
+        assert 30.0 < observed < 95.0
+
+    def test_snapshot_reflects_observed_bandwidth(self):
+        c4h = Cloud4Home(ClusterConfig(seed=56))
+        c4h.start(monitors=False)
+        owner = c4h.devices[0]
+        before = owner.vstore.snapshot().bandwidth_mbps
+        c4h.run(owner.client.store_file("bw-x.bin", 20.0))
+        c4h.run(c4h.devices[1].client.fetch_object("bw-x.bin"))
+        after = owner.vstore.snapshot().bandwidth_mbps
+        assert before == pytest.approx(95.5)
+        assert after < before

@@ -1,0 +1,211 @@
+"""Tests for the periodic resource monitor and the decision engine."""
+
+import pytest
+
+from repro.kvstore import DhtKeyValueStore, KeyNotFoundError
+from repro.monitoring import (
+    DecisionEngine,
+    DecisionPolicy,
+    FileSystemWatcher,
+    ResourceMonitor,
+    ResourceSnapshot,
+)
+from tests.conftest import build_overlay
+
+
+class FakeBin:
+    def __init__(self, capacity_mb, used_mb):
+        self.capacity_mb = capacity_mb
+        self.used_mb = used_mb
+
+
+def build_monitored_overlay(n_nodes, snapshots=None, period_s=5.0):
+    """Overlay + stores + monitors with per-node static snapshot specs."""
+    sim, net, nodes = build_overlay(n_nodes)
+    stores = [DhtKeyValueStore(node) for node in nodes]
+    monitors = []
+    for i, (node, store) in enumerate(zip(nodes, stores)):
+        spec = dict(snapshots[i]) if snapshots else {}
+
+        def sampler(node=node, spec=spec):
+            return ResourceSnapshot(node=node.name, taken_at=node.sim.now, **spec)
+
+        monitors.append(ResourceMonitor(store, sampler, period_s=period_s))
+    return sim, net, nodes, stores, monitors
+
+
+def run(sim, generator):
+    proc = sim.process(generator)
+    return sim.run(until=proc)
+
+
+class TestResourceMonitor:
+    def test_period_validation(self):
+        sim, net, nodes, stores, monitors = build_monitored_overlay(2)
+        with pytest.raises(ValueError):
+            ResourceMonitor(stores[0], lambda: None, period_s=0)
+
+    def test_publish_once_and_fetch(self):
+        sim, net, nodes, stores, monitors = build_monitored_overlay(4)
+        run(sim, monitors[0].publish_once())
+        snap = run(sim, monitors[2].fetch(nodes[0].name))
+        assert snap.node == nodes[0].name
+
+    def test_fetch_unpublished_raises(self):
+        sim, net, nodes, stores, monitors = build_monitored_overlay(3)
+        with pytest.raises(KeyNotFoundError):
+            run(sim, monitors[0].fetch(nodes[1].name))
+
+    def test_periodic_updates(self):
+        sim, net, nodes, stores, monitors = build_monitored_overlay(3, period_s=10.0)
+        monitors[0].start()
+        sim.run(until=sim.now + 35.0)
+        # Immediate publish + ticks at 10/20/30.
+        assert monitors[0].updates_published == 4
+
+    def test_stop_halts_updates(self):
+        sim, net, nodes, stores, monitors = build_monitored_overlay(3, period_s=10.0)
+        monitors[0].start()
+        sim.run(until=sim.now + 15.0)
+        monitors[0].stop()
+        published = monitors[0].updates_published
+        sim.run(until=sim.now + 50.0)
+        assert monitors[0].updates_published == published
+        assert not monitors[0].running
+
+    def test_snapshot_reflects_sampler_time(self):
+        sim, net, nodes, stores, monitors = build_monitored_overlay(3, period_s=5.0)
+        monitors[1].start()
+        sim.run(until=sim.now + 12.0)
+        snap = run(sim, monitors[0].fetch(nodes[1].name))
+        assert snap.taken_at >= 10.0
+
+
+class TestDecisionEngine:
+    def publish_all(self, sim, monitors):
+        for monitor in monitors:
+            run(sim, monitor.publish_once())
+
+    def test_performance_policy_prefers_idle_compute(self):
+        specs = [
+            {"cpu_cores": 2, "cpu_ghz": 1.66, "cpu_load": 0.9},  # busy netbook
+            {"cpu_cores": 4, "cpu_ghz": 2.3, "cpu_load": 0.1},  # idle desktop
+            {"cpu_cores": 2, "cpu_ghz": 1.66, "cpu_load": 0.5},
+        ]
+        sim, net, nodes, stores, monitors = build_monitored_overlay(3, specs)
+        self.publish_all(sim, monitors)
+        engine = DecisionEngine(nodes[0], stores[0])
+        ranked = run(sim, engine.decide(DecisionPolicy.PERFORMANCE))
+        assert ranked[0].node == nodes[1].name
+
+    def test_balanced_policy_prefers_low_load(self):
+        specs = [
+            {"cpu_cores": 8, "cpu_ghz": 3.0, "cpu_load": 0.8},  # fast but busy
+            {"cpu_cores": 1, "cpu_ghz": 1.0, "cpu_load": 0.05},  # slow but idle
+            {"cpu_cores": 2, "cpu_ghz": 2.0, "cpu_load": 0.5},
+        ]
+        sim, net, nodes, stores, monitors = build_monitored_overlay(3, specs)
+        self.publish_all(sim, monitors)
+        engine = DecisionEngine(nodes[0], stores[0])
+        ranked = run(sim, engine.decide(DecisionPolicy.BALANCED))
+        assert ranked[0].node == nodes[1].name
+
+    def test_battery_policy_prefers_mains(self):
+        specs = [
+            {"cpu_cores": 8, "cpu_ghz": 3.0, "battery": 0.9},  # strong, on battery
+            {"cpu_cores": 2, "cpu_ghz": 1.66},  # weak, on mains
+            {"cpu_cores": 2, "cpu_ghz": 1.66, "battery": 0.2},
+        ]
+        sim, net, nodes, stores, monitors = build_monitored_overlay(3, specs)
+        self.publish_all(sim, monitors)
+        engine = DecisionEngine(nodes[0], stores[0])
+        ranked = run(sim, engine.decide(DecisionPolicy.BATTERY))
+        assert ranked[0].node == nodes[1].name
+        # Battery-powered nodes rank after mains, fuller battery first.
+        assert ranked[1].node == nodes[0].name
+
+    def test_require_filter(self):
+        specs = [
+            {"mem_free_mb": 128.0},
+            {"mem_free_mb": 4096.0},
+            {"mem_free_mb": 256.0},
+        ]
+        sim, net, nodes, stores, monitors = build_monitored_overlay(3, specs)
+        self.publish_all(sim, monitors)
+        engine = DecisionEngine(nodes[0], stores[0])
+        ranked = run(
+            sim,
+            engine.decide(require=lambda s: s.mem_free_mb >= 1024.0),
+        )
+        assert [c.node for c in ranked] == [nodes[1].name]
+
+    def test_among_restricts_candidates(self):
+        sim, net, nodes, stores, monitors = build_monitored_overlay(4)
+        self.publish_all(sim, monitors)
+        engine = DecisionEngine(nodes[0], stores[0])
+        ranked = run(sim, engine.decide(among=[nodes[2].name]))
+        assert [c.node for c in ranked] == [nodes[2].name]
+
+    def test_count_limits_results(self):
+        sim, net, nodes, stores, monitors = build_monitored_overlay(5)
+        self.publish_all(sim, monitors)
+        engine = DecisionEngine(nodes[0], stores[0])
+        ranked = run(sim, engine.decide(count=2))
+        assert len(ranked) == 2
+
+    def test_unpublished_nodes_skipped(self):
+        sim, net, nodes, stores, monitors = build_monitored_overlay(4)
+        run(sim, monitors[0].publish_once())
+        run(sim, monitors[1].publish_once())
+        engine = DecisionEngine(nodes[2], stores[2])
+        ranked = run(sim, engine.decide())
+        assert {c.node for c in ranked} == {nodes[0].name, nodes[1].name}
+
+    def test_decision_consumes_simulated_time(self):
+        sim, net, nodes, stores, monitors = build_monitored_overlay(4)
+        self.publish_all(sim, monitors)
+        engine = DecisionEngine(nodes[0], stores[0])
+        before = sim.now
+        run(sim, engine.decide())
+        assert sim.now > before  # KV lookups cost real simulated time
+
+
+class TestFileSystemWatcher:
+    def test_free_space(self):
+        w = FileSystemWatcher(FakeBin(100, 30), FakeBin(200, 150))
+        assert w.mandatory_free_mb() == 70
+        assert w.voluntary_free_mb() == 50
+
+    def test_missing_bins_report_zero(self):
+        w = FileSystemWatcher()
+        assert w.mandatory_free_mb() == 0.0
+        assert w.fullness("mandatory") == 0.0
+
+    def test_fullness(self):
+        w = FileSystemWatcher(FakeBin(100, 25))
+        assert w.fullness("mandatory") == pytest.approx(0.25)
+
+    def test_unknown_bin_name(self):
+        w = FileSystemWatcher(FakeBin(100, 0))
+        with pytest.raises(ValueError):
+            w.fullness("tertiary")
+
+    def test_alarm_fires_once_per_crossing(self):
+        bin_ = FakeBin(100, 0)
+        w = FileSystemWatcher(bin_)
+        fired = []
+        w.add_alarm("mandatory", 0.8, lambda which, lvl: fired.append(lvl))
+        bin_.used_mb = 85
+        w.poll()
+        w.poll()
+        assert len(fired) == 1
+        bin_.used_mb = 50
+        w.poll()
+        bin_.used_mb = 90
+        w.poll()
+        assert len(fired) == 2
+
+    def test_alarm_threshold_validated(self):
+        w = FileSystemWatcher(FakeBin(100, 0))
+        with pytest.raises(ValueError):
+            w.add_alarm("mandatory", 0.0, lambda *a: None)

@@ -1,0 +1,43 @@
+"""Unit tests for resource snapshots."""
+
+import pytest
+
+from repro.monitoring import ResourceSnapshot
+
+
+class TestValidation:
+    def test_load_bounds(self):
+        with pytest.raises(ValueError):
+            ResourceSnapshot(node="n", cpu_load=1.5)
+        with pytest.raises(ValueError):
+            ResourceSnapshot(node="n", cpu_load=-0.1)
+
+    def test_battery_bounds(self):
+        with pytest.raises(ValueError):
+            ResourceSnapshot(node="n", battery=2.0)
+
+
+class TestDerived:
+    def test_free_compute(self):
+        s = ResourceSnapshot(node="n", cpu_cores=4, cpu_ghz=2.0, cpu_load=0.5)
+        assert s.free_compute_ghz == pytest.approx(4.0)
+
+    def test_on_mains(self):
+        assert ResourceSnapshot(node="n").on_mains
+        assert not ResourceSnapshot(node="n", battery=0.8).on_mains
+
+    def test_wire_round_trip(self):
+        s = ResourceSnapshot(
+            node="netbook1",
+            cpu_cores=2,
+            cpu_ghz=1.66,
+            cpu_load=0.25,
+            mem_total_mb=1024,
+            mem_free_mb=512,
+            mandatory_free_mb=100,
+            voluntary_free_mb=200,
+            bandwidth_mbps=95.5,
+            battery=0.6,
+            taken_at=12.5,
+        )
+        assert ResourceSnapshot.from_wire(s.wire()) == s

@@ -1,0 +1,215 @@
+"""Unit tests for the fluid fair-share link model."""
+
+import pytest
+
+from repro.net.errors import TransferAborted
+from repro.net.link import Link
+from repro.net.tcp import TcpProfile
+from repro.sim import Simulator
+
+MB = 1024 * 1024
+
+
+def run_flow(sim, link, nbytes, **kwargs):
+    flow = link.open_flow(nbytes, **kwargs)
+    sim.run(until=flow.done)
+    return flow
+
+
+class TestSingleFlow:
+    def test_bandwidth_validation(self):
+        with pytest.raises(ValueError):
+            Link(Simulator(), bandwidth=0)
+
+    def test_single_flow_uses_full_bandwidth(self):
+        sim = Simulator()
+        link = Link(sim, bandwidth=1e6)
+        flow = run_flow(sim, link, 5e6)
+        assert sim.now == pytest.approx(5.0)
+        assert flow.remaining == 0.0
+        assert flow.throughput() == pytest.approx(1e6)
+
+    def test_zero_byte_flow_completes_immediately(self):
+        sim = Simulator()
+        link = Link(sim, bandwidth=1e6)
+        flow = link.open_flow(0)
+        assert flow.done.triggered
+        assert sim.now == 0.0
+
+    def test_negative_bytes_rejected(self):
+        sim = Simulator()
+        link = Link(sim, bandwidth=1e6)
+        with pytest.raises(ValueError):
+            link.open_flow(-1)
+
+    def test_extra_cap_limits_rate(self):
+        sim = Simulator()
+        link = Link(sim, bandwidth=1e6)
+        run_flow(sim, link, 1e6, extra_cap=1e5)
+        assert sim.now == pytest.approx(10.0)
+
+    def test_bad_extra_cap_rejected(self):
+        sim = Simulator()
+        link = Link(sim, bandwidth=1e6)
+        with pytest.raises(ValueError):
+            link.open_flow(1e6, extra_cap=0)
+
+    def test_tcp_profile_matches_ideal_time(self):
+        sim = Simulator()
+        profile = TcpProfile(rtt=0.1, init_window=8192, max_window=1 * MB)
+        link = Link(sim, bandwidth=10e6)
+        run_flow(sim, link, 3 * MB, profile=profile)
+        expected = profile.ideal_transfer_time(3 * MB, 10e6)
+        assert sim.now == pytest.approx(expected, rel=1e-6)
+
+    def test_shaped_flow_matches_ideal_time(self):
+        sim = Simulator()
+        profile = TcpProfile(
+            rtt=0.1,
+            init_window=64 * 1024,
+            max_window=1 * MB,
+            shaping_after_s=3.0,
+            shaped_rate=1e5,
+        )
+        link = Link(sim, bandwidth=100e6)
+        run_flow(sim, link, 10 * MB, profile=profile)
+        expected = profile.ideal_transfer_time(10 * MB, 100e6)
+        assert sim.now == pytest.approx(expected, rel=1e-6)
+
+    def test_bytes_delivered_accounting(self):
+        sim = Simulator()
+        link = Link(sim, bandwidth=1e6)
+        run_flow(sim, link, 2e6)
+        run_flow(sim, link, 3e6)
+        assert link.bytes_delivered == pytest.approx(5e6)
+
+
+class TestFairSharing:
+    def test_two_equal_flows_halve_throughput(self):
+        sim = Simulator()
+        link = Link(sim, bandwidth=1e6)
+        f1 = link.open_flow(1e6)
+        f2 = link.open_flow(1e6)
+        sim.run(until=f2.done)
+        # Both share the link: each runs at 0.5 MB/s, finishing at 2 s.
+        assert sim.now == pytest.approx(2.0)
+        assert f1.done.triggered
+
+    def test_short_flow_finishes_then_long_flow_speeds_up(self):
+        sim = Simulator()
+        link = Link(sim, bandwidth=1e6)
+        long = link.open_flow(2e6)
+        short = link.open_flow(0.5e6)
+        sim.run(until=short.done)
+        # Shared at 0.5 MB/s until the short one's 0.5 MB is done: t=1 s.
+        assert sim.now == pytest.approx(1.0)
+        sim.run(until=long.done)
+        # Long flow had 1.5 MB left at t=1, then runs at full 1 MB/s.
+        assert sim.now == pytest.approx(2.5)
+
+    def test_late_arrival_slows_existing_flow(self):
+        sim = Simulator()
+        link = Link(sim, bandwidth=1e6)
+        first = link.open_flow(2e6)
+
+        def late(sim, link):
+            yield sim.timeout(1.0)
+            return link.open_flow(1.5e6)
+
+        p = sim.process(late(sim, link))
+        sim.run(until=first.done)
+        # first: 1 MB in the first second, then shares -> 1 MB more takes 2 s.
+        assert sim.now == pytest.approx(3.0)
+        second = p.value
+        sim.run(until=second.done)
+        # second: 1 MB done by t=3, then full speed for the remaining 0.5 MB.
+        assert sim.now == pytest.approx(3.5)
+
+    def test_capped_flow_leaves_bandwidth_to_others(self):
+        sim = Simulator()
+        link = Link(sim, bandwidth=1e6)
+        capped = link.open_flow(1e5, extra_cap=1e5)  # can only use 10 %
+        fast = link.open_flow(0.9e6)
+        sim.run(until=fast.done)
+        # Water-filling: capped gets 0.1 MB/s, fast gets 0.9 MB/s.
+        assert sim.now == pytest.approx(1.0)
+        assert capped.done.triggered  # also finished exactly at 1 s
+
+    def test_many_flows_aggregate_equals_bandwidth(self):
+        sim = Simulator()
+        link = Link(sim, bandwidth=8e6)
+        flows = [link.open_flow(1e6) for _ in range(8)]
+        sim.run(until=flows[-1].done)
+        assert sim.now == pytest.approx(1.0)
+        assert all(f.done.triggered for f in flows)
+
+    def test_active_flows_counter(self):
+        sim = Simulator()
+        link = Link(sim, bandwidth=1e6)
+        link.open_flow(1e6)
+        link.open_flow(1e6)
+        assert link.active_flows == 2
+        sim.run()
+        assert link.active_flows == 0
+
+
+class TestAbort:
+    def test_abort_fails_done_event(self):
+        sim = Simulator()
+        link = Link(sim, bandwidth=1e6)
+        flow = link.open_flow(10e6)
+        caught = []
+
+        def waiter(sim, flow):
+            try:
+                yield flow.done
+            except TransferAborted as exc:
+                caught.append(str(exc))
+
+        def aborter(sim, flow):
+            yield sim.timeout(1.0)
+            flow.abort(TransferAborted("endpoint left"))
+
+        sim.process(waiter(sim, flow))
+        sim.process(aborter(sim, flow))
+        sim.run()
+        assert caught == ["endpoint left"]
+
+    def test_abort_releases_bandwidth(self):
+        sim = Simulator()
+        link = Link(sim, bandwidth=1e6)
+        victim = link.open_flow(10e6)
+        survivor = link.open_flow(1.5e6)
+
+        def aborter(sim, victim):
+            yield sim.timeout(1.0)
+            victim.abort(TransferAborted("gone"))
+
+        sim.process(aborter(sim, victim))
+
+        def waiter(sim, flow):
+            try:
+                yield flow.done
+            except TransferAborted:
+                pass
+
+        sim.process(waiter(sim, victim))
+        sim.run(until=survivor.done)
+        # survivor: 0.5 MB in the shared first second, 1 MB at full rate.
+        assert sim.now == pytest.approx(2.0)
+
+    def test_double_abort_is_noop(self):
+        sim = Simulator()
+        link = Link(sim, bandwidth=1e6)
+        flow = link.open_flow(1e6)
+
+        def waiter(sim, flow):
+            try:
+                yield flow.done
+            except TransferAborted:
+                pass
+
+        sim.process(waiter(sim, flow))
+        flow.abort(TransferAborted("x"))
+        flow.abort(TransferAborted("y"))  # silently ignored
+        sim.run()

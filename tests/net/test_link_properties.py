@@ -1,0 +1,144 @@
+"""Property-based tests for the fluid fair-share link model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.link import Link
+from repro.net.tcp import TcpProfile
+from repro.sim import AllOf, Simulator
+
+flow_sizes = st.lists(
+    st.floats(min_value=1e3, max_value=5e7, allow_nan=False),
+    min_size=1,
+    max_size=8,
+)
+start_offsets = st.lists(
+    st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    min_size=1,
+    max_size=8,
+)
+
+
+def run_flows(bandwidth, sizes, offsets=None, caps=None):
+    """Run flows on one link; returns (makespan, flows)."""
+    sim = Simulator()
+    link = Link(sim, bandwidth=bandwidth)
+    offsets = offsets or [0.0] * len(sizes)
+    caps = caps or [float("inf")] * len(sizes)
+    flows = []
+
+    def opener(sim, delay, nbytes, cap):
+        if delay > 0:
+            yield sim.timeout(delay)
+        flow = link.open_flow(nbytes, extra_cap=cap)
+        flows.append(flow)
+        yield flow.done
+
+    procs = [
+        sim.process(opener(sim, offsets[i % len(offsets)], size, caps[i % len(caps)]))
+        for i, size in enumerate(sizes)
+    ]
+    sim.run(until=AllOf(sim, procs))
+    return sim.now, flows, link
+
+
+class TestConservation:
+    @settings(max_examples=50, deadline=None)
+    @given(flow_sizes)
+    def test_all_bytes_delivered(self, sizes):
+        _, flows, link = run_flows(1e6, sizes)
+        assert all(f.remaining == pytest.approx(0.0, abs=1e-3) for f in flows)
+        assert link.bytes_delivered == pytest.approx(sum(sizes), rel=1e-6)
+
+    @settings(max_examples=50, deadline=None)
+    @given(flow_sizes)
+    def test_makespan_at_least_capacity_bound(self, sizes):
+        """The link can never move bytes faster than its bandwidth."""
+        makespan, _, _ = run_flows(1e6, sizes)
+        assert makespan >= sum(sizes) / 1e6 * (1 - 1e-9)
+
+    @settings(max_examples=50, deadline=None)
+    @given(flow_sizes)
+    def test_simultaneous_flows_finish_exactly_at_capacity_bound(self, sizes):
+        """Uncapped flows starting together keep the link saturated, so
+        the last completion is exactly total/bandwidth."""
+        makespan, _, _ = run_flows(2e6, sizes)
+        assert makespan == pytest.approx(sum(sizes) / 2e6, rel=1e-6)
+
+    @settings(max_examples=50, deadline=None)
+    @given(flow_sizes, start_offsets)
+    def test_staggered_flows_conserve_bytes(self, sizes, offsets):
+        _, flows, link = run_flows(1e6, sizes, offsets=offsets)
+        assert link.bytes_delivered == pytest.approx(sum(sizes), rel=1e-6)
+
+    @settings(max_examples=50, deadline=None)
+    @given(flow_sizes)
+    def test_each_flow_no_faster_than_alone(self, sizes):
+        """Sharing can only slow a flow down relative to an idle link."""
+        _, flows, _ = run_flows(1e6, sizes)
+        for flow in flows:
+            alone = flow.nbytes / 1e6
+            assert flow.elapsed >= alone * (1 - 1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        flow_sizes,
+        st.lists(
+            st.floats(min_value=1e4, max_value=2e6, allow_nan=False),
+            min_size=1,
+            max_size=8,
+        ),
+    )
+    def test_caps_respected(self, sizes, caps):
+        _, flows, _ = run_flows(1e7, sizes, caps=caps)
+        for flow in flows:
+            # Average rate can never beat the flow's cap.
+            assert flow.throughput() <= flow.extra_cap * (1 + 1e-6)
+
+
+class TestTcpProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.floats(min_value=0.01, max_value=1.0),
+        st.integers(min_value=1024, max_value=64 * 1024),
+        st.floats(min_value=1e3, max_value=1e8),
+    )
+    def test_ideal_time_positive_and_monotone(self, rtt, init_window, nbytes):
+        profile = TcpProfile(
+            rtt=rtt, init_window=init_window, max_window=2 * 1024 * 1024
+        )
+        t1 = profile.ideal_transfer_time(nbytes, link_rate=1e6)
+        t2 = profile.ideal_transfer_time(nbytes * 2, link_rate=1e6)
+        assert 0 <= t1 <= t2
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.floats(min_value=1e4, max_value=1e8))
+    def test_fluid_model_matches_closed_form(self, nbytes):
+        profile = TcpProfile(rtt=0.1, init_window=8192, max_window=1024 * 1024)
+        sim = Simulator()
+        link = Link(sim, bandwidth=5e6)
+        flow = link.open_flow(nbytes, profile=profile)
+        sim.run(until=flow.done)
+        assert sim.now == pytest.approx(
+            profile.ideal_transfer_time(nbytes, 5e6), rel=1e-6
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.floats(min_value=1e5, max_value=1e8),
+        st.floats(min_value=0.5, max_value=20.0),
+        st.floats(min_value=1e3, max_value=1e5),
+    )
+    def test_shaping_never_speeds_up(self, nbytes, after_s, shaped_rate):
+        base = TcpProfile(rtt=0.1, init_window=8192, max_window=1024 * 1024)
+        shaped = TcpProfile(
+            rtt=0.1,
+            init_window=8192,
+            max_window=1024 * 1024,
+            shaping_after_s=after_s,
+            shaped_rate=shaped_rate,
+        )
+        t_base = base.ideal_transfer_time(nbytes, 1e6)
+        t_shaped = shaped.ideal_transfer_time(nbytes, 1e6)
+        assert t_shaped >= t_base * (1 - 1e-9)

@@ -1,0 +1,150 @@
+"""Unit tests for the RPC endpoint layer."""
+
+import pytest
+
+from repro.net import (
+    HostDownError,
+    Link,
+    Network,
+    RemoteError,
+    Route,
+    RpcEndpoint,
+    RpcTimeoutError,
+)
+from repro.sim import RandomSource, Simulator
+
+
+def build_pair(latency=0.001):
+    sim = Simulator()
+    net = Network(sim, RandomSource(3))
+    a = net.add_host("a", group="home")
+    b = net.add_host("b", group="home")
+    link = Link(sim, bandwidth=10e6, name="lan")
+    net.connect_groups("home", "home", Route(link, base_latency=latency))
+    ep_a = RpcEndpoint(net, a)
+    ep_b = RpcEndpoint(net, b)
+    ep_a.start()
+    ep_b.start()
+    return sim, net, ep_a, ep_b
+
+
+def call_sync(sim, event):
+    """Run the simulation until the RPC completes; return its value."""
+    return sim.run(until=event)
+
+
+class TestCalls:
+    def test_simple_call(self):
+        sim, _, ep_a, ep_b = build_pair()
+        ep_b.register("ping", lambda req: f"pong:{req.body}")
+        value = call_sync(sim, ep_a.call("b", "ping", 42))
+        assert value == "pong:42"
+
+    def test_call_takes_round_trip_time(self):
+        sim, _, ep_a, ep_b = build_pair(latency=0.1)
+        ep_b.register("ping", lambda req: "pong")
+        call_sync(sim, ep_a.call("b", "ping"))
+        assert sim.now >= 0.2  # two one-way latencies
+
+    def test_generator_handler(self):
+        sim, _, ep_a, ep_b = build_pair()
+
+        def slow_handler(req):
+            yield ep_b.sim.timeout(5.0)
+            return "slow-done"
+
+        ep_b.register("work", slow_handler)
+        value = call_sync(sim, ep_a.call("b", "work"))
+        assert value == "slow-done"
+        assert sim.now >= 5.0
+
+    def test_concurrent_requests_interleave(self):
+        sim, _, ep_a, ep_b = build_pair()
+
+        def slow_handler(req):
+            yield ep_b.sim.timeout(5.0)
+            return req.body
+
+        ep_b.register("work", slow_handler)
+        e1 = ep_a.call("b", "work", 1)
+        e2 = ep_a.call("b", "work", 2)
+        call_sync(sim, e2)
+        # Both should be served in ~5 s, not 10 s (handlers run as
+        # independent processes).
+        assert sim.now < 6.0
+        assert e1.triggered and e1.value == 1
+
+    def test_unknown_type_raises_remote_error(self):
+        sim, _, ep_a, ep_b = build_pair()
+        with pytest.raises(RemoteError, match="no handler"):
+            call_sync(sim, ep_a.call("b", "nope"))
+
+    def test_handler_exception_propagates(self):
+        sim, _, ep_a, ep_b = build_pair()
+
+        def bad(req):
+            raise ValueError("handler blew up")
+
+        ep_b.register("bad", bad)
+        with pytest.raises(RemoteError, match="handler blew up"):
+            call_sync(sim, ep_a.call("b", "bad"))
+
+    def test_timeout_when_no_dispatcher(self):
+        sim, _, ep_a, ep_b = build_pair()
+        ep_b.stop()
+        with pytest.raises(RpcTimeoutError):
+            call_sync(sim, ep_a.call("b", "ping", timeout=1.0))
+        assert sim.now >= 1.0
+
+    def test_call_to_offline_host_fails_fast(self):
+        sim, net, ep_a, _ = build_pair()
+        net.take_offline("b")
+        event = ep_a.call("b", "ping")
+        with pytest.raises(HostDownError):
+            call_sync(sim, event)
+        assert sim.now == 0.0
+
+    def test_register_replaces_handler(self):
+        sim, _, ep_a, ep_b = build_pair()
+        ep_b.register("op", lambda req: "old")
+        ep_b.register("op", lambda req: "new")
+        assert call_sync(sim, ep_a.call("b", "op")) == "new"
+
+
+class TestNotify:
+    def test_notify_invokes_handler_without_response(self):
+        sim, _, ep_a, ep_b = build_pair()
+        seen = []
+        ep_b.register("event", lambda req: seen.append(req.body))
+        ep_a.notify("b", "event", "hello")
+        sim.run()
+        assert seen == ["hello"]
+
+    def test_notify_to_offline_host_raises(self):
+        sim, net, ep_a, _ = build_pair()
+        net.take_offline("b")
+        with pytest.raises(HostDownError):
+            ep_a.notify("b", "event")
+
+
+class TestLifecycle:
+    def test_start_is_idempotent(self):
+        sim, _, ep_a, ep_b = build_pair()
+        ep_b.start()
+        ep_b.start()
+        ep_b.register("ping", lambda req: "pong")
+        assert call_sync(sim, ep_a.call("b", "ping")) == "pong"
+
+    def test_stopped_endpoint_can_restart(self):
+        sim, _, ep_a, ep_b = build_pair()
+        ep_b.register("ping", lambda req: "pong")
+        ep_b.stop()
+        ep_b.start()
+        assert call_sync(sim, ep_a.call("b", "ping")) == "pong"
+
+    def test_requests_served_counter(self):
+        sim, _, ep_a, ep_b = build_pair()
+        ep_b.register("ping", lambda req: "pong")
+        call_sync(sim, ep_a.call("b", "ping"))
+        call_sync(sim, ep_a.call("b", "ping"))
+        assert ep_b.requests_served == 2

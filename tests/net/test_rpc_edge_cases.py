@@ -1,0 +1,152 @@
+"""Edge-case tests for the RPC layer under churn and concurrency."""
+
+import pytest
+
+from repro.net import (
+    HostDownError,
+    Link,
+    Network,
+    RemoteError,
+    Route,
+    RpcEndpoint,
+    RpcTimeoutError,
+)
+from repro.sim import AllOf, RandomSource, Simulator
+
+
+def build_trio(latency=0.001):
+    sim = Simulator()
+    net = Network(sim, RandomSource(9))
+    hosts = [net.add_host(n, group="home") for n in ("a", "b", "c")]
+    link = Link(sim, bandwidth=10e6)
+    net.connect_groups("home", "home", Route(link, base_latency=latency))
+    endpoints = {h.name: RpcEndpoint(net, h) for h in hosts}
+    for ep in endpoints.values():
+        ep.start()
+    return sim, net, endpoints
+
+
+class TestChurn:
+    def test_destination_dies_after_request_sent(self):
+        sim, net, eps = build_trio(latency=0.5)
+
+        def never(req):
+            yield req  # pragma: no cover
+
+        event = eps["a"].call("b", "slow-op", timeout=2.0)
+        net.take_offline("b")  # dies while the request is in flight
+        with pytest.raises((RpcTimeoutError, HostDownError)):
+            sim.run(until=event)
+
+    def test_caller_dies_before_response(self):
+        sim, net, eps = build_trio()
+
+        def slow(req):
+            yield eps["b"].sim.timeout(5.0)
+            return "late"
+
+        eps["b"].register("slow", slow)
+        event = eps["a"].call("b", "slow", timeout=30.0)
+
+        def kill_caller(sim):
+            yield sim.timeout(1.0)
+            net.take_offline("a")
+
+        sim.process(kill_caller(sim))
+
+        def waiter(sim, event):
+            try:
+                yield event
+            except (RpcTimeoutError, HostDownError):
+                pass
+
+        sim.process(waiter(sim, event))
+        # The handler completes; its response cannot be delivered; the
+        # caller's call fails cleanly — nothing crashes.
+        sim.run(until=sim.now + 40.0)
+        assert eps["b"].requests_served == 1
+
+    def test_generator_handler_exception_propagates(self):
+        sim, net, eps = build_trio()
+
+        def bad(req):
+            yield eps["b"].sim.timeout(1.0)
+            raise KeyError("mid-handler")
+
+        eps["b"].register("bad", bad)
+        with pytest.raises(RemoteError, match="mid-handler"):
+            sim.run(until=eps["a"].call("b", "bad"))
+
+
+class TestConcurrency:
+    def test_many_outstanding_calls_resolve_correctly(self):
+        sim, net, eps = build_trio()
+        eps["b"].register("echo", lambda req: req.body)
+        events = [eps["a"].call("b", "echo", i) for i in range(20)]
+        sim.run(until=AllOf(sim, events))
+        assert [e.value for e in events] == list(range(20))
+
+    def test_calls_to_multiple_destinations_interleave(self):
+        sim, net, eps = build_trio()
+
+        def handler_b(req):
+            yield eps["b"].sim.timeout(3.0)
+            return "from-b"
+
+        def handler_c(req):
+            yield eps["c"].sim.timeout(1.0)
+            return "from-c"
+
+        eps["b"].register("op", handler_b)
+        eps["c"].register("op", handler_c)
+        eb = eps["a"].call("b", "op")
+        ec = eps["a"].call("c", "op")
+        sim.run(until=AllOf(sim, [eb, ec]))
+        assert (eb.value, ec.value) == ("from-b", "from-c")
+        assert sim.now < 4.5  # concurrent, not serial
+
+    def test_handler_calling_back_into_caller(self):
+        """Mutual RPC: b's handler calls a service on a."""
+        sim, net, eps = build_trio()
+        eps["a"].register("lookup", lambda req: req.body * 2)
+
+        def relay(req):
+            doubled = yield eps["b"].call("a", "lookup", req.body)
+            return doubled + 1
+
+        eps["b"].register("relay", relay)
+        assert sim.run(until=eps["a"].call("b", "relay", 10)) == 21
+
+
+class TestPayloads:
+    def test_various_body_types(self):
+        sim, net, eps = build_trio()
+        eps["b"].register("echo", lambda req: req.body)
+        for body in [None, 0, "text", [1, 2], {"k": "v"}, {"nested": {"a": [1]}}]:
+            assert sim.run(until=eps["a"].call("b", "echo", body)) == body
+
+    def test_request_metadata_available_to_handler(self):
+        sim, net, eps = build_trio()
+        seen = []
+
+        def handler(req):
+            seen.append((req.src, req.msg_type, req.req_id))
+            return "ok"
+
+        eps["b"].register("meta", handler)
+        sim.run(until=eps["a"].call("b", "meta"))
+        src, msg_type, req_id = seen[0]
+        assert src == "a"
+        assert msg_type == "meta"
+        assert req_id >= 1
+
+    def test_larger_payload_sizes_add_latency(self):
+        sim, net, eps = build_trio(latency=0.0)
+        eps["b"].register("echo", lambda req: "x")
+        t0 = sim.now
+        sim.run(until=eps["a"].call("b", "echo", size=64))
+        small = sim.now - t0
+        t0 = sim.now
+        sim.run(until=eps["a"].call("b", "echo", size=10_000_000))
+        large = sim.now - t0
+        assert large > small

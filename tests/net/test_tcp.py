@@ -1,0 +1,141 @@
+"""Unit tests for the TCP rate-cap schedule model."""
+
+import pytest
+
+from repro.net.tcp import RatePhase, TcpProfile, UNCAPPED
+
+
+MB = 1024 * 1024
+
+
+class TestProfileValidation:
+    def test_rejects_bad_rtt(self):
+        with pytest.raises(ValueError):
+            TcpProfile(rtt=0.0)
+
+    def test_rejects_window_inversion(self):
+        with pytest.raises(ValueError):
+            TcpProfile(init_window=8192, max_window=4096)
+
+    def test_rejects_shaping_without_rate(self):
+        with pytest.raises(ValueError):
+            TcpProfile(shaping_after_s=10.0, shaped_rate=0.0)
+
+    def test_rejects_negative_shaping_deadline(self):
+        with pytest.raises(ValueError):
+            TcpProfile(shaping_after_s=-1.0, shaped_rate=1000.0)
+
+
+class TestPhases:
+    def test_slow_start_doubles_each_rtt(self):
+        p = TcpProfile(rtt=0.1, init_window=1000, max_window=8000)
+        phases = list(p.phases())
+        # 1000 -> 2000 -> 4000 -> (8000 = max; steady)
+        caps = [ph.cap for ph in phases]
+        assert caps == [10000.0, 20000.0, 40000.0, 80000.0]
+        assert [ph.duration for ph in phases[:-1]] == [0.1, 0.1, 0.1]
+        assert phases[-1].duration is None
+
+    def test_final_phase_is_open_ended(self):
+        p = TcpProfile(rtt=0.05)
+        phases = list(p.phases())
+        assert phases[-1].duration is None
+
+    def test_shaping_appends_final_phase(self):
+        p = TcpProfile(
+            rtt=0.1,
+            init_window=1000,
+            max_window=2000,
+            shaping_after_s=5.0,
+            shaped_rate=500.0,
+        )
+        phases = list(p.phases())
+        assert phases[-1] == RatePhase(None, 500.0)
+        # The steady phase before shaping is bounded.
+        assert phases[-2].duration == pytest.approx(5.0 - 0.1)
+
+    def test_shaping_can_interrupt_slow_start(self):
+        p = TcpProfile(
+            rtt=1.0,
+            init_window=1000,
+            max_window=1 * MB,
+            shaping_after_s=2.5,
+            shaped_rate=100.0,
+        )
+        phases = list(p.phases())
+        # Two full slow-start RTTs fit before the 2.5 s deadline; the
+        # third is truncated to 0.5 s, then shaping takes over.
+        assert phases[0].duration == 1.0
+        assert phases[1].duration == 1.0
+        assert phases[2].duration == pytest.approx(0.5)
+        assert phases[3] == RatePhase(None, 100.0)
+
+    def test_instant_shaping(self):
+        p = TcpProfile(
+            rtt=0.1,
+            init_window=1000,
+            max_window=2000,
+            shaping_after_s=0.0,
+            shaped_rate=42.0,
+        )
+        phases = list(p.phases())
+        assert phases[-1] == RatePhase(None, 42.0)
+        assert all(ph.duration is not None for ph in phases[:-1])
+        assert sum(ph.duration for ph in phases[:-1]) == pytest.approx(0.0)
+
+
+class TestIdealTransferTime:
+    def test_zero_bytes(self):
+        p = TcpProfile()
+        assert p.ideal_transfer_time(0, link_rate=1e6) == 0.0
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            TcpProfile().ideal_transfer_time(-1, link_rate=1e6)
+
+    def test_steady_state_dominates_large_transfers(self):
+        p = TcpProfile(rtt=0.1, init_window=64 * 1024, max_window=1 * MB)
+        link_rate = 100e6 / 8  # 100 Mbps in bytes/s
+        steady = min(1 * MB / 0.1, link_rate)
+        t = p.ideal_transfer_time(100 * MB, link_rate)
+        # Rough bound: at least the steady-rate time, within 25 %.
+        assert t >= 100 * MB / steady
+        assert t <= 1.25 * (100 * MB / steady)
+
+    def test_slow_start_penalizes_small_transfers(self):
+        p = TcpProfile(rtt=0.1, init_window=4096, max_window=1 * MB)
+        link_rate = 1e9
+        small = p.ideal_transfer_time(64 * 1024, link_rate)
+        # 64 KB at full window rate would take ~6 ms; slow start makes
+        # it take several RTTs instead.
+        assert small > 0.2
+
+    def test_throughput_curve_is_non_monotone_with_shaping(self):
+        """Reproduces the shape behind Figure 5: throughput rises with
+        object size, peaks, then degrades once shaping kicks in."""
+        p = TcpProfile(
+            rtt=0.15,
+            init_window=8 * 1024,
+            max_window=int(1.6 * MB),
+            shaping_after_s=15.0,
+            shaped_rate=50e3,
+        )
+        link_rate = 1.5e6 / 8 * 8  # ~1.5 Mbps-ish effective path, bytes/s
+        link_rate = 1.5e6
+        sizes = [1 * MB, 5 * MB, 20 * MB, 100 * MB]
+        thr = [s / p.ideal_transfer_time(s, link_rate) for s in sizes]
+        peak_index = thr.index(max(thr))
+        assert 0 < peak_index < len(sizes) - 1
+        assert thr[-1] < thr[peak_index]
+
+    def test_transfer_time_monotone_in_bytes(self):
+        p = TcpProfile(rtt=0.1, shaping_after_s=5.0, shaped_rate=1e4)
+        times = [p.ideal_transfer_time(s, 1e6) for s in [1e5, 1e6, 1e7, 1e8]]
+        assert times == sorted(times)
+        assert times[0] < times[-1]
+
+    def test_link_rate_limits_uncapped_phase(self):
+        p = TcpProfile(rtt=0.001, init_window=1 * MB, max_window=1 * MB)
+        # window/rtt is enormous; the link is the bottleneck.
+        t = p.ideal_transfer_time(10 * MB, link_rate=1e6)
+        assert t == pytest.approx(10 * MB / 1e6, rel=0.01)

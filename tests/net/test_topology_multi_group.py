@@ -1,0 +1,81 @@
+"""Tests for multi-group topologies (shared fabric, route precedence)."""
+
+import pytest
+
+from repro.net import Link, Network, NoRouteError, Route, UNCAPPED
+from repro.sim import RandomSource, Simulator
+
+
+def build_two_homes():
+    """Two home groups plus a cloud group on one fabric."""
+    sim = Simulator()
+    net = Network(sim, RandomSource(17))
+    for i in range(2):
+        for j in range(2):
+            net.add_host(f"h{i}-dev{j}", group=f"home{i}")
+    net.add_host("s3", group="cloud")
+    lan0 = Link(sim, 10e6, name="lan0")
+    lan1 = Link(sim, 10e6, name="lan1")
+    up0 = Link(sim, 1e6, name="up0")
+    up1 = Link(sim, 2e6, name="up1")
+    net.connect_groups("home0", "home0", Route(lan0, base_latency=0.001))
+    net.connect_groups("home1", "home1", Route(lan1, base_latency=0.001))
+    net.connect_groups("home0", "cloud", Route(up0, base_latency=0.04))
+    net.connect_groups("home1", "cloud", Route(up1, base_latency=0.04))
+    net.connect_groups("cloud", "home0", Route(up0, base_latency=0.04))
+    net.connect_groups("cloud", "home1", Route(up1, base_latency=0.04))
+    return sim, net, (lan0, lan1, up0, up1)
+
+
+class TestMultiGroupRouting:
+    def test_intra_home_uses_own_lan(self):
+        sim, net, (lan0, lan1, up0, up1) = build_two_homes()
+        ev = net.transfer("h0-dev0", "h0-dev1", 5e6)
+        sim.run(until=ev)
+        assert lan0.bytes_delivered == pytest.approx(5e6)
+        assert lan1.bytes_delivered == 0.0
+
+    def test_homes_have_independent_uplinks(self):
+        sim, net, (lan0, lan1, up0, up1) = build_two_homes()
+        e0 = net.transfer("h0-dev0", "s3", 1e6)
+        e1 = net.transfer("h1-dev0", "s3", 1e6)
+        sim.run(until=e1)
+        sim.run(until=e0)
+        assert up0.bytes_delivered == pytest.approx(1e6)
+        assert up1.bytes_delivered == pytest.approx(1e6)
+
+    def test_no_direct_route_between_homes(self):
+        sim, net, _ = build_two_homes()
+        with pytest.raises(NoRouteError):
+            net.route("h0-dev0", "h1-dev0")
+
+    def test_host_pair_override_beats_group_route(self):
+        sim, net, links = build_two_homes()
+        special = Link(sim, 50e6, name="crossover-cable")
+        net.connect_hosts(
+            "h0-dev0", "h0-dev1", Route(special, base_latency=0.0001)
+        )
+        ev = net.transfer("h0-dev0", "h0-dev1", 10e6)
+        sim.run(until=ev)
+        assert special.bytes_delivered == pytest.approx(10e6)
+        # Other pairs in the group still use the LAN.
+        ev = net.transfer("h0-dev1", "h0-dev0", 1e6)
+        sim.run(until=ev)
+        assert links[0].bytes_delivered == pytest.approx(1e6)
+
+    def test_faster_uplink_finishes_first(self):
+        sim, net, _ = build_two_homes()
+        slow = net.transfer("h0-dev0", "s3", 2e6)  # 1 MB/s uplink
+        fast = net.transfer("h1-dev0", "s3", 2e6)  # 2 MB/s uplink
+        first = sim.run(until=fast)
+        assert not slow.triggered
+        sim.run(until=slow)
+
+    def test_group_route_replacement(self):
+        """Reconnecting a group pair replaces the previous route."""
+        sim, net, _ = build_two_homes()
+        upgraded = Link(sim, 100e6, name="fiber")
+        net.connect_groups("home0", "cloud", Route(upgraded, base_latency=0.01))
+        ev = net.transfer("h0-dev0", "s3", 10e6)
+        sim.run(until=ev)
+        assert upgraded.bytes_delivered == pytest.approx(10e6)

@@ -1,0 +1,88 @@
+"""Tests for overlay introspection helpers."""
+
+import pytest
+
+from repro.overlay import NodeId, ownership_map, ring_diagram, routing_summary
+from tests.conftest import build_overlay
+
+
+class TestRingDiagram:
+    def test_empty(self):
+        assert ring_diagram([]) == "(empty overlay)"
+
+    def test_nodes_listed_in_id_order(self):
+        sim, net, nodes = build_overlay(5)
+        text = ring_diagram(nodes)
+        positions = {n.name: text.index(n.name) for n in nodes}
+        ordered = sorted(nodes, key=lambda n: n.id.value)
+        order_in_text = sorted(positions, key=positions.get)
+        assert order_in_text == [n.name for n in ordered]
+
+    def test_keys_drawn_under_owner(self):
+        sim, net, nodes = build_overlay(4)
+        key = NodeId.from_name("object:thing")
+        text = ring_diagram(nodes, keys={"thing": key})
+        owner = min(nodes, key=lambda n: (n.id.distance(key), n.id.value))
+        owner_pos = text.index(f"  {owner.name}")
+        key_pos = text.index("`- thing")
+        assert key_pos > owner_pos
+
+    def test_down_nodes_marked(self):
+        sim, net, nodes = build_overlay(3)
+        nodes[1].joined = False
+        text = ring_diagram(nodes)
+        assert "[down]" in text
+
+
+class TestRoutingSummary:
+    def test_contains_leaf_and_counts(self):
+        sim, net, nodes = build_overlay(6)
+        text = routing_summary(nodes[0])
+        assert nodes[0].name in text
+        assert "leaf set" in text
+        assert "known peers: 5" in text
+
+    def test_single_node_summary(self):
+        sim, net, nodes = build_overlay(2)
+        proc = sim.process(nodes[1].leave())
+        sim.run(until=proc)
+        sim.run()
+        text = routing_summary(nodes[0])
+        assert "known peers: 0" in text
+
+
+class TestOwnershipMap:
+    def test_matches_resolution(self):
+        sim, net, nodes = build_overlay(6)
+        names = [f"obj-{i}" for i in range(10)]
+        mapping = ownership_map(nodes, names)
+        for name in names:
+            key = NodeId.from_name(name)
+            expected = min(
+                nodes, key=lambda n: (n.id.distance(key), n.id.value)
+            )
+            assert mapping[name] == expected.name
+
+    def test_skips_down_nodes(self):
+        sim, net, nodes = build_overlay(4)
+        nodes[0].joined = False
+        mapping = ownership_map(nodes, ["x"])
+        assert mapping["x"] != nodes[0].name or len(nodes) == 1
+
+    def test_no_live_nodes_raises(self):
+        sim, net, nodes = build_overlay(2)
+        for node in nodes:
+            node.joined = False
+        with pytest.raises(ValueError):
+            ownership_map(nodes, ["x"])
+
+
+class TestOverlayCli:
+    def test_cli_overlay_renders(self, capsys):
+        from repro.cli import main
+
+        assert main(["overlay", "--keys", "a.jpg", "b.avi"]) == 0
+        out = capsys.readouterr().out
+        assert "ring (clockwise by id):" in out
+        assert "`- a.jpg" in out
+        assert "leaf set" in out

@@ -1,0 +1,122 @@
+"""Property-based tests for prefix routing correctness.
+
+Builds overlay nodes with fully populated state (bypassing the join
+protocol, which is exercised elsewhere) and checks the routing
+invariants statically: progress at every hop, termination, and global
+agreement that a key's root is the numerically closest node.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import Link, Network, Route
+from repro.overlay import ChimeraNode, NodeId, PeerInfo
+from repro.sim import RandomSource, Simulator
+
+node_name_sets = st.sets(
+    st.integers(min_value=0, max_value=10_000), min_size=2, max_size=14
+).map(lambda xs: [f"device-{x}" for x in sorted(xs)])
+
+keys = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1, max_size=20
+)
+
+
+def build_static_overlay(names, leaf_size=2):
+    """Nodes with complete views, no messaging."""
+    sim = Simulator()
+    net = Network(sim, RandomSource(1))
+    link = Link(sim, bandwidth=1e7)
+    net.connect_groups("home", "home", Route(link))
+    nodes = []
+    for name in names:
+        host = net.add_host(name, group="home")
+        node = ChimeraNode(net, host, leaf_size=leaf_size)
+        node.joined = True
+        nodes.append(node)
+    for node in nodes:
+        for other in nodes:
+            if other is not node:
+                node._add_peer(PeerInfo(other.name, other.id))
+    return {node.name: node for node in nodes}
+
+
+def static_route(nodes, start_name, key):
+    """Follow next_hop pointers without the network; returns the path."""
+    path = [start_name]
+    current = nodes[start_name]
+    for _ in range(len(nodes) + 12):
+        hop = current.next_hop(key)
+        if hop is None:
+            return path
+        path.append(hop.name)
+        current = nodes[hop.name]
+    raise AssertionError(f"routing did not terminate: {path}")
+
+
+def global_owner(nodes, key):
+    return min(
+        nodes.values(), key=lambda n: (n.id.distance(key), n.id.value)
+    ).name
+
+
+class TestRoutingProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(node_name_sets, keys)
+    def test_routing_terminates_at_global_closest(self, names, key_name):
+        nodes = build_static_overlay(names)
+        key = NodeId.from_name(key_name)
+        expected = global_owner(nodes, key)
+        for start in list(nodes)[:5]:
+            path = static_route(nodes, start, key)
+            assert path[-1] == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(node_name_sets, keys)
+    def test_all_starts_agree(self, names, key_name):
+        nodes = build_static_overlay(names)
+        key = NodeId.from_name(key_name)
+        roots = {static_route(nodes, start, key)[-1] for start in nodes}
+        assert len(roots) == 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(node_name_sets, keys)
+    def test_paths_never_revisit_nodes(self, names, key_name):
+        nodes = build_static_overlay(names)
+        key = NodeId.from_name(key_name)
+        for start in list(nodes)[:5]:
+            path = static_route(nodes, start, key)
+            assert len(path) == len(set(path)), f"loop in {path}"
+
+    @settings(max_examples=40, deadline=None)
+    @given(node_name_sets)
+    def test_own_id_routes_to_self(self, names):
+        nodes = build_static_overlay(names)
+        for node in nodes.values():
+            assert node.next_hop(node.id) is None
+
+    @settings(max_examples=30, deadline=None)
+    @given(node_name_sets, keys)
+    def test_routing_survives_random_member_removal(self, names, key_name):
+        nodes = build_static_overlay(names)
+        victims = list(nodes)[:: max(1, len(nodes) // 3)][:2]
+        survivors = {n: node for n, node in nodes.items() if n not in victims}
+        if len(survivors) < 2:
+            return
+        for node in survivors.values():
+            for victim in victims:
+                node._forget(nodes[victim].id, notify=False)
+        key = NodeId.from_name(key_name)
+        expected = global_owner(survivors, key)
+        for start in list(survivors)[:4]:
+            path = static_route(survivors, start, key)
+            assert path[-1] == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(node_name_sets, keys)
+    def test_closest_known_matches_routing_root(self, names, key_name):
+        nodes = build_static_overlay(names)
+        key = NodeId.from_name(key_name)
+        expected = global_owner(nodes, key)
+        for node in list(nodes.values())[:5]:
+            assert node.closest_known(key).name == expected

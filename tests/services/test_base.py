@@ -1,0 +1,133 @@
+"""Unit tests for the service framework and the concrete services."""
+
+import pytest
+
+from repro.monitoring import ResourceSnapshot
+from repro.services import (
+    ComputeModel,
+    FaceDetection,
+    FaceRecognition,
+    MediaConversion,
+    Service,
+    ServiceProfile,
+    surveillance_pipeline,
+)
+from repro.sim import Simulator
+from repro.virt import DeviceProfile, Hypervisor
+
+
+def run(sim, generator):
+    proc = sim.process(generator)
+    return sim.run(until=proc)
+
+
+class TestComputeModel:
+    def test_cycles_formula(self):
+        m = ComputeModel(base_cycles=1e9, cycles_per_mb=2e9, size_exponent=1.0)
+        assert m.cycles(3.0) == pytest.approx(7e9)
+
+    def test_superlinear_exponent(self):
+        m = ComputeModel(cycles_per_mb=1e9, size_exponent=1.5)
+        assert m.cycles(4.0) == pytest.approx(8e9)
+
+    def test_negative_input_rejected(self):
+        with pytest.raises(ValueError):
+            ComputeModel().cycles(-1.0)
+
+    def test_working_set(self):
+        m = ComputeModel(working_set_base_mb=60, working_set_per_mb=100)
+        assert m.working_set_mb(2.0) == pytest.approx(260.0)
+
+
+class TestServiceProfile:
+    def test_admits(self):
+        profile = ServiceProfile(min_mem_mb=256, min_free_compute_ghz=1.0)
+        good = ResourceSnapshot(node="n", cpu_cores=4, cpu_ghz=2.0, mem_free_mb=512)
+        bad_mem = ResourceSnapshot(node="n", cpu_cores=4, cpu_ghz=2.0, mem_free_mb=64)
+        busy = ResourceSnapshot(
+            node="n", cpu_cores=1, cpu_ghz=1.0, cpu_load=0.9, mem_free_mb=512
+        )
+        assert profile.admits(good)
+        assert not profile.admits(bad_mem)
+        assert not profile.admits(busy)
+
+
+class TestServiceExecution:
+    def make_domain(self, cores=2, ghz=1.0, mem_mb=1024, vcpus=None):
+        sim = Simulator()
+        profile = DeviceProfile("dev", cores, ghz, mem_mb * 2, virt_overhead=0.0)
+        hv = Hypervisor(sim, profile)
+        dom = hv.create_domain("guest", vcpus=vcpus or cores, mem_mb=mem_mb)
+        return sim, dom
+
+    def test_execute_returns_result(self):
+        sim, dom = self.make_domain()
+        svc = Service("echo", ComputeModel(cycles_per_mb=1e9), output_ratio=0.5)
+        result = run(sim, svc.execute(dom, 2.0))
+        assert result.service == "echo#v1"
+        assert result.input_mb == 2.0
+        assert result.output_mb == 1.0
+        assert result.elapsed_s > 0
+
+    def test_faster_device_finishes_sooner(self):
+        svc = Service("work", ComputeModel(cycles_per_mb=5e9))
+        sim1, slow = self.make_domain(cores=1, ghz=1.0)
+        r_slow = run(sim1, svc.execute(slow, 4.0))
+        sim2, fast = self.make_domain(cores=1, ghz=4.0)
+        r_fast = run(sim2, svc.execute(fast, 4.0))
+        assert r_fast.elapsed_s < r_slow.elapsed_s
+
+    def test_parallelism_speeds_up(self):
+        svc = Service(
+            "par",
+            ComputeModel(cycles_per_mb=8e9),
+            profile=ServiceProfile(parallelism=4),
+        )
+        sim1, single = self.make_domain(cores=4, vcpus=1)
+        r1 = run(sim1, svc.execute(single, 2.0))
+        sim2, quad = self.make_domain(cores=4, vcpus=4)
+        r4 = run(sim2, svc.execute(quad, 2.0))
+        assert r4.elapsed_s < r1.elapsed_s
+
+    def test_memory_thrash_slows_execution(self):
+        svc = Service(
+            "mem",
+            ComputeModel(cycles_per_mb=1e9, working_set_base_mb=400),
+        )
+        sim1, big = self.make_domain(mem_mb=1024)
+        r_fit = run(sim1, svc.execute(big, 1.0))
+        sim2, small = self.make_domain(mem_mb=128)
+        r_thrash = run(sim2, svc.execute(small, 1.0))
+        assert r_thrash.elapsed_s > 2 * r_fit.elapsed_s
+
+    def test_bad_output_ratio(self):
+        with pytest.raises(ValueError):
+            Service("bad", ComputeModel(), output_ratio=-1)
+
+
+class TestConcreteServices:
+    def test_face_detection_is_cpu_bound(self):
+        fdet = FaceDetection()
+        # Small working set relative to its compute demand.
+        assert fdet.working_set_mb(1.0) < 50
+        assert fdet.cycles(2.0) > fdet.cycles(1.0)
+
+    def test_face_recognition_is_memory_bound(self):
+        frec = FaceRecognition(training_mb=60)
+        assert frec.working_set_mb(2.0) > 300  # training + decompressed frames
+        assert frec.output_mb(1.0) < 0.01  # just the matched ID
+
+    def test_face_recognition_training_validation(self):
+        with pytest.raises(ValueError):
+            FaceRecognition(training_mb=-1)
+
+    def test_pipeline_order(self):
+        pipeline = surveillance_pipeline()
+        assert [s.name for s in pipeline] == ["face-detect", "face-recognize"]
+
+    def test_media_conversion_shrinks_output(self):
+        conv = MediaConversion()
+        assert conv.output_mb(100.0) == pytest.approx(35.0)
+
+    def test_qualified_names(self):
+        assert FaceDetection(service_id="v2").qualified_name == "face-detect#v2"

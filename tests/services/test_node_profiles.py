@@ -1,0 +1,93 @@
+"""Tests for per-node-type service profiles (Section III-A)."""
+
+import pytest
+
+from repro.cluster import Cloud4Home, ClusterConfig
+from repro.monitoring import ResourceSnapshot
+from repro.services import ComputeModel, Service, ServiceProfile
+
+
+def snap(device_type, mem_free=1024.0, cores=4, ghz=2.0):
+    return ResourceSnapshot(
+        node="n",
+        device_type=device_type,
+        cpu_cores=cores,
+        cpu_ghz=ghz,
+        mem_free_mb=mem_free,
+    )
+
+
+class TestProfileSelection:
+    def make_service(self):
+        return Service(
+            "svc",
+            ComputeModel(),
+            profile=ServiceProfile(min_mem_mb=256.0),
+            node_profiles={
+                # Netbooks must reserve more headroom for the same SLA.
+                "atom-netbook": ServiceProfile(min_mem_mb=768.0),
+            },
+        )
+
+    def test_default_profile_for_unknown_type(self):
+        svc = self.make_service()
+        assert svc.profile_for("quad-desktop").min_mem_mb == 256.0
+        assert svc.profile_for("").min_mem_mb == 256.0
+
+    def test_override_for_named_type(self):
+        svc = self.make_service()
+        assert svc.profile_for("atom-netbook").min_mem_mb == 768.0
+
+    def test_admits_uses_type_specific_requirements(self):
+        svc = self.make_service()
+        # 512 MB free: fine for a desktop, not enough for a netbook SLA.
+        assert svc.admits(snap("quad-desktop", mem_free=512.0))
+        assert not svc.admits(snap("atom-netbook", mem_free=512.0))
+        assert svc.admits(snap("atom-netbook", mem_free=900.0))
+
+
+class TestRegistryRoundTrip:
+    def test_per_type_profiles_survive_registration(self):
+        c4h = Cloud4Home(ClusterConfig(seed=91))
+        c4h.start(monitors=False)
+        svc = Service(
+            "typed",
+            ComputeModel(),
+            profile=ServiceProfile(min_mem_mb=128.0),
+            node_profiles={"atom-netbook": ServiceProfile(min_mem_mb=999.0)},
+        )
+        c4h.run(c4h.devices[0].registry.register(svc))
+        entry = c4h.run(c4h.devices[1].registry.lookup("typed#v1"))
+        reg = c4h.devices[1].registry
+        assert reg.profile_of(entry).min_mem_mb == 128.0
+        assert reg.profile_of(entry, "atom-netbook").min_mem_mb == 999.0
+        assert reg.profile_of(entry, "quad-desktop").min_mem_mb == 128.0
+
+    def test_admitter_excludes_by_type(self):
+        c4h = Cloud4Home(ClusterConfig(seed=92))
+        c4h.start(monitors=False)
+        # Require more memory than the netbook guests (512 MB) offer,
+        # but within the desktop guest's 1024 MB — only on netbooks.
+        svc = Service(
+            "choosy",
+            ComputeModel(cycles_per_mb=4e9),
+            profile=ServiceProfile(min_mem_mb=0.0, parallelism=4),
+            node_profiles={"atom-netbook": ServiceProfile(min_mem_mb=4096.0)},
+        )
+        for device in c4h.devices:
+            c4h.run(device.registry.register(svc))
+        owner = c4h.device("netbook0")
+        c4h.run(owner.client.store_file("typed.avi", 5.0))
+        result = c4h.run(owner.client.process("typed.avi", "choosy#v1"))
+        # Every netbook is excluded by the per-type requirement.
+        assert result.executed_on == "desktop"
+
+    def test_snapshot_carries_device_type(self):
+        c4h = Cloud4Home(ClusterConfig(seed=93))
+        c4h.start(monitors=False)
+        snapshot = c4h.device("desktop").vstore.snapshot()
+        assert snapshot.device_type == "quad-desktop"
+        value = c4h.run(
+            c4h.devices[0].kv.get(f"resource:{c4h.device('desktop').name}")
+        )
+        assert ResourceSnapshot.from_wire(value).device_type == "quad-desktop"

@@ -1,0 +1,95 @@
+"""Behavioural tests for the surveillance pipeline and service chains."""
+
+import pytest
+
+from repro.services import (
+    FaceDetection,
+    FaceRecognition,
+    MediaConversion,
+    surveillance_pipeline,
+)
+from repro.sim import Simulator
+from repro.virt import ATOM_S1, QUAD_S2, DeviceProfile, Hypervisor
+
+
+def domain_for(profile, mem_mb, vcpus):
+    sim = Simulator()
+    hv = Hypervisor(sim, profile)
+    dom = hv.create_domain("guest", vcpus=vcpus, mem_mb=mem_mb)
+    return sim, dom
+
+
+def run_service(sim, service, domain, input_mb):
+    proc = sim.process(service.execute(domain, input_mb))
+    return sim.run(until=proc)
+
+
+class TestPipelineCharacter:
+    def test_fdet_scales_with_cpu_not_memory(self):
+        """FDet is CPU-intensive: a fast quad beats a slow Atom, and a
+        tiny VM does not slow it down."""
+        fdet = FaceDetection()
+        sim1, atom = domain_for(ATOM_S1, mem_mb=512, vcpus=1)
+        fdet.prewarm(atom)
+        r_atom = run_service(sim1, fdet, atom, 1.0)
+
+        fdet2 = FaceDetection()
+        sim2, quad = domain_for(QUAD_S2, mem_mb=128, vcpus=4)
+        fdet2.prewarm(quad)
+        r_quad = run_service(sim2, fdet2, quad, 1.0)
+        assert r_quad.elapsed_s < r_atom.elapsed_s / 3.0
+
+    def test_frec_punished_by_small_vm(self):
+        """FRec is memory-intensive: the 128 MB VM thrashes on big
+        frames while the 512 MB VM does not (Figure 7's mechanism)."""
+        frec_small = FaceRecognition(training_mb=60.0)
+        sim1, small = domain_for(QUAD_S2, mem_mb=128, vcpus=4)
+        frec_small.prewarm(small)
+        r_small = run_service(sim1, frec_small, small, 2.0)
+
+        frec_big = FaceRecognition(training_mb=60.0)
+        sim2, big = domain_for(QUAD_S2, mem_mb=1024, vcpus=4)
+        frec_big.prewarm(big)
+        r_big = run_service(sim2, frec_big, big, 2.0)
+        assert r_small.elapsed_s > 2.0 * r_big.elapsed_s
+
+    def test_frec_small_frames_fit_even_small_vm(self):
+        frec = FaceRecognition(training_mb=60.0)
+        assert frec.working_set_mb(0.25) < 128.0
+
+    def test_pipeline_output_chain_shrinks(self):
+        """FDet crops then FRec's match ID: outputs shrink stepwise."""
+        fdet, frec = surveillance_pipeline()
+        crops = fdet.output_mb(2.0)
+        match = frec.output_mb(2.0)
+        assert 2.0 > crops > match
+
+    def test_pipeline_steps_run_in_sequence(self):
+        sim, dom = domain_for(QUAD_S2, mem_mb=1024, vcpus=4)
+        results = []
+
+        def run_pipeline(sim, dom):
+            for service in surveillance_pipeline():
+                service.prewarm(dom)
+                result = yield from service.execute(dom, 1.0)
+                results.append(result)
+
+        proc = sim.process(run_pipeline(sim, dom))
+        sim.run(until=proc)
+        assert [r.service for r in results] == [
+            "face-detect#v1",
+            "face-recognize#v1",
+        ]
+        total = sum(r.elapsed_s for r in results)
+        assert sim.now == pytest.approx(total)
+
+    def test_conversion_heavier_than_detection_per_mb(self):
+        """x264 encoding burns more cycles per MB than the cascade."""
+        assert MediaConversion().cycles(10.0) > FaceDetection().cycles(10.0)
+
+    def test_recognition_training_size_costs_memory_not_cycles(self):
+        small_lib = FaceRecognition(training_mb=20.0)
+        big_lib = FaceRecognition(training_mb=200.0)
+        assert big_lib.cycles(1.0) == small_lib.cycles(1.0)
+        assert big_lib.working_set_mb(1.0) > small_lib.working_set_mb(1.0)
+        assert big_lib.setup_mb > small_lib.setup_mb

@@ -1,0 +1,399 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Simulator,
+    SimulationError,
+)
+from repro.sim.errors import EventAlreadyTriggered
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_clock_starts_at_custom_time():
+    sim = Simulator(start_time=10.0)
+    assert sim.now == 10.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    times = []
+
+    def proc(sim):
+        yield sim.timeout(5.0)
+        times.append(sim.now)
+        yield sim.timeout(2.5)
+        times.append(sim.now)
+
+    sim.process(proc(sim))
+    sim.run()
+    assert times == [5.0, 7.5]
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_timeout_carries_value():
+    sim = Simulator()
+    got = []
+
+    def proc(sim):
+        got.append((yield sim.timeout(1.0, value="payload")))
+
+    sim.process(proc(sim))
+    sim.run()
+    assert got == ["payload"]
+
+
+def test_process_return_value():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(1.0)
+        return 42
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert p.value == 42
+    assert p.ok
+
+
+def test_process_composes_with_process():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(3.0)
+        return "child-result"
+
+    def parent(sim):
+        result = yield sim.process(child(sim))
+        return (sim.now, result)
+
+    p = sim.process(parent(sim))
+    sim.run()
+    assert p.value == (3.0, "child-result")
+
+
+def test_events_at_same_time_fifo_order():
+    sim = Simulator()
+    order = []
+
+    def proc(sim, name):
+        yield sim.timeout(1.0)
+        order.append(name)
+
+    for name in ["a", "b", "c"]:
+        sim.process(proc(sim, name))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_manual_event_succeed():
+    sim = Simulator()
+    event = sim.event()
+    seen = []
+
+    def waiter(sim, event):
+        seen.append((yield event))
+
+    def firer(sim, event):
+        yield sim.timeout(2.0)
+        event.succeed("fired")
+
+    sim.process(waiter(sim, event))
+    sim.process(firer(sim, event))
+    sim.run()
+    assert seen == ["fired"]
+
+
+def test_event_double_trigger_raises():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed(1)
+    with pytest.raises(EventAlreadyTriggered):
+        event.succeed(2)
+
+
+def test_event_value_unavailable_before_trigger():
+    sim = Simulator()
+    event = sim.event()
+    with pytest.raises(SimulationError):
+        _ = event.value
+    with pytest.raises(SimulationError):
+        _ = event.ok
+
+
+def test_event_fail_delivers_exception_to_waiter():
+    sim = Simulator()
+    caught = []
+
+    def waiter(sim, event):
+        try:
+            yield event
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    event = sim.event()
+
+    def firer(sim, event):
+        yield sim.timeout(1.0)
+        event.fail(RuntimeError("boom"))
+
+    sim.process(waiter(sim, event))
+    sim.process(firer(sim, event))
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_fail_requires_exception_instance():
+    sim = Simulator()
+    event = sim.event()
+    with pytest.raises(TypeError):
+        event.fail("not an exception")
+
+
+def test_process_exception_propagates_as_failure():
+    sim = Simulator()
+
+    def bad(sim):
+        yield sim.timeout(1.0)
+        raise ValueError("inner")
+
+    p = sim.process(bad(sim))
+    # Unconsumed process failure surfaces when stepped.
+    with pytest.raises(ValueError, match="inner"):
+        sim.run()
+    assert p.triggered and not p.ok
+
+
+def test_process_failure_consumed_by_parent():
+    sim = Simulator()
+
+    def bad(sim):
+        yield sim.timeout(1.0)
+        raise ValueError("inner")
+
+    def parent(sim):
+        try:
+            yield sim.process(bad(sim))
+        except ValueError:
+            return "handled"
+
+    p = sim.process(parent(sim))
+    sim.run()
+    assert p.value == "handled"
+
+
+def test_yield_non_event_raises():
+    sim = Simulator()
+
+    def bad(sim):
+        yield 42
+
+    sim.process(bad(sim))
+    with pytest.raises(SimulationError, match="non-event"):
+        sim.run()
+
+
+def test_run_until_time():
+    sim = Simulator()
+    ticks = []
+
+    def ticker(sim):
+        while True:
+            yield sim.timeout(1.0)
+            ticks.append(sim.now)
+
+    sim.process(ticker(sim))
+    sim.run(until=5.5)
+    assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+    assert sim.now == 5.5
+
+
+def test_run_until_past_time_rejected():
+    sim = Simulator(start_time=10.0)
+    with pytest.raises(ValueError):
+        sim.run(until=5.0)
+
+
+def test_run_until_event_returns_value():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(2.0)
+        return "finished"
+
+    p = sim.process(proc(sim))
+    assert sim.run(until=p) == "finished"
+    assert sim.now == 2.0
+
+
+def test_run_until_untriggerable_event_raises():
+    sim = Simulator()
+    orphan = sim.event()
+    with pytest.raises(SimulationError):
+        sim.run(until=orphan)
+
+
+def test_run_until_already_processed_event():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(1.0)
+        return 7
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert sim.run(until=p) == 7
+
+
+def test_peek_and_step():
+    sim = Simulator()
+    sim.timeout(3.0)
+    assert sim.peek() == 3.0
+    sim.step()
+    assert sim.now == 3.0
+    assert sim.peek() == float("inf")
+    with pytest.raises(SimulationError):
+        sim.step()
+
+
+def test_interrupt_waiting_process():
+    sim = Simulator()
+    log = []
+
+    def sleeper(sim):
+        try:
+            yield sim.timeout(100.0)
+            log.append("slept")
+        except Interrupt as i:
+            log.append(("interrupted", i.cause, sim.now))
+
+    def interrupter(sim, victim):
+        yield sim.timeout(2.0)
+        victim.interrupt("wake up")
+
+    victim = sim.process(sleeper(sim))
+    sim.process(interrupter(sim, victim))
+    sim.run()
+    assert log == [("interrupted", "wake up", 2.0)]
+
+
+def test_interrupt_dead_process_raises():
+    sim = Simulator()
+
+    def quick(sim):
+        yield sim.timeout(1.0)
+
+    p = sim.process(quick(sim))
+    sim.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_interrupted_process_can_continue():
+    sim = Simulator()
+    log = []
+
+    def worker(sim):
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt:
+            pass
+        yield sim.timeout(1.0)
+        log.append(sim.now)
+
+    def interrupter(sim, victim):
+        yield sim.timeout(5.0)
+        victim.interrupt()
+
+    victim = sim.process(worker(sim))
+    sim.process(interrupter(sim, victim))
+    sim.run()
+    assert log == [6.0]
+
+
+def test_any_of_triggers_on_first():
+    sim = Simulator()
+
+    def proc(sim, delay, name):
+        yield sim.timeout(delay)
+        return name
+
+    fast = sim.process(proc(sim, 1.0, "fast"))
+    slow = sim.process(proc(sim, 5.0, "slow"))
+    result = sim.run(until=AnyOf(sim, [fast, slow]))
+    assert result == {fast: "fast"}
+    assert sim.now == 1.0
+
+
+def test_all_of_waits_for_all():
+    sim = Simulator()
+
+    def proc(sim, delay, name):
+        yield sim.timeout(delay)
+        return name
+
+    a = sim.process(proc(sim, 1.0, "a"))
+    b = sim.process(proc(sim, 5.0, "b"))
+    result = sim.run(until=AllOf(sim, [a, b]))
+    assert result == {a: "a", b: "b"}
+    assert sim.now == 5.0
+
+
+def test_all_of_empty_succeeds_immediately():
+    sim = Simulator()
+    cond = AllOf(sim, [])
+    assert cond.triggered
+    assert cond.value == {}
+
+
+def test_condition_fails_when_member_fails():
+    sim = Simulator()
+
+    def bad(sim):
+        yield sim.timeout(1.0)
+        raise RuntimeError("member failed")
+
+    def waiter(sim, cond):
+        try:
+            yield cond
+        except RuntimeError:
+            return "caught"
+
+    p_bad = sim.process(bad(sim))
+    cond = AllOf(sim, [p_bad])
+    w = sim.process(waiter(sim, cond))
+    sim.run()
+    assert w.value == "caught"
+
+
+def test_condition_rejects_foreign_events():
+    sim1, sim2 = Simulator(), Simulator()
+    with pytest.raises(SimulationError):
+        AllOf(sim1, [Event(sim2)])
+
+
+def test_many_processes_scale():
+    sim = Simulator()
+    done = []
+
+    def proc(sim, i):
+        yield sim.timeout(float(i % 17))
+        done.append(i)
+
+    for i in range(500):
+        sim.process(proc(sim, i))
+    sim.run()
+    assert len(done) == 500

@@ -1,0 +1,235 @@
+"""Edge-case tests for the simulation kernel."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Simulator,
+    SimulationError,
+)
+
+
+class TestActiveProcess:
+    def test_active_process_visible_during_resume(self):
+        sim = Simulator()
+        seen = []
+
+        def proc(sim):
+            seen.append(sim.active_process)
+            yield sim.timeout(1.0)
+            seen.append(sim.active_process)
+
+        p = sim.process(proc(sim))
+        sim.run()
+        assert seen == [p, p]
+        assert sim.active_process is None
+
+
+class TestConditions:
+    def test_any_of_with_already_triggered_member(self):
+        sim = Simulator()
+        done = sim.event()
+        done.succeed("early")
+        sim.run()  # process the trigger
+        cond = AnyOf(sim, [done, sim.event()])
+        assert cond.triggered
+        assert cond.value == {done: "early"}
+
+    def test_any_of_simultaneous_triggers_reports_all(self):
+        sim = Simulator()
+
+        def proc(sim, value):
+            yield sim.timeout(1.0)
+            return value
+
+        a = sim.process(proc(sim, "a"))
+        b = sim.process(proc(sim, "b"))
+        result = sim.run(until=AnyOf(sim, [a, b]))
+        # Both trigger at t=1; at least the first is reported.
+        assert "a" in result.values() or "b" in result.values()
+
+    def test_nested_conditions(self):
+        sim = Simulator()
+
+        def proc(sim, delay, value):
+            yield sim.timeout(delay)
+            return value
+
+        fast = sim.process(proc(sim, 1.0, "fast"))
+        slow = sim.process(proc(sim, 5.0, "slow"))
+        slower = sim.process(proc(sim, 9.0, "slower"))
+        inner = AllOf(sim, [fast, slow])
+        outer = AnyOf(sim, [inner, slower])
+        result = sim.run(until=outer)
+        assert inner in result
+        assert sim.now == 5.0
+
+    def test_any_of_empty_succeeds(self):
+        sim = Simulator()
+        cond = AnyOf(sim, [])
+        assert cond.triggered and cond.value == {}
+
+
+class TestInterruptSemantics:
+    def test_interrupt_cause_none_by_default(self):
+        sim = Simulator()
+        causes = []
+
+        def victim(sim):
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt as i:
+                causes.append(i.cause)
+
+        def attacker(sim, target):
+            yield sim.timeout(1.0)
+            target.interrupt()
+
+        v = sim.process(victim(sim))
+        sim.process(attacker(sim, v))
+        sim.run()
+        assert causes == [None]
+
+    def test_double_interrupt_delivered_once_each(self):
+        sim = Simulator()
+        hits = []
+
+        def victim(sim):
+            for _ in range(2):
+                try:
+                    yield sim.timeout(100.0)
+                except Interrupt as i:
+                    hits.append(i.cause)
+
+        def attacker(sim, target):
+            yield sim.timeout(1.0)
+            target.interrupt("first")
+            target.interrupt("second")
+
+        v = sim.process(victim(sim))
+        sim.process(attacker(sim, v))
+        sim.run()
+        assert hits == ["first", "second"]
+
+    def test_interrupt_after_natural_wakeup_is_dropped(self):
+        sim = Simulator()
+        log = []
+
+        def victim(sim):
+            yield sim.timeout(1.0)
+            log.append("woke")
+            # No further waits: process ends before delivery.
+
+        def attacker(sim, target):
+            yield sim.timeout(1.0)
+            if target.is_alive:
+                target.interrupt("late")
+
+        v = sim.process(victim(sim))
+        sim.process(attacker(sim, v))
+        sim.run()
+        assert log == ["woke"]
+
+    def test_interrupting_a_busy_process_mid_timeout(self):
+        sim = Simulator()
+        resumed_at = []
+
+        def victim(sim):
+            try:
+                yield sim.timeout(10.0)
+            except Interrupt:
+                resumed_at.append(sim.now)
+                yield sim.timeout(2.0)
+                resumed_at.append(sim.now)
+
+        def attacker(sim, target):
+            yield sim.timeout(4.0)
+            target.interrupt()
+
+        v = sim.process(victim(sim))
+        sim.process(attacker(sim, v))
+        sim.run()
+        assert resumed_at == [4.0, 6.0]
+
+
+class TestEventChaining:
+    def test_trigger_copies_success(self):
+        sim = Simulator()
+        source = sim.event()
+        target = sim.event()
+        source.succeed(42)
+        target.trigger(source)
+        sim.run()
+        assert target.ok and target.value == 42
+
+    def test_trigger_copies_failure(self):
+        sim = Simulator()
+        source = sim.event()
+        target = sim.event()
+        source.fail(RuntimeError("bad"))
+        source._defused = True
+        target.trigger(source)
+        target._defused = True
+        sim.run()
+        assert not target.ok
+
+    def test_timeout_zero_fires_same_instant_in_order(self):
+        sim = Simulator()
+        order = []
+
+        def proc(sim, name):
+            yield sim.timeout(0.0)
+            order.append(name)
+
+        sim.process(proc(sim, "first"))
+        sim.process(proc(sim, "second"))
+        sim.run()
+        assert order == ["first", "second"]
+        assert sim.now == 0.0
+
+
+class TestRunSemantics:
+    def test_run_with_no_events_returns(self):
+        sim = Simulator()
+        assert sim.run() is None
+        assert sim.now == 0.0
+
+    def test_run_until_event_that_fails_raises(self):
+        sim = Simulator()
+
+        def bad(sim):
+            yield sim.timeout(1.0)
+            raise ValueError("exploded")
+
+        p = sim.process(bad(sim))
+        with pytest.raises(ValueError, match="exploded"):
+            sim.run(until=p)
+
+    def test_run_until_already_failed_event_raises(self):
+        sim = Simulator()
+
+        def bad(sim):
+            yield sim.timeout(1.0)
+            raise ValueError("exploded")
+
+        p = sim.process(bad(sim))
+        with pytest.raises(ValueError):
+            sim.run()
+        with pytest.raises(ValueError):
+            sim.run(until=p)
+
+    def test_clock_never_goes_backwards(self):
+        sim = Simulator()
+        stamps = []
+
+        def proc(sim, delay):
+            yield sim.timeout(delay)
+            stamps.append(sim.now)
+
+        for delay in [5.0, 1.0, 3.0, 1.0]:
+            sim.process(proc(sim, delay))
+        sim.run()
+        assert stamps == sorted(stamps)

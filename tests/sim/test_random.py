@@ -1,0 +1,114 @@
+"""Tests for seeded, forkable randomness."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import RandomSource
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = RandomSource(42)
+        b = RandomSource(42)
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        a = RandomSource(1)
+        b = RandomSource(2)
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_fork_is_deterministic(self):
+        a = RandomSource(7).fork("net")
+        b = RandomSource(7).fork("net")
+        assert a.random() == b.random()
+
+    def test_forks_are_independent_streams(self):
+        root = RandomSource(7)
+        net = root.fork("net")
+        workload = root.fork("workload")
+        assert [net.random() for _ in range(5)] != [
+            workload.random() for _ in range(5)
+        ]
+
+    def test_adding_consumer_does_not_perturb_existing(self):
+        """Forking a new child never changes an existing child's draws."""
+        root1 = RandomSource(3)
+        net1 = root1.fork("net")
+        draws_before = [net1.random() for _ in range(5)]
+
+        root2 = RandomSource(3)
+        root2.fork("brand-new-consumer")
+        net2 = root2.fork("net")
+        draws_after = [net2.random() for _ in range(5)]
+        assert draws_before == draws_after
+
+
+class TestDistributions:
+    def test_uniform_bounds(self):
+        rng = RandomSource(1)
+        for _ in range(100):
+            x = rng.uniform(2.0, 5.0)
+            assert 2.0 <= x <= 5.0
+
+    def test_randint_inclusive(self):
+        rng = RandomSource(1)
+        values = {rng.randint(1, 3) for _ in range(200)}
+        assert values == {1, 2, 3}
+
+    def test_exponential_positive(self):
+        rng = RandomSource(1)
+        assert all(rng.exponential(2.0) > 0 for _ in range(50))
+        with pytest.raises(ValueError):
+            rng.exponential(0.0)
+
+    def test_pareto_scale_floor(self):
+        rng = RandomSource(1)
+        assert all(rng.pareto(1.5, scale=3.0) >= 3.0 for _ in range(100))
+        with pytest.raises(ValueError):
+            rng.pareto(0.0)
+
+    def test_lognormal_positive(self):
+        rng = RandomSource(1)
+        assert all(rng.lognormal(0.0, 1.0) > 0 for _ in range(50))
+
+    def test_choice_and_empty(self):
+        rng = RandomSource(1)
+        assert rng.choice([5]) == 5
+        with pytest.raises(ValueError):
+            rng.choice([])
+
+    def test_sample_and_shuffle(self):
+        rng = RandomSource(1)
+        items = list(range(10))
+        sample = rng.sample(items, 4)
+        assert len(sample) == 4 and set(sample) <= set(items)
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+
+    def test_weighted_choice_respects_zero_weight(self):
+        rng = RandomSource(1)
+        picks = {
+            rng.weighted_choice(["a", "b"], [1.0, 0.0]) for _ in range(50)
+        }
+        assert picks == {"a"}
+
+    def test_jittered_bounds(self):
+        rng = RandomSource(1)
+        for _ in range(100):
+            x = rng.jittered(10.0, 0.2)
+            assert 8.0 <= x <= 12.0
+        with pytest.raises(ValueError):
+            rng.jittered(1.0, -0.1)
+
+    def test_jittered_never_negative(self):
+        rng = RandomSource(1)
+        assert all(rng.jittered(0.001, 5.0) >= 0.0 for _ in range(100))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000), st.text(max_size=10))
+    def test_fork_names_give_stable_seeds(self, seed, name):
+        a = RandomSource(seed).fork(name)
+        b = RandomSource(seed).fork(name)
+        assert a.getrandbits(32) == b.getrandbits(32)

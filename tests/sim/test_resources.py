@@ -1,0 +1,224 @@
+"""Unit tests for Resource, Container, and Store."""
+
+import pytest
+
+from repro.sim import Container, Resource, Simulator, SimulationError, Store
+
+
+class TestResource:
+    def test_capacity_must_be_positive(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Resource(sim, capacity=0)
+
+    def test_immediate_grant_under_capacity(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+        grants = []
+
+        def proc(sim, res):
+            req = res.request()
+            yield req
+            grants.append(sim.now)
+
+        sim.process(proc(sim, res))
+        sim.process(proc(sim, res))
+        sim.run()
+        assert grants == [0.0, 0.0]
+        assert res.count == 2
+
+    def test_fifo_queueing(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        order = []
+
+        def proc(sim, res, name, hold):
+            req = res.request()
+            yield req
+            order.append((name, sim.now))
+            yield sim.timeout(hold)
+            req.release()
+
+        sim.process(proc(sim, res, "first", 2.0))
+        sim.process(proc(sim, res, "second", 2.0))
+        sim.process(proc(sim, res, "third", 2.0))
+        sim.run()
+        assert order == [("first", 0.0), ("second", 2.0), ("third", 4.0)]
+
+    def test_queue_length(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+
+        def holder(sim, res):
+            req = res.request()
+            yield req
+            yield sim.timeout(10.0)
+            req.release()
+
+        def waiter(sim, res):
+            req = res.request()
+            yield req
+            req.release()
+
+        sim.process(holder(sim, res))
+        sim.process(waiter(sim, res))
+        sim.run(until=1.0)
+        assert res.queue_length == 1
+
+    def test_withdraw_pending_request(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+
+        def holder(sim, res):
+            req = res.request()
+            yield req
+            yield sim.timeout(5.0)
+            req.release()
+
+        sim.process(holder(sim, res))
+        sim.run(until=1.0)
+        pending = res.request()
+        assert res.queue_length == 1
+        pending.release()
+        assert res.queue_length == 0
+
+    def test_release_unknown_request_raises(self):
+        sim = Simulator()
+        res1 = Resource(sim, capacity=1)
+        res2 = Resource(sim, capacity=1)
+        req = res1.request()
+        with pytest.raises(SimulationError):
+            res2._do_release(req)
+
+    def test_use_helper(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        spans = []
+
+        def proc(sim, res, name):
+            start = sim.now
+            yield from res.use(3.0)
+            spans.append((name, start, sim.now))
+
+        sim.process(proc(sim, res, "a"))
+        sim.process(proc(sim, res, "b"))
+        sim.run()
+        assert spans == [("a", 0.0, 3.0), ("b", 0.0, 6.0)]
+        assert res.count == 0
+
+
+class TestContainer:
+    def test_put_and_get(self):
+        sim = Simulator()
+        c = Container(sim, capacity=100.0, init=10.0)
+        c.put(40.0)
+        assert c.level == 50.0
+        assert c.free == 50.0
+        c.get(25.0)
+        assert c.level == 25.0
+
+    def test_overflow_raises(self):
+        sim = Simulator()
+        c = Container(sim, capacity=10.0)
+        with pytest.raises(SimulationError):
+            c.put(11.0)
+
+    def test_underflow_raises(self):
+        sim = Simulator()
+        c = Container(sim, capacity=10.0, init=5.0)
+        with pytest.raises(SimulationError):
+            c.get(6.0)
+
+    def test_negative_amounts_rejected(self):
+        sim = Simulator()
+        c = Container(sim, capacity=10.0)
+        with pytest.raises(ValueError):
+            c.put(-1.0)
+        with pytest.raises(ValueError):
+            c.get(-1.0)
+
+    def test_bad_init_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Container(sim, capacity=10.0, init=11.0)
+        with pytest.raises(ValueError):
+            Container(sim, capacity=0.0)
+
+
+class TestStore:
+    def test_put_then_get(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put("x")
+        got = []
+
+        def getter(sim, store):
+            got.append((yield store.get()))
+
+        sim.process(getter(sim, store))
+        sim.run()
+        assert got == ["x"]
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def getter(sim, store):
+            item = yield store.get()
+            got.append((item, sim.now))
+
+        def putter(sim, store):
+            yield sim.timeout(4.0)
+            store.put("late")
+
+        sim.process(getter(sim, store))
+        sim.process(putter(sim, store))
+        sim.run()
+        assert got == [("late", 4.0)]
+
+    def test_fifo_item_order(self):
+        sim = Simulator()
+        store = Store(sim)
+        for i in range(5):
+            store.put(i)
+        got = []
+
+        def getter(sim, store):
+            for _ in range(5):
+                got.append((yield store.get()))
+
+        sim.process(getter(sim, store))
+        sim.run()
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_fifo_getter_order(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def getter(sim, store, name):
+            item = yield store.get()
+            got.append((name, item))
+
+        sim.process(getter(sim, store, "g1"))
+        sim.process(getter(sim, store, "g2"))
+
+        def putter(sim, store):
+            yield sim.timeout(1.0)
+            store.put("a")
+            store.put("b")
+
+        sim.process(putter(sim, store))
+        sim.run()
+        assert got == [("g1", "a"), ("g2", "b")]
+
+    def test_len_and_peek(self):
+        sim = Simulator()
+        store = Store(sim)
+        assert len(store) == 0
+        assert store.peek() is None
+        store.put("head")
+        store.put("tail")
+        assert len(store) == 2
+        assert store.peek() == "head"

@@ -1,0 +1,130 @@
+"""Tests for the structured event tracer."""
+
+import pytest
+
+from repro.sim import Simulator, Tracer
+
+
+class TestEmit:
+    def test_events_carry_time_and_detail(self):
+        sim = Simulator()
+        tracer = Tracer(sim)
+
+        def proc(sim, tracer):
+            yield sim.timeout(2.5)
+            tracer.emit("op.start", "node0", obj="x.avi")
+
+        sim.process(proc(sim, tracer))
+        sim.run()
+        assert len(tracer.events) == 1
+        event = tracer.events[0]
+        assert event.at == 2.5
+        assert event.kind == "op.start"
+        assert event.detail == {"obj": "x.avi"}
+
+    def test_capacity_ring_buffer(self):
+        sim = Simulator()
+        tracer = Tracer(sim, capacity=3)
+        for i in range(5):
+            tracer.emit("tick", "t", i=i)
+        assert len(tracer.events) == 3
+        assert tracer.dropped == 2
+        assert [e.detail["i"] for e in tracer.events] == [2, 3, 4]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            Tracer(Simulator(), capacity=0)
+
+    def test_subscribers_called_live(self):
+        sim = Simulator()
+        tracer = Tracer(sim)
+        seen = []
+        tracer.subscribers.append(lambda e: seen.append(e.kind))
+        tracer.emit("a", "s")
+        tracer.emit("b", "s")
+        assert seen == ["a", "b"]
+
+
+class TestSpan:
+    def test_span_records_start_and_end(self):
+        sim = Simulator()
+        tracer = Tracer(sim)
+
+        def work(sim):
+            yield sim.timeout(1.0)
+            return "done"
+
+        def proc(sim, tracer):
+            result = yield from tracer.span("job", "node1", jid=7)(work(sim))
+            return result
+
+        p = sim.process(proc(sim, tracer))
+        sim.run()
+        assert p.value == "done"
+        kinds = [e.kind for e in tracer.events]
+        assert kinds == ["job.start", "job.end"]
+        assert tracer.events[0].at == 0.0
+        assert tracer.events[1].at == 1.0
+
+    def test_span_records_errors(self):
+        sim = Simulator()
+        tracer = Tracer(sim)
+
+        def bad(sim):
+            yield sim.timeout(1.0)
+            raise RuntimeError("boom")
+
+        def proc(sim, tracer):
+            try:
+                yield from tracer.span("job", "node1")(bad(sim))
+            except RuntimeError:
+                return "caught"
+
+        p = sim.process(proc(sim, tracer))
+        sim.run()
+        assert p.value == "caught"
+        kinds = [e.kind for e in tracer.events]
+        assert kinds == ["job.start", "job.error"]
+        assert tracer.events[1].detail["error"] == "boom"
+
+
+class TestQuerying:
+    def build(self):
+        sim = Simulator()
+        tracer = Tracer(sim)
+        tracer.emit("fetch.start", "a")
+        tracer.emit("fetch.end", "a")
+        tracer.emit("store.start", "b")
+        return tracer
+
+    def test_select_by_kind_prefix(self):
+        tracer = self.build()
+        assert len(list(tracer.select(kind="fetch"))) == 2
+
+    def test_select_by_source(self):
+        tracer = self.build()
+        assert len(list(tracer.select(source="b"))) == 1
+
+    def test_select_by_window(self):
+        sim = Simulator()
+        tracer = Tracer(sim)
+        for t in [1.0, 2.0, 3.0]:
+            sim._now = t  # direct clock control for the test
+            tracer.emit("tick", "x")
+        assert len(list(tracer.select(start=1.5, end=2.5))) == 1
+
+    def test_counts(self):
+        tracer = self.build()
+        assert tracer.counts() == {
+            "fetch.start": 1,
+            "fetch.end": 1,
+            "store.start": 1,
+        }
+
+    def test_export_and_clear(self):
+        tracer = self.build()
+        exported = tracer.export()
+        assert exported[0]["kind"] == "fetch.start"
+        assert all("at" in row for row in exported)
+        tracer.clear()
+        assert not tracer.events

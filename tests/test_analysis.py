@@ -1,0 +1,129 @@
+"""Tests for the shape-analysis helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    argmax,
+    argmin,
+    crossover_points,
+    has_interior_peak,
+    is_monotone_decreasing,
+    is_monotone_increasing,
+    peak_position,
+    relative_spread,
+    speedup,
+)
+
+series = st.lists(
+    st.floats(min_value=0.1, max_value=1000.0, allow_nan=False),
+    min_size=3,
+    max_size=12,
+)
+
+
+class TestArgminArgmax:
+    def test_basic(self):
+        assert argmin([3, 1, 2]) == 1
+        assert argmax([3, 1, 2]) == 0
+
+    def test_first_occurrence(self):
+        assert argmin([1, 1, 2]) == 0
+        assert argmax([2, 2, 1]) == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            argmin([])
+
+
+class TestMonotone:
+    def test_increasing(self):
+        assert is_monotone_increasing([1, 2, 3])
+        assert not is_monotone_increasing([1, 3, 2])
+
+    def test_decreasing(self):
+        assert is_monotone_decreasing([3, 2, 1])
+        assert not is_monotone_decreasing([3, 1, 2])
+
+    def test_tolerance_allows_noise(self):
+        assert is_monotone_increasing([1.0, 0.99, 1.5], tolerance=0.05)
+        assert not is_monotone_increasing([1.0, 0.8, 1.5], tolerance=0.05)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            is_monotone_increasing([1])
+
+    @settings(max_examples=50, deadline=None)
+    @given(series)
+    def test_sorted_series_is_monotone(self, values):
+        assert is_monotone_increasing(sorted(values))
+        assert is_monotone_decreasing(sorted(values, reverse=True))
+
+
+class TestPeaks:
+    def test_interior_peak_detected(self):
+        assert has_interior_peak([1, 3, 1])
+        assert has_interior_peak([0.85, 1.13, 0.74, 0.59])
+
+    def test_endpoint_maximum_is_not_interior(self):
+        assert not has_interior_peak([3, 2, 1])
+        assert not has_interior_peak([1, 2, 3])
+
+    def test_margin_requires_clear_peak(self):
+        assert not has_interior_peak([1.0, 1.05, 1.0], margin=0.10)
+        assert has_interior_peak([1.0, 1.5, 1.0], margin=0.10)
+
+    def test_peak_position(self):
+        assert peak_position([10, 20, 50], [0.9, 1.3, 0.7]) == 20
+
+    def test_peak_position_length_mismatch(self):
+        with pytest.raises(ValueError):
+            peak_position([1, 2], [1.0])
+
+
+class TestCrossovers:
+    def test_single_crossover(self):
+        xs = [1, 2, 3, 4]
+        a = [1, 2, 3, 4]  # rising
+        b = [4, 3, 2, 1]  # falling
+        points = crossover_points(xs, a, b)
+        assert points == [2.5]
+
+    def test_no_crossover(self):
+        xs = [1, 2, 3]
+        assert crossover_points(xs, [1, 2, 3], [4, 5, 6]) == []
+
+    def test_touching_is_not_crossing(self):
+        xs = [1, 2, 3]
+        assert crossover_points(xs, [1, 2, 3], [3, 2, 3]) == []
+
+    def test_figure7_style_double_crossover(self):
+        # S1 rises steeply, S3 is flat-ish: S1 < S3 at small sizes,
+        # S1 > S3 at large ones.
+        xs = [0.25, 0.5, 1.0, 2.0]
+        s1 = [0.42, 0.85, 1.89, 4.44]
+        s3 = [2.02, 2.25, 3.28, 3.94]
+        points = crossover_points(xs, s1, s3)
+        assert len(points) == 1
+        assert 1.0 <= points[0] <= 2.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            crossover_points([1, 2], [1, 2], [1])
+
+
+class TestSpreadAndSpeedup:
+    def test_relative_spread(self):
+        assert relative_spread([2, 2, 2]) == 0.0
+        assert relative_spread([1, 3]) == pytest.approx(1.0)
+
+    def test_speedup(self):
+        assert speedup(100.0, 25.0) == 4.0
+        with pytest.raises(ValueError):
+            speedup(10.0, 0.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(series)
+    def test_spread_nonnegative(self, values):
+        assert relative_spread(values) >= 0.0

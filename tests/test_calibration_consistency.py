@@ -1,0 +1,137 @@
+"""Guards that docs/CALIBRATION.md stays truthful.
+
+Each assertion pins a documented model constant to its value in code;
+if a constant is retuned, both the doc and this test must move with it
+(and the anchoring benchmark must be re-run).
+"""
+
+import pytest
+
+from repro.cluster.config import ClusterConfig, LanConfig, WanConfig
+from repro.kvstore import DhtKeyValueStore
+from repro.overlay import ID_BITS, ID_DIGITS
+from repro.overlay.node import ChimeraNode
+from repro.services import FaceDetection, FaceRecognition, MediaConversion
+from repro.sim import Simulator
+from repro.virt import (
+    ATOM_NETBOOK,
+    ATOM_S1,
+    EC2_XL,
+    QUAD_DESKTOP,
+    QUAD_S2,
+    XenSocketChannel,
+)
+
+MB = 1024 * 1024
+
+
+class TestNetworkConstants:
+    def test_lan(self):
+        lan = LanConfig()
+        assert lan.bandwidth_mbps == 95.5
+        assert lan.flow_cap_mb_s == 8.0
+        assert lan.latency_s == pytest.approx(0.0008)
+
+    def test_wan(self):
+        wan = WanConfig()
+        assert wan.down_capacity_mb_s == 2.6
+        assert wan.up_capacity_mb_s == 1.8
+        assert wan.down_flow_mean_mb_s == 1.5
+        assert wan.up_flow_mean_mb_s == 1.0
+        assert wan.tcp_rtt_s == 0.15
+        assert wan.tcp_max_window == int(1.6 * MB)
+        assert wan.shaping_after_s == 15.0
+        assert wan.s3_request_overhead_s == 0.08
+
+
+class TestVirtConstants:
+    def test_xensocket_paper_configuration(self):
+        channel = XenSocketChannel(Simulator())
+        assert channel.page_size == 4 * 1024
+        assert channel.page_count == 32
+        assert channel.page_overhead_s == pytest.approx(52e-6)
+        assert channel.memory_bandwidth == pytest.approx(400e6)
+        assert channel.setup_s == pytest.approx(0.007)
+
+    def test_virt_overhead(self):
+        assert ATOM_NETBOOK.virt_overhead == pytest.approx(0.05)
+
+    def test_device_profiles_match_paper(self):
+        assert (ATOM_NETBOOK.cpu_cores, ATOM_NETBOOK.cpu_ghz) == (2, 1.66)
+        assert (QUAD_DESKTOP.cpu_cores, QUAD_DESKTOP.cpu_ghz) == (4, 2.3)
+        assert (ATOM_S1.cpu_cores, ATOM_S1.cpu_ghz) == (2, 1.3)
+        assert (QUAD_S2.cpu_cores, QUAD_S2.cpu_ghz) == (4, 1.8)
+        assert (EC2_XL.cpu_cores, EC2_XL.cpu_ghz) == (5, 2.9)
+        assert EC2_XL.mem_mb == 14 * 1024
+
+
+class TestOverlayConstants:
+    def test_id_space_is_40_bits(self):
+        assert ID_BITS == 40
+        assert ID_DIGITS == 10
+
+    def test_processing_costs(self):
+        import inspect
+
+        assert (
+            inspect.signature(ChimeraNode.__init__)
+            .parameters["hop_processing_s"]
+            .default
+            == 0.002
+        )
+        assert (
+            inspect.signature(DhtKeyValueStore.__init__)
+            .parameters["processing_s"]
+            .default
+            == 0.004
+        )
+
+    def test_default_replication_factor(self):
+        assert ClusterConfig().replication_factor == 2
+
+
+class TestServiceConstants:
+    def test_face_detection(self):
+        fdet = FaceDetection()
+        assert fdet.compute.base_cycles == pytest.approx(0.05e9)
+        assert fdet.compute.cycles_per_mb == pytest.approx(0.75e9)
+        assert fdet.compute.size_exponent == pytest.approx(1.3)
+        assert fdet.setup_mb == 8.0
+
+    def test_face_recognition(self):
+        frec = FaceRecognition(training_mb=60.0)
+        assert frec.compute.cycles_per_mb == pytest.approx(1.4e9)
+        assert frec.compute.working_set_per_mb == pytest.approx(100.0)
+        assert frec.compute.working_set_exponent == pytest.approx(2.0)
+        assert frec.compute.working_set_base_mb == pytest.approx(60.0)
+        assert frec.setup_mb == 60.0
+
+    def test_media_conversion(self):
+        conv = MediaConversion()
+        assert conv.compute.cycles_per_mb == pytest.approx(4.0e9)
+        assert conv.output_ratio == pytest.approx(0.35)
+        assert conv.setup_mb == 10.0
+
+    def test_thrash_coefficient(self):
+        from repro.virt import DeviceProfile, Hypervisor
+
+        hv = Hypervisor(Simulator(), DeviceProfile("t", 1, 1.0, 1024))
+        dom = hv.create_domain("d", mem_mb=100.0)
+        # slowdown(200 MB on 100 MB) = 1 + 3.0 * (2 - 1) = 4.0
+        assert dom.memory_slowdown(200.0) == pytest.approx(4.0)
+
+
+class TestWorkloadConstants:
+    def test_paper_trace_parameters(self):
+        from repro.workloads import EDonkeyTraceGenerator, SIZE_BUCKETS
+
+        gen = EDonkeyTraceGenerator()
+        assert gen.n_clients == 6
+        assert gen.n_files == 1300
+        assert gen.store_fraction == 0.6
+        assert SIZE_BUCKETS == {
+            "small": (1.0, 10.0),
+            "medium": (10.0, 20.0),
+            "large": (20.0, 50.0),
+            "superlarge": (50.0, 100.0),
+        }

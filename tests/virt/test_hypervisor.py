@@ -1,0 +1,153 @@
+"""Unit tests for the hypervisor/domain CPU and memory model."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.virt import ATOM_NETBOOK, QUAD_DESKTOP, DeviceProfile, Hypervisor
+
+
+def run(sim, generator):
+    proc = sim.process(generator)
+    return sim.run(until=proc)
+
+
+class TestDeviceProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceProfile("bad", cpu_cores=0, cpu_ghz=1.0, mem_mb=100)
+        with pytest.raises(ValueError):
+            DeviceProfile("bad", cpu_cores=1, cpu_ghz=0, mem_mb=100)
+        with pytest.raises(ValueError):
+            DeviceProfile("bad", cpu_cores=1, cpu_ghz=1.0, mem_mb=100, virt_overhead=1.0)
+
+    def test_cycles_per_second(self):
+        assert ATOM_NETBOOK.cycles_per_second == pytest.approx(1.66e9)
+
+
+class TestDomainCreation:
+    def test_defaults_claim_device(self):
+        sim = Simulator()
+        hv = Hypervisor(sim, QUAD_DESKTOP)
+        dom0 = hv.create_domain("dom0", is_control=True)
+        assert dom0.vcpus == 4
+        assert dom0.mem_mb == QUAD_DESKTOP.mem_mb
+        assert hv.control_domain() is dom0
+
+    def test_memory_overcommit_rejected(self):
+        sim = Simulator()
+        hv = Hypervisor(sim, ATOM_NETBOOK)  # 2048 MB
+        hv.create_domain("dom0", mem_mb=1536, is_control=True)
+        with pytest.raises(ValueError):
+            hv.create_domain("guest", mem_mb=1024)
+
+    def test_duplicate_name_rejected(self):
+        sim = Simulator()
+        hv = Hypervisor(sim, ATOM_NETBOOK)
+        hv.create_domain("d", mem_mb=512)
+        with pytest.raises(ValueError):
+            hv.create_domain("d", mem_mb=512)
+
+    def test_free_mem_tracking(self):
+        sim = Simulator()
+        hv = Hypervisor(sim, ATOM_NETBOOK)
+        hv.create_domain("dom0", mem_mb=512, is_control=True)
+        assert hv.free_mem_mb() == ATOM_NETBOOK.mem_mb - 512
+
+    def test_bad_domain_params(self):
+        sim = Simulator()
+        hv = Hypervisor(sim, ATOM_NETBOOK)
+        with pytest.raises(ValueError):
+            hv.create_domain("d", vcpus=0, mem_mb=512)
+
+
+class TestExecution:
+    def test_duration_matches_clock_rate(self):
+        sim = Simulator()
+        profile = DeviceProfile("test", 1, 1.0, 1024, virt_overhead=0.0)
+        hv = Hypervisor(sim, profile)
+        dom = hv.create_domain("d", mem_mb=512)
+        elapsed = run(sim, dom.execute(2e9))
+        assert elapsed == pytest.approx(2.0)
+
+    def test_virt_overhead_inflates(self):
+        sim = Simulator()
+        profile = DeviceProfile("test", 1, 1.0, 1024, virt_overhead=0.10)
+        hv = Hypervisor(sim, profile)
+        dom = hv.create_domain("d", mem_mb=512)
+        elapsed = run(sim, dom.execute(1e9))
+        assert elapsed == pytest.approx(1.10)
+
+    def test_parallelism_uses_vcpus(self):
+        sim = Simulator()
+        profile = DeviceProfile("test", 4, 1.0, 4096, virt_overhead=0.0)
+        hv = Hypervisor(sim, profile)
+        dom = hv.create_domain("d", vcpus=4, mem_mb=2048)
+        elapsed = run(sim, dom.execute(4e9, parallelism=4))
+        assert elapsed == pytest.approx(1.0)
+
+    def test_parallelism_capped_by_vcpus(self):
+        sim = Simulator()
+        profile = DeviceProfile("test", 4, 1.0, 4096, virt_overhead=0.0)
+        hv = Hypervisor(sim, profile)
+        dom = hv.create_domain("d", vcpus=1, mem_mb=2048)
+        elapsed = run(sim, dom.execute(4e9, parallelism=4))
+        assert elapsed == pytest.approx(4.0)
+
+    def test_domains_contend_for_cores(self):
+        sim = Simulator()
+        profile = DeviceProfile("test", 1, 1.0, 2048, virt_overhead=0.0)
+        hv = Hypervisor(sim, profile)
+        d1 = hv.create_domain("d1", vcpus=1, mem_mb=512)
+        d2 = hv.create_domain("d2", vcpus=1, mem_mb=512)
+        p1 = sim.process(d1.execute(1e9))
+        p2 = sim.process(d2.execute(1e9))
+        sim.run(until=p2)
+        # One core: the second domain waits for the first.
+        assert sim.now == pytest.approx(2.0)
+
+    def test_negative_cycles_rejected(self):
+        sim = Simulator()
+        hv = Hypervisor(sim, ATOM_NETBOOK)
+        dom = hv.create_domain("d", mem_mb=512)
+        with pytest.raises(ValueError):
+            run(sim, dom.execute(-1))
+
+    def test_busy_accounting_and_load(self):
+        sim = Simulator()
+        profile = DeviceProfile("test", 2, 1.0, 2048, virt_overhead=0.0)
+        hv = Hypervisor(sim, profile)
+        dom = hv.create_domain("d", vcpus=1, mem_mb=512)
+        run(sim, dom.execute(1e9))
+        assert dom.busy_cpu_seconds == pytest.approx(1.0)
+        assert hv.average_load() == pytest.approx(0.5)  # 1 of 2 cores for 1 s
+        assert hv.instantaneous_load() == 0.0
+
+
+class TestMemoryPressure:
+    def test_no_slowdown_when_fitting(self):
+        sim = Simulator()
+        hv = Hypervisor(sim, QUAD_DESKTOP)
+        dom = hv.create_domain("d", mem_mb=512)
+        assert dom.memory_slowdown(256) == 1.0
+        assert dom.memory_slowdown(512) == 1.0
+
+    def test_slowdown_grows_with_overcommit(self):
+        sim = Simulator()
+        hv = Hypervisor(sim, QUAD_DESKTOP)
+        dom = hv.create_domain("d", mem_mb=128)
+        s1 = dom.memory_slowdown(192)  # 1.5x overcommit
+        s2 = dom.memory_slowdown(256)  # 2x overcommit
+        assert 1.0 < s1 < s2
+
+    def test_execute_applies_slowdown(self):
+        sim = Simulator()
+        profile = DeviceProfile("test", 1, 1.0, 1024, virt_overhead=0.0)
+        hv = Hypervisor(sim, profile)
+        dom = hv.create_domain("d", mem_mb=100)
+        fit = run(sim, dom.execute(1e9, working_set_mb=50))
+        sim2 = Simulator()
+        hv2 = Hypervisor(sim2, profile)
+        dom2 = hv2.create_domain("d", mem_mb=100)
+        proc = sim2.process(dom2.execute(1e9, working_set_mb=200))
+        thrash = sim2.run(until=proc)
+        assert thrash > fit

@@ -1,0 +1,99 @@
+"""Property-based tests for the virtualization substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import AllOf, Simulator
+from repro.virt import DeviceProfile, Hypervisor, XenSocketChannel
+
+MB = 1024 * 1024
+
+
+class TestXenSocketProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=500 * MB, allow_nan=False))
+    def test_transfer_time_monotone_in_bytes(self, nbytes):
+        channel = XenSocketChannel(Simulator())
+        t1 = channel.transfer_time(nbytes)
+        t2 = channel.transfer_time(nbytes + 4096)
+        assert t2 >= t1 > 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=4 * 1024, max_value=2 * MB),
+        st.floats(min_value=1 * MB, max_value=200 * MB),
+    )
+    def test_bigger_pages_never_slower(self, page_size, nbytes):
+        sim = Simulator()
+        small = XenSocketChannel(sim, page_size=4 * 1024)
+        large = XenSocketChannel(sim, page_size=page_size)
+        assert large.transfer_time(nbytes) <= small.transfer_time(nbytes) * 1.001
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=1.0, max_value=20 * MB), min_size=1, max_size=5
+        )
+    )
+    def test_serialized_transfers_sum(self, sizes):
+        """Transfers on one ring serialize: total equals the sum."""
+        sim = Simulator()
+        channel = XenSocketChannel(sim)
+        procs = [sim.process(channel.transfer(s)) for s in sizes]
+        sim.run(until=AllOf(sim, procs))
+        expected = sum(channel.transfer_time(s) for s in sizes)
+        assert sim.now == pytest.approx(expected, rel=1e-9)
+        assert channel.transfers == len(sizes)
+
+
+class TestHypervisorProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.lists(
+            st.floats(min_value=1e8, max_value=5e9), min_size=1, max_size=6
+        ),
+    )
+    def test_makespan_bounded_by_core_capacity(self, cores, workloads):
+        """N cores can never do work faster than total/(cores*rate)."""
+        sim = Simulator()
+        profile = DeviceProfile("p", cores, 1.0, 8192, virt_overhead=0.0)
+        hv = Hypervisor(sim, profile)
+        domains = [
+            hv.create_domain(f"d{i}", vcpus=cores, mem_mb=1024)
+            for i in range(len(workloads))
+        ]
+        procs = [
+            sim.process(dom.execute(cycles))
+            for dom, cycles in zip(domains, workloads)
+        ]
+        sim.run(until=AllOf(sim, procs))
+        lower_bound = sum(workloads) / (cores * 1e9)
+        single_longest = max(workloads) / 1e9
+        assert sim.now >= max(lower_bound, single_longest) * (1 - 1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=1e10))
+    def test_busy_accounting_matches_work(self, cycles):
+        sim = Simulator()
+        profile = DeviceProfile("p", 2, 1.0, 2048, virt_overhead=0.0)
+        hv = Hypervisor(sim, profile)
+        dom = hv.create_domain("d", vcpus=1, mem_mb=1024)
+        proc = sim.process(dom.execute(cycles))
+        sim.run(until=proc)
+        assert dom.busy_cpu_seconds == pytest.approx(cycles / 1e9, abs=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.floats(min_value=1.0, max_value=10000.0),
+        st.floats(min_value=1.0, max_value=10000.0),
+    )
+    def test_memory_slowdown_monotone(self, mem_mb, working_set):
+        sim = Simulator()
+        profile = DeviceProfile("p", 1, 1.0, 32768)
+        hv = Hypervisor(sim, profile)
+        dom = hv.create_domain("d", mem_mb=mem_mb)
+        s1 = dom.memory_slowdown(working_set)
+        s2 = dom.memory_slowdown(working_set * 2)
+        assert 1.0 <= s1 <= s2

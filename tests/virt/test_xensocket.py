@@ -1,0 +1,119 @@
+"""Unit tests for the XenSocket channel and the transfer engine."""
+
+import pytest
+
+from repro.net import Link, Network, Route
+from repro.sim import RandomSource, Simulator
+from repro.virt import TransferEngine, XenSocketChannel
+
+MB = 1024 * 1024
+
+
+def run(sim, generator):
+    proc = sim.process(generator)
+    return sim.run(until=proc)
+
+
+class TestXenSocketChannel:
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            XenSocketChannel(sim, page_size=0)
+        with pytest.raises(ValueError):
+            XenSocketChannel(sim, page_count=0)
+        with pytest.raises(ValueError):
+            XenSocketChannel(sim, page_size=4 * MB)
+
+    def test_zero_bytes_costs_setup_only(self):
+        sim = Simulator()
+        ch = XenSocketChannel(sim)
+        assert ch.transfer_time(0) == ch.setup_s
+
+    def test_negative_bytes_rejected(self):
+        sim = Simulator()
+        ch = XenSocketChannel(sim)
+        with pytest.raises(ValueError):
+            ch.transfer_time(-1)
+
+    def test_time_grows_linearly(self):
+        sim = Simulator()
+        ch = XenSocketChannel(sim)
+        t1 = ch.transfer_time(1 * MB)
+        t10 = ch.transfer_time(10 * MB)
+        t100 = ch.transfer_time(100 * MB)
+        assert t1 < t10 < t100
+        # Linear regime: 10x the bytes ≈ 10x the page time.
+        assert t100 / t10 == pytest.approx(10.0, rel=0.15)
+
+    def test_matches_table1_interdomain_magnitudes(self):
+        """Table I inter-domain column: 1 MB ≈ 25 ms, 100 MB ≈ 1.6 s."""
+        sim = Simulator()
+        ch = XenSocketChannel(sim)  # 32 x 4 KB pages, the paper's config
+        assert ch.transfer_time(1 * MB) == pytest.approx(0.025, rel=0.35)
+        assert ch.transfer_time(100 * MB) == pytest.approx(1.603, rel=0.25)
+
+    def test_larger_pages_are_faster(self):
+        """"The page size can be increased up to 2 MB ... for better
+        performance."""
+        sim = Simulator()
+        small = XenSocketChannel(sim, page_size=4 * 1024)
+        large = XenSocketChannel(sim, page_size=2 * MB)
+        assert large.transfer_time(100 * MB) < small.transfer_time(100 * MB)
+
+    def test_transfer_process_advances_clock(self):
+        sim = Simulator()
+        ch = XenSocketChannel(sim)
+        elapsed = run(sim, ch.transfer(10 * MB))
+        assert elapsed == pytest.approx(ch.transfer_time(10 * MB))
+        assert ch.bytes_moved == 10 * MB
+        assert ch.transfers == 1
+
+    def test_concurrent_transfers_serialize_on_ring(self):
+        sim = Simulator()
+        ch = XenSocketChannel(sim)
+        p1 = sim.process(ch.transfer(10 * MB))
+        p2 = sim.process(ch.transfer(10 * MB))
+        sim.run(until=p2)
+        single = ch.transfer_time(10 * MB)
+        assert sim.now == pytest.approx(2 * single)
+
+    def test_effective_bandwidth(self):
+        sim = Simulator()
+        ch = XenSocketChannel(sim)
+        bw = ch.effective_bandwidth(100 * MB)
+        assert 40e6 < bw < 120e6  # tens of MB/s, as measured in Table I
+
+
+class TestTransferEngine:
+    def build(self, zero_copy=True):
+        sim = Simulator()
+        net = Network(sim, RandomSource(1))
+        net.add_host("a", group="home")
+        net.add_host("b", group="home")
+        link = Link(sim, bandwidth=10e6)
+        net.connect_groups("home", "home", Route(link, base_latency=0.001))
+        return sim, net, TransferEngine(net, zero_copy=zero_copy)
+
+    def test_send_moves_bytes(self):
+        sim, net, engine = self.build()
+        report = run(sim, engine.send("a", "b", 5 * MB))
+        assert report.nbytes == 5 * MB
+        assert engine.bytes_moved == 5 * MB
+
+    def test_zero_copy_is_faster(self):
+        sim1, _, eng1 = self.build(zero_copy=True)
+        t1_start = sim1.now
+        run(sim1, eng1.send("a", "b", 50 * MB))
+        zero_copy_time = sim1.now - t1_start
+
+        sim2, _, eng2 = self.build(zero_copy=False)
+        run(sim2, eng2.send("a", "b", 50 * MB))
+        copy_time = sim2.now
+
+        assert zero_copy_time < copy_time
+
+    def test_large_objects_pay_mmap_setup(self):
+        _, _, engine = self.build()
+        small = engine.host_overhead(1 * MB)
+        large = engine.host_overhead(10 * MB)
+        assert large > small

@@ -1,0 +1,86 @@
+"""Tests for access-control enforcement (paper future-work item (i))."""
+
+import pytest
+
+from repro.cluster import Cloud4Home, ClusterConfig
+from repro.vstore import ObjectMeta
+from repro.vstore.errors import AccessDeniedError
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    c4h = Cloud4Home(ClusterConfig(seed=31))
+    c4h.start(monitors=False)
+    return c4h
+
+
+class TestObjectMetaAccess:
+    def test_valid_levels(self):
+        for level in ("private", "home", "public"):
+            ObjectMeta(name="x", size_mb=1.0, access=level)
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ValueError):
+            ObjectMeta(name="x", size_mb=1.0, access="secret")
+
+    def test_private_readable_only_by_creator(self):
+        meta = ObjectMeta(name="x", size_mb=1.0, access="private", created_by="a")
+        assert meta.readable_by("a")
+        assert not meta.readable_by("b")
+
+    def test_home_readable_within_home(self):
+        meta = ObjectMeta(name="x", size_mb=1.0, access="home", created_by="a")
+        assert meta.readable_by("b", same_home=True)
+        assert not meta.readable_by("b", same_home=False)
+
+    def test_public_readable_anywhere(self):
+        meta = ObjectMeta(name="x", size_mb=1.0, access="public", created_by="a")
+        assert meta.readable_by("stranger", same_home=False)
+
+
+class TestEnforcement:
+    def test_home_access_is_default(self, cluster):
+        d0, d1 = cluster.devices[0], cluster.devices[1]
+        cluster.run(d0.client.store_file("acc-shared.jpg", 1.0))
+        fetch = cluster.run(d1.client.fetch_object("acc-shared.jpg"))
+        assert fetch.meta.access == "home"
+
+    def test_private_object_blocked_for_peers(self, cluster):
+        d0, d1 = cluster.devices[0], cluster.devices[1]
+        cluster.run(d0.client.store_file("acc-diary.txt", 0.1, access="private"))
+        with pytest.raises(AccessDeniedError):
+            cluster.run(d1.client.fetch_object("acc-diary.txt"))
+
+    def test_private_object_readable_by_creator(self, cluster):
+        d0 = cluster.devices[0]
+        cluster.run(d0.client.store_file("acc-own.txt", 0.1, access="private"))
+        fetch = cluster.run(d0.client.fetch_object("acc-own.txt"))
+        assert fetch.meta.created_by == d0.name
+
+    def test_private_object_blocked_for_process(self, cluster):
+        from repro.services import FaceDetection
+
+        d0, d1 = cluster.devices[0], cluster.devices[1]
+        cluster.run(d0.registry.register(FaceDetection()))
+        cluster.run(d0.client.store_file("acc-cam.jpg", 0.25, access="private"))
+        with pytest.raises(AccessDeniedError):
+            cluster.run(d1.client.process("acc-cam.jpg", "face-detect#v1"))
+
+    def test_private_object_blocked_for_pipeline(self, cluster):
+        from repro.services import FaceDetection
+
+        d0, d1 = cluster.devices[0], cluster.devices[1]
+        cluster.run(d0.client.store_file("acc-cam2.jpg", 0.25, access="private"))
+        with pytest.raises(AccessDeniedError):
+            cluster.run(
+                d1.client.process_pipeline("acc-cam2.jpg", ["face-detect#v1"])
+            )
+
+    def test_wire_preserves_access_fields(self, cluster):
+        d0 = cluster.devices[0]
+        result = cluster.run(
+            d0.client.store_file("acc-pub.avi", 2.0, access="public")
+        )
+        restored = ObjectMeta.from_wire(result.meta.wire())
+        assert restored.access == "public"
+        assert restored.created_by == d0.name

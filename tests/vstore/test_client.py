@@ -1,0 +1,89 @@
+"""Unit tests for the guest-side VStore++ client."""
+
+import pytest
+
+from repro.cluster import Cloud4Home, ClusterConfig
+from repro.vstore import CommandType, ObjectNotFoundError
+
+
+@pytest.fixture()
+def cluster():
+    c4h = Cloud4Home(ClusterConfig(seed=95))
+    c4h.start(monitors=False)
+    return c4h
+
+
+class TestCommandAccounting:
+    def test_each_api_call_sends_a_command(self, cluster):
+        client = cluster.devices[0].client
+        assert client.commands_sent == 0
+        cluster.run(client.create_object("c1.bin", 1.0))
+        assert client.commands_sent == 1
+        cluster.run(client.store_object("c1.bin"))
+        assert client.commands_sent == 2
+        cluster.run(client.fetch_object("c1.bin"))
+        assert client.commands_sent == 3
+
+    def test_store_file_sends_two_commands(self, cluster):
+        client = cluster.devices[1].client
+        cluster.run(client.store_file("c2.bin", 1.0))
+        assert client.commands_sent == 2  # create + store
+
+    def test_commands_cost_channel_time(self, cluster):
+        client = cluster.devices[2].client
+        t0 = cluster.sim.now
+        cluster.run(client.create_object("c3.bin", 1.0))
+        # CreateObject is purely local except for the command packet
+        # crossing the XenSocket channel.
+        assert cluster.sim.now > t0
+
+
+class TestPrefetch:
+    def test_prefetch_returns_before_data_arrives(self, cluster):
+        owner = cluster.devices[0]
+        cluster.run(owner.client.store_file("pf.avi", 20.0))
+        reader = cluster.devices[3]
+        t0 = cluster.sim.now
+        handle = cluster.run(reader.client.prefetch_object("pf.avi"))
+        # Returned nearly immediately (just the command cost).
+        assert cluster.sim.now - t0 < 0.1
+        assert not handle.triggered
+        result = cluster.sim.run(until=handle)
+        assert result.meta.name == "pf.avi"
+        assert cluster.sim.now - t0 > 1.0  # the 20 MB actually moved
+
+    def test_prefetch_overlaps_with_other_work(self, cluster):
+        owner = cluster.devices[0]
+        cluster.run(owner.client.store_file("pf2.avi", 10.0))
+        cluster.run(owner.client.store_file("pf3.avi", 10.0))
+        reader = cluster.devices[4]
+        h1 = cluster.run(reader.client.prefetch_object("pf2.avi"))
+        h2 = cluster.run(reader.client.prefetch_object("pf3.avi"))
+        from repro.sim import AllOf
+
+        t0 = cluster.sim.now
+        cluster.sim.run(until=AllOf(cluster.sim, [h1, h2]))
+        both = cluster.sim.now - t0
+        # The two fetches overlapped: much less than 2x a single fetch.
+        single = h1.value.total_s
+        assert both < 1.8 * single
+
+    def test_prefetch_missing_object_fails_via_handle(self, cluster):
+        reader = cluster.devices[1]
+        handle = cluster.run(reader.client.prefetch_object("ghost.bin"))
+        with pytest.raises(ObjectNotFoundError):
+            cluster.sim.run(until=handle)
+
+
+class TestCommandTypes:
+    def test_process_commands_carry_service_id(self, cluster):
+        from repro.vstore import Command
+
+        cmd = Command(
+            CommandType.PROCESS,
+            service_id="face-detect#v1",
+            domain_id=1,
+            data={"name": "x.jpg"},
+        )
+        assert cmd.service_id == "face-detect#v1"
+        assert cmd.length > 19  # header + body

@@ -1,0 +1,247 @@
+"""Integration tests for VStore++ store/fetch/process on a full cluster."""
+
+import pytest
+
+from repro.cluster import Cloud4Home, ClusterConfig, DeviceConfig
+from repro.services import FaceDetection, MediaConversion, surveillance_pipeline
+from repro.vstore import (
+    ObjectExistsError,
+    ObjectNotFoundError,
+    Placement,
+    PlacementTarget,
+    ServiceUnavailableError,
+    StorePolicy,
+    size_rule,
+    type_rule,
+)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    c4h = Cloud4Home(ClusterConfig(seed=11))
+    c4h.start(monitors=False)
+    return c4h
+
+
+def fresh_cluster(**kwargs):
+    c4h = Cloud4Home(ClusterConfig(seed=5, **kwargs))
+    c4h.start(monitors=False)
+    return c4h
+
+
+class TestStoreFetch:
+    def test_store_defaults_to_local_mandatory(self, cluster):
+        d = cluster.devices[0]
+        result = cluster.run(d.client.store_file("t1-local.jpg", 2.0))
+        assert result.placement.target is PlacementTarget.LOCAL_MANDATORY
+        assert "t1-local.jpg" in d.vstore.mandatory
+        assert result.meta.location == d.name
+
+    def test_create_duplicate_rejected(self, cluster):
+        d = cluster.devices[0]
+        cluster.run(d.client.create_object("t1-dup.jpg", 1.0))
+        with pytest.raises(ObjectExistsError):
+            cluster.run(d.client.create_object("t1-dup.jpg", 1.0))
+
+    def test_store_unknown_object_rejected(self, cluster):
+        d = cluster.devices[0]
+        with pytest.raises(ObjectNotFoundError):
+            cluster.run(d.client.store_object("never-created"))
+
+    def test_fetch_from_peer_reports_costs(self, cluster):
+        d0, d2 = cluster.devices[0], cluster.devices[2]
+        cluster.run(d0.client.store_file("t1-shared.avi", 10.0))
+        fetch = cluster.run(d2.client.fetch_object("t1-shared.avi"))
+        assert fetch.served_from == d0.name
+        assert fetch.inter_node_s > 0
+        assert fetch.inter_domain_s > 0
+        assert fetch.dht_lookup_s > 0
+        assert fetch.total_s >= (
+            fetch.inter_node_s + fetch.inter_domain_s + fetch.dht_lookup_s
+        )
+
+    def test_fetch_local_is_fast(self, cluster):
+        d0 = cluster.devices[0]
+        cluster.run(d0.client.store_file("t1-mine.jpg", 1.0))
+        fetch = cluster.run(d0.client.fetch_object("t1-mine.jpg"))
+        assert fetch.served_from == "local"
+        assert fetch.inter_node_s == 0.0
+
+    def test_fetch_missing_raises(self, cluster):
+        with pytest.raises(ObjectNotFoundError):
+            cluster.run(cluster.devices[1].client.fetch_object("ghost.bin"))
+
+    def test_nonblocking_store_returns_before_placement(self):
+        c4h = fresh_cluster()
+        d = c4h.devices[0]
+        c4h.run(d.client.create_object("t2-nb.avi", 20.0))
+        result = c4h.run(d.client.store_object("t2-nb.avi", blocking=False))
+        assert not result.blocking
+        c4h.sim.run()  # let the background placement finish
+        fetched = c4h.run(d.client.fetch_object("t2-nb.avi"))
+        assert fetched.meta.name == "t2-nb.avi"
+
+    def test_blocking_store_slower_than_nonblocking(self):
+        c4h = fresh_cluster()
+        d = c4h.devices[0]
+        t0 = c4h.sim.now
+        c4h.run(d.client.store_file("t2-block.avi", 5.0, blocking=True))
+        blocking_time = c4h.sim.now - t0
+        t0 = c4h.sim.now
+        c4h.run(d.client.store_file("t2-noblock.avi", 5.0, blocking=False))
+        nonblocking_time = c4h.sim.now - t0
+        c4h.sim.run()
+        assert nonblocking_time < blocking_time
+
+    def test_delete_object(self, cluster):
+        d0, d1 = cluster.devices[0], cluster.devices[1]
+        cluster.run(d0.client.store_file("t1-todelete.jpg", 1.0))
+        cluster.run(d1.client.delete_object("t1-todelete.jpg"))
+        with pytest.raises(ObjectNotFoundError):
+            cluster.run(d1.client.fetch_object("t1-todelete.jpg"))
+        assert "t1-todelete.jpg" not in d0.vstore.mandatory
+
+
+class TestPlacementPolicies:
+    def test_remote_cloud_policy(self):
+        c4h = fresh_cluster()
+        d = c4h.devices[0]
+        d.vstore.store_policy = StorePolicy(
+            [size_rule(Placement(PlacementTarget.REMOTE_CLOUD), min_mb=10.0)]
+        )
+        result = c4h.run(d.client.store_file("big.iso", 15.0))
+        assert result.meta.is_remote
+        assert result.meta.url.startswith("s3://")
+        assert c4h.s3.contains("big.iso")
+        fetch = c4h.run(c4h.devices[3].client.fetch_object("big.iso"))
+        assert fetch.served_from == "remote-cloud"
+        assert fetch.remote_cloud_s > 0
+
+    def test_privacy_policy_mp3_stays_home(self):
+        c4h = fresh_cluster()
+        d = c4h.devices[0]
+        d.vstore.store_policy = StorePolicy(
+            [type_rule(Placement(PlacementTarget.LOCAL_MANDATORY), ["mp3"])],
+            default=Placement(PlacementTarget.REMOTE_CLOUD),
+        )
+        r_song = c4h.run(d.client.store_file("song.mp3", 4.0))
+        r_movie = c4h.run(d.client.store_file("movie.avi", 4.0))
+        assert r_song.meta.location == d.name
+        assert r_movie.meta.is_remote
+
+    def test_mandatory_overflow_spills_to_voluntary_peer(self):
+        c4h = Cloud4Home(
+            ClusterConfig(
+                seed=6,
+                devices=[
+                    DeviceConfig(name="tiny", mandatory_mb=5.0, voluntary_mb=5.0),
+                    DeviceConfig(name="roomy", mandatory_mb=1000.0, voluntary_mb=1000.0),
+                ],
+            )
+        )
+        c4h.start(monitors=False)
+        tiny = c4h.device("tiny")
+        result = c4h.run(tiny.client.store_file("spill.avi", 50.0))
+        assert result.meta.location == "roomy"
+        assert result.meta.bin_name == "voluntary"
+        assert "spill.avi" in c4h.device("roomy").vstore.voluntary
+
+    def test_overflow_falls_back_to_cloud_when_home_is_full(self):
+        c4h = Cloud4Home(
+            ClusterConfig(
+                seed=7,
+                devices=[
+                    DeviceConfig(name="a", mandatory_mb=5.0, voluntary_mb=5.0),
+                    DeviceConfig(name="b", mandatory_mb=5.0, voluntary_mb=5.0),
+                ],
+            )
+        )
+        c4h.start(monitors=False)
+        result = c4h.run(c4h.device("a").client.store_file("huge.iso", 100.0))
+        assert result.meta.is_remote
+
+    def test_named_node_placement(self):
+        c4h = fresh_cluster()
+        d = c4h.devices[0]
+        d.vstore.store_policy = StorePolicy(
+            default=Placement(PlacementTarget.NAMED_NODE, node="desktop")
+        )
+        result = c4h.run(d.client.store_file("pinned.bin", 3.0))
+        assert result.meta.location == "desktop"
+
+
+class TestProcess:
+    def test_process_unknown_service_raises(self, cluster):
+        d = cluster.devices[0]
+        cluster.run(d.client.store_file("t1-img.jpg", 0.5))
+        with pytest.raises(ServiceUnavailableError):
+            cluster.run(d.client.process("t1-img.jpg", "no-such#v1"))
+
+    def test_process_runs_on_best_node(self):
+        c4h = fresh_cluster()
+        c4h.deploy_service(lambda: MediaConversion(), nodes=["desktop", "netbook1"])
+        owner = c4h.device("netbook1")
+        c4h.run(owner.client.store_file("movie.avi", 30.0))
+        result = c4h.run(owner.client.process("movie.avi", "media-convert#v1"))
+        # The idle desktop beats the Atom owner despite data movement.
+        assert result.executed_on == "desktop"
+        assert result.move_s > 0
+        assert result.estimates  # the decision really compared targets
+
+    def test_process_output_size(self):
+        c4h = fresh_cluster()
+        c4h.deploy_service(lambda: MediaConversion(), nodes=["desktop"])
+        d = c4h.device("netbook0")
+        c4h.run(d.client.store_file("clip.avi", 10.0))
+        result = c4h.run(d.client.process("clip.avi", "media-convert#v1"))
+        assert result.output_mb == pytest.approx(3.5)
+
+    def test_fetch_process_prefers_capable_requester(self):
+        c4h = fresh_cluster()
+        c4h.deploy_service(lambda: FaceDetection(), nodes=["desktop", "netbook2"])
+        owner = c4h.device("netbook0")
+        c4h.run(owner.client.store_file("cam.jpg", 0.25))
+        requester = c4h.device("desktop")
+        result = c4h.run(requester.client.fetch_process("cam.jpg", "face-detect#v1"))
+        assert result.executed_on == "desktop"
+
+    def test_fetch_process_falls_back_to_decision(self):
+        c4h = fresh_cluster()
+        c4h.deploy_service(lambda: FaceDetection(), nodes=["desktop"])
+        owner = c4h.device("netbook0")  # does not host the service
+        c4h.run(owner.client.store_file("cam2.jpg", 0.25))
+        result = c4h.run(owner.client.fetch_process("cam2.jpg", "face-detect#v1"))
+        assert result.executed_on == "desktop"
+
+    def test_surveillance_pipeline_runs(self):
+        c4h = fresh_cluster()
+        for factory in (
+            lambda: surveillance_pipeline()[0],
+            lambda: surveillance_pipeline()[1],
+        ):
+            c4h.deploy_service(factory, nodes=["desktop"])
+        d = c4h.device("netbook0")
+        c4h.run(d.client.store_file("frame.jpg", 1.0))
+        fdet = c4h.run(d.client.process("frame.jpg", "face-detect#v1"))
+        frec = c4h.run(d.client.process("frame.jpg", "face-recognize#v1"))
+        assert fdet.total_s > 0 and frec.total_s > 0
+
+    def test_process_on_ec2_when_best(self):
+        # Make every home node tiny so EC2's big instance wins for a
+        # compute-heavy service on a large object.
+        devices = [
+            DeviceConfig(
+                name=f"weak{i}",
+                profile_name="atom-s1",
+                guest_mem_mb=128.0,
+                guest_vcpus=1,
+            )
+            for i in range(2)
+        ]
+        c4h = Cloud4Home(ClusterConfig(seed=9, devices=devices))
+        c4h.start(monitors=False)
+        c4h.deploy_service(lambda: MediaConversion(), nodes=["weak0"])
+        d = c4h.device("weak0")
+        c4h.run(d.client.store_file("huge.avi", 60.0))
+        result = c4h.run(d.client.process("huge.avi", "media-convert#v1"))
+        assert result.executed_on == "ec2-xl-0"

@@ -1,0 +1,179 @@
+"""Unit tests for object metadata, bins, commands, and policies."""
+
+import pytest
+
+from repro.vstore import (
+    BinFullError,
+    Command,
+    CommandType,
+    ObjectMeta,
+    ObjectNotFoundError,
+    Placement,
+    PlacementTarget,
+    StorageBin,
+    StorePolicy,
+    size_rule,
+    tag_rule,
+    type_rule,
+)
+from repro.vstore.objects import LOCATION_REMOTE
+
+
+class TestObjectMeta:
+    def test_type_derived_from_extension(self):
+        meta = ObjectMeta(name="song.MP3", size_mb=4.0)
+        assert meta.object_type == "mp3"
+
+    def test_explicit_type_wins(self):
+        meta = ObjectMeta(name="file.bin", size_mb=1.0, object_type="raw")
+        assert meta.object_type == "raw"
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            ObjectMeta(name="x", size_mb=-1.0)
+
+    def test_is_remote(self):
+        meta = ObjectMeta(name="x", size_mb=1.0, location=LOCATION_REMOTE)
+        assert meta.is_remote
+        assert not ObjectMeta(name="x", size_mb=1.0, location="node1").is_remote
+
+    def test_wire_round_trip(self):
+        meta = ObjectMeta(
+            name="clip.avi",
+            size_mb=12.5,
+            location="desktop",
+            bin_name="voluntary",
+            tags=["shared"],
+            access="public",
+            created_at=9.0,
+            version=3,
+        )
+        assert ObjectMeta.from_wire(meta.wire()) == meta
+
+    def test_size_bytes(self):
+        assert ObjectMeta(name="x", size_mb=2.0).size_bytes == 2 * 1024 * 1024
+
+
+class TestStorageBin:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            StorageBin("m", 0)
+
+    def test_store_and_accounting(self):
+        b = StorageBin("mandatory", 100.0)
+        b.store("a", 30.0)
+        b.store("b", 20.0)
+        assert b.used_mb == 50.0
+        assert b.free_mb == 50.0
+        assert "a" in b and len(b) == 2
+        assert b.size_of("a") == 30.0
+
+    def test_overflow_raises(self):
+        b = StorageBin("m", 10.0)
+        with pytest.raises(BinFullError):
+            b.store("big", 11.0)
+
+    def test_replace_same_name_accounts_delta(self):
+        b = StorageBin("m", 10.0)
+        b.store("a", 8.0)
+        b.store("a", 9.0)  # replacing: only needs 1 MB more
+        assert b.used_mb == 9.0
+
+    def test_remove(self):
+        b = StorageBin("m", 10.0)
+        b.store("a", 4.0)
+        assert b.remove("a") == 4.0
+        assert "a" not in b
+        with pytest.raises(ObjectNotFoundError):
+            b.remove("a")
+
+    def test_size_of_missing(self):
+        b = StorageBin("m", 10.0)
+        with pytest.raises(ObjectNotFoundError):
+            b.size_of("ghost")
+
+
+class TestCommand:
+    def test_commands_are_small(self):
+        cmd = Command(CommandType.FETCH_OBJECT, data={"name": "x.jpg"})
+        assert cmd.is_small
+        assert cmd.length < 50
+
+    def test_length_includes_data(self):
+        small = Command(CommandType.ACK)
+        big = Command(CommandType.STORE_OBJECT, data={"name": "y" * 100})
+        assert big.length > small.length
+
+
+class TestStorePolicy:
+    def meta(self, name="x.avi", size_mb=5.0, tags=()):
+        return ObjectMeta(name=name, size_mb=size_mb, tags=list(tags))
+
+    def test_default_is_local_mandatory(self):
+        policy = StorePolicy()
+        assert policy.decide(self.meta()).target is PlacementTarget.LOCAL_MANDATORY
+
+    def test_size_rule_routes_large_to_cloud(self):
+        policy = StorePolicy(
+            [size_rule(Placement(PlacementTarget.REMOTE_CLOUD), min_mb=50.0)]
+        )
+        assert (
+            policy.decide(self.meta(size_mb=80)).target
+            is PlacementTarget.REMOTE_CLOUD
+        )
+        assert (
+            policy.decide(self.meta(size_mb=10)).target
+            is PlacementTarget.LOCAL_MANDATORY
+        )
+
+    def test_size_rule_validation(self):
+        with pytest.raises(ValueError):
+            size_rule(Placement(PlacementTarget.REMOTE_CLOUD), min_mb=5, max_mb=5)
+
+    def test_type_rule_keeps_mp3_private(self):
+        """The paper's Figure 6 policy: .mp3 stays home, rest goes remote."""
+        policy = StorePolicy(
+            [type_rule(Placement(PlacementTarget.LOCAL_MANDATORY), [".mp3"])],
+            default=Placement(PlacementTarget.REMOTE_CLOUD),
+        )
+        assert (
+            policy.decide(self.meta(name="song.mp3")).target
+            is PlacementTarget.LOCAL_MANDATORY
+        )
+        assert (
+            policy.decide(self.meta(name="movie.avi")).target
+            is PlacementTarget.REMOTE_CLOUD
+        )
+
+    def test_tag_rule(self):
+        policy = StorePolicy(
+            [tag_rule(Placement(PlacementTarget.LOCAL_MANDATORY), "private")],
+            default=Placement(PlacementTarget.REMOTE_CLOUD),
+        )
+        assert (
+            policy.decide(self.meta(tags=["private"])).target
+            is PlacementTarget.LOCAL_MANDATORY
+        )
+
+    def test_first_matching_rule_wins(self):
+        policy = StorePolicy(
+            [
+                size_rule(Placement(PlacementTarget.REMOTE_CLOUD), min_mb=1.0),
+                type_rule(Placement(PlacementTarget.LOCAL_MANDATORY), ["avi"]),
+            ]
+        )
+        assert (
+            policy.decide(self.meta(name="x.avi", size_mb=5)).target
+            is PlacementTarget.REMOTE_CLOUD
+        )
+
+    def test_named_node_requires_name(self):
+        with pytest.raises(ValueError):
+            Placement(PlacementTarget.NAMED_NODE)
+
+    def test_explain(self):
+        policy = StorePolicy(
+            [size_rule(Placement(PlacementTarget.REMOTE_CLOUD), min_mb=50.0)]
+        )
+        assert "size" in policy.explain(self.meta(size_mb=80))
+        assert policy.explain(self.meta(size_mb=1)) == "default placement"

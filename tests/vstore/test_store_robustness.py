@@ -1,0 +1,136 @@
+"""Robustness tests for store placement under failures and edge cases."""
+
+import pytest
+
+from repro import (
+    Cloud4Home,
+    ClusterConfig,
+    DeviceConfig,
+    Placement,
+    PlacementTarget,
+    StorePolicy,
+)
+from repro.vstore import BinFullError, ObjectExistsError, ObjectNotFoundError
+
+
+def fresh(seed, devices=None, **kwargs):
+    config = ClusterConfig(seed=seed, **kwargs)
+    if devices is not None:
+        config.devices = devices
+    c4h = Cloud4Home(config)
+    c4h.start(monitors=False)
+    return c4h
+
+
+class TestPlacementFallbacks:
+    def test_named_node_offline_falls_back_to_voluntary(self):
+        c4h = fresh(750)
+        d = c4h.devices[0]
+        d.vstore.store_policy = StorePolicy(
+            default=Placement(PlacementTarget.NAMED_NODE, node="netbook3")
+        )
+        c4h.network.take_offline("netbook3")
+        result = c4h.run(d.client.store_file("fb.bin", 2.0))
+        # Fell through to another node's voluntary bin (or local).
+        assert result.meta.location != "netbook3"
+        fetch = c4h.run(c4h.devices[1].client.fetch_object("fb.bin"))
+        assert fetch.meta.name == "fb.bin"
+
+    def test_voluntary_candidates_offline_falls_back_to_cloud(self):
+        devices = [
+            DeviceConfig(name="tiny", mandatory_mb=1.0, voluntary_mb=1.0),
+            DeviceConfig(name="peer", mandatory_mb=1000.0, voluntary_mb=1000.0),
+        ]
+        c4h = fresh(751, devices=devices)
+        c4h.network.take_offline("peer")
+        result = c4h.run(c4h.device("tiny").client.store_file("cl.bin", 50.0))
+        assert result.meta.is_remote
+
+    def test_restore_after_delete_allows_same_name(self):
+        c4h = fresh(752)
+        d = c4h.devices[0]
+        c4h.run(d.client.store_file("cycle.bin", 1.0))
+        c4h.run(d.client.delete_object("cycle.bin"))
+        result = c4h.run(d.client.store_file("cycle.bin", 2.0))
+        assert result.meta.size_mb == 2.0
+
+    def test_duplicate_create_blocked_even_after_store(self):
+        c4h = fresh(753)
+        d = c4h.devices[0]
+        c4h.run(d.client.store_file("dup.bin", 1.0))
+        with pytest.raises(ObjectExistsError):
+            c4h.run(d.client.create_object("dup.bin", 1.0))
+
+    def test_remote_policy_with_no_cloud_raises_placement_error(self):
+        from repro.vstore import PlacementError
+
+        c4h = fresh(754, with_ec2=False)
+        d = c4h.devices[0]
+        d.vstore.cloud = None
+        d.vstore.store_policy = StorePolicy(
+            default=Placement(PlacementTarget.REMOTE_CLOUD)
+        )
+        with pytest.raises(PlacementError):
+            c4h.run(d.client.store_file("nowhere.bin", 1.0))
+
+
+class TestBinEdgeCases:
+    def test_exact_fit_succeeds(self):
+        devices = [DeviceConfig(name="snug", mandatory_mb=10.0, voluntary_mb=1.0)]
+        c4h = fresh(755, devices=devices)
+        d = c4h.device("snug")
+        result = c4h.run(d.client.store_file("fit.bin", 10.0))
+        assert result.meta.bin_name == "mandatory"
+        assert d.vstore.mandatory.free_mb == pytest.approx(0.0)
+
+    def test_voluntary_self_placement_when_peers_are_smaller(self):
+        devices = [
+            DeviceConfig(name="big", mandatory_mb=1.0, voluntary_mb=500.0),
+            DeviceConfig(name="small", mandatory_mb=1.0, voluntary_mb=1.0),
+        ]
+        c4h = fresh(756, devices=devices, with_ec2=False)
+        d = c4h.device("big")
+        result = c4h.run(d.client.store_file("selfvol.bin", 100.0))
+        # Mandatory full -> voluntary; only its own bin is big enough.
+        assert result.meta.location == "big"
+        assert result.meta.bin_name == "voluntary"
+
+    def test_zero_byte_object(self):
+        c4h = fresh(757)
+        d = c4h.devices[0]
+        result = c4h.run(d.client.store_file("empty.bin", 0.0))
+        assert result.meta.size_mb == 0.0
+        fetch = c4h.run(c4h.devices[1].client.fetch_object("empty.bin"))
+        assert fetch.meta.size_mb == 0.0
+
+
+class TestMetadataConsistency:
+    def test_fetch_after_owner_restore_uses_fresh_metadata(self):
+        c4h = fresh(758)
+        owner = c4h.devices[0]
+        c4h.run(owner.client.store_file("meta.bin", 1.0))
+        # Overwrite via delete+store on a different node size changes.
+        c4h.run(c4h.devices[1].client.delete_object("meta.bin"))
+        c4h.run(c4h.devices[1].client.store_file("meta.bin", 5.0))
+        fetch = c4h.run(c4h.devices[2].client.fetch_object("meta.bin"))
+        assert fetch.meta.size_mb == 5.0
+        assert fetch.meta.location == "netbook1"
+
+    def test_inventory_matches_metadata_locations(self):
+        c4h = fresh(759)
+        for i, d in enumerate(c4h.devices[:4]):
+            c4h.run(d.client.store_file(f"inv-{i}.bin", 1.0))
+        inventory = c4h.object_inventory()
+        for i in range(4):
+            name = f"inv-{i}.bin"
+            fetch = c4h.run(c4h.devices[5].client.fetch_object(name))
+            assert inventory[name]["node"] == fetch.meta.location
+
+    def test_fetch_deleted_object_raises_everywhere(self):
+        c4h = fresh(760)
+        c4h.run(c4h.devices[0].client.store_file("gone.bin", 1.0))
+        c4h.run(c4h.devices[0].client.delete_object("gone.bin"))
+        c4h.sim.run()
+        for d in c4h.devices:
+            with pytest.raises(ObjectNotFoundError):
+                c4h.run(d.vstore.fetch_object("gone.bin"))

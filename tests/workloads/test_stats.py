@@ -1,0 +1,63 @@
+"""Tests for workload statistics."""
+
+import pytest
+
+from repro.sim import RandomSource
+from repro.workloads import (
+    EDonkeyTraceGenerator,
+    summarize_accesses,
+    summarize_files,
+)
+
+
+class TestSummarizeFiles:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_files([])
+
+    def test_counts_and_sizes(self):
+        gen = EDonkeyTraceGenerator(RandomSource(1), n_files=50)
+        stats = summarize_files(gen.files())
+        assert stats.n_files == 50
+        assert stats.total_mb == pytest.approx(
+            sum(f.size_mb for f in gen.files())
+        )
+        assert stats.mean_mb == pytest.approx(stats.total_mb / 50)
+        assert sum(stats.by_bucket.values()) == 50
+        assert sum(stats.by_type.values()) == 50
+
+    def test_median_between_min_and_max(self):
+        gen = EDonkeyTraceGenerator(RandomSource(2), n_files=30)
+        stats = summarize_files(gen.files())
+        sizes = [f.size_mb for f in gen.files()]
+        assert min(sizes) <= stats.median_mb <= max(sizes)
+
+    def test_describe_renders(self):
+        gen = EDonkeyTraceGenerator(RandomSource(1), n_files=10)
+        text = summarize_files(gen.files()).describe()
+        assert "files: 10" in text
+        assert "buckets" in text
+
+
+class TestSummarizeAccesses:
+    def test_paper_parameters_verified(self):
+        """The generator really produces the paper's modified dataset."""
+        gen = EDonkeyTraceGenerator(RandomSource(3))
+        accesses = gen.accesses(3000)
+        stats = summarize_accesses(gen.files(), accesses)
+        assert stats.n_files == 1300
+        assert 0.55 < stats.store_fraction < 0.65
+        assert set(stats.by_client) == set(range(6))
+
+    def test_no_accesses_keeps_file_stats(self):
+        gen = EDonkeyTraceGenerator(RandomSource(3), n_files=5)
+        stats = summarize_accesses(gen.files(), [])
+        assert stats.n_accesses == 0
+        assert stats.n_files == 5
+
+    def test_describe_includes_access_lines(self):
+        gen = EDonkeyTraceGenerator(RandomSource(3), n_files=5)
+        stats = summarize_accesses(gen.files(), gen.accesses(20))
+        text = stats.describe()
+        assert "accesses: 20" in text
+        assert "per client" in text

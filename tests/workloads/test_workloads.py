@@ -1,0 +1,161 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.sim import RandomSource
+from repro.workloads import (
+    PAPER_IMAGE_SIZES_MB,
+    SIZE_BUCKETS,
+    EDonkeyTraceGenerator,
+    MediaLibrary,
+    SurveillanceWorkload,
+    bucket_of,
+)
+
+
+class TestBuckets:
+    def test_bucket_boundaries(self):
+        assert bucket_of(1.0) == "small"
+        assert bucket_of(9.99) == "small"
+        assert bucket_of(10.0) == "medium"
+        assert bucket_of(20.0) == "large"
+        assert bucket_of(50.0) == "superlarge"
+        assert bucket_of(99.0) == "superlarge"
+
+    def test_outliers_clamped(self):
+        assert bucket_of(0.5) == "small"
+        assert bucket_of(500.0) == "superlarge"
+
+
+class TestEDonkeyTrace:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            EDonkeyTraceGenerator(n_clients=0)
+        with pytest.raises(ValueError):
+            EDonkeyTraceGenerator(store_fraction=1.5)
+
+    def test_paper_defaults(self):
+        gen = EDonkeyTraceGenerator()
+        assert gen.n_clients == 6
+        assert len(gen.files()) == 1300
+        assert gen.store_fraction == 0.6
+
+    def test_files_are_stable(self):
+        gen = EDonkeyTraceGenerator()
+        assert gen.files() is gen.files()
+
+    def test_sizes_within_paper_span(self):
+        gen = EDonkeyTraceGenerator(RandomSource(1))
+        sizes = [f.size_mb for f in gen.files()]
+        assert min(sizes) >= 1.0
+        assert max(sizes) <= 100.0
+
+    def test_sizes_heavy_tailed(self):
+        gen = EDonkeyTraceGenerator(RandomSource(1))
+        sizes = sorted(f.size_mb for f in gen.files())
+        median = sizes[len(sizes) // 2]
+        assert median < 20.0  # most files small...
+        assert sizes[-1] > 50.0  # ...but the tail reaches super-large
+
+    def test_type_mix_includes_mp3(self):
+        gen = EDonkeyTraceGenerator(RandomSource(1))
+        mp3 = sum(1 for f in gen.files() if f.ftype == "mp3")
+        assert 0.15 < mp3 / len(gen.files()) < 0.45
+
+    def test_store_fetch_split(self):
+        gen = EDonkeyTraceGenerator(RandomSource(2))
+        accesses = gen.accesses(4000)
+        stores = sum(1 for a in accesses if a.op == "store")
+        assert 0.55 < stores / len(accesses) < 0.65
+
+    def test_access_clients_restricted(self):
+        gen = EDonkeyTraceGenerator(RandomSource(2))
+        accesses = gen.accesses(100, clients=[0, 2, 4])
+        assert {a.client for a in accesses} <= {0, 2, 4}
+
+    def test_size_range_restriction(self):
+        gen = EDonkeyTraceGenerator(RandomSource(3), size_range=(10.0, 25.0))
+        assert all(10.0 <= f.size_mb <= 25.0 for f in gen.files())
+
+    def test_owner_is_stable_and_valid(self):
+        gen = EDonkeyTraceGenerator(RandomSource(1))
+        f = gen.files()[0]
+        owner = gen.owner_of(f)
+        assert 0 <= owner < gen.n_clients
+        assert gen.owner_of(f) == owner
+
+    def test_constant_bytes_sample(self):
+        gen = EDonkeyTraceGenerator(RandomSource(4))
+        sample = gen.constant_bytes_sample("medium", total_mb=200.0)
+        total = sum(f.size_mb for f in sample)
+        assert total >= 200.0
+        assert all(f.bucket == "medium" for f in sample)
+
+    def test_constant_files_sample(self):
+        gen = EDonkeyTraceGenerator(RandomSource(4))
+        sample = gen.constant_files_sample("large", n_files=25)
+        assert len(sample) == 25
+        assert all(f.bucket == "large" for f in sample)
+
+    def test_bucket_filter_validates(self):
+        gen = EDonkeyTraceGenerator(RandomSource(4))
+        with pytest.raises(ValueError):
+            gen.files_in_bucket("gigantic")
+
+    def test_reproducible_with_same_seed(self):
+        a = EDonkeyTraceGenerator(RandomSource(7)).files()
+        b = EDonkeyTraceGenerator(RandomSource(7)).files()
+        assert a == b
+
+    def test_total_bytes(self):
+        gen = EDonkeyTraceGenerator(RandomSource(1), n_files=10)
+        expected = sum(f.size_mb for f in gen.files()) * 1024 * 1024
+        assert gen.total_bytes() == pytest.approx(expected)
+
+
+class TestSurveillance:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SurveillanceWorkload(image_size_mb=0)
+        with pytest.raises(ValueError):
+            SurveillanceWorkload(period_s=0)
+
+    def test_sequence_cadence(self):
+        w = SurveillanceWorkload(image_size_mb=0.5, period_s=2.0)
+        frames = w.sequence(5)
+        assert len(frames) == 5
+        assert frames[3].captured_at == pytest.approx(6.0)
+        assert all(f.size_mb == 0.5 for f in frames)
+
+    def test_motion_stream_has_bursts(self):
+        w = SurveillanceWorkload(
+            RandomSource(5), burst_probability=0.5, burst_length=4
+        )
+        frames = w.motion_stream(100.0)
+        # With bursts, more frames than idle 1-per-period.
+        assert len(frames) > 100.0 / w.period_s
+
+    def test_size_sweep_covers_paper_sizes(self):
+        frames = SurveillanceWorkload.size_sweep()
+        assert sorted({f.size_mb for f in frames}) == sorted(PAPER_IMAGE_SIZES_MB)
+
+
+class TestMediaLibrary:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MediaLibrary(min_size_mb=50, max_size_mb=20)
+
+    def test_videos_in_range(self):
+        lib = MediaLibrary(RandomSource(3), min_size_mb=20, max_size_mb=60)
+        videos = lib.videos(50)
+        assert len(videos) == 50
+        assert all(20 <= v.size_mb <= 60 for v in videos)
+
+    def test_converted_name(self):
+        lib = MediaLibrary(RandomSource(3))
+        video = lib.videos(1)[0]
+        assert video.converted_name.endswith(".mp4")
+
+    def test_size_sweep(self):
+        videos = MediaLibrary.size_sweep([10.0, 20.0])
+        assert [v.size_mb for v in videos] == [10.0, 20.0]
