@@ -39,6 +39,14 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> list[
 
 
 def mean_std(values: Sequence[float]) -> tuple[float, float]:
+    """Mean and sample standard deviation of ``values``.
+
+    A single value has zero deviation; an empty sequence is a caller
+    bug (a scenario produced no samples) and raises ``ValueError``
+    rather than crashing inside :mod:`statistics`.
+    """
+    if len(values) == 0:
+        raise ValueError("mean_std() requires at least one value")
     if len(values) == 1:
         return values[0], 0.0
     return statistics.mean(values), statistics.stdev(values)

@@ -1,0 +1,23 @@
+"""Microbenchmarks for the cross-layer simulation fast path.
+
+Unlike the ``benchmarks/test_*`` suite (which reproduces the paper's
+tables and figures in *simulated* time), this package measures the
+*wall-clock* cost of running the simulator itself, comparing each fast
+path against the legacy reference implementation that is kept in-tree:
+
+==================  =============================  =========================
+benchmark           fast path                      legacy baseline
+==================  =============================  =========================
+kernel              batched ``Simulator.run``      ``step()``-per-event loop
+xensocket           closed-form ``transfer``       per-page ``transfer_paged``
+overlay             route cache + interned ids     uncached routing, no
+                                                   interning, timer processes
+table1              ``ClusterConfig(fastpath=      ``fastpath=False`` + no
+                    True)`` (default)              interning
+==================  =============================  =========================
+
+Run ``python -m benchmarks.perf.run`` from the repo root to execute
+everything and write ``BENCH_fastpath.json``; every benchmark first
+checks that both modes produce identical simulated results, so a
+speedup that changes behaviour fails loudly instead of being recorded.
+"""

@@ -1,0 +1,43 @@
+"""Subprocess driver: time the Table I sweep inside one source tree.
+
+Invoked as ``python _table1_driver.py <tree-root> <sizes-csv> <repeats>``.
+Puts ``<tree-root>/src`` and ``<tree-root>`` at the front of ``sys.path``
+so the sweep runs entirely against that tree (the perf runner points it
+at both the extracted seed tree and the current checkout), then prints a
+JSON blob with the best wall time and the simulated metrics so the
+parent can verify both trees still compute identical results.
+"""
+
+import json
+import sys
+import time
+
+
+def main() -> None:
+    root, sizes_csv, repeats = sys.argv[1], sys.argv[2], int(sys.argv[3])
+    sizes = [int(s) for s in sizes_csv.split(",")]
+    sys.path.insert(0, root)
+    sys.path.insert(0, root + "/src")
+
+    from benchmarks.test_table1_fetch_costs import measure
+
+    def sweep():
+        t0 = time.perf_counter()
+        results = {size: measure(size, seed=300 + size) for size in sizes}
+        return time.perf_counter() - t0, results
+
+    sweep()  # warm-up: imports, allocator, caches
+    walls = []
+    metrics = {}
+    for _ in range(repeats):
+        wall, results = sweep()
+        walls.append(wall)
+        metrics = {
+            str(size): [f.total_s, f.dht_lookup_s, f.inter_node_s, f.inter_domain_s]
+            for size, f in results.items()
+        }
+    print(json.dumps({"wall_s": min(walls), "metrics": metrics}))
+
+
+if __name__ == "__main__":
+    main()

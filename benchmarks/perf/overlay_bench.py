@@ -1,0 +1,58 @@
+"""48-node overlay lookup storm: cached/interned vs legacy routing."""
+
+from __future__ import annotations
+
+import time
+
+from repro.overlay import NodeId
+from repro.overlay import ids as overlay_ids
+
+from tests.conftest import build_overlay
+
+
+def _storm(n_nodes: int, n_lookups: int, fastpath: bool) -> tuple[float, list]:
+    """Build the overlay and resolve ``n_lookups`` keys; returns
+    (wall seconds, [(key hex, owner name, completion time), ...])."""
+    overlay_ids.clear_id_caches()
+    overlay_ids.set_interning(fastpath)
+    try:
+        t0 = time.perf_counter()
+        sim, net, nodes = build_overlay(
+            n_nodes,
+            seed=7,
+            route_cache=fastpath,
+            coalesce_timer=fastpath,
+            batched=fastpath,
+            coalesce_delivery=fastpath,
+            rpc_push=fastpath,
+        )
+        trace = []
+        for i in range(n_lookups):
+            key = NodeId.from_name(f"storm-{i % 250}")
+            origin = nodes[i % len(nodes)]
+            proc = sim.process(origin.resolve(key))
+            owner = sim.run(until=proc)
+            trace.append((key.hex, owner.name, sim.now))
+        return time.perf_counter() - t0, trace
+    finally:
+        overlay_ids.set_interning(True)
+
+
+def bench_overlay(n_nodes: int = 48, n_lookups: int = 1000) -> dict:
+    legacy_wall, legacy_trace = _storm(n_nodes, n_lookups, fastpath=False)
+    fast_wall, fast_trace = _storm(n_nodes, n_lookups, fastpath=True)
+
+    assert len(legacy_trace) == len(fast_trace)
+    for (k1, o1, t1), (k2, o2, t2) in zip(legacy_trace, fast_trace):
+        assert k1 == k2 and o1 == o2, "lookup routing diverged"
+        assert abs(t1 - t2) <= 1e-9 * max(abs(t1), abs(t2), 1e-30), (
+            "lookup completion times diverged"
+        )
+
+    return {
+        "n_nodes": n_nodes,
+        "n_lookups": n_lookups,
+        "legacy_wall_s": legacy_wall,
+        "fastpath_wall_s": fast_wall,
+        "speedup": legacy_wall / fast_wall,
+    }

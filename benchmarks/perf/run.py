@@ -1,0 +1,102 @@
+"""Run every fast-path microbenchmark and write ``BENCH_fastpath.json``.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python -m benchmarks.perf.run            # full run
+    PYTHONPATH=src python -m benchmarks.perf.run --smoke    # CI smoke
+    PYTHONPATH=src python -m benchmarks.perf.run --check    # + thresholds
+
+``--smoke`` shrinks every workload so the whole suite finishes in a few
+seconds (used by CI, which makes no timing assertions).  ``--check``
+additionally enforces the acceptance thresholds: ≥2× on the 100 MB
+XenSocket transfer and ≥1.3× on the full Table I sweep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+for entry in (str(REPO_ROOT / "src"), str(REPO_ROOT)):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from benchmarks.perf.kernel_bench import bench_kernel
+from benchmarks.perf.overlay_bench import bench_overlay
+from benchmarks.perf.table1_bench import bench_table1
+from benchmarks.perf.xensocket_bench import bench_xensocket
+
+MB = 1024 * 1024
+
+THRESHOLDS = {"xensocket_100mb": 2.0, "table1_sweep": 1.3}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workloads; verifies the harness runs, not the timings",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail unless the acceptance speedup thresholds are met",
+    )
+    parser.add_argument(
+        "--output",
+        default=str(REPO_ROOT / "BENCH_fastpath.json"),
+        help="where to write the results JSON",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        results = {
+            "kernel": bench_kernel(n_procs=200, n_waits=10),
+            "xensocket_100mb": bench_xensocket(nbytes=5 * MB),
+            "overlay_lookup_storm": bench_overlay(n_nodes=12, n_lookups=100),
+            "table1_sweep": bench_table1(sizes=[1, 10], repeats=1),
+        }
+    else:
+        results = {
+            "kernel": bench_kernel(),
+            "xensocket_100mb": bench_xensocket(),
+            "overlay_lookup_storm": bench_overlay(),
+            "table1_sweep": bench_table1(),
+        }
+
+    payload = {
+        "suite": "fastpath",
+        "smoke": args.smoke,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "results": results,
+        "thresholds": THRESHOLDS,
+    }
+    out = Path(args.output)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    print(f"fastpath microbenchmarks ({'smoke' if args.smoke else 'full'} mode)")
+    for name, r in results.items():
+        print(f"  {name:22s} speedup {r['speedup']:6.2f}x")
+    print(f"written: {out}")
+
+    if args.check:
+        failures = [
+            f"{name}: {results[name]['speedup']:.2f}x < {minimum}x"
+            for name, minimum in THRESHOLDS.items()
+            if results[name]["speedup"] < minimum
+        ]
+        if failures:
+            print("threshold failures:\n  " + "\n  ".join(failures))
+            return 1
+        print("all speedup thresholds met")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,158 @@
+"""Full Table I scenario sweep: this tree vs the pre-fastpath seed.
+
+The primary comparison checks out the repository's seed tree (the root
+commit, which predates the fast path entirely) with ``git archive`` and
+times the same ``benchmarks/test_table1_fetch_costs.py`` sweep in both
+trees via subprocess drivers — wall time measured inside each process,
+after imports.  When git history is unavailable (shallow CI clones),
+the benchmark falls back to the in-repo legacy toggles
+(``ClusterConfig(fastpath=False)`` + interning off), which restore the
+legacy timer processes, uncached routing, and step()-per-event dispatch
+but cannot un-slot the event classes, so the fallback understates the
+real speedup.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import subprocess
+import sys
+import tarfile
+import tempfile
+import time
+from pathlib import Path
+
+from repro import Cloud4Home, ClusterConfig
+from repro.overlay import ids as overlay_ids
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DRIVER = Path(__file__).with_name("_table1_driver.py")
+
+SIZES_MB = [1, 2, 5, 10, 20, 50, 100]
+
+REL_TOL = 1e-9
+
+
+def _run_driver(tree_root: Path, sizes, repeats: int) -> dict:
+    out = subprocess.run(
+        [
+            sys.executable,
+            str(DRIVER),
+            str(tree_root),
+            ",".join(str(s) for s in sizes),
+            str(repeats),
+        ],
+        check=True,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    return json.loads(out.stdout)
+
+
+def _extract_seed_tree(dest: Path) -> None:
+    """``git archive`` the root commit (the growth seed) into ``dest``."""
+    commits = subprocess.run(
+        ["git", "rev-list", "--max-parents=0", "HEAD"],
+        cwd=REPO_ROOT,
+        check=True,
+        capture_output=True,
+        text=True,
+        timeout=60,
+    ).stdout.split()
+    seed_commit = commits[-1]
+    archive = dest / "seed.tar"
+    with open(archive, "wb") as fh:
+        subprocess.run(
+            ["git", "archive", "--format=tar", seed_commit],
+            cwd=REPO_ROOT,
+            check=True,
+            stdout=fh,
+            timeout=120,
+        )
+    with tarfile.open(archive) as tar:
+        tar.extractall(dest / "tree")
+    archive.unlink()
+
+
+def _assert_metrics_match(a: dict, b: dict, context: str) -> None:
+    assert set(a) == set(b), f"{context}: size sets differ"
+    for size in a:
+        for x, y in zip(a[size], b[size]):
+            tol = REL_TOL * max(abs(x), abs(y), 1e-30)
+            assert abs(x - y) <= tol, (
+                f"{context}: table1[{size}] simulated metrics diverged: {x} vs {y}"
+            )
+
+
+def _bench_vs_seed(sizes, repeats: int) -> dict | None:
+    """Seed-tree comparison; None when git history is unavailable."""
+    scratch = Path(tempfile.mkdtemp(prefix=".bench-seed-", dir=REPO_ROOT))
+    try:
+        try:
+            _extract_seed_tree(scratch)
+            seed = _run_driver(scratch / "tree", sizes, repeats)
+            current = _run_driver(REPO_ROOT, sizes, repeats)
+        except (subprocess.CalledProcessError, subprocess.TimeoutExpired, OSError):
+            return None
+        _assert_metrics_match(seed["metrics"], current["metrics"], "seed vs fastpath")
+        return {
+            "mode": "seed-tree",
+            "sizes_mb": list(sizes),
+            "repeats": repeats,
+            "legacy_wall_s": seed["wall_s"],
+            "fastpath_wall_s": current["wall_s"],
+            "speedup": seed["wall_s"] / current["wall_s"],
+        }
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+
+def _measure(size_mb: int, fastpath: bool):
+    c4h = Cloud4Home(ClusterConfig(seed=300 + size_mb, fastpath=fastpath))
+    c4h.start(monitors=False)
+    owner = c4h.devices[0]
+    reader = c4h.devices[2]
+    name = f"table1-{size_mb}.bin"
+    c4h.run(owner.client.store_file(name, float(size_mb)))
+    return c4h.run(reader.vstore.fetch_object(name))
+
+
+def _sweep(sizes, fastpath: bool) -> tuple[float, dict]:
+    overlay_ids.clear_id_caches()
+    overlay_ids.set_interning(fastpath)
+    try:
+        t0 = time.perf_counter()
+        results = {size: _measure(size, fastpath) for size in sizes}
+        wall = time.perf_counter() - t0
+    finally:
+        overlay_ids.set_interning(True)
+    return wall, {
+        str(size): [f.total_s, f.dht_lookup_s, f.inter_node_s, f.inter_domain_s]
+        for size, f in results.items()
+    }
+
+
+def _bench_toggles(sizes, repeats: int) -> dict:
+    """In-repo fallback: legacy toggles inside the current tree."""
+    legacy_wall = min(_sweep(sizes, fastpath=False)[0] for _ in range(repeats))
+    _, legacy_metrics = _sweep(sizes, fastpath=False)
+    fast_wall = min(_sweep(sizes, fastpath=True)[0] for _ in range(repeats))
+    _, fast_metrics = _sweep(sizes, fastpath=True)
+    _assert_metrics_match(legacy_metrics, fast_metrics, "legacy vs fastpath")
+    return {
+        "mode": "legacy-toggles",
+        "sizes_mb": list(sizes),
+        "repeats": repeats,
+        "legacy_wall_s": legacy_wall,
+        "fastpath_wall_s": fast_wall,
+        "speedup": legacy_wall / fast_wall,
+    }
+
+
+def bench_table1(sizes=SIZES_MB, repeats: int = 3) -> dict:
+    result = _bench_vs_seed(sizes, repeats)
+    if result is not None:
+        return result
+    return _bench_toggles(sizes, repeats)

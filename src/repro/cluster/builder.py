@@ -112,9 +112,11 @@ class Cloud4Home:
         self.config = config or ClusterConfig()
         self.home_group = home_group
         if network is None:
-            self.sim = Simulator()
+            self.sim = Simulator(batched=self.config.fastpath)
             self.rng = RandomSource(self.config.seed)
-            self.network = Network(self.sim, self.rng)
+            self.network = Network(
+                self.sim, self.rng, coalesce_delivery=self.config.fastpath
+            )
         else:
             self.network = network
             self.sim = network.sim
@@ -139,10 +141,12 @@ class Cloud4Home:
     def _build_fabric(self) -> None:
         lan = self.config.lan
         wan = self.config.wan
+        fastpath = self.config.fastpath
         lan_link = Link(
             self.sim,
             bandwidth=lan.bandwidth_mbps * 1e6 / 8,
             name=f"{self.home_group}-lan",
+            coalesce_timer=fastpath,
         )
         self.lan_link = lan_link
         self.network.connect_groups(
@@ -173,11 +177,13 @@ class Cloud4Home:
             self.sim,
             bandwidth=wan.up_capacity_mb_s * MB,
             name=f"{self.home_group}-uplink",
+            coalesce_timer=fastpath,
         )
         self.downlink = Link(
             self.sim,
             bandwidth=wan.down_capacity_mb_s * MB,
             name=f"{self.home_group}-downlink",
+            coalesce_timer=fastpath,
         )
         self._up_tcp = up_tcp
         self._down_tcp = down_tcp
@@ -211,7 +217,12 @@ class Cloud4Home:
             ),
         )
         # Cloud-internal traffic (S3 <-> EC2) is fast and flat.
-        cloud_link = Link(self.sim, bandwidth=200 * MB, name="cloud-internal")
+        cloud_link = Link(
+            self.sim,
+            bandwidth=200 * MB,
+            name="cloud-internal",
+            coalesce_timer=fastpath,
+        )
         self.network.connect_groups(
             "cloud", "cloud", Route(cloud_link, base_latency=0.002)
         )
@@ -236,7 +247,13 @@ class Cloud4Home:
             page_size=dc.xensocket_page_size,
             page_count=dc.xensocket_page_count,
         )
-        chimera = ChimeraNode(self.network, host, leaf_size=self.config.leaf_size)
+        chimera = ChimeraNode(
+            self.network,
+            host,
+            leaf_size=self.config.leaf_size,
+            route_cache=self.config.fastpath,
+            rpc_push=self.config.fastpath,
+        )
         kv = DhtKeyValueStore(
             chimera,
             replication_factor=self.config.replication_factor,

@@ -106,3 +106,9 @@ class ClusterConfig:
     #: ("the public cloud interactions are performed only via some
     #: subset of designated nodes", Section III-C).
     cloud_gateway: str | None = None
+    #: Cross-layer simulation fast path: coalesced link boundary timers
+    #: and the overlay route cache.  Simulated results are identical
+    #: either way (the golden tests pin this); disabling it selects the
+    #: legacy reference implementations the perf harness measures
+    #: against.
+    fastpath: bool = True

@@ -41,6 +41,21 @@ class Flow:
     been delivered.  ``abort()`` cancels the flow and fails ``done``.
     """
 
+    __slots__ = (
+        "link",
+        "nbytes",
+        "remaining",
+        "extra_cap",
+        "label",
+        "started_at",
+        "finished_at",
+        "done",
+        "rate",
+        "_phases",
+        "_phase_cap",
+        "_phase_end",
+    )
+
     def __init__(
         self,
         link: "Link",
@@ -117,6 +132,7 @@ class Link:
         sim: Simulator,
         bandwidth: float,
         name: str = "link",
+        coalesce_timer: bool = True,
     ) -> None:
         if bandwidth <= 0:
             raise ValueError(f"bandwidth must be positive, got {bandwidth!r}")
@@ -126,7 +142,15 @@ class Link:
         self._flows: list[Flow] = []
         self._labels = itertools.count()
         self._last_update = sim.now
+        #: Fast path: boundaries fire through a single scheduled callback
+        #: event (one heap entry per boundary).  The legacy path spawns a
+        #: full timer process per boundary (Initialize + Timeout +
+        #: interrupt events) and is kept as the reference implementation
+        #: for equivalence tests and the perf harness baseline.
+        self.coalesce_timer = coalesce_timer
         self._timer: Optional[Process] = None
+        #: Generation counter invalidating stale coalesced timer events.
+        self._timer_gen = 0
         #: Total payload bytes this link has delivered (for utilization stats).
         self.bytes_delivered = 0.0
 
@@ -220,6 +244,7 @@ class Link:
         return max(horizon, 0.0)
 
     def _reschedule(self) -> None:
+        self._timer_gen += 1
         if self._timer is not None and self._timer.is_alive:
             self._timer.interrupt()
         self._timer = None
@@ -231,7 +256,22 @@ class Link:
                 f"link {self.name!r}: active flows but no progress possible "
                 "(all rates zero with no future phase change)"
             )
-        self._timer = self.sim.process(self._timer_proc(delay))
+        if self.coalesce_timer:
+            # One pre-succeeded event on the heap; superseded timers are
+            # ignored via the generation counter instead of interrupted.
+            gen = self._timer_gen
+            timer = Event(self.sim)
+            timer._ok = True
+            timer._value = None
+            timer.callbacks.append(lambda _event: self._on_timer(gen))
+            self.sim._schedule(timer, delay=delay)
+        else:
+            self._timer = self.sim.process(self._timer_proc(delay))
+
+    def _on_timer(self, gen: int) -> None:
+        if gen != self._timer_gen:
+            return  # superseded by a newer boundary computation
+        self._on_boundary()
 
     def _timer_proc(self, delay: float):
         try:

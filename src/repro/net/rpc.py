@@ -20,7 +20,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
-from repro.sim import AnyOf, Event, Simulator
+from repro.sim import Event, Simulator
 from repro.net.errors import HostDownError, NetworkError
 from repro.net.topology import Host, Network
 
@@ -94,20 +94,27 @@ class RpcEndpoint:
     #: LAN latencies; callers on slow paths pass their own.
     DEFAULT_TIMEOUT = 30.0
 
-    def __init__(self, network: Network, host: Host) -> None:
+    def __init__(self, network: Network, host: Host, push: bool = True) -> None:
         self.network = network
         self.host = host
+        #: The host's name; hosts are never renamed, so snapshot it
+        #: (this is read twice per message on the send path).
+        self.name = host.name
         self.sim: Simulator = network.sim
         self._handlers: dict[str, Callable[[Request], Any]] = {}
+        #: msg_type -> True when the handler is a generator function
+        #: (precomputed so dispatch can pick the synchronous fast path).
+        self._genfunc: dict[str, bool] = {}
         self._pending: dict[int, Event] = {}
         self._req_ids = itertools.count(1)
+        #: Fast path: messages are handled synchronously at delivery
+        #: time via the inbox consumer hook.  The legacy pull-mode
+        #: dispatcher process is kept as the reference implementation.
+        self.push = push
+        self._running = False
         self._dispatcher = None
         #: Count of requests served, for tests/diagnostics.
         self.requests_served = 0
-
-    @property
-    def name(self) -> str:
-        return self.host.name
 
     def register(self, msg_type: str, handler: Callable[[Request], Any]) -> None:
         """Register ``handler`` for ``msg_type`` requests.
@@ -117,14 +124,30 @@ class RpcEndpoint:
         replaces the previous handler.
         """
         self._handlers[msg_type] = handler
+        # inspect.isgeneratorfunction without the inspect overhead —
+        # endpoints register a dozen handlers per device, at cluster
+        # construction time.  CO_GENERATOR == 0x20.
+        func = getattr(handler, "__func__", handler)
+        code = getattr(func, "__code__", None)
+        if code is not None:
+            self._genfunc[msg_type] = bool(code.co_flags & 0x20)
+        else:
+            self._genfunc[msg_type] = inspect.isgeneratorfunction(handler)
 
     def start(self) -> None:
-        """Start the dispatcher process (idempotent)."""
-        if self._dispatcher is None or not self._dispatcher.is_alive:
+        """Start dispatching inbound messages (idempotent)."""
+        if self.push:
+            if not self._running:
+                self._running = True
+                self.host.inbox.set_consumer(self._on_message)
+        elif self._dispatcher is None or not self._dispatcher.is_alive:
             self._dispatcher = self.sim.process(self._dispatch_loop())
 
     def stop(self) -> None:
         """Stop dispatching (e.g. when the node leaves the overlay)."""
+        if self._running:
+            self.host.inbox.set_consumer(None)
+            self._running = False
         if self._dispatcher is not None and self._dispatcher.is_alive:
             self._dispatcher.interrupt("endpoint stopped")
         self._dispatcher = None
@@ -156,21 +179,35 @@ class RpcEndpoint:
 
         reply = self.sim.event()
         self._pending[req_id] = reply
+        timer = self.sim.timeout(deadline)
 
-        def wait():
-            timer = self.sim.timeout(deadline)
-            outcome = yield AnyOf(self.sim, [reply, timer])
+        # First of {reply, deadline} settles the call.  Plain callbacks
+        # instead of a waiter process + AnyOf: an RPC in flight costs a
+        # single extra timer event, nothing else.
+        settled = False
+
+        def on_reply(event: Event) -> None:
+            nonlocal settled
+            if settled:
+                return
+            settled = True
             self._pending.pop(req_id, None)
-            if reply in outcome:
-                response: _Envelope = outcome[reply]
-                if response.error is not None:
-                    result.fail(RemoteError(dst, msg_type, response.error))
-                else:
-                    result.succeed(response.body)
+            response: _Envelope = event._value
+            if response.error is not None:
+                result.fail(RemoteError(dst, msg_type, response.error))
             else:
-                result.fail(RpcTimeoutError(dst, msg_type, deadline))
+                result.succeed(response.body)
 
-        self.sim.process(wait())
+        def on_deadline(event: Event) -> None:
+            nonlocal settled
+            if settled:
+                return
+            settled = True
+            self._pending.pop(req_id, None)
+            result.fail(RpcTimeoutError(dst, msg_type, deadline))
+
+        reply.callbacks.append(on_reply)
+        timer.callbacks.append(on_deadline)
         return result
 
     def notify(self, dst: str, msg_type: str, body: Any = None, size: int = 64) -> None:
@@ -179,6 +216,61 @@ class RpcEndpoint:
         self.network.send(self.name, dst, envelope, size=size)
 
     # -- server side -------------------------------------------------------
+
+    def _on_message(self, message) -> None:
+        """Push-mode dispatch: runs synchronously at message delivery.
+
+        Responses settle the pending call directly; requests with a
+        plain-function handler are served inline — no dispatcher resume
+        and no per-request process, which is the bulk of the control-
+        plane event traffic.  Generator handlers (and sync handlers
+        that return a generator) still get a process.
+        """
+        envelope = message.payload
+        if not isinstance(envelope, _Envelope):
+            return  # stray traffic from another protocol
+        if envelope.kind == "response":
+            pending = self._pending.pop(envelope.req_id, None)
+            if pending is not None:
+                pending.succeed(envelope)
+            return
+        handler = self._handlers.get(envelope.msg_type)
+        if handler is None or self._genfunc.get(envelope.msg_type, False):
+            self.sim.process(self._serve(message.src, envelope))
+            return
+        request = Request(message.src, envelope.msg_type, envelope.body, envelope.req_id)
+        error: Optional[str] = None
+        value: Any = None
+        try:
+            value = handler(request)
+        except Exception as exc:  # noqa: BLE001 - forwarded to caller
+            error = f"{type(exc).__name__}: {exc}"
+        if error is None and inspect.isgenerator(value):
+            self.sim.process(self._finish_async(message.src, envelope, value))
+            return
+        self._respond(message.src, envelope, value, error)
+
+    def _finish_async(self, src: str, envelope: _Envelope, gen):
+        """Await a generator returned by a nominally-sync handler."""
+        error: Optional[str] = None
+        value: Any = None
+        try:
+            value = yield self.sim.process(gen)
+        except Exception as exc:  # noqa: BLE001 - forwarded to caller
+            error = f"{type(exc).__name__}: {exc}"
+        self._respond(src, envelope, value, error)
+
+    def _respond(
+        self, src: str, envelope: _Envelope, value: Any, error: Optional[str]
+    ) -> None:
+        self.requests_served += 1
+        if envelope.kind == "notify":
+            return
+        response = _Envelope("response", envelope.msg_type, value, envelope.req_id, error)
+        try:
+            self.network.send(self.name, src, response, size=64)
+        except HostDownError:
+            pass  # caller vanished; its timeout handles it
 
     def _dispatch_loop(self):
         from repro.sim import Interrupt
@@ -218,11 +310,4 @@ class RpcEndpoint:
                     value = outcome
             except Exception as exc:  # noqa: BLE001 - forwarded to caller
                 error = f"{type(exc).__name__}: {exc}"
-        self.requests_served += 1
-        if envelope.kind == "notify":
-            return
-        response = _Envelope("response", envelope.msg_type, value, envelope.req_id, error)
-        try:
-            self.network.send(self.name, src, response, size=64)
-        except HostDownError:
-            pass  # caller vanished; its timeout handles it
+        self._respond(src, envelope, value, error)

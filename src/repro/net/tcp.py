@@ -26,6 +26,7 @@ link bandwidth.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterator, Optional
 
 __all__ = ["TcpProfile", "RatePhase", "UNCAPPED"]
@@ -89,8 +90,14 @@ class TcpProfile:
         """Yield the flow's rate-cap schedule, in order.
 
         Slow-start phases last one RTT each; the steady phase runs until
-        the shaping deadline (if any); the shaped phase is final.
+        the shaping deadline (if any); the shaped phase is final.  The
+        schedule depends only on the (frozen) profile, so it is computed
+        once per distinct profile and cached — every flow on a route
+        shares the same profile object.
         """
+        return iter(_phase_schedule(self))
+
+    def _compute_phases(self) -> Iterator[RatePhase]:
         elapsed = 0.0
         cwnd = float(self.init_window)
         deadline = self.shaping_after_s
@@ -140,3 +147,14 @@ class TcpProfile:
             remaining -= sendable
             elapsed += phase.duration
         raise AssertionError("phase schedule ended without a final phase")
+
+
+@lru_cache(maxsize=1024)
+def _phase_schedule(profile: TcpProfile) -> tuple[RatePhase, ...]:
+    """The full (finite) phase schedule for a profile, cached.
+
+    Safe to cache because :class:`TcpProfile` is frozen and hashes by
+    field values; the tuple is shared across every flow using an equal
+    profile.
+    """
+    return tuple(profile._compute_phases())

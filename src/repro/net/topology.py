@@ -36,7 +36,7 @@ __all__ = ["Host", "Message", "Route", "TransferReport", "Network"]
 _CONTROL_BYTES_PER_SEC = 10e6
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A control-plane message delivered into a host inbox."""
 
@@ -119,12 +119,23 @@ class Host:
 class Network:
     """The network fabric connecting home devices and the remote cloud."""
 
-    def __init__(self, sim: Simulator, rng: Optional[RandomSource] = None) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: Optional[RandomSource] = None,
+        coalesce_delivery: bool = True,
+    ) -> None:
         self.sim = sim
         self.rng = (rng or RandomSource(0)).fork("network")
         self.hosts: dict[str, Host] = {}
         self._host_routes: dict[tuple[str, str], Route] = {}
         self._group_routes: dict[tuple[str, str], Route] = {}
+        #: Fast path: each in-flight control message is a single
+        #: scheduled callback event.  The legacy path spawns a delivery
+        #: process per message (Initialize + Timeout events plus the
+        #: generator machinery) and is kept as the reference
+        #: implementation for the perf harness baseline.
+        self.coalesce_delivery = coalesce_delivery
         #: Delivered control messages, for diagnostics/tests.
         self.messages_delivered = 0
 
@@ -188,25 +199,37 @@ class Network:
         delay = route.sample_latency(self.rng) + size / _CONTROL_BYTES_PER_SEC
         message = Message(src, dst, payload, size, sent_at=self.sim.now)
         done = self.sim.event()
+        if self.coalesce_delivery:
+            arrival = Event(self.sim)
+            arrival._ok = True
+            arrival._value = None
+            arrival.callbacks.append(
+                lambda _event: self._deliver(message, dst_host, done)
+            )
+            self.sim._schedule(arrival, delay=delay)
+        else:
 
-        def deliver():
-            yield self.sim.timeout(delay)
-            message.delivered_at = self.sim.now
-            if dst_host.online:
-                dst_host.inbox.put(message)
-                self.messages_delivered += 1
-                done.succeed(message)
-            else:
-                # The destination died while the message was in flight.
-                # Waiters (if any) see the failure; fire-and-forget
-                # senders legitimately never look, so the failure is
-                # pre-defused — a lost message to a dead host is normal
-                # network behaviour, not a programming error.
-                done.fail(HostDownError(dst))
-                done._defused = True
+            def deliver():
+                yield self.sim.timeout(delay)
+                self._deliver(message, dst_host, done)
 
-        self.sim.process(deliver())
+            self.sim.process(deliver())
         return done
+
+    def _deliver(self, message: Message, dst_host: Host, done: Event) -> None:
+        message.delivered_at = self.sim.now
+        if dst_host.online:
+            dst_host.inbox.put(message)
+            self.messages_delivered += 1
+            done.succeed(message)
+        else:
+            # The destination died while the message was in flight.
+            # Waiters (if any) see the failure; fire-and-forget
+            # senders legitimately never look, so the failure is
+            # pre-defused — a lost message to a dead host is normal
+            # network behaviour, not a programming error.
+            done.fail(HostDownError(message.dst))
+            done._defused = True
 
     # -- data plane --------------------------------------------------------
 

@@ -41,6 +41,10 @@ MSG_NODE_JOINED = "chimera.node-joined"
 MSG_NODE_LEFT = "chimera.node-left"
 MSG_PING = "chimera.ping"
 
+#: Sentinel distinguishing "not cached" from a cached ``None`` (we are
+#: the root for the key).
+_ROUTE_MISS = object()
+
 
 class PeerInfo:
     """(name, id) pair for a known overlay member."""
@@ -80,7 +84,16 @@ class ChimeraNode:
         route (user-level Chimera work plus the VStore++↔Chimera IPC the
         paper describes).  This is what makes the DHT-lookup column of
         Table I a few milliseconds rather than pure wire time.
+    route_cache:
+        Enable the destination → next-hop cache.  Routing decisions are
+        pure functions of the node's membership view, so results are
+        cached per key and the whole cache is invalidated on any
+        join/leave/stabilizer-driven view change.  Disable to measure
+        the uncached baseline (perf harness) or to debug routing.
     """
+
+    #: Route-cache entries are dropped wholesale past this size.
+    ROUTE_CACHE_MAX = 4096
 
     def __init__(
         self,
@@ -89,10 +102,12 @@ class ChimeraNode:
         endpoint: Optional[RpcEndpoint] = None,
         leaf_size: int = 4,
         hop_processing_s: float = 0.002,
+        route_cache: bool = True,
+        rpc_push: bool = True,
     ) -> None:
         self.network = network
         self.host = host
-        self.endpoint = endpoint or RpcEndpoint(network, host)
+        self.endpoint = endpoint or RpcEndpoint(network, host, push=rpc_push)
         self.id = NodeId.from_name(host.name)
         self.leaf = LeafSet(self.id, per_side=leaf_size)
         self.table = RoutingTable(self.id)
@@ -104,6 +119,10 @@ class ChimeraNode:
         self.on_node_left: list[Callable[[PeerInfo], None]] = []
         #: Diagnostics: total hops taken by route requests we initiated.
         self.routes_resolved = 0
+        self.route_cache_enabled = route_cache
+        #: key -> next hop (PeerInfo, or None when we are the root).
+        self._route_cache: dict[NodeId, Optional[PeerInfo]] = {}
+        self.route_cache_hits = 0
         self._register_handlers()
 
     @property
@@ -212,9 +231,27 @@ class ChimeraNode:
         routing-table entry for the key's next digit; otherwise any
         known node strictly closer to the key with at least as long a
         shared prefix (the rare-case fallback that guarantees progress).
+
+        Results are memoized per key while the membership view is
+        stable; any view change (join, leave, failure eviction,
+        stabilizer merge) flushes the cache.
         """
         if not self.joined:
             raise NotJoinedError(f"{self.name} has not joined the overlay")
+        if self.route_cache_enabled:
+            cache = self._route_cache
+            hit = cache.get(key, _ROUTE_MISS)
+            if hit is not _ROUTE_MISS:
+                self.route_cache_hits += 1
+                return hit
+            result = self._next_hop_uncached(key)
+            if len(cache) >= self.ROUTE_CACHE_MAX:
+                cache.clear()
+            cache[key] = result
+            return result
+        return self._next_hop_uncached(key)
+
+    def _next_hop_uncached(self, key: NodeId) -> Optional[PeerInfo]:
         if key == self.id or not self.known:
             return None
         if self.leaf.covers(key):
@@ -336,6 +373,7 @@ class ChimeraNode:
         self.leaf.add(peer.id)
         self.table.add(peer.id)
         if is_new:
+            self._route_cache.clear()
             for callback in self.on_node_joined:
                 callback(peer)
 
@@ -349,6 +387,7 @@ class ChimeraNode:
         # Backfill the leaf set from the remaining known view so the
         # ring stays connected after departures.
         self.leaf.update(nid for nid, _ in self.known.items())
+        self._route_cache.clear()
         if notify:
             peer = PeerInfo(name, node_id)
             for callback in self.on_node_left:

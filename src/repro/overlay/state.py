@@ -169,5 +169,10 @@ class LeafSet:
 
     def _prune(self) -> None:
         """Keep only the per-side closest members in each direction."""
+        # lefts() is rights() in reverse (clockwise distances are
+        # distinct), so with <= 2*per_side members the two windows
+        # cover everything and pruning is a no-op — skip the sorts.
+        if len(self._members) <= 2 * self.per_side:
+            return
         keep = set(self.rights()) | set(self.lefts())
         self._members = keep

@@ -25,6 +25,8 @@ __all__ = ["Request", "Resource", "Container", "Store"]
 class Request(Event):
     """A pending claim on a :class:`Resource` slot."""
 
+    __slots__ = ("resource",)
+
     def __init__(self, resource: "Resource") -> None:
         super().__init__(resource.sim)
         self.resource = resource
@@ -158,16 +160,39 @@ class Store:
         self.sim = sim
         self._items: deque[Any] = deque()
         self._getters: deque[Event] = deque()
+        self._consumer: Optional[Any] = None
 
     def __len__(self) -> int:
         return len(self._items)
 
     def put(self, item: Any) -> None:
-        """Enqueue ``item``, waking the oldest waiting getter if any."""
+        """Enqueue ``item``, waking the oldest waiting getter if any.
+
+        With a consumer installed (see :meth:`set_consumer`) and no
+        waiting getters, the item is handed to the consumer callback
+        synchronously instead of being queued.
+        """
         if self._getters:
             self._getters.popleft().succeed(item)
+        elif self._consumer is not None:
+            self._consumer(item)
         else:
             self._items.append(item)
+
+    def set_consumer(self, consumer: Optional[Any]) -> None:
+        """Install (or clear, with ``None``) a push-mode consumer.
+
+        The consumer is called synchronously with each item as it is
+        put; items already queued are drained into it immediately.
+        This is the fast path for always-on message dispatchers — it
+        saves the get-event round trip per item that the pull interface
+        costs.  Getters created while a consumer is installed still
+        take priority for subsequently put items.
+        """
+        self._consumer = consumer
+        if consumer is not None:
+            while self._items:
+                consumer(self._items.popleft())
 
     def get(self) -> Event:
         """Event that triggers with the next queued item."""

@@ -5,11 +5,20 @@ from repro.overlay import ChimeraNode
 from repro.sim import RandomSource, Simulator
 
 
-def build_lan(n_hosts, seed=0, latency=0.001, bandwidth=95.5e6 / 8, jitter=0.0):
+def build_lan(
+    n_hosts,
+    seed=0,
+    latency=0.001,
+    bandwidth=95.5e6 / 8,
+    jitter=0.0,
+    coalesce_timer=True,
+    batched=True,
+    coalesce_delivery=True,
+):
     """A simulator + network with ``n_hosts`` home hosts on one LAN."""
-    sim = Simulator()
-    net = Network(sim, RandomSource(seed))
-    link = Link(sim, bandwidth=bandwidth, name="lan")
+    sim = Simulator(batched=batched)
+    net = Network(sim, RandomSource(seed), coalesce_delivery=coalesce_delivery)
+    link = Link(sim, bandwidth=bandwidth, name="lan", coalesce_timer=coalesce_timer)
     net.connect_groups(
         "home", "home", Route(link, base_latency=latency, jitter=jitter)
     )
@@ -17,14 +26,21 @@ def build_lan(n_hosts, seed=0, latency=0.001, bandwidth=95.5e6 / 8, jitter=0.0):
     return sim, net, hosts
 
 
-def build_overlay(n_nodes, seed=0, leaf_size=4, **lan_kwargs):
+def build_overlay(
+    n_nodes, seed=0, leaf_size=4, route_cache=True, rpc_push=True, **lan_kwargs
+):
     """A fully joined overlay of ``n_nodes`` on a home LAN.
 
     Nodes join sequentially through node00 as the bootstrap, which is
     how a home deployment grows.  Returns (sim, net, nodes).
     """
     sim, net, hosts = build_lan(n_nodes, seed=seed, **lan_kwargs)
-    nodes = [ChimeraNode(net, host, leaf_size=leaf_size) for host in hosts]
+    nodes = [
+        ChimeraNode(
+            net, host, leaf_size=leaf_size, route_cache=route_cache, rpc_push=rpc_push
+        )
+        for host in hosts
+    ]
     nodes[0].start()
     for node in nodes[1:]:
         proc = sim.process(node.join(bootstrap=nodes[0].name))

@@ -1,0 +1,164 @@
+"""Fast path vs reference implementation equivalence.
+
+Each coalesced fast path keeps its event-per-step reference
+implementation in-tree (``XenSocketChannel.transfer_paged``, the
+``Link`` timer process, the uncached ``next_hop``).  These tests run
+both sides of each pair on identical scenarios and require identical
+simulated outcomes (1e-9 relative tolerance for times, exact equality
+for routing decisions).
+"""
+
+import pytest
+
+from repro.net import Link, TcpProfile
+from repro.net.tcp import UNCAPPED
+from repro.sim import Simulator
+from repro.virt import XenSocketChannel
+
+from tests.conftest import build_overlay
+
+REL_TOL = 1e-9
+
+
+def assert_close(actual, expected, label):
+    tol = REL_TOL * max(abs(actual), abs(expected), 1e-30)
+    assert abs(actual - expected) <= tol, (
+        f"{label}: {actual!r} != {expected!r}"
+    )
+
+
+class TestXenSocketEquivalence:
+    @pytest.mark.parametrize(
+        "nbytes", [0, 1, 4096, 5000, 128 * 1024, 1024 * 1024, 100 * 1024 * 1024]
+    )
+    def test_paged_matches_coalesced(self, nbytes):
+        sim = Simulator()
+        chan = XenSocketChannel(sim)
+        coalesced = sim.run(until=sim.process(chan.transfer(nbytes)))
+
+        sim2 = Simulator()
+        chan2 = XenSocketChannel(sim2)
+        paged = sim2.run(until=sim2.process(chan2.transfer_paged(nbytes)))
+
+        assert_close(paged, coalesced, f"transfer({nbytes})")
+        assert_close(coalesced, chan.transfer_time(nbytes), "closed form")
+
+    def test_paged_batching_is_invariant(self):
+        nbytes = 10 * 1024 * 1024
+        sim = Simulator()
+        chan = XenSocketChannel(sim)
+        expected = chan.transfer_time(nbytes)
+        for batch in (1, 4, 32):
+            s = Simulator()
+            c = XenSocketChannel(s)
+            elapsed = s.run(
+                until=s.process(c.transfer_paged(nbytes, pages_per_event=batch))
+            )
+            assert_close(elapsed, expected, f"pages_per_event={batch}")
+
+    def test_queued_transfers_serialize_identically(self):
+        def scenario(paged):
+            sim = Simulator()
+            chan = XenSocketChannel(sim)
+            method = chan.transfer_paged if paged else chan.transfer
+            procs = [sim.process(method(512 * 1024)) for _ in range(3)]
+            results = [sim.run(until=p) for p in procs]
+            return results, sim.now
+
+        fast, t_fast = scenario(paged=False)
+        ref, t_ref = scenario(paged=True)
+        assert_close(t_fast, t_ref, "end time")
+        for i, (a, b) in enumerate(zip(fast, ref)):
+            assert_close(a, b, f"transfer #{i} elapsed")
+
+
+class TestLinkTimerEquivalence:
+    @staticmethod
+    def run_flows(coalesce):
+        """Three staggered flows with TCP phases sharing one link."""
+        sim = Simulator()
+        link = Link(sim, bandwidth=10e6, coalesce_timer=coalesce)
+        profile = TcpProfile(rtt=0.05, shaping_after_s=1.0, shaped_rate=1e6)
+        finish_times = {}
+
+        def start_flow(name, delay, nbytes, prof, cap):
+            yield sim.timeout(delay)
+            flow = link.open_flow(nbytes, profile=prof, extra_cap=cap)
+            yield flow.done
+            finish_times[name] = sim.now
+
+        sim.process(start_flow("a", 0.0, 4e6, profile, UNCAPPED))
+        sim.process(start_flow("b", 0.3, 6e6, profile, 3e6))
+        sim.process(start_flow("c", 0.9, 2e6, None, UNCAPPED))
+        sim.run()
+        return finish_times, link.bytes_delivered
+
+    def test_coalesced_timer_matches_timer_process(self):
+        fast, fast_bytes = self.run_flows(coalesce=True)
+        ref, ref_bytes = self.run_flows(coalesce=False)
+        assert set(fast) == set(ref) == {"a", "b", "c"}
+        for name in ref:
+            assert_close(fast[name], ref[name], f"flow {name} finish")
+        assert_close(fast_bytes, ref_bytes, "bytes delivered")
+
+    def test_bandwidth_change_reschedules_identically(self):
+        def scenario(coalesce):
+            sim = Simulator()
+            link = Link(sim, bandwidth=8e6, coalesce_timer=coalesce)
+            flow = link.open_flow(12e6)
+
+            def degrade():
+                yield sim.timeout(0.5)
+                link.set_bandwidth(2e6)
+
+            sim.process(degrade())
+            sim.run(until=flow.done)
+            return sim.now
+
+        assert_close(
+            scenario(coalesce=True), scenario(coalesce=False), "finish under change"
+        )
+
+
+class TestRouteCacheEquivalence:
+    def test_cached_and_uncached_routing_agree(self):
+        from repro.overlay import NodeId
+
+        sim, net, nodes = build_overlay(16, seed=11)
+        assert any(n.route_cache_hits == 0 for n in nodes)
+        keys = [NodeId.from_name(f"eq-{i}") for i in range(64)]
+        for node in nodes:
+            for key in keys:
+                cached = node.next_hop(key)
+                uncached = node._next_hop_uncached(key)
+                assert cached is uncached or (
+                    cached is not None
+                    and uncached is not None
+                    and cached.id == uncached.id
+                ), f"{node.name} routes {key} differently"
+        # Second pass is served from the cache.
+        hits_before = sum(n.route_cache_hits for n in nodes)
+        for node in nodes:
+            for key in keys:
+                node.next_hop(key)
+        hits_after = sum(n.route_cache_hits for n in nodes)
+        assert hits_after >= hits_before + len(nodes) * len(keys)
+
+    def test_membership_change_invalidates_cache(self):
+        from repro.overlay import NodeId
+
+        sim, net, nodes = build_overlay(8, seed=3)
+        key = NodeId.from_name("invalidate-me")
+        node = nodes[0]
+        node.next_hop(key)
+        assert key in node._route_cache
+        leaver = nodes[-1]
+        proc = sim.process(leaver.leave())
+        sim.run(until=proc)
+        sim.run()
+        assert key not in node._route_cache
+        refreshed = node.next_hop(key)
+        uncached = node._next_hop_uncached(key)
+        assert (refreshed is None) == (uncached is None)
+        if refreshed is not None:
+            assert refreshed.id == uncached.id

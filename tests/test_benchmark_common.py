@@ -1,0 +1,33 @@
+"""Unit tests for the benchmark harness helpers."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT) not in sys.path:  # for bare `pytest` invocations
+    sys.path.insert(0, str(REPO_ROOT))
+
+from benchmarks.common import format_table, mean_std
+
+
+class TestMeanStd:
+    def test_empty_sequence_raises_value_error(self):
+        with pytest.raises(ValueError, match="at least one value"):
+            mean_std([])
+
+    def test_single_value_has_zero_deviation(self):
+        assert mean_std([4.2]) == (4.2, 0.0)
+
+    def test_mean_and_sample_stdev(self):
+        mean, std = mean_std([1.0, 2.0, 3.0, 4.0])
+        assert mean == pytest.approx(2.5)
+        assert std == pytest.approx(1.2909944487, rel=1e-9)
+
+
+def test_format_table_aligns_columns():
+    lines = format_table(["size", "time"], [["1", "22.5"], ["100", "3.0"]])
+    assert len(lines) == 4
+    widths = {len(line) for line in lines}
+    assert len(widths) == 1  # all rows padded to the same width
