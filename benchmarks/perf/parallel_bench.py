@@ -1,0 +1,72 @@
+"""Parallel harness vs the naive serial loop on real paper sweeps.
+
+The serial baseline is what the benchmarks did before this harness
+existed: execute every submitted job one after another, including the
+timing repeats of identical deterministic sweep points.  The parallel
+path is ``run_jobs`` — duplicate jobs computed once, distinct jobs
+fanned across a ``multiprocessing`` pool.  On a multi-core box both
+effects compound; on a single core the dedup alone carries the
+speedup (the pool adds fork/IPC overhead, reported transparently via
+``jobs`` vs ``distinct_jobs``).
+
+Every measurement also *verifies* the contract the speedup rests on:
+the canonical result projection is byte-identical between the naive
+loop and the pool at every checked worker count.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.parallel import canonical_results, run_jobs
+from repro.parallel.sweeps import fig5_jobs, table1_jobs
+
+VERIFY_WORKER_COUNTS = (2, 4)
+
+
+def _bench_jobs(jobs, workers: int) -> dict:
+    """Time naive-serial vs pooled execution of one job batch."""
+    t0 = time.perf_counter()
+    naive = run_jobs(jobs, workers=0, dedup=False)
+    serial_wall = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    pooled = run_jobs(jobs, workers=workers)
+    parallel_wall = time.perf_counter() - t0
+
+    # Bit-for-bit metric equality: the pool (with dedup) must report
+    # exactly what the naive loop reports, at every worker count.
+    reference = canonical_results(naive)
+    mismatches = []
+    if canonical_results(pooled) != reference:
+        mismatches.append(workers)
+    for n in VERIFY_WORKER_COUNTS:
+        if n != workers and canonical_results(run_jobs(jobs, workers=n)) != reference:
+            mismatches.append(n)
+    if mismatches:
+        raise AssertionError(
+            f"parallel results diverged from serial at workers={mismatches}"
+        )
+
+    return {
+        "jobs": len(jobs),
+        "distinct_jobs": len({job.key for job in jobs}),
+        "workers": workers,
+        "serial_wall_s": serial_wall,
+        "parallel_wall_s": parallel_wall,
+        "speedup": serial_wall / parallel_wall,
+        "verified_worker_counts": sorted({workers, *VERIFY_WORKER_COUNTS}),
+        "metrics_identical": True,
+    }
+
+
+def bench_parallel_table1(
+    sizes=None, repeats: int = 20, workers: int = 4
+) -> dict:
+    """Table I sweep points × timing repeats through the harness."""
+    return _bench_jobs(table1_jobs(sizes, repeats=repeats), workers)
+
+
+def bench_parallel_fig5(sizes=None, repeats: int = 10, workers: int = 4) -> dict:
+    """Figure 5 replications (both methods) through the harness."""
+    return _bench_jobs(fig5_jobs(sizes, repeats=repeats), workers)

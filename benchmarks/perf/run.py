@@ -1,4 +1,4 @@
-"""Run every fast-path microbenchmark and write ``BENCH_fastpath.json``.
+"""Run the perf suites: ``BENCH_fastpath.json`` + ``BENCH_parallel.json``.
 
 Usage (from the repo root)::
 
@@ -9,7 +9,13 @@ Usage (from the repo root)::
 ``--smoke`` shrinks every workload so the whole suite finishes in a few
 seconds (used by CI, which makes no timing assertions).  ``--check``
 additionally enforces the acceptance thresholds: ≥2× on the 100 MB
-XenSocket transfer and ≥1.3× on the full Table I sweep.
+XenSocket transfer, ≥1.3× on the full Table I sweep, ≥2× for the
+parallel harness on the Table I sweep with repeats, and a strictly
+faster scatter-gather decision at every candidate count.
+
+The parallel suite verifies — not just claims — that pooled execution
+reproduces the naive serial loop bit-for-bit at several worker counts;
+the speedup numbers only mean anything on top of that equality.
 """
 
 from __future__ import annotations
@@ -25,14 +31,25 @@ for entry in (str(REPO_ROOT / "src"), str(REPO_ROOT)):
     if entry not in sys.path:
         sys.path.insert(0, entry)
 
+from benchmarks.perf.decision_bench import bench_decision
 from benchmarks.perf.kernel_bench import bench_kernel
 from benchmarks.perf.overlay_bench import bench_overlay
+from benchmarks.perf.parallel_bench import (
+    bench_parallel_fig5,
+    bench_parallel_table1,
+)
 from benchmarks.perf.table1_bench import bench_table1
 from benchmarks.perf.xensocket_bench import bench_xensocket
 
 MB = 1024 * 1024
 
 THRESHOLDS = {"xensocket_100mb": 2.0, "table1_sweep": 1.3}
+
+PARALLEL_THRESHOLDS = {
+    "table1_parallel": 2.0,
+    "fig5_parallel": 2.0,
+    "decision_scatter_gather": 1.2,
+}
 
 
 def main(argv=None) -> int:
@@ -50,7 +67,18 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--output",
         default=str(REPO_ROOT / "BENCH_fastpath.json"),
-        help="where to write the results JSON",
+        help="where to write the fastpath results JSON",
+    )
+    parser.add_argument(
+        "--output-parallel",
+        default=str(REPO_ROOT / "BENCH_parallel.json"),
+        help="where to write the parallel-harness results JSON",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="pool size for the parallel-harness benchmarks",
     )
     args = parser.parse_args(argv)
 
@@ -61,6 +89,15 @@ def main(argv=None) -> int:
             "overlay_lookup_storm": bench_overlay(n_nodes=12, n_lookups=100),
             "table1_sweep": bench_table1(sizes=[1, 10], repeats=1),
         }
+        parallel_results = {
+            "table1_parallel": bench_parallel_table1(
+                sizes=[1, 10], repeats=6, workers=args.workers
+            ),
+            "fig5_parallel": bench_parallel_fig5(
+                sizes=[5, 20], repeats=4, workers=args.workers
+            ),
+            "decision_scatter_gather": bench_decision(ks=(2, 4)),
+        }
     else:
         results = {
             "kernel": bench_kernel(),
@@ -68,28 +105,65 @@ def main(argv=None) -> int:
             "overlay_lookup_storm": bench_overlay(),
             "table1_sweep": bench_table1(),
         }
+        parallel_results = {
+            "table1_parallel": bench_parallel_table1(workers=args.workers),
+            "fig5_parallel": bench_parallel_fig5(workers=args.workers),
+            "decision_scatter_gather": bench_decision(),
+        }
 
-    payload = {
-        "suite": "fastpath",
-        "smoke": args.smoke,
-        "python": platform.python_version(),
-        "platform": platform.platform(),
-        "results": results,
-        "thresholds": THRESHOLDS,
-    }
+    host = {"python": platform.python_version(), "platform": platform.platform()}
     out = Path(args.output)
-    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    out.write_text(
+        json.dumps(
+            {
+                "suite": "fastpath",
+                "smoke": args.smoke,
+                **host,
+                "results": results,
+                "thresholds": THRESHOLDS,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+    out_parallel = Path(args.output_parallel)
+    out_parallel.write_text(
+        json.dumps(
+            {
+                "suite": "parallel",
+                "smoke": args.smoke,
+                **host,
+                "results": parallel_results,
+                "thresholds": PARALLEL_THRESHOLDS,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
 
-    print(f"fastpath microbenchmarks ({'smoke' if args.smoke else 'full'} mode)")
+    mode = "smoke" if args.smoke else "full"
+    print(f"fastpath microbenchmarks ({mode} mode)")
     for name, r in results.items():
-        print(f"  {name:22s} speedup {r['speedup']:6.2f}x")
-    print(f"written: {out}")
+        print(f"  {name:24s} speedup {r['speedup']:6.2f}x")
+    print(f"parallel harness ({mode} mode, {args.workers} workers)")
+    for name, r in parallel_results.items():
+        extra = ""
+        if "jobs" in r:
+            extra = f"  ({r['jobs']} jobs, {r['distinct_jobs']} distinct)"
+        print(f"  {name:24s} speedup {r['speedup']:6.2f}x{extra}")
+    print(f"written: {out} {out_parallel}")
 
     if args.check:
         failures = [
-            f"{name}: {results[name]['speedup']:.2f}x < {minimum}x"
-            for name, minimum in THRESHOLDS.items()
-            if results[name]["speedup"] < minimum
+            f"{name}: {suite[name]['speedup']:.2f}x < {minimum}x"
+            for suite, thresholds in (
+                (results, THRESHOLDS),
+                (parallel_results, PARALLEL_THRESHOLDS),
+            )
+            for name, minimum in thresholds.items()
+            if suite[name]["speedup"] < minimum
         ]
         if failures:
             print("threshold failures:\n  " + "\n  ".join(failures))

@@ -16,51 +16,33 @@ The access mix is the modified eDonkey trace's 60 % store / 40 % fetch.
 
 import pytest
 
-from benchmarks.common import MB, format_table, report, run_once
-from repro import Cloud4Home, ClusterConfig
-from repro.sim import RandomSource
+from benchmarks.common import format_table, report, run_once
+from repro.parallel import run_jobs
+from repro.parallel.sweeps import (
+    FIG5_FILES_METHOD2 as FILES_METHOD2,
+    FIG5_SIZES_MB,
+    FIG5_STORE_FRACTION as STORE_FRACTION,
+    FIG5_TOTAL_MB_METHOD1 as TOTAL_MB_METHOD1,
+    fig5_access_mix as run_access_mix,
+    fig5_jobs,
+)
 
-SIZES_MB = [5, 10, 20, 30, 50, 100]
-TOTAL_MB_METHOD1 = 260.0
-FILES_METHOD2 = 5
-STORE_FRACTION = 0.6
-
-
-def run_access_mix(size_mb, n_files, seed):
-    """Sequential remote-cloud interactions; returns MB/s aggregate."""
-    c4h = Cloud4Home(ClusterConfig(seed=seed))
-    c4h.start(monitors=False)
-    rng = RandomSource(seed).fork("fig5")
-    s3 = c4h.s3
-    names = [f"obj-{size_mb}-{i}" for i in range(n_files)]
-    # Seed the bucket so fetches always have something to download.
-    for name in names:
-        c4h.run(s3.put_object("netbook0", name, size_mb * MB))
-
-    t0 = c4h.sim.now
-    moved_mb = 0.0
-    n_ops = max(n_files, 8)
-    clients = [d.name for d in c4h.devices]
-    for i in range(n_ops):
-        name = rng.choice(names)
-        client = rng.choice(clients)
-        if rng.random() < STORE_FRACTION:
-            c4h.run(s3.put_object(client, name, size_mb * MB))
-        else:
-            c4h.run(s3.get_object(client, name))
-        moved_mb += size_mb
-    return moved_mb / (c4h.sim.now - t0)
+SIZES_MB = FIG5_SIZES_MB
 
 
 @pytest.mark.benchmark(group="fig5")
 def test_fig5_throughput_vs_object_size(benchmark):
     def scenario():
+        # Both methods' points as independent jobs through the shard
+        # runner (inline here; the CLI fans the same jobs over a pool).
+        jobs = fig5_jobs(SIZES_MB)
+        results = run_jobs(jobs, workers=0, on_error="raise")
         method1 = {}
         method2 = {}
-        for size in SIZES_MB:
-            n1 = max(2, round(TOTAL_MB_METHOD1 / size))
-            method1[size] = run_access_mix(size, n1, seed=500 + size)
-            method2[size] = run_access_mix(size, FILES_METHOD2, seed=700 + size)
+        for job, result in zip(jobs, results):
+            size = job.kwargs["size_mb"]
+            target = method1 if job.kwargs["seed"] == 500 + size else method2
+            target[size] = result.value["mb_s"]
         return method1, method2
 
     method1, method2 = run_once(benchmark, scenario)

@@ -11,9 +11,10 @@ DHT 12); 100 MB -> total 15.2 s (13.6 s, 1.6 s, 12 ms).
 import pytest
 
 from benchmarks.common import format_table, report, run_once
-from repro import Cloud4Home, ClusterConfig
+from repro.parallel import run_jobs
+from repro.parallel.sweeps import TABLE1_SIZES_MB, table1_fetch, table1_jobs
 
-SIZES_MB = [1, 2, 5, 10, 20, 50, 100]
+SIZES_MB = TABLE1_SIZES_MB
 
 PAPER_ROWS = {
     1: (228, 103, 25, 12),
@@ -27,21 +28,18 @@ PAPER_ROWS = {
 
 
 def measure(size_mb, seed):
-    c4h = Cloud4Home(ClusterConfig(seed=seed))
-    c4h.start(monitors=False)
-    owner = c4h.devices[0]
-    reader = c4h.devices[2]
-    name = f"table1-{size_mb}.bin"
-    c4h.run(owner.client.store_file(name, float(size_mb)))
-    fetch = c4h.run(reader.vstore.fetch_object(name))
-    assert fetch.served_from == owner.name
-    return fetch
+    """One Table I point: the parallel harness's job, returned raw."""
+    return table1_fetch(size_mb, seed)
 
 
 @pytest.mark.benchmark(group="table1")
 def test_table1_fetch_cost_breakdown(benchmark):
     def scenario():
-        return {size: measure(size, seed=300 + size) for size in SIZES_MB}
+        # The sweep runs through the shard runner (inline here; the CLI
+        # and perf harness fan the same jobs across a pool).
+        jobs = table1_jobs(SIZES_MB)
+        results = run_jobs(jobs, workers=0, on_error="raise")
+        return {size: r.value for size, r in zip(SIZES_MB, results)}
 
     results = run_once(benchmark, scenario)
 
@@ -52,10 +50,10 @@ def test_table1_fetch_cost_breakdown(benchmark):
         rows.append(
             [
                 f"{size}",
-                f"{f.total_s * 1000:.0f}",
-                f"{f.inter_node_s * 1000:.0f}",
-                f"{f.inter_domain_s * 1000:.0f}",
-                f"{f.dht_lookup_s * 1000:.1f}",
+                f"{f['total_s'] * 1000:.0f}",
+                f"{f['inter_node_s'] * 1000:.0f}",
+                f"{f['inter_domain_s'] * 1000:.0f}",
+                f"{f['dht_lookup_s'] * 1000:.1f}",
                 f"{p[0]}/{p[1]}/{p[2]}/{p[3]}",
             ]
         )
@@ -67,9 +65,9 @@ def test_table1_fetch_cost_breakdown(benchmark):
         ),
     )
 
-    lookups = [results[s].dht_lookup_s for s in SIZES_MB]
-    inter_node = [results[s].inter_node_s for s in SIZES_MB]
-    inter_domain = [results[s].inter_domain_s for s in SIZES_MB]
+    lookups = [results[s]["dht_lookup_s"] for s in SIZES_MB]
+    inter_node = [results[s]["inter_node_s"] for s in SIZES_MB]
+    inter_domain = [results[s]["inter_domain_s"] for s in SIZES_MB]
 
     # DHT lookup cost is constant-ish and in the paper's millisecond range.
     assert max(lookups) < 0.05
@@ -84,12 +82,12 @@ def test_table1_fetch_cost_breakdown(benchmark):
     assert inter_domain[-1] / inter_domain[0] == pytest.approx(100, rel=0.6)
 
     # Magnitudes in the same ballpark as the paper's testbed (within 2x).
-    assert results[100].inter_node_s == pytest.approx(13.577, rel=1.0)
-    assert results[100].inter_domain_s == pytest.approx(1.603, rel=1.0)
+    assert results[100]["inter_node_s"] == pytest.approx(13.577, rel=1.0)
+    assert results[100]["inter_domain_s"] == pytest.approx(1.603, rel=1.0)
 
     # Total is the sum of its parts plus small command/processing costs.
     for size in SIZES_MB:
         f = results[size]
-        parts = f.inter_node_s + f.inter_domain_s + f.dht_lookup_s
-        assert f.total_s >= parts
-        assert f.total_s < parts + 0.5
+        parts = f["inter_node_s"] + f["inter_domain_s"] + f["dht_lookup_s"]
+        assert f["total_s"] >= parts
+        assert f["total_s"] < parts + 0.5

@@ -6,6 +6,7 @@ Usage::
     python -m repro topology             # show the assembled testbed
     python -m repro trace --files 12     # sample the eDonkey workload
     python -m repro surveillance         # run the camera pipeline once
+    python -m repro sweep --workers 4    # paper sweeps on a process pool
     python -m repro bench-help           # how to regenerate the paper
 
 All subcommands run entirely offline on the discrete-event simulator.
@@ -56,6 +57,43 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         default=["camera.jpg", "movie.avi", "song.mp3"],
         help="object names to map onto owners",
+    )
+
+    sweep = sub.add_parser(
+        "sweep", help="run paper sweeps across a process pool"
+    )
+    sweep.add_argument(
+        "experiment",
+        nargs="?",
+        default="all",
+        choices=["table1", "fig5", "storm", "chaos", "decision", "all"],
+        help="which sweep to run (default: all)",
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="pool size; 0 or 1 runs inline (the serial reference path)",
+    )
+    sweep.add_argument(
+        "--repeats", type=int, default=1, help="repeats/trials per sweep point"
+    )
+    sweep.add_argument(
+        "--root-seed",
+        type=int,
+        default=0,
+        help="root seed every job seed is derived from",
+    )
+    sweep.add_argument(
+        "--smoke", action="store_true", help="tiny sweep points (CI-sized)"
+    )
+    sweep.add_argument(
+        "--verify",
+        action="store_true",
+        help="re-run inline and require bit-identical results",
+    )
+    sweep.add_argument(
+        "--output", default=None, help="write the JSON payload to this path"
     )
 
     sub.add_parser("bench-help", help="how to regenerate the paper's results")
@@ -166,6 +204,61 @@ def cmd_overlay(args) -> int:
     return 0
 
 
+def cmd_sweep(args) -> int:
+    import json
+    import time
+
+    from repro.parallel.sweeps import run_sweep
+
+    started = time.perf_counter()
+    payload = run_sweep(
+        args.experiment,
+        workers=args.workers,
+        repeats=args.repeats,
+        root_seed=args.root_seed,
+        smoke=args.smoke,
+        verify=args.verify,
+    )
+    wall_s = time.perf_counter() - started
+
+    sweeps = payload["sweeps"].values() if "sweeps" in payload else [payload]
+    n_jobs = sum(p["n_jobs"] for p in sweeps)
+    n_distinct = sum(p["n_distinct_jobs"] for p in sweeps)
+    n_failed = sum(p["n_failed"] for p in sweeps)
+    mode = "inline" if args.workers <= 1 else f"{args.workers} workers"
+    print(
+        f"sweep {args.experiment}: {n_jobs} jobs "
+        f"({n_distinct} distinct) on {mode} in {wall_s:.2f}s"
+        + (", verified vs serial" if args.verify and args.workers > 1 else "")
+    )
+    if n_failed:
+        print(f"  {n_failed} job(s) FAILED:")
+        for p in sweeps:
+            _print_failures(p)
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"  wrote {args.output}")
+    return 1 if n_failed else 0
+
+
+def _print_failures(payload: dict) -> None:
+    """Surface failed sweep points buried in the aggregated results."""
+
+    def walk(obj, path):
+        if isinstance(obj, dict):
+            if set(obj) == {"error"}:
+                print(f"    {payload['experiment']}/{path}: {obj['error']}")
+                return
+            for key, value in obj.items():
+                walk(value, f"{path}/{key}" if path else key)
+        elif isinstance(obj, list):
+            for i, value in enumerate(obj):
+                walk(value, f"{path}[{i}]")
+
+    walk(payload["results"], "")
+
+
 def cmd_bench_help(args) -> int:
     print("Regenerate every table and figure from the paper with:")
     print()
@@ -193,6 +286,7 @@ COMMANDS = {
     "trace": cmd_trace,
     "surveillance": cmd_surveillance,
     "overlay": cmd_overlay,
+    "sweep": cmd_sweep,
     "bench-help": cmd_bench_help,
 }
 

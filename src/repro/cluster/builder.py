@@ -260,7 +260,9 @@ class Cloud4Home:
             cache_enabled=self.config.cache_enabled,
         )
         registry = ServiceRegistry(kv)
-        decision = DecisionEngine(chimera, kv)
+        decision = DecisionEngine(
+            chimera, kv, parallel=self.config.parallel_decision
+        )
         bandwidth = BandwidthEstimator(
             default_mbps=self.config.lan.bandwidth_mbps
         )

@@ -112,3 +112,11 @@ class ClusterConfig:
     #: legacy reference implementations the perf harness measures
     #: against.
     fastpath: bool = True
+    #: Scatter-gather placement decisions: ``chimeraGetDecision`` issues
+    #: all k candidate snapshot lookups concurrently and joins them, so
+    #: a decision's simulated latency is roughly the max of the k
+    #: lookups instead of their sum.  Concurrent lookups overlap on the
+    #: links, which *changes simulated timing* (unlike ``fastpath``),
+    #: so the flag defaults to off and has its own golden tests; the
+    #: ranking produced is identical in both modes.
+    parallel_decision: bool = False

@@ -22,7 +22,7 @@ mechanisms:
 
 from __future__ import annotations
 
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -47,9 +47,19 @@ MSG_CACHE_INVALIDATE = "kv.cache-invalidate"
 MSG_TRANSFER = "kv.transfer"
 
 
+#: How many recent lookup samples :class:`KvStats` keeps for inspection.
+LOOKUP_WINDOW = 256
+
+
 @dataclass
 class KvStats:
-    """Operation counters for one node's store."""
+    """Operation counters for one node's store.
+
+    ``lookup_times`` holds only the most recent :data:`LOOKUP_WINDOW`
+    samples (bounded memory under heavy traffic); the exact mean over
+    *all* lookups comes from the running ``lookup_count`` /
+    ``lookup_time_total`` pair.
+    """
 
     puts: int = 0
     gets: int = 0
@@ -59,12 +69,22 @@ class KvStats:
     served_replica: int = 0
     forwards: int = 0
     records_received: int = 0
-    lookup_times: list = field(default_factory=list)
+    lookup_times: deque = field(
+        default_factory=lambda: deque(maxlen=LOOKUP_WINDOW)
+    )
+    lookup_count: int = 0
+    lookup_time_total: float = 0.0
+
+    def record_lookup(self, elapsed: float) -> None:
+        self.lookup_times.append(elapsed)
+        self.lookup_count += 1
+        self.lookup_time_total += elapsed
 
     @property
     def mean_lookup_time(self) -> float:
-        times = self.lookup_times
-        return sum(times) / len(times) if times else 0.0
+        if self.lookup_count == 0:
+            return 0.0
+        return self.lookup_time_total / self.lookup_count
 
 
 class DhtKeyValueStore:
@@ -167,7 +187,7 @@ class DhtKeyValueStore:
         started = self.sim.now
         self.stats.gets += 1
         reply = yield from self._get_local({"key": key.hex, "path": []})
-        self.stats.lookup_times.append(self.sim.now - started)
+        self.stats.record_lookup(self.sim.now - started)
         return Record.from_wire(reply["record"])
 
     def get_chain(self, name: str):

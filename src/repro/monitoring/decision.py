@@ -13,6 +13,14 @@ The candidate list comes from the overlay node's red-black-tree view of
 known members; each candidate's snapshot is fetched from the key-value
 store, so the decision's cost is real simulated time — the paper's
 evaluation explicitly includes it.
+
+Snapshot fetches can be issued sequentially (the reference behaviour:
+the decision pays the *sum* of the k lookup latencies) or scatter-gather
+(``parallel=True``: all k lookups issued concurrently and joined, so the
+decision pays roughly the *max*).  Parallel lookups overlap on the links
+and therefore change simulated timing — the mode is opt-in via
+``ClusterConfig(parallel_decision=True)`` and pinned by its own golden
+tests; the ranking produced is identical in both modes.
 """
 
 from __future__ import annotations
@@ -69,10 +77,15 @@ class DecisionEngine:
         chimera: ChimeraNode,
         store: DhtKeyValueStore,
         include_self: bool = True,
+        parallel: bool = False,
     ) -> None:
         self.chimera = chimera
         self.store = store
         self.include_self = include_self
+        #: Scatter-gather snapshot fetch: all candidate lookups issued
+        #: concurrently (max-of-k latency) instead of one after another
+        #: (sum-of-k).
+        self.parallel = parallel
         self.decisions_made = 0
 
     @property
@@ -94,13 +107,20 @@ class DecisionEngine:
         never published resources are skipped.
         """
         names = among if among is not None else self._default_candidates()
+        if self.parallel:
+            # Scatter-gather: every candidate lookup is in flight at
+            # once; the decision waits for the slowest, not the sum.
+            snapshots = yield self.sim.gather(
+                [self._fetch_snapshot(name) for name in names]
+            )
+        else:
+            snapshots = []
+            for name in names:
+                snapshots.append((yield from self._fetch_snapshot(name)))
         candidates: list[Candidate] = []
-        for name in names:
-            try:
-                value = yield from self.store.get(resource_key(name))
-            except (KeyNotFoundError, NetworkError):
+        for name, snapshot in zip(names, snapshots):
+            if snapshot is None:
                 continue
-            snapshot = ResourceSnapshot.from_wire(value)
             if require is not None and not require(snapshot):
                 continue
             candidates.append(Candidate(name, snapshot))
@@ -109,6 +129,19 @@ class DecisionEngine:
         if count is not None:
             return candidates[:count]
         return candidates
+
+    def _fetch_snapshot(self, name: str):
+        """Process: one candidate's published snapshot, or None.
+
+        Candidates that never published (``KeyNotFoundError``) or whose
+        lookup hits routing trouble (``NetworkError``) are reported as
+        None and skipped by :meth:`decide` — in both fetch modes.
+        """
+        try:
+            value = yield from self.store.get(resource_key(name))
+        except (KeyNotFoundError, NetworkError):
+            return None
+        return ResourceSnapshot.from_wire(value)
 
     def _default_candidates(self) -> list[str]:
         names = [name for _nid, name in self.chimera.known.items()]

@@ -1,0 +1,51 @@
+"""Process-parallel experiment harness.
+
+The paper's evaluation is a pile of *independent* simulation jobs —
+Table I sweep points, Figure 5/6 workload replications, lookup storms,
+chaos trials — and independence is where wide-area storage systems get
+their throughput (parallel slices of work, overlapped metadata
+operations).  This subsystem applies the same idea to the harness
+itself:
+
+* :func:`derive_seed` — stable per-job seeds from a root seed, so a
+  sweep's results do not depend on worker count or completion order.
+* :class:`Job` / :class:`JobResult` / :func:`run_jobs` — a deterministic
+  shard runner over a ``multiprocessing`` pool with failure isolation
+  (a crashed job reports its traceback; the pool and the other jobs
+  keep going) and memoization of identical deterministic jobs.
+* :mod:`repro.parallel.aggregate` — structured merging of metric dicts
+  and ``mean_std`` over repeats, plus canonical JSON for byte-identical
+  determinism checks.
+* :mod:`repro.parallel.sweeps` — the paper-experiment job functions and
+  the ``python -m repro sweep`` entry point's sweep definitions.
+"""
+
+from repro.parallel.aggregate import (
+    aggregate_repeats,
+    canonical_json,
+    canonical_results,
+    mean_std,
+    merge_metrics,
+)
+from repro.parallel.runner import (
+    Job,
+    JobFailure,
+    JobResult,
+    execute_job,
+    run_jobs,
+)
+from repro.parallel.seeds import derive_seed
+
+__all__ = [
+    "Job",
+    "JobResult",
+    "JobFailure",
+    "run_jobs",
+    "execute_job",
+    "derive_seed",
+    "mean_std",
+    "merge_metrics",
+    "aggregate_repeats",
+    "canonical_json",
+    "canonical_results",
+]

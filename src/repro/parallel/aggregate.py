@@ -1,0 +1,91 @@
+"""Structured aggregation of sweep results.
+
+The runner hands back one value per job; experiments want per-point
+summaries (merge of metric dicts, ``mean_std`` over repeats) and the
+determinism checks want a canonical byte representation that is equal
+iff the simulated results are equal — independent of worker count,
+completion order, and wall-clock noise.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+from typing import Any, Iterable, Sequence
+
+__all__ = [
+    "mean_std",
+    "merge_metrics",
+    "aggregate_repeats",
+    "canonical_json",
+    "canonical_results",
+]
+
+
+def mean_std(values: Sequence[float]) -> tuple[float, float]:
+    """Mean and sample standard deviation of ``values``.
+
+    A single value has zero deviation; an empty sequence is a caller
+    bug (a sweep point produced no samples) and raises ``ValueError``.
+    """
+    if len(values) == 0:
+        raise ValueError("mean_std() requires at least one value")
+    if len(values) == 1:
+        return values[0], 0.0
+    return statistics.mean(values), statistics.stdev(values)
+
+
+def merge_metrics(dicts: Iterable[dict]) -> dict:
+    """Merge metric dicts key-wise: ``{key: [value, value, ...]}``.
+
+    Keys missing from some dicts simply contribute fewer samples — a
+    failed repeat does not poison the keys the other repeats produced.
+    """
+    merged: dict[str, list] = {}
+    for d in dicts:
+        for key, value in d.items():
+            merged.setdefault(key, []).append(value)
+    return merged
+
+
+def aggregate_repeats(dicts: Sequence[dict]) -> dict:
+    """Per-key summary over repeated metric dicts.
+
+    Numeric keys aggregate to ``{"mean", "std", "n"}``; non-numeric
+    keys (labels like ``served_from``) collapse to the value when all
+    repeats agree, else to the list of observed values.
+    """
+    out: dict[str, Any] = {}
+    for key, values in merge_metrics(dicts).items():
+        if all(isinstance(v, (int, float)) and not isinstance(v, bool) for v in values):
+            mean, std = mean_std(values)
+            out[key] = {"mean": mean, "std": std, "n": len(values)}
+        elif all(v == values[0] for v in values):
+            out[key] = values[0]
+        else:
+            out[key] = values
+    return out
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace variance.
+
+    Two runs produced identical simulated results iff their canonical
+    JSON strings are byte-identical (floats round-trip through Python's
+    shortest-repr, so equal doubles serialize identically).
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def canonical_results(results: Iterable) -> list[dict]:
+    """The deterministic projection of a ``run_jobs`` result list.
+
+    Keeps submission order, job identity, and the simulated outcome;
+    drops wall-clock fields and tracebacks (worker-dependent paths and
+    line numbers would break byte-identity for reasons that are not
+    simulated divergence).
+    """
+    return [
+        {"index": r.index, "key": r.key, "ok": r.ok, "value": r.value, "error": r.error}
+        for r in results
+    ]

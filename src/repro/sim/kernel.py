@@ -421,6 +421,50 @@ class Simulator:
         """Event that succeeds when every one of ``events`` succeeds."""
         return AllOf(self, events)
 
+    def gather(self, generators: Iterable["Generator | Process"]) -> Event:
+        """Scatter-gather: run ``generators`` concurrently, join them.
+
+        Each element is spawned as a :class:`Process` (existing processes
+        pass through) at the current instant, so their simulated costs
+        overlap instead of accumulating — the total is the max of the
+        branches, not the sum.  The returned event succeeds with the list
+        of results *in submission order*, regardless of the order in
+        which the branches finish.
+
+        If any branch fails, the gather fails with that exception (the
+        first one, in trigger order).  The remaining branches keep
+        running, and any further failures among them are defused so they
+        do not take the whole simulation down; a caller who needs
+        per-branch error recovery should catch inside each generator and
+        return a sentinel instead.
+        """
+        procs = [
+            gen if isinstance(gen, Process) else self.process(gen)
+            for gen in generators
+        ]
+        result = Event(self)
+        joined = AllOf(self, procs)
+
+        def _finish(event: Event) -> None:
+            if event._ok:
+                result.succeed([proc.value for proc in procs])
+            else:
+                event._defused = True
+                result.fail(event.value)
+
+        joined.callbacks.append(_finish)
+
+        def _absorb_late_failure(event: Event) -> None:
+            # A branch that fails after the gather already failed has
+            # nobody left to consume its exception.
+            if not event._ok and result.triggered:
+                event._defused = True
+
+        for proc in procs:
+            if proc.callbacks is not None:
+                proc.callbacks.append(_absorb_late_failure)
+        return result
+
     # -- scheduling --------------------------------------------------------
 
     def _schedule(

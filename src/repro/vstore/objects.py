@@ -14,6 +14,7 @@ accounts for the bytes; content identity is tracked by version.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -52,6 +53,11 @@ class ObjectMeta:
     VALID_ACCESS = ("private", "home", "public")
 
     def __post_init__(self) -> None:
+        # Sizes arrive as ints from traces and floats from the clients;
+        # normalize so equality and wire round-trips are type-stable.
+        self.size_mb = float(self.size_mb)
+        if not math.isfinite(self.size_mb):
+            raise ValueError(f"size_mb must be finite, got {self.size_mb!r}")
         if self.size_mb < 0:
             raise ValueError("size_mb must be non-negative")
         if self.access not in self.VALID_ACCESS:
@@ -71,6 +77,13 @@ class ObjectMeta:
 
     @property
     def size_bytes(self) -> float:
+        """Size in bytes, as a float.
+
+        Deliberately not an int: ``size_mb`` is itself fractional (trace
+        sizes like 0.5 MB), and the transfer models all work in float
+        byte counts — rounding here would silently change simulated
+        transfer times.
+        """
         return self.size_mb * 1024 * 1024
 
     @property

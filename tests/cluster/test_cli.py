@@ -58,3 +58,38 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "pytest benchmarks/" in out
         assert "Figure 7" in out
+
+
+class TestSweep:
+    def test_sweep_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "figure9000"])
+
+    def test_sweep_smoke_inline(self, capsys):
+        assert main(["sweep", "decision", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep decision" in out
+        assert "inline" in out
+
+    def test_sweep_smoke_pooled_verified(self, capsys):
+        assert main(["sweep", "storm", "--smoke", "--workers", "2", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "2 workers" in out
+        assert "verified vs serial" in out
+
+    def test_sweep_writes_json_payload(self, capsys, tmp_path):
+        output = tmp_path / "sweep.json"
+        assert main(
+            ["sweep", "table1", "--smoke", "--output", str(output)]
+        ) == 0
+        import json
+
+        payload = json.loads(output.read_text())
+        assert payload["experiment"] == "table1"
+        assert payload["n_failed"] == 0
+        assert set(payload["results"]["per_size"]) == {"1", "10"}
+
+    def test_sweep_dedups_repeats(self, capsys):
+        assert main(["sweep", "table1", "--smoke", "--repeats", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "6 jobs (2 distinct)" in out

@@ -103,6 +103,27 @@ class TestPutGet:
         assert stores[1].stats.lookup_times
         # Table I: DHT lookups are on the order of 10 ms in a home cloud.
         assert stores[1].stats.lookup_times[0] < 0.1
+        assert stores[1].stats.lookup_count == 1
+        assert stores[1].stats.mean_lookup_time == stores[1].stats.lookup_times[0]
+
+    def test_lookup_window_is_bounded_but_mean_stays_exact(self):
+        from repro.kvstore.store import LOOKUP_WINDOW, KvStats
+
+        stats = KvStats()
+        n = LOOKUP_WINDOW + 500
+        for i in range(n):
+            stats.record_lookup(float(i))
+        # Memory stays bounded under heavy traffic...
+        assert len(stats.lookup_times) == LOOKUP_WINDOW
+        assert stats.lookup_times[0] == float(n - LOOKUP_WINDOW)
+        # ...but the mean covers every lookup ever recorded, exactly.
+        assert stats.lookup_count == n
+        assert stats.mean_lookup_time == pytest.approx(sum(range(n)) / n)
+
+    def test_mean_lookup_time_empty_is_zero(self):
+        from repro.kvstore.store import KvStats
+
+        assert KvStats().mean_lookup_time == 0.0
 
 
 class TestCaching:

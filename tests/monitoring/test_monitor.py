@@ -170,6 +170,115 @@ class TestDecisionEngine:
         assert sim.now > before  # KV lookups cost real simulated time
 
 
+class TestDecisionTieBreaks:
+    """Equal snapshots must rank in candidate order, in both fetch modes.
+
+    ``decide`` sorts with a stable sort, so fully tied candidates keep
+    the order they were asked about in — the property the scatter-gather
+    refactor must preserve (it builds candidates from ordered gather
+    results, not completion order).
+    """
+
+    TIE_SPEC = {
+        "cpu_cores": 2,
+        "cpu_ghz": 2.0,
+        "cpu_load": 0.5,
+        "mem_free_mb": 512.0,
+        "bandwidth_mbps": 90.0,
+    }
+
+    def _tied_engine(self, parallel):
+        sim, net, nodes, stores, monitors = build_monitored_overlay(
+            4, [dict(self.TIE_SPEC) for _ in range(4)]
+        )
+        for monitor in monitors:
+            run(sim, monitor.publish_once())
+        engine = DecisionEngine(nodes[0], stores[0], parallel=parallel)
+        return sim, nodes, engine
+
+    @pytest.mark.parametrize("policy", list(DecisionPolicy))
+    @pytest.mark.parametrize("parallel", [False, True])
+    def test_ties_keep_candidate_order(self, policy, parallel):
+        sim, nodes, engine = self._tied_engine(parallel)
+        among = [nodes[2].name, nodes[1].name, nodes[3].name]
+        ranked = run(sim, engine.decide(policy, among=among))
+        assert [c.node for c in ranked] == among
+
+    @pytest.mark.parametrize("policy", list(DecisionPolicy))
+    def test_parallel_ranking_matches_serial(self, policy):
+        sim_s, nodes_s, serial = self._tied_engine(parallel=False)
+        sim_p, nodes_p, parallel = self._tied_engine(parallel=True)
+        among_s = [n.name for n in nodes_s[1:]]
+        among_p = [n.name for n in nodes_p[1:]]
+        ranked_s = run(sim_s, serial.decide(policy, among=among_s))
+        ranked_p = run(sim_p, parallel.decide(policy, among=among_p))
+        assert [c.node for c in ranked_s] == [c.node for c in ranked_p]
+
+
+class _FailingStore:
+    """Wraps a store; lookups for chosen keys raise instead of answer."""
+
+    def __init__(self, inner, fail, exc_factory):
+        self.inner = inner
+        self.fail = fail
+        self.exc_factory = exc_factory
+
+    def get(self, key):
+        if key in self.fail:
+            raise self.exc_factory()
+        return (yield from self.inner.get(key))
+
+
+class TestDecisionFetchFailures:
+    def _engine_with_failures_named(self, exc_factory, parallel):
+        """4-node overlay where node 1's snapshot lookup raises."""
+        from repro.monitoring.monitor import resource_key
+
+        sim, net, nodes, stores, monitors = build_monitored_overlay(4)
+        for monitor in monitors:
+            run(sim, monitor.publish_once())
+        store = _FailingStore(
+            stores[0], {resource_key(nodes[1].name)}, exc_factory
+        )
+        engine = DecisionEngine(nodes[0], store, parallel=parallel)
+        return sim, nodes, engine
+
+    @pytest.mark.parametrize("parallel", [False, True])
+    def test_key_not_found_candidates_skipped(self, parallel):
+        sim, nodes, engine = self._engine_with_failures_named(
+            lambda: KeyNotFoundError("no snapshot"), parallel
+        )
+        ranked = run(sim, engine.decide(among=[n.name for n in nodes[1:]]))
+        assert nodes[1].name not in {c.node for c in ranked}
+        assert {c.node for c in ranked} == {nodes[2].name, nodes[3].name}
+
+    @pytest.mark.parametrize("parallel", [False, True])
+    def test_network_error_candidates_skipped(self, parallel):
+        from repro.net import NetworkError
+
+        sim, nodes, engine = self._engine_with_failures_named(
+            lambda: NetworkError("lookup timed out"), parallel
+        )
+        ranked = run(sim, engine.decide(among=[n.name for n in nodes[1:]]))
+        assert {c.node for c in ranked} == {nodes[2].name, nodes[3].name}
+
+    def test_unrelated_errors_still_propagate(self):
+        sim, net, nodes, stores, monitors = build_monitored_overlay(3)
+        for monitor in monitors:
+            run(sim, monitor.publish_once())
+
+        from repro.monitoring.monitor import resource_key
+
+        store = _FailingStore(
+            stores[0],
+            {resource_key(nodes[1].name)},
+            lambda: RuntimeError("store corrupted"),
+        )
+        engine = DecisionEngine(nodes[0], store)
+        with pytest.raises(RuntimeError, match="store corrupted"):
+            run(sim, engine.decide(among=[nodes[1].name]))
+
+
 class TestFileSystemWatcher:
     def test_free_space(self):
         w = FileSystemWatcher(FakeBin(100, 30), FakeBin(200, 150))

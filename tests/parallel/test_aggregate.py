@@ -1,0 +1,104 @@
+"""Aggregation: mean_std, metric merging, canonical projections."""
+
+import math
+
+import pytest
+
+from repro.parallel import (
+    aggregate_repeats,
+    canonical_json,
+    canonical_results,
+    mean_std,
+    merge_metrics,
+)
+from repro.parallel.runner import JobResult
+
+
+def test_mean_std_basic():
+    mean, std = mean_std([1.0, 2.0, 3.0])
+    assert mean == 2.0
+    assert std == pytest.approx(1.0)
+
+
+def test_mean_std_single_value_has_zero_std():
+    assert mean_std([4.2]) == (4.2, 0.0)
+
+
+def test_mean_std_empty_is_an_error():
+    with pytest.raises(ValueError, match="at least one value"):
+        mean_std([])
+
+
+def test_merge_metrics_keywise():
+    merged = merge_metrics([{"a": 1, "b": 2}, {"a": 3}, {"a": 5, "b": 6}])
+    assert merged == {"a": [1, 3, 5], "b": [2, 6]}
+
+
+def test_aggregate_repeats_numeric_and_labels():
+    out = aggregate_repeats(
+        [
+            {"total_s": 1.0, "served_from": "netbook0"},
+            {"total_s": 3.0, "served_from": "netbook0"},
+        ]
+    )
+    assert out["total_s"]["mean"] == 2.0
+    assert out["total_s"]["n"] == 2
+    assert out["total_s"]["std"] == pytest.approx(math.sqrt(2))
+    # Agreeing labels collapse to the value itself.
+    assert out["served_from"] == "netbook0"
+
+
+def test_aggregate_repeats_disagreeing_labels_keep_all():
+    out = aggregate_repeats(
+        [{"served_from": "netbook0"}, {"served_from": "desktop"}]
+    )
+    assert out["served_from"] == ["netbook0", "desktop"]
+
+
+def test_aggregate_repeats_bools_are_not_numeric():
+    out = aggregate_repeats([{"parallel": True}, {"parallel": True}])
+    assert out["parallel"] is True
+
+
+def test_canonical_json_is_bytewise_stable():
+    a = canonical_json({"b": 1.5, "a": [1, 2]})
+    b = canonical_json({"a": [1, 2], "b": 1.5})
+    assert a == b == '{"a":[1,2],"b":1.5}'
+
+
+def test_canonical_results_drop_wall_clock_and_traceback():
+    results = [
+        JobResult(index=0, key="k", ok=True, value=1, wall_s=0.5),
+        JobResult(
+            index=1,
+            key="k2",
+            ok=False,
+            error="ValueError: x",
+            traceback="Traceback ...",
+            wall_s=0.9,
+        ),
+    ]
+    projected = canonical_results(results)
+    assert projected == [
+        {"index": 0, "key": "k", "ok": True, "value": 1, "error": None},
+        {
+            "index": 1,
+            "key": "k2",
+            "ok": False,
+            "value": None,
+            "error": "ValueError: x",
+        },
+    ]
+    # Same simulated outcome, different wall clock: identical projection.
+    faster = [
+        JobResult(index=0, key="k", ok=True, value=1, wall_s=0.001),
+        JobResult(
+            index=1,
+            key="k2",
+            ok=False,
+            error="ValueError: x",
+            traceback="different path",
+            wall_s=0.2,
+        ),
+    ]
+    assert canonical_results(faster) == projected

@@ -1,0 +1,52 @@
+"""derive_seed: stability, independence, and range guarantees."""
+
+import pytest
+
+from repro.parallel import derive_seed
+
+
+def test_deterministic_across_calls():
+    assert derive_seed(0, "table1", 10, 0) == derive_seed(0, "table1", 10, 0)
+
+
+def test_known_value_pinned():
+    # The derivation is part of the reproducibility contract: published
+    # sweep results name a root seed, so the mapping must never drift.
+    assert derive_seed(0, "table1", 10, 0) == 5007444207601634042
+
+
+def test_any_part_changes_seed():
+    base = derive_seed(0, "exp", 1, 0)
+    assert derive_seed(1, "exp", 1, 0) != base
+    assert derive_seed(0, "exp2", 1, 0) != base
+    assert derive_seed(0, "exp", 2, 0) != base
+    assert derive_seed(0, "exp", 1, 1) != base
+
+
+def test_part_types_are_distinguished():
+    # repr() keeps 1 / 1.0 / "1" distinct so coordinates never collide.
+    seeds = {
+        derive_seed(0, 1),
+        derive_seed(0, 1.0),
+        derive_seed(0, "1"),
+    }
+    assert len(seeds) == 3
+
+
+def test_range_is_nonneg_63_bit():
+    for i in range(200):
+        seed = derive_seed(i, "range", i)
+        assert 0 <= seed < (1 << 63)
+
+
+def test_no_neighbour_correlation():
+    # Adjacent repeat indices must not produce adjacent seeds.
+    seeds = [derive_seed(0, "rep", i) for i in range(8)]
+    diffs = {abs(a - b) for a, b in zip(seeds, seeds[1:])}
+    assert all(d > 1000 for d in diffs)
+
+
+def test_root_seed_must_be_int_like():
+    assert derive_seed(True, "x") == derive_seed(1, "x")
+    with pytest.raises((TypeError, ValueError)):
+        derive_seed("not-a-seed", "x")

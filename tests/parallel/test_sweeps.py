@@ -1,0 +1,155 @@
+"""Sweep definitions: seed wiring, aggregation shape, determinism."""
+
+import pytest
+
+from repro.parallel import canonical_json, derive_seed, run_jobs
+from repro.parallel.sweeps import (
+    DECISION_KS,
+    FIG5_SIZES_MB,
+    TABLE1_SIZES_MB,
+    chaos_jobs,
+    decision_jobs,
+    fig5_jobs,
+    run_sweep,
+    storm_jobs,
+    table1_jobs,
+)
+
+
+def _strip_run_fields(payload):
+    """Drop the fields that legitimately vary with how the sweep ran."""
+    return {
+        k: v
+        for k, v in payload.items()
+        if k not in ("workers", "verified_vs_serial")
+    }
+
+
+# -- sweep builders ------------------------------------------------------
+
+
+def test_table1_jobs_use_paper_seeds():
+    jobs = table1_jobs()
+    assert len(jobs) == len(TABLE1_SIZES_MB)
+    for job, size in zip(jobs, TABLE1_SIZES_MB):
+        assert job.kwargs == {"size_mb": size, "seed": 300 + size}
+
+
+def test_table1_repeats_of_paper_seeds_are_identical_jobs():
+    jobs = table1_jobs(repeats=3)
+    assert len(jobs) == 3 * len(TABLE1_SIZES_MB)
+    # Timing repeats: same deterministic job, so one distinct key/size.
+    assert len({j.key for j in jobs}) == len(TABLE1_SIZES_MB)
+
+
+def test_table1_derived_seeds_make_repeats_distinct():
+    jobs = table1_jobs(repeats=3, root_seed=42, paper_seeds=False)
+    assert len({j.key for j in jobs}) == 3 * len(TABLE1_SIZES_MB)
+    assert jobs[0].kwargs["seed"] == derive_seed(42, "table1", 1, 0)
+
+
+def test_fig5_jobs_cover_both_methods():
+    jobs = fig5_jobs()
+    assert len(jobs) == 2 * len(FIG5_SIZES_MB)
+    m1 = jobs[0].kwargs
+    m2 = jobs[1].kwargs
+    assert m1["seed"] == 500 + m1["size_mb"]
+    assert m2["seed"] == 700 + m2["size_mb"]
+    assert m2["n_files"] == 5
+    # Method 1 holds total bytes constant: n_files scales with 1/size.
+    assert m1["n_files"] == max(2, round(260.0 / m1["size_mb"]))
+
+
+def test_storm_and_chaos_jobs_use_derived_seeds():
+    storm = storm_jobs(trials=2, root_seed=9)
+    chaos = chaos_jobs(trials=2, root_seed=9)
+    assert storm[0].kwargs["seed"] == derive_seed(9, "storm", 0)
+    assert storm[1].kwargs["seed"] == derive_seed(9, "storm", 1)
+    assert chaos[0].kwargs["seed"] == derive_seed(9, "chaos", 0)
+    assert len({j.key for j in storm + chaos}) == 4
+
+
+def test_decision_jobs_pair_serial_and_parallel_per_k():
+    jobs = decision_jobs()
+    assert len(jobs) == 2 * len(DECISION_KS)
+    for i, k in enumerate(DECISION_KS):
+        serial, parallel = jobs[2 * i], jobs[2 * i + 1]
+        assert serial.kwargs["k"] == parallel.kwargs["k"] == k
+        assert (serial.kwargs["parallel"], parallel.kwargs["parallel"]) == (
+            False,
+            True,
+        )
+        # Same seed for both modes: the comparison is apples-to-apples.
+        assert serial.kwargs["seed"] == parallel.kwargs["seed"]
+
+
+# -- run_sweep -----------------------------------------------------------
+
+
+def test_run_sweep_rejects_unknown_experiment():
+    with pytest.raises(ValueError, match="unknown experiment"):
+        run_sweep("figure9000")
+
+
+def test_run_sweep_table1_smoke_shape():
+    payload = run_sweep("table1", workers=0, smoke=True)
+    assert payload["experiment"] == "table1"
+    assert payload["n_failed"] == 0
+    per_size = payload["results"]["per_size"]
+    assert set(per_size) == {"1", "10"}
+    point = per_size["10"]
+    assert point["total_s"]["n"] == 1
+    assert point["served_from"] == "netbook0"
+    # One fetch leg at least costs the DHT lookup it begins with.
+    assert point["total_s"]["mean"] > point["dht_lookup_s"]["mean"]
+
+
+def test_run_sweep_decision_smoke_parallel_beats_serial():
+    payload = run_sweep("decision", workers=0, smoke=True)
+    for k, entry in payload["results"]["per_k"].items():
+        serial = entry["serial"]
+        parallel = entry["parallel"]
+        assert parallel["latency_s"] < serial["latency_s"], f"k={k}"
+        assert parallel["ranking"] == serial["ranking"], f"k={k}"
+        assert entry["speedup_simulated"] > 1.0
+
+
+def test_run_sweep_dedups_timing_repeats():
+    payload = run_sweep("table1", workers=0, repeats=3, smoke=True)
+    assert payload["n_jobs"] == 6
+    assert payload["n_distinct_jobs"] == 2
+
+
+@pytest.mark.parametrize("workers", [2, 3])
+def test_run_sweep_results_identical_at_any_worker_count(workers):
+    serial = run_sweep("storm", workers=0, smoke=True)
+    pooled = run_sweep("storm", workers=workers, smoke=True)
+    assert canonical_json(_strip_run_fields(serial)) == canonical_json(
+        _strip_run_fields(pooled)
+    )
+
+
+def test_run_sweep_verify_flag_runs_serial_reference():
+    payload = run_sweep("chaos", workers=2, smoke=True, verify=True)
+    assert payload["verified_vs_serial"] is True
+    serial = run_sweep("chaos", workers=0, smoke=True, verify=True)
+    # verify needs a pool to have anything to check against.
+    assert serial["verified_vs_serial"] is False
+
+
+def test_run_sweep_all_covers_every_experiment():
+    payload = run_sweep("all", workers=0, smoke=True)
+    assert set(payload["sweeps"]) == {
+        "table1",
+        "fig5",
+        "storm",
+        "chaos",
+        "decision",
+    }
+    for sweep in payload["sweeps"].values():
+        assert sweep["smoke"] is True
+
+
+def test_run_sweep_payload_is_json_able():
+    payload = run_sweep("fig5", workers=0, smoke=True)
+    assert canonical_json(payload)  # raises if anything non-serializable

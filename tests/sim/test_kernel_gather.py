@@ -1,0 +1,141 @@
+"""Tests for ``Simulator.gather`` — the scatter-gather join primitive."""
+
+import pytest
+
+from repro.sim import Simulator
+
+
+def drive(sim, generator):
+    proc = sim.process(generator)
+    sim.run()
+    return proc.value
+
+
+class TestGatherResults:
+    def test_results_in_submission_order(self):
+        """Branches finishing out of order still report in order."""
+        sim = Simulator()
+
+        def branch(sim, delay, label):
+            yield sim.timeout(delay)
+            return label
+
+        def main(sim):
+            results = yield sim.gather(
+                [branch(sim, 3.0, "slow"), branch(sim, 1.0, "fast")]
+            )
+            return results
+
+        assert drive(sim, main(sim)) == ["slow", "fast"]
+
+    def test_duration_is_max_not_sum(self):
+        sim = Simulator()
+
+        def branch(sim, delay):
+            yield sim.timeout(delay)
+
+        def main(sim):
+            yield sim.gather([branch(sim, d) for d in (2.0, 5.0, 3.0)])
+
+        drive(sim, main(sim))
+        assert sim.now == 5.0
+
+    def test_empty_gather_succeeds_immediately(self):
+        sim = Simulator()
+
+        def main(sim):
+            results = yield sim.gather([])
+            return results
+
+        assert drive(sim, main(sim)) == []
+        assert sim.now == 0.0
+
+    def test_accepts_existing_processes(self):
+        sim = Simulator()
+
+        def branch(sim, value):
+            yield sim.timeout(1.0)
+            return value
+
+        proc = sim.process(branch(sim, "pre-spawned"))
+
+        def main(sim):
+            results = yield sim.gather([proc, branch(sim, "fresh")])
+            return results
+
+        assert drive(sim, main(sim)) == ["pre-spawned", "fresh"]
+
+    def test_nested_gather(self):
+        sim = Simulator()
+
+        def leaf(sim, delay, value):
+            yield sim.timeout(delay)
+            return value
+
+        def inner(sim, base):
+            results = yield sim.gather(
+                [leaf(sim, 1.0, base), leaf(sim, 2.0, base * 10)]
+            )
+            return sum(results)
+
+        def main(sim):
+            results = yield sim.gather([inner(sim, 1), inner(sim, 2)])
+            return results
+
+        assert drive(sim, main(sim)) == [11, 22]
+        assert sim.now == 2.0
+
+
+class TestGatherFailure:
+    def test_first_failure_propagates(self):
+        sim = Simulator()
+
+        def ok(sim):
+            yield sim.timeout(1.0)
+
+        def bad(sim):
+            yield sim.timeout(0.5)
+            raise ValueError("branch exploded")
+
+        def main(sim):
+            with pytest.raises(ValueError, match="branch exploded"):
+                yield sim.gather([ok(sim), bad(sim)])
+            return "handled"
+
+        assert drive(sim, main(sim)) == "handled"
+
+    def test_late_failures_are_defused(self):
+        """A second failing branch must not crash the simulation."""
+        sim = Simulator()
+
+        def bad(sim, delay, message):
+            yield sim.timeout(delay)
+            raise ValueError(message)
+
+        def main(sim):
+            with pytest.raises(ValueError, match="first"):
+                yield sim.gather([bad(sim, 1.0, "first"), bad(sim, 2.0, "second")])
+            return "survived"
+
+        proc = sim.process(main(sim))
+        sim.run()  # must not raise "second" as an unconsumed failure
+        assert proc.value == "survived"
+
+    def test_surviving_branches_keep_running(self):
+        sim = Simulator()
+        log = []
+
+        def bad(sim):
+            yield sim.timeout(1.0)
+            raise RuntimeError("boom")
+
+        def slow(sim):
+            yield sim.timeout(4.0)
+            log.append(("slow done", sim.now))
+
+        def main(sim):
+            with pytest.raises(RuntimeError):
+                yield sim.gather([bad(sim), slow(sim)])
+
+        drive(sim, main(sim))
+        assert log == [("slow done", 4.0)]

@@ -94,6 +94,7 @@ class TestDocumentedEntryPoints:
             "trace",
             "surveillance",
             "overlay",
+            "sweep",
             "bench-help",
         }
 

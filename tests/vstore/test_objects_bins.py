@@ -53,6 +53,22 @@ class TestObjectMeta:
     def test_size_bytes(self):
         assert ObjectMeta(name="x", size_mb=2.0).size_bytes == 2 * 1024 * 1024
 
+    def test_size_bytes_stays_float_for_fractional_sizes(self):
+        meta = ObjectMeta(name="x", size_mb=0.5)
+        assert isinstance(meta.size_bytes, float)
+        assert meta.size_bytes == 0.5 * 1024 * 1024
+
+    def test_int_size_normalized_to_float(self):
+        meta = ObjectMeta(name="x", size_mb=3)
+        assert isinstance(meta.size_mb, float)
+        assert meta == ObjectMeta(name="x", size_mb=3.0)
+        assert ObjectMeta.from_wire(meta.wire()) == meta
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_non_finite_size_rejected(self, bad):
+        with pytest.raises(ValueError, match="finite"):
+            ObjectMeta(name="x", size_mb=bad)
+
 
 class TestStorageBin:
     def test_capacity_validation(self):
