@@ -1,4 +1,5 @@
-"""Run the perf suites: ``BENCH_fastpath.json`` + ``BENCH_parallel.json``.
+"""Run the perf suites: ``BENCH_fastpath.json`` + ``BENCH_parallel.json``
++ ``BENCH_telemetry.json``.
 
 Usage (from the repo root)::
 
@@ -10,8 +11,9 @@ Usage (from the repo root)::
 seconds (used by CI, which makes no timing assertions).  ``--check``
 additionally enforces the acceptance thresholds: ≥2× on the 100 MB
 XenSocket transfer, ≥1.3× on the full Table I sweep, ≥2× for the
-parallel harness on the Table I sweep with repeats, and a strictly
-faster scatter-gather decision at every candidate count.
+parallel harness on the Table I sweep with repeats, a strictly
+faster scatter-gather decision at every candidate count, and a
+disabled-telemetry guard overhead under 5% of the Table I sweep.
 
 The parallel suite verifies — not just claims — that pooled execution
 reproduces the naive serial loop bit-for-bit at several worker counts;
@@ -39,6 +41,7 @@ from benchmarks.perf.parallel_bench import (
     bench_parallel_table1,
 )
 from benchmarks.perf.table1_bench import bench_table1
+from benchmarks.perf.telemetry_bench import bench_telemetry
 from benchmarks.perf.xensocket_bench import bench_xensocket
 
 MB = 1024 * 1024
@@ -50,6 +53,9 @@ PARALLEL_THRESHOLDS = {
     "fig5_parallel": 2.0,
     "decision_scatter_gather": 1.2,
 }
+
+#: The guarded no-op emit path must stay under 5% of sweep wall time.
+TELEMETRY_MAX_DISABLED_OVERHEAD = 0.05
 
 
 def main(argv=None) -> int:
@@ -75,6 +81,11 @@ def main(argv=None) -> int:
         help="where to write the parallel-harness results JSON",
     )
     parser.add_argument(
+        "--output-telemetry",
+        default=str(REPO_ROOT / "BENCH_telemetry.json"),
+        help="where to write the telemetry-overhead results JSON",
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=4,
@@ -98,6 +109,7 @@ def main(argv=None) -> int:
             ),
             "decision_scatter_gather": bench_decision(ks=(2, 4)),
         }
+        telemetry_result = bench_telemetry(sizes=[1, 10], repeats=1)
     else:
         results = {
             "kernel": bench_kernel(),
@@ -110,6 +122,7 @@ def main(argv=None) -> int:
             "fig5_parallel": bench_parallel_fig5(workers=args.workers),
             "decision_scatter_gather": bench_decision(),
         }
+        telemetry_result = bench_telemetry()
 
     host = {"python": platform.python_version(), "platform": platform.platform()}
     out = Path(args.output)
@@ -143,6 +156,22 @@ def main(argv=None) -> int:
         + "\n"
     )
 
+    out_telemetry = Path(args.output_telemetry)
+    out_telemetry.write_text(
+        json.dumps(
+            {
+                "suite": "telemetry",
+                "smoke": args.smoke,
+                **host,
+                "results": {"table1_telemetry": telemetry_result},
+                "max_disabled_overhead": TELEMETRY_MAX_DISABLED_OVERHEAD,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+
     mode = "smoke" if args.smoke else "full"
     print(f"fastpath microbenchmarks ({mode} mode)")
     for name, r in results.items():
@@ -153,7 +182,14 @@ def main(argv=None) -> int:
         if "jobs" in r:
             extra = f"  ({r['jobs']} jobs, {r['distinct_jobs']} distinct)"
         print(f"  {name:24s} speedup {r['speedup']:6.2f}x{extra}")
-    print(f"written: {out} {out_parallel}")
+    print(f"telemetry overhead ({mode} mode)")
+    print(
+        f"  table1_telemetry         disabled "
+        f"{telemetry_result['overhead_disabled_estimate']:.4%} (est.), "
+        f"enabled {telemetry_result['overhead_enabled']:+.1%}, "
+        f"guard {telemetry_result['guard_cost_ns']:.0f} ns"
+    )
+    print(f"written: {out} {out_parallel} {out_telemetry}")
 
     if args.check:
         failures = [
@@ -165,6 +201,12 @@ def main(argv=None) -> int:
             for name, minimum in thresholds.items()
             if suite[name]["speedup"] < minimum
         ]
+        disabled = telemetry_result["overhead_disabled_estimate"]
+        if disabled >= TELEMETRY_MAX_DISABLED_OVERHEAD:
+            failures.append(
+                f"table1_telemetry: disabled-path overhead {disabled:.2%}"
+                f" >= {TELEMETRY_MAX_DISABLED_OVERHEAD:.0%}"
+            )
         if failures:
             print("threshold failures:\n  " + "\n  ".join(failures))
             return 1

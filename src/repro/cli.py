@@ -7,6 +7,7 @@ Usage::
     python -m repro trace --files 12     # sample the eDonkey workload
     python -m repro surveillance         # run the camera pipeline once
     python -m repro sweep --workers 4    # paper sweeps on a process pool
+    python -m repro report --files 8     # traced run + latency attribution
     python -m repro bench-help           # how to regenerate the paper
 
 All subcommands run entirely offline on the discrete-event simulator.
@@ -94,6 +95,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--output", default=None, help="write the JSON payload to this path"
+    )
+
+    report = sub.add_parser(
+        "report",
+        help="run a traced scenario; print latency attribution + metrics",
+    )
+    report.add_argument(
+        "--files", type=int, default=6, help="objects to store and fetch"
+    )
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome-trace JSON (load in chrome://tracing or Perfetto)",
+    )
+    report.add_argument(
+        "--spans-out",
+        default=None,
+        metavar="PATH",
+        help="write the raw span dump as JSON",
+    )
+    report.add_argument(
+        "--top-traces",
+        type=int,
+        default=1,
+        help="slowest request trees to render in full",
     )
 
     sub.add_parser("bench-help", help="how to regenerate the paper's results")
@@ -259,6 +287,57 @@ def _print_failures(payload: dict) -> None:
     walk(payload["results"], "")
 
 
+def cmd_report(args) -> int:
+    import json
+
+    from repro.services import FaceDetection
+    from repro.telemetry import (
+        attribution_report,
+        chrome_trace,
+        metrics_report,
+        span_dump,
+    )
+    from repro.workloads import EDonkeyTraceGenerator
+    from repro.sim import RandomSource
+
+    c4h = Cloud4Home(ClusterConfig(seed=args.seed, telemetry=True))
+    c4h.start(monitors=False)
+    tel = c4h.telemetry
+    c4h.deploy_service(lambda: FaceDetection(), nodes=["netbook0", "desktop"])
+
+    files = EDonkeyTraceGenerator(
+        rng=RandomSource(args.seed), n_files=max(1, args.files)
+    ).files()
+    storer = c4h.devices[0]
+    fetcher = c4h.device("desktop")
+    for f in files:
+        c4h.run(storer.client.store_file(f.name, f.size_mb))
+    for f in files:
+        c4h.run(fetcher.client.fetch_object(f.name))
+    c4h.run(storer.client.process(files[0].name, "face-detect#v1"))
+
+    n_roots = len(tel.roots())
+    print(
+        f"scenario: {len(files)} stores + {len(files)} fetches + 1 process "
+        f"-> {len(tel.spans)} spans in {n_roots} request trees "
+        f"({c4h.sim.now:.2f}s simulated)"
+    )
+    print()
+    print(attribution_report(tel, top_traces=args.top_traces))
+    print()
+    print(metrics_report(c4h.collect_metrics()))
+
+    if args.trace_out:
+        with open(args.trace_out, "w") as fh:
+            json.dump(chrome_trace(tel), fh)
+        print(f"\nwrote Chrome trace: {args.trace_out}")
+    if args.spans_out:
+        with open(args.spans_out, "w") as fh:
+            json.dump(span_dump(tel), fh, indent=2)
+        print(f"wrote span dump: {args.spans_out}")
+    return 0
+
+
 def cmd_bench_help(args) -> int:
     print("Regenerate every table and figure from the paper with:")
     print()
@@ -287,6 +366,7 @@ COMMANDS = {
     "surveillance": cmd_surveillance,
     "overlay": cmd_overlay,
     "sweep": cmd_sweep,
+    "report": cmd_report,
     "bench-help": cmd_bench_help,
 }
 

@@ -44,26 +44,57 @@ class PublicCloudInterface:
     def sim(self):
         return self.network.sim
 
-    def store_remote(self, key: str, nbytes: float):
+    def store_remote(self, key: str, nbytes: float, ctx=None):
         """Process: push an object to S3 (blocking); returns the URL."""
+        tel = self.sim.telemetry
+        span = (
+            tel.begin(
+                "cloud.store",
+                layer="cloud",
+                node=self.node_name,
+                parent=ctx,
+                key=key,
+                bytes=nbytes,
+                via=self.gateway or "",
+            )
+            if tel is not None
+            else None
+        )
         if self.gateway is not None and self.gateway != self.node_name:
             # Hop to the designated gateway over the home LAN first.
             yield self.network.transfer(self.node_name, self.gateway, nbytes)
             origin = self.gateway
         else:
             origin = self.node_name
-        url = yield from self.s3.put_object(origin, key, nbytes)
+        url = yield from self.s3.put_object(origin, key, nbytes, ctx=span)
         self.uploads += 1
+        if span is not None:
+            tel.end(span)
         return url
 
-    def fetch_remote(self, key: str):
+    def fetch_remote(self, key: str, ctx=None):
         """Process: pull an object from S3; returns bytes received."""
+        tel = self.sim.telemetry
+        span = (
+            tel.begin(
+                "cloud.fetch",
+                layer="cloud",
+                node=self.node_name,
+                parent=ctx,
+                key=key,
+                via=self.gateway or "",
+            )
+            if tel is not None
+            else None
+        )
         if self.gateway is not None and self.gateway != self.node_name:
-            report = yield from self.s3.get_object(self.gateway, key)
+            report = yield from self.s3.get_object(self.gateway, key, ctx=span)
             yield self.network.transfer(
                 self.gateway, self.node_name, report.nbytes
             )
         else:
-            report = yield from self.s3.get_object(self.node_name, key)
+            report = yield from self.s3.get_object(self.node_name, key, ctx=span)
         self.downloads += 1
+        if span is not None:
+            tel.end(span, bytes=report.nbytes)
         return report.nbytes

@@ -81,17 +81,33 @@ class S3Store:
 
     # -- blocking data operations (processes) --------------------------------
 
-    def put_object(self, src_node: str, key: str, nbytes: float):
+    def put_object(self, src_node: str, key: str, nbytes: float, ctx=None):
         """Process: upload ``nbytes`` from ``src_node``; returns the URL."""
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
+        tel = self.sim.telemetry
+        span = (
+            tel.begin(
+                "s3.put",
+                layer="cloud",
+                node=self.host_name,
+                parent=ctx,
+                key=key,
+                src=src_node,
+                bytes=nbytes,
+            )
+            if tel is not None
+            else None
+        )
         yield self.sim.timeout(self.request_overhead_s)
         yield self.network.transfer(src_node, self.host_name, nbytes)
         self.objects[key] = S3Object(key, float(nbytes), self.sim.now)
         self.puts += 1
+        if span is not None:
+            tel.end(span)
         return self.url_for(key)
 
-    def get_object(self, dst_node: str, key: str):
+    def get_object(self, dst_node: str, key: str, ctx=None):
         """Process: download the object to ``dst_node``.
 
         Returns the network :class:`TransferReport`.  Raises
@@ -100,11 +116,27 @@ class S3Store:
         obj = self.objects.get(key)
         if obj is None:
             raise S3Error(f"no such object {key!r} in bucket {self.bucket!r}")
+        tel = self.sim.telemetry
+        span = (
+            tel.begin(
+                "s3.get",
+                layer="cloud",
+                node=self.host_name,
+                parent=ctx,
+                key=key,
+                dst=dst_node,
+                bytes=obj.size_bytes,
+            )
+            if tel is not None
+            else None
+        )
         yield self.sim.timeout(self.request_overhead_s)
         report: TransferReport = yield self.network.transfer(
             self.host_name, dst_node, obj.size_bytes
         )
         self.gets += 1
+        if span is not None:
+            tel.end(span)
         return report
 
     def delete_object(self, key: str) -> None:

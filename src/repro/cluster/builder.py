@@ -27,6 +27,7 @@ from repro.net import Link, Network, Route, TcpProfile
 from repro.overlay import ChimeraNode
 from repro.services import Service, ServiceRegistry
 from repro.sim import RandomSource, Simulator
+from repro.telemetry import MetricsRegistry, Telemetry
 from repro.virt import (
     ATOM_NETBOOK,
     ATOM_S1,
@@ -121,6 +122,19 @@ class Cloud4Home:
             self.network = network
             self.sim = network.sim
             self.rng = RandomSource(self.config.seed).fork(home_group)
+        if self.config.telemetry and self.sim.telemetry is None:
+            # Federated homes on a shared fabric inherit the simulator's
+            # already-attached plane instead of replacing it, so one
+            # span/metric store covers the whole federation.
+            Telemetry(self.sim).attach()
+        #: Shared metrics plane for this deployment.  With telemetry
+        #: attached this is the plane's own registry, so span latency
+        #: histograms and ingested KV counters land in one place.
+        self.metrics = (
+            self.sim.telemetry.metrics
+            if self.sim.telemetry is not None
+            else MetricsRegistry()
+        )
         self._build_fabric()
         self.s3 = s3 or S3Store(
             self.network,
@@ -247,6 +261,7 @@ class Cloud4Home:
             page_size=dc.xensocket_page_size,
             page_count=dc.xensocket_page_count,
         )
+        xensocket.owner = dc.name
         chimera = ChimeraNode(
             self.network,
             host,
@@ -332,6 +347,22 @@ class Cloud4Home:
             vstore=vstore,
             client=client,
         )
+
+    # -- observability ----------------------------------------------------------
+
+    @property
+    def telemetry(self):
+        """The attached :class:`repro.telemetry.Telemetry` plane, or
+        None when the deployment runs untraced (the default)."""
+        return self.sim.telemetry
+
+    def collect_metrics(self) -> MetricsRegistry:
+        """Ingest every device's KV stats into the metrics registry and
+        return it.  Safe to call repeatedly — counters are set to the
+        stores' lifetime totals, not incremented."""
+        for device in self.devices:
+            self.metrics.ingest_kvstats(device.name, device.kv.stats)
+        return self.metrics
 
     # -- lifecycle --------------------------------------------------------------
 

@@ -112,6 +112,13 @@ class ClusterConfig:
     #: legacy reference implementations the perf harness measures
     #: against.
     fastpath: bool = True
+    #: Attach the :mod:`repro.telemetry` plane (causal spans + metrics
+    #: registry) to the deployment's simulator.  Off by default: with
+    #: telemetry disabled every instrumented layer skips emission behind
+    #: a single ``is not None`` check, RPC bodies carry no span context,
+    #: and simulated results are byte-identical to a build without the
+    #: subsystem.
+    telemetry: bool = False
     #: Scatter-gather placement decisions: ``chimeraGetDecision`` issues
     #: all k candidate snapshot lookups concurrently and joins them, so
     #: a decision's simulated latency is roughly the max of the k

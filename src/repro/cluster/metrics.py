@@ -154,14 +154,16 @@ class MetricsCollector:
         }
 
     def kv_totals(self) -> dict[str, int]:
-        """Aggregated KV-store counters across all devices."""
-        totals = {"puts": 0, "gets": 0, "cache_hits": 0, "forwards": 0}
+        """Aggregated KV-store counters across all devices.
+
+        Reads each store's :meth:`KvStats.snapshot` — the same export
+        the telemetry metrics plane ingests — so the two views can
+        never drift apart.
+        """
+        totals: dict[str, int] = {}
         for device in self.cluster.devices:
-            stats = device.kv.stats
-            totals["puts"] += stats.puts
-            totals["gets"] += stats.gets
-            totals["cache_hits"] += stats.cache_hits
-            totals["forwards"] += stats.forwards
+            for key, value in device.kv.stats.snapshot()["counters"].items():
+                totals[key] = totals.get(key, 0) + value
         return totals
 
     def report(self) -> str:

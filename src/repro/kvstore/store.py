@@ -22,6 +22,7 @@ mechanisms:
 
 from __future__ import annotations
 
+import math
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Any, Optional
@@ -85,6 +86,43 @@ class KvStats:
         if self.lookup_count == 0:
             return 0.0
         return self.lookup_time_total / self.lookup_count
+
+    def snapshot(self) -> dict:
+        """JSON-ready export consumed by the telemetry metrics plane.
+
+        Counters and the lookup mean are exact over the node's whole
+        lifetime (the mean comes from the running count/total pair, not
+        the bounded sample window); the quantiles are nearest-rank over
+        the most recent :data:`LOOKUP_WINDOW` samples.
+        """
+        window = sorted(self.lookup_times)
+
+        def _q(q: float) -> float:
+            if not window:
+                return 0.0
+            rank = min(len(window) - 1, max(0, math.ceil(q * len(window)) - 1))
+            return window[rank]
+
+        return {
+            "counters": {
+                "puts": self.puts,
+                "gets": self.gets,
+                "deletes": self.deletes,
+                "cache_hits": self.cache_hits,
+                "served_primary": self.served_primary,
+                "served_replica": self.served_replica,
+                "forwards": self.forwards,
+                "records_received": self.records_received,
+            },
+            "lookup_count": self.lookup_count,
+            "lookup_mean_s": self.mean_lookup_time,
+            "lookup_window": {
+                "n": len(window),
+                "p50": _q(0.50),
+                "p95": _q(0.95),
+                "p99": _q(0.99),
+            },
+        }
 
 
 class DhtKeyValueStore:
@@ -162,6 +200,7 @@ class DhtKeyValueStore:
         name: str,
         value: Any,
         policy: OverwritePolicy = OverwritePolicy.OVERWRITE,
+        ctx=None,
     ):
         """Process: store ``value`` under ``name``; returns the Record."""
         key = self.key_for(name)
@@ -173,33 +212,78 @@ class DhtKeyValueStore:
             "path": [],
         }
         self.stats.puts += 1
-        reply = yield from self._put_local(body)
+        tel = self.sim.telemetry
+        span = (
+            tel.begin(
+                "kv.put", layer="kvstore", node=self.name, parent=ctx, key=key.hex
+            )
+            if tel is not None
+            else None
+        )
+        try:
+            reply = yield from self._put_local(body, span)
+        except BaseException as exc:
+            if span is not None:
+                tel.fail(span, exc)
+            raise
+        if span is not None:
+            tel.end(span, owner=reply.get("owner", ""))
         return Record.from_wire(reply["record"])
 
-    def get(self, name: str):
+    def get(self, name: str, ctx=None):
         """Process: return the latest value stored under ``name``."""
-        record = yield from self.get_record(name)
+        record = yield from self.get_record(name, ctx=ctx)
         return record.latest.value
 
-    def get_record(self, name: str):
+    def get_record(self, name: str, ctx=None):
         """Process: return the full :class:`Record` (with version chain)."""
         key = self.key_for(name)
         started = self.sim.now
         self.stats.gets += 1
-        reply = yield from self._get_local({"key": key.hex, "path": []})
+        tel = self.sim.telemetry
+        span = (
+            tel.begin(
+                "kv.get", layer="kvstore", node=self.name, parent=ctx, key=key.hex
+            )
+            if tel is not None
+            else None
+        )
+        try:
+            reply = yield from self._get_local({"key": key.hex, "path": []}, span)
+        except BaseException as exc:
+            if span is not None:
+                tel.fail(span, exc)
+            raise
         self.stats.record_lookup(self.sim.now - started)
+        if span is not None:
+            tel.end(span, source=reply.get("source", ""))
         return Record.from_wire(reply["record"])
 
-    def get_chain(self, name: str):
+    def get_chain(self, name: str, ctx=None):
         """Process: all chained versions (oldest first) for ``name``."""
-        record = yield from self.get_record(name)
+        record = yield from self.get_record(name, ctx=ctx)
         return [v.value for v in record.versions]
 
-    def delete(self, name: str):
+    def delete(self, name: str, ctx=None):
         """Process: remove ``name``; raises KeyNotFoundError if absent."""
         key = self.key_for(name)
         self.stats.deletes += 1
-        yield from self._delete_local({"key": key.hex, "path": []})
+        tel = self.sim.telemetry
+        span = (
+            tel.begin(
+                "kv.delete", layer="kvstore", node=self.name, parent=ctx, key=key.hex
+            )
+            if tel is not None
+            else None
+        )
+        try:
+            yield from self._delete_local({"key": key.hex, "path": []}, span)
+        except BaseException as exc:
+            if span is not None:
+                tel.fail(span, exc)
+            raise
+        if span is not None:
+            tel.end(span)
 
     def leave(self):
         """Process: hand every primary record to its new owner, then
@@ -236,25 +320,47 @@ class DhtKeyValueStore:
 
     # -- local entry points shared with the RPC handlers ---------------------
 
-    def _put_local(self, body: dict):
+    def _put_local(self, body: dict, span=None):
         key = NodeId.from_hex(body["key"])
         yield self.sim.timeout(self.processing_s)
+        tel = self.sim.telemetry
         hop = self.chimera.next_hop(key)
         while hop is not None:
             self.stats.forwards += 1
+            fwd = (
+                tel.begin(
+                    "kv.forward",
+                    layer="kvstore",
+                    node=self.name,
+                    parent=span,
+                    to=hop.name,
+                    op="put",
+                )
+                if tel is not None
+                else None
+            )
+            next_body = {**body, "path": body["path"] + [self.name]}
+            if fwd is not None:
+                next_body["span"] = fwd.ctx_wire()
             try:
                 reply = yield self.endpoint.call(
                     hop.name,
                     MSG_PUT,
-                    {**body, "path": body["path"] + [self.name]},
+                    next_body,
                     size=payload_size(body["value"]),
                 )
-            except (HostDownError, RpcTimeoutError):
+            except (HostDownError, RpcTimeoutError) as exc:
+                if fwd is not None:
+                    tel.fail(fwd, exc)
                 self.chimera._forget(hop.id)
                 hop = self.chimera.next_hop(key)
                 continue
             except RemoteError as exc:
+                if fwd is not None:
+                    tel.fail(fwd, exc)
                 raise self._translate(exc)
+            if fwd is not None:
+                tel.end(fwd)
             # Keep any cached copy coherent with the accepted write.
             if body["key"] in self.cache:
                 self.cache[body["key"]] = Record.from_wire(reply["record"])
@@ -275,7 +381,7 @@ class DhtKeyValueStore:
         self._push_cache_updates(record)
         return {"record": record.wire(), "owner": self.name}
 
-    def _get_local(self, body: dict):
+    def _get_local(self, body: dict, span=None):
         key = NodeId.from_hex(body["key"])
         key_hex = body["key"]
         yield self.sim.timeout(self.processing_s)
@@ -290,20 +396,38 @@ class DhtKeyValueStore:
                 "owner": self.name,
                 "source": "cache",
             }
+        tel = self.sim.telemetry
         while hop is not None:
             self.stats.forwards += 1
-            try:
-                reply = yield self.endpoint.call(
-                    hop.name,
-                    MSG_GET,
-                    {**body, "path": body["path"] + [self.name]},
+            fwd = (
+                tel.begin(
+                    "kv.forward",
+                    layer="kvstore",
+                    node=self.name,
+                    parent=span,
+                    to=hop.name,
+                    op="get",
                 )
-            except (HostDownError, RpcTimeoutError):
+                if tel is not None
+                else None
+            )
+            next_body = {**body, "path": body["path"] + [self.name]}
+            if fwd is not None:
+                next_body["span"] = fwd.ctx_wire()
+            try:
+                reply = yield self.endpoint.call(hop.name, MSG_GET, next_body)
+            except (HostDownError, RpcTimeoutError) as exc:
+                if fwd is not None:
+                    tel.fail(fwd, exc)
                 self.chimera._forget(hop.id)
                 hop = self.chimera.next_hop(key)
                 continue
             except RemoteError as exc:
+                if fwd is not None:
+                    tel.fail(fwd, exc)
                 raise self._translate(exc)
+            if fwd is not None:
+                tel.end(fwd, source=reply.get("source", ""))
             if self.cache_enabled and reply.get("source") != "cache":
                 self._cache_insert(Record.from_wire(reply["record"]))
             return reply
@@ -331,25 +455,43 @@ class DhtKeyValueStore:
             holders.update(path)
         return {"record": record.wire(), "owner": self.name, "source": source}
 
-    def _delete_local(self, body: dict):
+    def _delete_local(self, body: dict, span=None):
         key = NodeId.from_hex(body["key"])
         key_hex = body["key"]
         yield self.sim.timeout(self.processing_s)
+        tel = self.sim.telemetry
         hop = self.chimera.next_hop(key)
         while hop is not None:
             self.stats.forwards += 1
-            try:
-                reply = yield self.endpoint.call(
-                    hop.name,
-                    MSG_DELETE,
-                    {**body, "path": body["path"] + [self.name]},
+            fwd = (
+                tel.begin(
+                    "kv.forward",
+                    layer="kvstore",
+                    node=self.name,
+                    parent=span,
+                    to=hop.name,
+                    op="delete",
                 )
-            except (HostDownError, RpcTimeoutError):
+                if tel is not None
+                else None
+            )
+            next_body = {**body, "path": body["path"] + [self.name]}
+            if fwd is not None:
+                next_body["span"] = fwd.ctx_wire()
+            try:
+                reply = yield self.endpoint.call(hop.name, MSG_DELETE, next_body)
+            except (HostDownError, RpcTimeoutError) as exc:
+                if fwd is not None:
+                    tel.fail(fwd, exc)
                 self.chimera._forget(hop.id)
                 hop = self.chimera.next_hop(key)
                 continue
             except RemoteError as exc:
+                if fwd is not None:
+                    tel.fail(fwd, exc)
                 raise self._translate(exc)
+            if fwd is not None:
+                tel.end(fwd)
             self.cache.pop(key_hex, None)
             return reply
         if key_hex not in self.primary:
@@ -480,14 +622,59 @@ class DhtKeyValueStore:
 
     def _register_handlers(self) -> None:
         ep = self.endpoint
-        ep.register(MSG_PUT, lambda req: self._put_local(req.body))
-        ep.register(MSG_GET, lambda req: self._get_local(req.body))
-        ep.register(MSG_DELETE, lambda req: self._delete_local(req.body))
+        ep.register(MSG_PUT, self._handle_put)
+        ep.register(MSG_GET, self._handle_get)
+        ep.register(MSG_DELETE, self._handle_delete)
         ep.register(MSG_REPLICA, self._handle_replica)
         ep.register(MSG_REPLICA_DELETE, self._handle_replica_delete)
         ep.register(MSG_CACHE_UPDATE, self._handle_cache_update)
         ep.register(MSG_CACHE_INVALIDATE, self._handle_cache_invalidate)
         ep.register(MSG_TRANSFER, self._handle_transfer)
+
+    def _handled(self, name: str, request: Request, inner, source_key: str = ""):
+        """Process: run a local entry point under a ``kv.handle_*`` span.
+
+        The span parents from the forwarding hop's wire context (the
+        ``"span"`` key carried in the request body when telemetry is
+        on), keeping the cross-node span tree connected.
+        """
+        tel = self.sim.telemetry
+        if tel is None:
+            reply = yield from inner(request.body, None)
+            return reply
+        span = tel.begin(
+            name,
+            layer="kvstore",
+            node=self.name,
+            parent=request.body.get("span"),
+            src=request.src,
+        )
+        try:
+            reply = yield from inner(request.body, span)
+        except BaseException as exc:
+            tel.fail(span, exc)
+            raise
+        attrs = {}
+        if source_key and isinstance(reply, dict) and source_key in reply:
+            attrs[source_key] = reply[source_key]
+        tel.end(span, **attrs)
+        return reply
+
+    def _handle_put(self, request: Request):
+        reply = yield from self._handled("kv.handle_put", request, self._put_local)
+        return reply
+
+    def _handle_get(self, request: Request):
+        reply = yield from self._handled(
+            "kv.handle_get", request, self._get_local, source_key="source"
+        )
+        return reply
+
+    def _handle_delete(self, request: Request):
+        reply = yield from self._handled(
+            "kv.handle_delete", request, self._delete_local
+        )
+        return reply
 
     def _handle_replica(self, request: Request) -> None:
         record = Record.from_wire(request.body["record"])

@@ -98,6 +98,7 @@ class DecisionEngine:
         count: Optional[int] = None,
         require: Optional[Callable[[ResourceSnapshot], bool]] = None,
         among: Optional[list[str]] = None,
+        ctx=None,
     ):
         """Process: ranked :class:`Candidate` list (best first).
 
@@ -107,16 +108,30 @@ class DecisionEngine:
         never published resources are skipped.
         """
         names = among if among is not None else self._default_candidates()
+        tel = self.sim.telemetry
+        span = (
+            tel.begin(
+                "decision.decide",
+                layer="decision",
+                node=self.chimera.name,
+                parent=ctx,
+                policy=policy.value,
+                candidates=len(names),
+                parallel=self.parallel,
+            )
+            if tel is not None
+            else None
+        )
         if self.parallel:
             # Scatter-gather: every candidate lookup is in flight at
             # once; the decision waits for the slowest, not the sum.
             snapshots = yield self.sim.gather(
-                [self._fetch_snapshot(name) for name in names]
+                [self._fetch_snapshot(name, ctx=span) for name in names]
             )
         else:
             snapshots = []
             for name in names:
-                snapshots.append((yield from self._fetch_snapshot(name)))
+                snapshots.append((yield from self._fetch_snapshot(name, ctx=span)))
         candidates: list[Candidate] = []
         for name, snapshot in zip(names, snapshots):
             if snapshot is None:
@@ -126,11 +141,13 @@ class DecisionEngine:
             candidates.append(Candidate(name, snapshot))
         candidates.sort(key=lambda c: c.sort_key(policy))
         self.decisions_made += 1
+        if span is not None:
+            tel.end(span, ranked=len(candidates))
         if count is not None:
             return candidates[:count]
         return candidates
 
-    def _fetch_snapshot(self, name: str):
+    def _fetch_snapshot(self, name: str, ctx=None):
         """Process: one candidate's published snapshot, or None.
 
         Candidates that never published (``KeyNotFoundError``) or whose
@@ -138,7 +155,7 @@ class DecisionEngine:
         None and skipped by :meth:`decide` — in both fetch modes.
         """
         try:
-            value = yield from self.store.get(resource_key(name))
+            value = yield from self.store.get(resource_key(name), ctx=ctx)
         except (KeyNotFoundError, NetworkError):
             return None
         return ResourceSnapshot.from_wire(value)

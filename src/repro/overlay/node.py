@@ -277,7 +277,7 @@ class ChimeraNode:
             return None
         return PeerInfo(self._peer_name(best), best)
 
-    def resolve(self, key: NodeId):
+    def resolve(self, key: NodeId, ctx=None):
         """Process: find the overlay root for ``key``.
 
         Returns a :class:`PeerInfo` for the owner.  Failed next hops are
@@ -288,19 +288,36 @@ class ChimeraNode:
         if hop is None:
             self.routes_resolved += 1
             return PeerInfo(self.name, self.id)
+        tel = self.sim.telemetry
+        span = (
+            tel.begin(
+                "overlay.resolve",
+                layer="overlay",
+                node=self.name,
+                parent=ctx,
+                key=key.hex,
+            )
+            if tel is not None
+            else None
+        )
         yield self.sim.timeout(self.hop_processing_s)
         while True:
+            body = {"key": key.hex, "hops": 1}
+            if span is not None:
+                body["span"] = span.ctx_wire()
             try:
-                reply = yield self.endpoint.call(
-                    hop.name, MSG_ROUTE, {"key": key.hex, "hops": 1}
-                )
+                reply = yield self.endpoint.call(hop.name, MSG_ROUTE, body)
                 self.routes_resolved += 1
+                if span is not None:
+                    tel.end(span, owner=reply["owner"]["name"])
                 return PeerInfo.from_wire(reply["owner"])
             except (HostDownError, RpcTimeoutError, RemoteError):
                 self._forget(hop.id)
                 hop = self.next_hop(key)
                 if hop is None:
                     self.routes_resolved += 1
+                    if span is not None:
+                        tel.end(span, owner=self.name)
                     return PeerInfo(self.name, self.id)
 
     # -- handlers -----------------------------------------------------------------
@@ -329,17 +346,34 @@ class ChimeraNode:
     def _handle_route(self, request: Request):
         key = NodeId.from_hex(request.body["key"])
         hops = request.body["hops"]
+        tel = self.sim.telemetry
+        span = (
+            tel.begin(
+                "overlay.hop",
+                layer="overlay",
+                node=self.name,
+                parent=request.body.get("span"),
+                hops=hops,
+            )
+            if tel is not None
+            else None
+        )
         yield self.sim.timeout(self.hop_processing_s)
         hop = self.next_hop(key)
         while hop is not None:
+            body = {"key": key.hex, "hops": hops + 1}
+            if span is not None:
+                body["span"] = span.ctx_wire()
             try:
-                reply = yield self.endpoint.call(
-                    hop.name, MSG_ROUTE, {"key": key.hex, "hops": hops + 1}
-                )
+                reply = yield self.endpoint.call(hop.name, MSG_ROUTE, body)
+                if span is not None:
+                    tel.end(span)
                 return reply
             except (HostDownError, RpcTimeoutError):
                 self._forget(hop.id)
                 hop = self.next_hop(key)
+        if span is not None:
+            tel.end(span, root=True)
         return {"owner": PeerInfo(self.name, self.id).wire(), "hops": hops}
 
     def _handle_node_joined(self, request: Request) -> None:

@@ -154,7 +154,7 @@ class Service:
         """Mark the service's model data as already resident on a node."""
         self._warm_domains.add(id(domain))
 
-    def execute(self, domain: Domain, input_mb: float):
+    def execute(self, domain: Domain, input_mb: float, ctx=None):
         """Process: run the service on ``domain`` over ``input_mb``.
 
         Returns a :class:`ServiceResult`.  The execution charges the
@@ -164,7 +164,22 @@ class Service:
         ``setup_mb`` disk load (cold start) unless :meth:`prewarm` ran.
         """
         started = domain.sim.now
-        if self.setup_mb > 0 and not self.is_warm(domain):
+        cold = self.setup_mb > 0 and not self.is_warm(domain)
+        tel = domain.sim.telemetry
+        span = (
+            tel.begin(
+                "service.execute",
+                layer="service",
+                node=domain.name,
+                parent=ctx,
+                service=self.qualified_name,
+                input_mb=input_mb,
+                cold_start=cold,
+            )
+            if tel is not None
+            else None
+        )
+        if cold:
             yield domain.sim.timeout(self.setup_mb / domain.profile.disk_mb_s)
             self._warm_domains.add(id(domain))
         yield from domain.execute(
@@ -172,6 +187,8 @@ class Service:
             parallelism=self.profile.parallelism,
             working_set_mb=self.working_set_mb(input_mb),
         )
+        if span is not None:
+            tel.end(span)
         return ServiceResult(
             service=self.qualified_name,
             node=domain.name,

@@ -79,7 +79,7 @@ class ServiceRegistry:
         yield from self.store.put(key, entry)
         return entry
 
-    def lookup(self, qualified_name: str):
+    def lookup(self, qualified_name: str, ctx=None):
         """Process: nodes currently advertising the service.
 
         Returns the registry entry dict: ``nodes`` (list of names),
@@ -87,7 +87,7 @@ class ServiceRegistry:
         resource requirements).  Raises KeyNotFoundError if the service
         was never registered.
         """
-        value = yield from self.store.get(service_key(qualified_name))
+        value = yield from self.store.get(service_key(qualified_name), ctx=ctx)
         return value
 
     def profile_of(self, entry: dict, device_type: str = "") -> ServiceProfile:

@@ -386,6 +386,10 @@ class Simulator:
         #: When False, :meth:`run` dispatches through :meth:`step` for
         #: every event (the legacy loop, kept as the perf baseline).
         self._batched = bool(batched)
+        #: The attached :class:`repro.telemetry.Telemetry` plane, or
+        #: None (the default — instrumented layers guard every span
+        #: emit behind a single ``is not None`` check).
+        self.telemetry = None
 
     # -- time ------------------------------------------------------------
 

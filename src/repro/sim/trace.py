@@ -10,6 +10,7 @@ re-reading printouts.  Export to a list of dicts keeps it portable
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Optional
 
@@ -44,21 +45,41 @@ class Tracer:
             raise ValueError("capacity must be positive")
         self.sim = sim
         self.capacity = capacity
-        self.events: list[TraceEvent] = []
+        #: Bounded ring buffer: ``deque(maxlen=capacity)`` evicts the
+        #: oldest event in O(1) (the old list-based ``pop(0)`` was O(n)
+        #: per drop, quadratic over a long capped run).
+        self.events: "deque[TraceEvent]" = deque(maxlen=capacity)
         self.dropped = 0
         #: Live subscribers: called with each event as it is recorded.
+        #: A subscriber that raises is dropped (with a note in the
+        #: trace) rather than killing the simulation.
         self.subscribers: list[Callable[[TraceEvent], None]] = []
 
     def emit(self, kind: str, source: str, **detail: Any) -> TraceEvent:
         """Record an event at the current simulation time."""
         event = TraceEvent(self.sim.now, kind, source, dict(detail))
         if self.capacity is not None and len(self.events) >= self.capacity:
-            # Bounded trace: drop the oldest (ring-buffer behaviour).
-            self.events.pop(0)
+            # The deque evicts the oldest on append; count it first so
+            # ``dropped`` stays exact.
             self.dropped += 1
         self.events.append(event)
-        for subscriber in self.subscribers:
-            subscriber(event)
+        if self.subscribers:
+            bad = []
+            for subscriber in self.subscribers:
+                try:
+                    subscriber(event)
+                except Exception as exc:
+                    bad.append((subscriber, exc))
+            for subscriber, exc in bad:
+                self.subscribers.remove(subscriber)
+                self.events.append(
+                    TraceEvent(
+                        self.sim.now,
+                        "tracer.subscriber-error",
+                        "tracer",
+                        {"error": f"{type(exc).__name__}: {exc}"},
+                    )
+                )
         return event
 
     def span(self, kind: str, source: str, **detail: Any):

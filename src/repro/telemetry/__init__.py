@@ -1,0 +1,58 @@
+"""End-to-end causal tracing and metrics for the VStore++ stack.
+
+The telemetry plane has three pieces:
+
+* :mod:`repro.telemetry.spans` — :class:`Telemetry` (attach to a
+  simulator), :class:`Span`, :class:`SpanContext`: per-request causal
+  span trees across client, XenSocket, overlay, kvstore, decision,
+  service, and cloud layers.
+* :mod:`repro.telemetry.metrics` — :class:`MetricsRegistry` with
+  counters, gauges, and fixed-bucket histograms per (name, node).
+* :mod:`repro.telemetry.export` — JSON span dumps, Chrome
+  ``trace_event`` export (``chrome://tracing`` / Perfetto), flame-style
+  latency attribution, and per-worker trace merging.
+
+Telemetry is off by default: layers guard every emit behind
+``sim.telemetry is not None`` and add nothing to simulated behaviour
+when disabled.  Enable per cluster with ``ClusterConfig(telemetry=True)``
+or manually with ``Telemetry(sim).attach()``.
+"""
+
+from repro.telemetry.export import (
+    attribution_report,
+    chrome_trace,
+    layer_attribution,
+    merge_span_dumps,
+    metrics_report,
+    span_dump,
+    spans_from_dump,
+    validate_chrome_trace,
+)
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.spans import Span, SpanContext, Telemetry, wire_ctx
+
+__all__ = [
+    "Telemetry",
+    "Span",
+    "SpanContext",
+    "wire_ctx",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "span_dump",
+    "spans_from_dump",
+    "merge_span_dumps",
+    "chrome_trace",
+    "validate_chrome_trace",
+    "attribution_report",
+    "layer_attribution",
+    "metrics_report",
+]

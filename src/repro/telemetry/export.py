@@ -1,0 +1,284 @@
+"""Exporters: JSON span dumps, Chrome traces, attribution reports.
+
+Three consumers of one span list:
+
+* :func:`span_dump` / :func:`merge_span_dumps` — portable JSON dicts,
+  the interchange format between parallel workers and the main process.
+* :func:`chrome_trace` — Google ``trace_event`` JSON ("JSON Array
+  Format" with complete ``X`` events) loadable in ``chrome://tracing``
+  or https://ui.perfetto.dev.  :func:`validate_chrome_trace` checks the
+  schema invariants CI relies on.
+* :func:`attribution_report` — a plain-text, flame-style view: where
+  simulated time went per layer (self time, excluding children) plus
+  the slowest trace rendered as an indented tree.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.telemetry.spans import Span, Telemetry
+
+__all__ = [
+    "span_dump",
+    "merge_span_dumps",
+    "spans_from_dump",
+    "chrome_trace",
+    "validate_chrome_trace",
+    "attribution_report",
+    "layer_attribution",
+]
+
+#: Simulated seconds -> trace_event microseconds.
+_US = 1e6
+
+
+def _spans_of(source: "Telemetry | Iterable[Span]") -> list[Span]:
+    if isinstance(source, Telemetry):
+        return list(source.spans)
+    return list(source)
+
+
+def span_dump(source: "Telemetry | Iterable[Span]") -> list[dict]:
+    """The whole span list as JSON-ready dicts (emission order)."""
+    return [span.as_dict() for span in _spans_of(source)]
+
+
+def spans_from_dump(dump: Iterable[dict]) -> list[Span]:
+    return [Span.from_dict(entry) for entry in dump]
+
+
+def merge_span_dumps(dumps: Sequence[Iterable[dict]]) -> list[dict]:
+    """Merge per-worker span dumps into one id-collision-free dump.
+
+    Workers allocate span ids independently from 1, so identical id
+    ranges collide when traces are pooled.  Each dump's ids are offset
+    by the cumulative maximum of the dumps before it — a deterministic
+    rebase that preserves every parent/child edge (submission order in,
+    submission order out, matching :func:`repro.parallel.run_jobs`).
+    """
+    merged: list[dict] = []
+    offset = 0
+    for dump in dumps:
+        entries = [dict(entry) for entry in dump]
+        highest = 0
+        for entry in entries:
+            entry["trace_id"] += offset
+            entry["span_id"] += offset
+            if entry.get("parent_id") is not None:
+                entry["parent_id"] += offset
+            highest = max(highest, entry["span_id"], entry["trace_id"])
+        merged.extend(entries)
+        offset = max(offset, highest)
+    return merged
+
+
+# -- Chrome trace_event export ---------------------------------------------
+
+
+def chrome_trace(source: "Telemetry | Iterable[Span]") -> dict:
+    """Spans as a ``chrome://tracing`` / Perfetto-loadable payload.
+
+    Each finished span becomes one complete ``X`` event (``ts``/``dur``
+    in microseconds of *simulated* time); unfinished spans are exported
+    with zero duration and ``status: "unfinished"`` so they remain
+    visible rather than silently vanishing.  Nodes map to thread ids
+    with ``M`` metadata records naming them, so the per-node timelines
+    read like per-host swimlanes.
+    """
+    spans = _spans_of(source)
+    nodes = sorted({span.node for span in spans})
+    tids = {node: i + 1 for i, node in enumerate(nodes)}
+    events: list[dict] = []
+    for node, tid in tids.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": node or "(cluster)"},
+            }
+        )
+    timed = []
+    for span in spans:
+        end = span.end if span.end is not None else span.start
+        timed.append(
+            {
+                "name": span.name,
+                "cat": span.layer,
+                "ph": "X",
+                "ts": span.start * _US,
+                "dur": (end - span.start) * _US,
+                "pid": 1,
+                "tid": tids[span.node],
+                "args": {
+                    "trace": span.trace_id,
+                    "span": span.span_id,
+                    "parent": span.parent_id,
+                    "status": span.status if span.finished else "unfinished",
+                    **span.attrs,
+                },
+            }
+        )
+    timed.sort(key=lambda e: (e["ts"], e["args"]["span"]))
+    events.extend(timed)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def validate_chrome_trace(payload: dict) -> int:
+    """Validate the trace_event schema invariants; returns event count.
+
+    Raises :class:`ValueError` on: a missing/ill-typed ``traceEvents``
+    list, unknown phase types, ``X`` events without numeric ``ts`` or
+    with negative ``dur``, non-monotonic ``ts`` ordering among timed
+    events, or ``B``/``E`` begin/end events that do not pair up per
+    (pid, tid).  This is the check CI runs against the ``report``
+    command's ``trace.json``.
+    """
+    events = payload.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise ValueError("traceEvents must be a non-empty list")
+    last_ts = None
+    open_stacks: dict[tuple, list[str]] = {}
+    timed = 0
+    for i, event in enumerate(events):
+        ph = event.get("ph")
+        if ph == "M":
+            continue
+        if ph not in ("X", "B", "E"):
+            raise ValueError(f"event {i}: unsupported phase {ph!r}")
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)):
+            raise ValueError(f"event {i}: ts must be numeric, got {ts!r}")
+        if last_ts is not None and ts < last_ts:
+            raise ValueError(
+                f"event {i}: ts {ts} not monotonic (previous {last_ts})"
+            )
+        last_ts = ts
+        timed += 1
+        key = (event.get("pid"), event.get("tid"))
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"event {i}: X event needs dur >= 0, got {dur!r}")
+        elif ph == "B":
+            open_stacks.setdefault(key, []).append(event.get("name", ""))
+        else:  # "E"
+            stack = open_stacks.get(key)
+            if not stack:
+                raise ValueError(f"event {i}: E without matching B on {key}")
+            stack.pop()
+    unclosed = {k: v for k, v in open_stacks.items() if v}
+    if unclosed:
+        raise ValueError(f"unmatched B events left open: {unclosed}")
+    if timed == 0:
+        raise ValueError("trace contains no timed events")
+    return timed
+
+
+# -- latency attribution ----------------------------------------------------
+
+
+def layer_attribution(source: "Telemetry | Iterable[Span]") -> dict[str, dict]:
+    """Per-layer totals: span count, total time, and *self* time.
+
+    Self time is a span's duration minus its direct children's
+    durations (floored at zero — children may overlap their parent's
+    tail under scatter-gather), summed per layer.  Self times answer
+    "where did the time actually go" without double-counting the
+    nesting.
+    """
+    spans = [s for s in _spans_of(source) if s.finished]
+    children_duration: dict[int, float] = {}
+    for span in spans:
+        if span.parent_id is not None:
+            children_duration[span.parent_id] = (
+                children_duration.get(span.parent_id, 0.0) + span.duration_s
+            )
+    out: dict[str, dict] = {}
+    for span in spans:
+        entry = out.setdefault(
+            span.layer, {"count": 0, "total_s": 0.0, "self_s": 0.0}
+        )
+        entry["count"] += 1
+        entry["total_s"] += span.duration_s
+        entry["self_s"] += max(
+            0.0, span.duration_s - children_duration.get(span.span_id, 0.0)
+        )
+    return out
+
+
+def _render_tree(spans: list[Span], root: Span, lines: list[str], depth: int) -> None:
+    detail = ", ".join(f"{k}={v}" for k, v in sorted(root.attrs.items()))
+    flags = "" if root.status == "ok" else f"  [{root.status}]"
+    lines.append(
+        f"  {'  ' * depth}{root.duration_s * 1000:9.2f} ms  "
+        f"{root.layer}/{root.name} @{root.node}"
+        + (f"  ({detail})" if detail else "")
+        + flags
+    )
+    kids = [
+        s for s in spans if s.parent_id == root.span_id and s.trace_id == root.trace_id
+    ]
+    for kid in sorted(kids, key=lambda s: (s.start, s.span_id)):
+        _render_tree(spans, kid, lines, depth + 1)
+
+
+def attribution_report(
+    source: "Telemetry | Iterable[Span]", top_traces: int = 1
+) -> str:
+    """Flame-style plain-text report: layer table + slowest trace trees."""
+    spans = _spans_of(source)
+    finished = [s for s in spans if s.finished]
+    lines = ["== latency attribution (simulated time) =="]
+    if not finished:
+        lines.append("  (no finished spans)")
+        return "\n".join(lines)
+    per_layer = layer_attribution(finished)
+    total_self = sum(e["self_s"] for e in per_layer.values()) or 1.0
+    lines.append(f"  {'layer':12s} {'spans':>6s} {'total':>10s} {'self':>10s}  share")
+    for layer, entry in sorted(
+        per_layer.items(), key=lambda kv: -kv[1]["self_s"]
+    ):
+        lines.append(
+            f"  {layer:12s} {entry['count']:6d} "
+            f"{entry['total_s']:9.3f}s {entry['self_s']:9.3f}s "
+            f"{entry['self_s'] / total_self:6.1%}"
+        )
+    roots = sorted(
+        (s for s in finished if s.parent_id is None),
+        key=lambda s: -s.duration_s,
+    )
+    for root in roots[:top_traces]:
+        lines.append(
+            f"-- slowest trace: {root.name} @{root.node} "
+            f"({root.duration_s * 1000:.2f} ms, trace {root.trace_id}) --"
+        )
+        _render_tree(spans, root, lines, 0)
+    return "\n".join(lines)
+
+
+def metrics_report(registry, limit: Optional[int] = None) -> str:
+    """Plain-text summary of a :class:`MetricsRegistry` snapshot."""
+    snapshot = registry.snapshot()
+    lines = ["== metrics =="]
+    names = list(snapshot)
+    if limit is not None:
+        names = names[:limit]
+    for name in names:
+        for node, data in sorted(snapshot[name].items()):
+            where = f"@{node}" if node else ""
+            if data["type"] == "counter":
+                lines.append(f"  {name}{where}: {data['value']:g}")
+            elif data["type"] == "gauge":
+                lines.append(f"  {name}{where}: {data['value']:.6g}")
+            else:
+                lines.append(
+                    f"  {name}{where}: n={data['count']} "
+                    f"mean={data['mean'] * 1000:.2f}ms "
+                    f"p50={data['p50'] * 1000:.2f}ms "
+                    f"p95={data['p95'] * 1000:.2f}ms "
+                    f"p99={data['p99'] * 1000:.2f}ms"
+                )
+    return "\n".join(lines)

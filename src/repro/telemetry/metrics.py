@@ -1,0 +1,241 @@
+"""The metrics plane: named counters, gauges, and histograms.
+
+Every instrument is registered under a ``(name, node)`` pair in one
+:class:`MetricsRegistry` — ``name`` follows the ``layer.operation``
+scheme the span plane uses (``kv.get``, ``xensocket.transfer``,
+``cloud.fetch``), ``node`` is the device it happened on (empty for
+cluster-wide instruments).  Histograms use fixed bucket boundaries and
+report p50/p95/p99 by bucket interpolation, so memory stays constant no
+matter how many observations arrive.
+
+The registry also supersedes the ad-hoc per-layer stats structs:
+:meth:`MetricsRegistry.ingest_kvstats` maps a
+:meth:`repro.kvstore.KvStats.snapshot` export onto registry instruments
+(the compatibility shim — `KvStats` keeps working unchanged for
+existing callers while the metrics plane reads it uniformly).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Optional, Sequence
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS"]
+
+#: Default latency buckets (seconds): 100 µs .. ~7 min, roughly 3 per
+#: decade, matching the simulated operation range (ms XenSocket pushes
+#: up to multi-minute 100 MB cloud transfers).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    25.0,
+    50.0,
+    100.0,
+    250.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "node", "value")
+
+    def __init__(self, name: str, node: str = "") -> None:
+        self.name = name
+        self.node = node
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self.value += amount
+
+    def as_dict(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A value that goes up and down (queue depth, free MB, load)."""
+
+    __slots__ = ("name", "node", "value")
+
+    def __init__(self, name: str, node: str = "") -> None:
+        self.name = name
+        self.node = node
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, amount: float) -> None:
+        self.value += amount
+
+    def as_dict(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram with interpolated quantile summaries.
+
+    ``bounds`` are upper bucket edges (ascending); one overflow bucket
+    catches everything above the last edge.  Count, sum, min, and max
+    are exact; quantiles interpolate linearly inside the containing
+    bucket (the standard Prometheus-style estimate).
+    """
+
+    __slots__ = ("name", "node", "bounds", "counts", "count", "total", "vmin", "vmax")
+
+    def __init__(
+        self,
+        name: str,
+        node: str = "",
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_BUCKETS
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("bucket bounds must be non-empty and ascending")
+        self.name = name
+        self.node = node
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1 overflow bucket
+        self.count = 0
+        self.total = 0.0
+        self.vmin = float("inf")
+        self.vmax = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.vmin:
+            self.vmin = value
+        if value > self.vmax:
+            self.vmax = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Interpolated q-quantile (0 <= q <= 1); 0.0 when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for i, n in enumerate(self.counts):
+            if n == 0:
+                continue
+            if seen + n >= rank:
+                lo = self.bounds[i - 1] if i > 0 else min(self.vmin, self.bounds[0])
+                hi = self.bounds[i] if i < len(self.bounds) else self.vmax
+                lo = max(lo, self.vmin)
+                hi = min(hi, self.vmax)
+                if hi <= lo or n == 0:
+                    return hi
+                # Linear interpolation within the containing bucket.
+                fraction = (rank - seen) / n
+                return lo + fraction * (hi - lo)
+            seen += n
+        return self.vmax
+
+    def summary(self) -> dict:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.vmin if self.count else 0.0,
+            "max": self.vmax if self.count else 0.0,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+    def as_dict(self) -> dict:
+        return self.summary()
+
+
+class MetricsRegistry:
+    """All instruments for one deployment, keyed by (name, node)."""
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple[str, str], Counter] = {}
+        self._gauges: dict[tuple[str, str], Gauge] = {}
+        self._histograms: dict[tuple[str, str], Histogram] = {}
+
+    # -- instrument accessors (get-or-create) ------------------------------
+
+    def counter(self, name: str, node: str = "") -> Counter:
+        key = (name, node)
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter(name, node)
+        return instrument
+
+    def gauge(self, name: str, node: str = "") -> Gauge:
+        key = (name, node)
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge(name, node)
+        return instrument
+
+    def histogram(
+        self, name: str, node: str = "", buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        key = (name, node)
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(name, node, buckets)
+        return instrument
+
+    # -- KvStats compatibility shim ----------------------------------------
+
+    def ingest_kvstats(self, node: str, stats) -> None:
+        """Map one node's ``KvStats.snapshot()`` onto registry instruments.
+
+        Counters become registry counters (set to the current running
+        totals), the exact lookup mean becomes a gauge, and the windowed
+        lookup quantiles become gauges under ``kv.lookup.*`` — so code
+        that still mutates :class:`~repro.kvstore.DhtKeyValueStore`
+        stats directly shows up in the unified metrics plane.
+        """
+        snapshot = stats.snapshot()
+        for key, value in snapshot["counters"].items():
+            counter = self.counter(f"kv.{key}", node=node)
+            counter.value = float(value)
+        self.gauge("kv.lookup.mean_s", node=node).set(snapshot["lookup_mean_s"])
+        window = snapshot["lookup_window"]
+        self.gauge("kv.lookup.window_n", node=node).set(window["n"])
+        for q in ("p50", "p95", "p99"):
+            self.gauge(f"kv.lookup.window_{q}_s", node=node).set(window[q])
+
+    # -- export ------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-ready nested export: name -> node -> instrument dict."""
+        out: dict[str, dict] = {}
+        for store in (self._counters, self._gauges, self._histograms):
+            for (name, node), instrument in sorted(store.items()):
+                out.setdefault(name, {})[node] = instrument.as_dict()
+        return out
+
+    def names(self) -> list[str]:
+        keys = set()
+        for store in (self._counters, self._gauges, self._histograms):
+            keys.update(name for name, _node in store)
+        return sorted(keys)

@@ -63,12 +63,20 @@ class TransferEngine:
             overhead += 2.0 * nbytes / self.copy_bandwidth
         return overhead
 
-    def send(self, src: str, dst: str, nbytes: float):
+    def send(self, src: str, dst: str, nbytes: float, ctx=None):
         """Process: move ``nbytes`` from ``src`` to ``dst``.
 
         Returns the network-layer :class:`TransferReport`; host-side
         overheads extend the elapsed simulated time.
         """
+        tel = self.sim.telemetry
+        span = (
+            tel.begin(
+                "net.transfer", layer="net", node=src, parent=ctx, dst=dst, bytes=nbytes
+            )
+            if tel is not None
+            else None
+        )
         overhead = self.host_overhead(nbytes)
         if overhead > 0:
             yield self.sim.timeout(overhead)
@@ -76,4 +84,6 @@ class TransferEngine:
         self.bytes_moved += nbytes
         if self.observer is not None:
             self.observer(report)
+        if span is not None:
+            tel.end(span)
         return report

@@ -54,6 +54,8 @@ class XenSocketChannel:
         self._ring = Resource(sim, capacity=1)
         self.bytes_moved = 0.0
         self.transfers = 0
+        #: Device name for telemetry attribution (set by the builder).
+        self.owner = ""
 
     def transfer_time(self, nbytes: float) -> float:
         """Closed-form time for one transfer of ``nbytes`` (idle ring)."""
@@ -71,7 +73,7 @@ class XenSocketChannel:
         t = self.transfer_time(nbytes)
         return nbytes / t if t > 0 else float("inf")
 
-    def transfer(self, nbytes: float):
+    def transfer(self, nbytes: float, ctx=None):
         """Process: move ``nbytes`` across the channel.
 
         Concurrent transfers queue on the shared page ring (one
@@ -86,6 +88,18 @@ class XenSocketChannel:
         """
         started = self.sim.now
         duration = self.transfer_time(nbytes)
+        tel = self.sim.telemetry
+        span = (
+            tel.begin(
+                "xensocket.transfer",
+                layer="xensocket",
+                node=self.owner,
+                parent=ctx,
+                bytes=nbytes,
+            )
+            if tel is not None
+            else None
+        )
         request = self._ring.request()
         yield request
         try:
@@ -94,6 +108,8 @@ class XenSocketChannel:
             request.release()
         self.bytes_moved += nbytes
         self.transfers += 1
+        if span is not None:
+            tel.end(span)
         return self.sim.now - started
 
     def transfer_paged(self, nbytes: float, pages_per_event: int = 1):

@@ -9,6 +9,11 @@ Each API call builds a :class:`~repro.vstore.commands.Command` packet
 (under 50 bytes) and pushes it through the node's XenSocket channel
 before the control-domain operation runs; bulk data movement costs are
 charged inside the node operations themselves.
+
+Every API call is also a trace root: when telemetry is attached to the
+simulator, each operation opens a ``client.*`` span and threads its
+context down through the XenSocket push and the control-domain work, so
+one guest request reconstructs as one span tree.
 """
 
 from __future__ import annotations
@@ -34,7 +39,24 @@ class VStoreClient:
     def sim(self):
         return self.node.sim
 
-    def _send_command(self, command_type: CommandType, data=None, service_id=""):
+    def _begin(self, op: str, **attrs):
+        """Root a new client span, or (None, None) with telemetry off."""
+        tel = self.sim.telemetry
+        if tel is None:
+            return None, None
+        return tel, tel.begin(
+            f"client.{op}", layer="client", node=self.node.name, **attrs
+        )
+
+    def _run(self, tel, span, gen):
+        """Process: run ``gen`` under ``span`` (pass-through when off)."""
+        if tel is None:
+            result = yield from gen
+        else:
+            result = yield from tel.wrap(span, gen)
+        return result
+
+    def _send_command(self, command_type: CommandType, data=None, service_id="", ctx=None):
         """Process: push one command packet into the control domain."""
         command = Command(
             command_type,
@@ -43,7 +65,7 @@ class VStoreClient:
             data=data,
         )
         if self.node.xensocket is not None:
-            yield from self.node.xensocket.transfer(command.length)
+            yield from self.node.xensocket.transfer(command.length, ctx=ctx)
         self.commands_sent += 1
         return command
 
@@ -57,19 +79,45 @@ class VStoreClient:
         access: str = "home",
     ):
         """Process: CreateObject() — map a file to a named object."""
-        yield from self._send_command(CommandType.CREATE_OBJECT, {"name": name})
-        return self.node.create_object(name, size_mb, tags=tags, access=access)
+        tel, span = self._begin("create", object=name)
+
+        def op():
+            yield from self._send_command(
+                CommandType.CREATE_OBJECT, {"name": name}, ctx=span
+            )
+            return self.node.create_object(name, size_mb, tags=tags, access=access)
+
+        result = yield from self._run(tel, span, op())
+        return result
 
     def store_object(self, name: str, blocking: bool = True):
         """Process: StoreObject() — place the object per policy."""
-        yield from self._send_command(CommandType.STORE_OBJECT, {"name": name})
-        result = yield from self.node.store_object(name, blocking=blocking)
+        tel, span = self._begin("store", object=name)
+
+        def op():
+            yield from self._send_command(
+                CommandType.STORE_OBJECT, {"name": name}, ctx=span
+            )
+            result = yield from self.node.store_object(
+                name, blocking=blocking, ctx=span
+            )
+            return result
+
+        result = yield from self._run(tel, span, op())
         return result
 
     def fetch_object(self, name: str):
         """Process: FetchObject() — bring the object into this VM."""
-        yield from self._send_command(CommandType.FETCH_OBJECT, {"name": name})
-        result = yield from self.node.fetch_object(name)
+        tel, span = self._begin("fetch", object=name)
+
+        def op():
+            yield from self._send_command(
+                CommandType.FETCH_OBJECT, {"name": name}, ctx=span
+            )
+            result = yield from self.node.fetch_object(name, ctx=span)
+            return result
+
+        result = yield from self._run(tel, span, op())
         return result
 
     def prefetch_object(self, name: str):
@@ -78,10 +126,18 @@ class VStoreClient:
         "The command based mechanism helps with implementing
         asynchronous fetch and store operations" (Section IV).  The
         returned process event can be awaited later (or ignored); the
-        bytes stream in meanwhile.
+        bytes stream in meanwhile.  The root span closes once the fetch
+        is launched; the async fetch's spans still attach under it.
         """
-        yield from self._send_command(CommandType.FETCH_OBJECT, {"name": name})
-        handle = self.sim.process(self.node.fetch_object(name))
+        tel, span = self._begin("prefetch", object=name)
+
+        def op():
+            yield from self._send_command(
+                CommandType.FETCH_OBJECT, {"name": name}, ctx=span
+            )
+            return self.sim.process(self.node.fetch_object(name, ctx=span))
+
+        handle = yield from self._run(tel, span, op())
         return handle
 
     def process(
@@ -91,10 +147,21 @@ class VStoreClient:
         policy: DecisionPolicy = DecisionPolicy.PERFORMANCE,
     ):
         """Process: explicitly run a service over a stored object."""
-        yield from self._send_command(
-            CommandType.PROCESS, {"name": name}, service_id=qualified_service
-        )
-        result = yield from self.node.process(name, qualified_service, policy=policy)
+        tel, span = self._begin("process", object=name, service=qualified_service)
+
+        def op():
+            yield from self._send_command(
+                CommandType.PROCESS,
+                {"name": name},
+                service_id=qualified_service,
+                ctx=span,
+            )
+            result = yield from self.node.process(
+                name, qualified_service, policy=policy, ctx=span
+            )
+            return result
+
+        result = yield from self._run(tel, span, op())
         return result
 
     def process_pipeline(
@@ -105,28 +172,55 @@ class VStoreClient:
     ):
         """Process: run a multi-step pipeline (e.g. FDet then FRec) at
         one decision-chosen target, moving the argument only once."""
-        yield from self._send_command(
-            CommandType.PROCESS,
-            {"name": name, "pipeline": qualified_services},
-            service_id="+".join(qualified_services),
+        tel, span = self._begin(
+            "process_pipeline", object=name, services="+".join(qualified_services)
         )
-        result = yield from self.node.process_pipeline(
-            name, qualified_services, policy=policy
-        )
+
+        def op():
+            yield from self._send_command(
+                CommandType.PROCESS,
+                {"name": name, "pipeline": qualified_services},
+                service_id="+".join(qualified_services),
+                ctx=span,
+            )
+            result = yield from self.node.process_pipeline(
+                name, qualified_services, policy=policy, ctx=span
+            )
+            return result
+
+        result = yield from self._run(tel, span, op())
         return result
 
     def fetch_process(self, name: str, qualified_service: str):
         """Process: fetch with an attached manipulation function."""
-        yield from self._send_command(
-            CommandType.FETCH_PROCESS, {"name": name}, service_id=qualified_service
-        )
-        result = yield from self.node.fetch_process(name, qualified_service)
+        tel, span = self._begin("fetch_process", object=name, service=qualified_service)
+
+        def op():
+            yield from self._send_command(
+                CommandType.FETCH_PROCESS,
+                {"name": name},
+                service_id=qualified_service,
+                ctx=span,
+            )
+            result = yield from self.node.fetch_process(
+                name, qualified_service, ctx=span
+            )
+            return result
+
+        result = yield from self._run(tel, span, op())
         return result
 
     def delete_object(self, name: str):
         """Process: remove an object everywhere."""
-        yield from self._send_command(CommandType.DELETE_OBJECT, {"name": name})
-        yield from self.node.delete_object(name)
+        tel, span = self._begin("delete", object=name)
+
+        def op():
+            yield from self._send_command(
+                CommandType.DELETE_OBJECT, {"name": name}, ctx=span
+            )
+            yield from self.node.delete_object(name, ctx=span)
+
+        yield from self._run(tel, span, op())
 
     def store_file(self, name: str, size_mb: float, blocking: bool = True, **kwargs):
         """Process: convenience create+store in one call."""

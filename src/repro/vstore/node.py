@@ -31,6 +31,7 @@ from repro.monitoring import DecisionEngine, DecisionPolicy, ResourceSnapshot
 from repro.net import HostDownError, RemoteError, Request, RpcTimeoutError
 from repro.overlay import ChimeraNode
 from repro.services import Service, ServiceRegistry
+from repro.telemetry.spans import wire_ctx
 from repro.virt import Domain, TransferEngine, XenSocketChannel
 from repro.vstore.bins import StorageBin
 from repro.vstore.errors import (
@@ -161,6 +162,13 @@ class VStoreNode:
         """This node's current resource state (None if no sampler)."""
         return self.snapshot_fn() if self.snapshot_fn else None
 
+    def _span(self, name: str, ctx, **attrs):
+        """(telemetry, span) pair; (None, None) when telemetry is off."""
+        tel = self.sim.telemetry
+        if tel is None:
+            return None, None
+        return tel, tel.begin(name, layer="vstore", node=self.name, parent=ctx, **attrs)
+
     # -- object lifecycle -----------------------------------------------------
 
     def create_object(
@@ -188,7 +196,9 @@ class VStoreNode:
         self.staged[name] = meta
         return meta
 
-    def store_object(self, name: str, blocking: bool = True, from_guest: bool = True):
+    def store_object(
+        self, name: str, blocking: bool = True, from_guest: bool = True, ctx=None
+    ):
         """Process: place a created object and publish its metadata.
 
         Blocking stores wait for placement and the metadata update (and
@@ -199,17 +209,20 @@ class VStoreNode:
         meta = self.staged.get(name)
         if meta is None:
             raise ObjectNotFoundError(name)
+        tel, span = self._span("vstore.store", ctx, object=name, size_mb=meta.size_mb)
         started = self.sim.now
         yield self.sim.timeout(self.op_overhead_s)
         inter_domain_s = 0.0
         if from_guest and self.xensocket is not None:
             t0 = self.sim.now
-            yield from self.xensocket.transfer(meta.size_bytes)
+            yield from self.xensocket.transfer(meta.size_bytes, ctx=span)
             inter_domain_s = self.sim.now - t0
         del self.staged[name]
 
         if not blocking:
-            self.sim.process(self._place_and_publish(meta))
+            self.sim.process(self._place_and_publish(meta, ctx=span))
+            if span is not None:
+                tel.end(span, blocking=False)
             return StoreResult(
                 meta=meta,
                 placement=self.store_policy.decide(meta),
@@ -218,11 +231,15 @@ class VStoreNode:
                 blocking=False,
             )
 
-        placement, placement_s, metadata_s = yield from self._place_and_publish(meta)
+        placement, placement_s, metadata_s = yield from self._place_and_publish(
+            meta, ctx=span
+        )
         # Blocking stores "incur the cost of an additional
         # acknowledgement" back to the guest.
         if self.xensocket is not None:
-            yield from self.xensocket.transfer(64)
+            yield from self.xensocket.transfer(64, ctx=span)
+        if span is not None:
+            tel.end(span, target=placement.target.name, location=meta.location)
         return StoreResult(
             meta=meta,
             placement=placement,
@@ -233,16 +250,19 @@ class VStoreNode:
             blocking=True,
         )
 
-    def _place_and_publish(self, meta: ObjectMeta):
+    def _place_and_publish(self, meta: ObjectMeta, ctx=None):
+        tel, span = self._span("vstore.place", ctx, object=meta.name)
         t0 = self.sim.now
-        placement = yield from self._place(meta)
+        placement = yield from self._place(meta, ctx=span)
         placement_s = self.sim.now - t0
+        if span is not None:
+            tel.end(span, target=placement.target.name)
         t1 = self.sim.now
-        yield from self.kv.put(object_key(meta.name), meta.wire())
+        yield from self.kv.put(object_key(meta.name), meta.wire(), ctx=ctx)
         metadata_s = self.sim.now - t1
         return placement, placement_s, metadata_s
 
-    def _place(self, meta: ObjectMeta):
+    def _place(self, meta: ObjectMeta, ctx=None):
         """Execute the policy decision, with the paper's fallbacks."""
         placement = self.store_policy.decide(meta)
         target = placement.target
@@ -257,7 +277,7 @@ class VStoreNode:
             target = PlacementTarget.HOME_VOLUNTARY
 
         if target is PlacementTarget.NAMED_NODE:
-            stored = yield from self._store_on_peer(meta, placement.node)
+            stored = yield from self._store_on_peer(meta, placement.node, ctx=ctx)
             if stored:
                 return placement
             target = PlacementTarget.HOME_VOLUNTARY
@@ -266,6 +286,7 @@ class VStoreNode:
             candidates = yield from self.decision.decide(
                 DecisionPolicy.BALANCED,
                 require=lambda s: s.voluntary_free_mb >= meta.size_mb,
+                ctx=ctx,
             )
             for candidate in candidates:
                 if candidate.node == self.name:
@@ -275,7 +296,7 @@ class VStoreNode:
                         meta.bin_name = "voluntary"
                         return Placement(PlacementTarget.HOME_VOLUNTARY, self.name)
                     continue
-                stored = yield from self._store_on_peer(meta, candidate.node)
+                stored = yield from self._store_on_peer(meta, candidate.node, ctx=ctx)
                 if stored:
                     return Placement(PlacementTarget.HOME_VOLUNTARY, candidate.node)
             target = PlacementTarget.REMOTE_CLOUD
@@ -286,7 +307,9 @@ class VStoreNode:
                     f"object {meta.name!r}: no home capacity and no "
                     "public-cloud interface configured"
                 )
-            url = yield from self.cloud.store_remote(meta.name, meta.size_bytes)
+            url = yield from self.cloud.store_remote(
+                meta.name, meta.size_bytes, ctx=ctx
+            )
             meta.location = LOCATION_REMOTE
             meta.bin_name = ""
             meta.url = url
@@ -294,32 +317,36 @@ class VStoreNode:
 
         raise PlacementError(f"unhandled placement target {target!r}")
 
-    def _store_on_peer(self, meta: ObjectMeta, peer: str):
+    def _store_on_peer(self, meta: ObjectMeta, peer: str, ctx=None):
+        tel, span = self._span("vstore.store_peer", ctx, peer=peer, object=meta.name)
+        body = {"name": meta.name, "size_mb": meta.size_mb, "src": self.name}
+        if span is not None:
+            body["span"] = span.ctx_wire()
         try:
-            yield self.endpoint.call(
-                peer,
-                MSG_STORE_VOLUNTARY,
-                {"name": meta.name, "size_mb": meta.size_mb, "src": self.name},
-                timeout=120.0,
-            )
-        except (HostDownError, RpcTimeoutError, RemoteError):
+            yield self.endpoint.call(peer, MSG_STORE_VOLUNTARY, body, timeout=120.0)
+        except (HostDownError, RpcTimeoutError, RemoteError) as exc:
+            if span is not None:
+                tel.fail(span, exc)
             return False
+        if span is not None:
+            tel.end(span)
         meta.location = peer
         meta.bin_name = "voluntary"
         return True
 
     # -- fetch ------------------------------------------------------------------
 
-    def fetch_object(self, name: str, to_guest: bool = True):
+    def fetch_object(self, name: str, to_guest: bool = True, ctx=None):
         """Process: bring an object to this node (and its guest VM).
 
         Returns a :class:`FetchResult` with the Table I cost breakdown:
         DHT lookup, inter-node transfer (or remote-cloud download), and
         inter-domain (XenSocket) delivery.
         """
+        tel, span = self._span("vstore.fetch", ctx, object=name)
         started = self.sim.now
         yield self.sim.timeout(self.op_overhead_s)
-        meta, dht_s = yield from self._lookup_meta(name)
+        meta, dht_s = yield from self._lookup_meta(name, ctx=span)
         self._check_access(meta)
 
         inter_node_s = 0.0
@@ -331,7 +358,7 @@ class VStoreNode:
                     f"object {name!r} is in the remote cloud but this node "
                     "has no public-cloud interface"
                 )
-            yield from self.cloud.fetch_remote(name)
+            yield from self.cloud.fetch_remote(name, ctx=span)
             remote_s = self.sim.now - t0
             served_from = "remote-cloud"
         elif meta.location == self.name:
@@ -340,10 +367,13 @@ class VStoreNode:
             served_from = "local"
         else:
             t0 = self.sim.now
+            body = {"name": name, "to": self.name}
+            if span is not None:
+                body["span"] = span.ctx_wire()
             yield self.endpoint.call(
                 meta.location,
                 MSG_FETCH,
-                {"name": name, "to": self.name},
+                body,
                 timeout=600.0,
             )
             inter_node_s = self.sim.now - t0
@@ -352,9 +382,11 @@ class VStoreNode:
         inter_domain_s = 0.0
         if to_guest and self.xensocket is not None:
             t0 = self.sim.now
-            yield from self.xensocket.transfer(meta.size_bytes)
+            yield from self.xensocket.transfer(meta.size_bytes, ctx=span)
             inter_domain_s = self.sim.now - t0
 
+        if span is not None:
+            tel.end(span, served_from=served_from)
         return FetchResult(
             meta=meta,
             total_s=self.sim.now - started,
@@ -365,25 +397,31 @@ class VStoreNode:
             served_from=served_from,
         )
 
-    def delete_object(self, name: str):
+    def delete_object(self, name: str, ctx=None):
         """Process: remove an object and its metadata everywhere."""
-        meta, _ = yield from self._lookup_meta(name)
+        tel, span = self._span("vstore.delete", ctx, object=name)
+        meta, _ = yield from self._lookup_meta(name, ctx=span)
         if meta.is_remote:
             if self.cloud is not None:
                 self.cloud.s3.delete_object(name)
         elif meta.location == self.name:
             self._remove_local(name)
         else:
+            body = {"name": name}
+            if span is not None:
+                body["span"] = span.ctx_wire()
             try:
-                yield self.endpoint.call(meta.location, MSG_DELETE, {"name": name})
+                yield self.endpoint.call(meta.location, MSG_DELETE, body)
             except (HostDownError, RpcTimeoutError, RemoteError):
                 pass
-        yield from self.kv.delete(object_key(name))
+        yield from self.kv.delete(object_key(name), ctx=span)
+        if span is not None:
+            tel.end(span)
 
-    def _lookup_meta(self, name: str):
+    def _lookup_meta(self, name: str, ctx=None):
         t0 = self.sim.now
         try:
-            value = yield from self.kv.get(object_key(name))
+            value = yield from self.kv.get(object_key(name), ctx=ctx)
         except KeyNotFoundError:
             raise ObjectNotFoundError(name) from None
         return ObjectMeta.from_wire(value), self.sim.now - t0
@@ -432,6 +470,7 @@ class VStoreNode:
         qualified_service: str,
         policy: DecisionPolicy = DecisionPolicy.PERFORMANCE,
         return_output: bool = True,
+        ctx=None,
     ):
         """Process: run a service on a stored object (Section III-B).
 
@@ -448,13 +487,16 @@ class VStoreNode:
         Returns a :class:`ProcessResult`; all timing includes the
         decision process itself, as the paper's results do.
         """
+        tel, span = self._span(
+            "vstore.process", ctx, object=name, service=qualified_service
+        )
         started = self.sim.now
         yield self.sim.timeout(self.op_overhead_s)
-        meta, dht_s = yield from self._lookup_meta(name)
+        meta, dht_s = yield from self._lookup_meta(name, ctx=span)
         self._check_access(meta)
         decision_t0 = self.sim.now
         target, estimates, _snapshots = yield from self._choose_processing_target(
-            meta, qualified_service, policy
+            meta, qualified_service, policy, ctx=span
         )
         decision_s = self.sim.now - decision_t0
 
@@ -468,28 +510,31 @@ class VStoreNode:
             output_mb = result["output_mb"]
             execute_s = result["execute_s"]
         elif target == self.name:
-            yield from self._ensure_local(meta)
+            yield from self._ensure_local(meta, ctx=span)
             move_s = self.sim.now - move_t0
             exec_t0 = self.sim.now
             service = self.registry.local[qualified_service]
             domain = self.guest_domain or self.dom0_domain
             if domain is None:
                 raise VStoreError(f"{self.name} has no domain to execute in")
-            svc_result = yield from service.execute(domain, meta.size_mb)
+            svc_result = yield from service.execute(domain, meta.size_mb, ctx=span)
             execute_s = self.sim.now - exec_t0
             executed_on = self.name
             output_mb = svc_result.output_mb
         else:
+            body = {
+                "name": name,
+                "service": qualified_service,
+                "owner": meta.location,
+                "size_mb": meta.size_mb,
+                "reply_to": self.name if return_output else None,
+            }
+            if span is not None:
+                body["span"] = span.ctx_wire()
             reply = yield self.endpoint.call(
                 target,
                 MSG_PROCESS_REMOTE,
-                {
-                    "name": name,
-                    "service": qualified_service,
-                    "owner": meta.location,
-                    "size_mb": meta.size_mb,
-                    "reply_to": self.name if return_output else None,
-                },
+                body,
                 timeout=3600.0,
             )
             move_s = reply["move_s"]
@@ -497,6 +542,8 @@ class VStoreNode:
             output_mb = reply["output_mb"]
             executed_on = target
 
+        if span is not None:
+            tel.end(span, executed_on=executed_on)
         return ProcessResult(
             object_name=name,
             service=qualified_service,
@@ -515,6 +562,7 @@ class VStoreNode:
         qualified_services: list[str],
         policy: DecisionPolicy = DecisionPolicy.PERFORMANCE,
         return_output: bool = True,
+        ctx=None,
     ):
         """Process: run a multi-step pipeline over one stored object.
 
@@ -527,16 +575,22 @@ class VStoreNode:
         """
         if not qualified_services:
             raise ValueError("pipeline needs at least one service")
+        tel, span = self._span(
+            "vstore.process_pipeline",
+            ctx,
+            object=name,
+            services="+".join(qualified_services),
+        )
         started = self.sim.now
         yield self.sim.timeout(self.op_overhead_s)
-        meta, dht_s = yield from self._lookup_meta(name)
+        meta, dht_s = yield from self._lookup_meta(name, ctx=span)
         self._check_access(meta)
         decision_t0 = self.sim.now
         per_service = []
         all_snapshots: dict[str, ResourceSnapshot] = {}
         for qs in qualified_services:
             target, estimates, snapshots = yield from self._choose_processing_target(
-                meta, qs, policy
+                meta, qs, policy, ctx=span
             )
             per_service.append((qs, target, estimates))
             all_snapshots.update(snapshots)
@@ -593,28 +647,31 @@ class VStoreNode:
             executed_on = self.ec2.name
         elif target == self.name:
             move_t0 = self.sim.now
-            yield from self._ensure_local(meta)
+            yield from self._ensure_local(meta, ctx=span)
             move_s = self.sim.now - move_t0
             exec_t0 = self.sim.now
             domain = self.guest_domain or self.dom0_domain
             output_mb = meta.size_mb
             for qs in qualified_services:
                 service = self.registry.local[qs]
-                result = yield from service.execute(domain, meta.size_mb)
+                result = yield from service.execute(domain, meta.size_mb, ctx=span)
                 output_mb = result.output_mb
             execute_s = self.sim.now - exec_t0
             executed_on = self.name
         else:
+            body = {
+                "name": name,
+                "services": qualified_services,
+                "owner": meta.location,
+                "size_mb": meta.size_mb,
+                "reply_to": self.name if return_output else None,
+            }
+            if span is not None:
+                body["span"] = span.ctx_wire()
             reply = yield self.endpoint.call(
                 target,
                 MSG_PROCESS_PIPELINE,
-                {
-                    "name": name,
-                    "services": qualified_services,
-                    "owner": meta.location,
-                    "size_mb": meta.size_mb,
-                    "reply_to": self.name if return_output else None,
-                },
+                body,
                 timeout=3600.0,
             )
             move_s = reply["move_s"]
@@ -622,6 +679,8 @@ class VStoreNode:
             output_mb = reply["output_mb"]
             executed_on = target
 
+        if span is not None:
+            tel.end(span, executed_on=executed_on)
         return ProcessResult(
             object_name=name,
             service="+".join(qualified_services),
@@ -633,7 +692,7 @@ class VStoreNode:
             execute_s=execute_s,
         )
 
-    def fetch_process(self, name: str, qualified_service: str):
+    def fetch_process(self, name: str, qualified_service: str, ctx=None):
         """Process: fetch an object with processing attached.
 
         "When the node storing the object receives the request, it uses
@@ -652,9 +711,9 @@ class VStoreNode:
             and snapshot is not None
             and service.profile.admits(snapshot)
         ):
-            fetch = yield from self.fetch_object(name)
+            fetch = yield from self.fetch_object(name, ctx=ctx)
             domain = self.guest_domain or self.dom0_domain
-            svc_result = yield from service.execute(domain, fetch.meta.size_mb)
+            svc_result = yield from service.execute(domain, fetch.meta.size_mb, ctx=ctx)
             return ProcessResult(
                 object_name=name,
                 service=qualified_service,
@@ -664,12 +723,16 @@ class VStoreNode:
                 move_s=fetch.total_s,
                 execute_s=svc_result.elapsed_s,
             )
-        return (yield from self.process(name, qualified_service))
+        return (yield from self.process(name, qualified_service, ctx=ctx))
 
     # -- processing-target selection -------------------------------------------
 
     def _choose_processing_target(
-        self, meta: ObjectMeta, qualified_service: str, policy: DecisionPolicy
+        self,
+        meta: ObjectMeta,
+        qualified_service: str,
+        policy: DecisionPolicy,
+        ctx=None,
     ):
         """Pick where to run a service, returning (target, estimates).
 
@@ -684,7 +747,7 @@ class VStoreNode:
         service = self.registry.local.get(qualified_service)
         ec2_has_it = self.ec2 is not None and qualified_service in self.ec2.services
         try:
-            entry = yield from self.registry.lookup(qualified_service)
+            entry = yield from self.registry.lookup(qualified_service, ctx=ctx)
             hosts = list(entry["nodes"])
             profile = self.registry.profile_of(entry)
             admits = self.registry.admitter(entry)
@@ -707,7 +770,7 @@ class VStoreNode:
         snapshots: dict[str, ResourceSnapshot] = {}
         reference = self._service_for_estimation(qualified_service, profile)
         candidates = yield from self.decision.decide(
-            policy, require=admits, among=hosts
+            policy, require=admits, among=hosts, ctx=ctx
         )
         # Movement rides the same network we have been observing: cap
         # every candidate's advertised bandwidth by our own recent
@@ -841,7 +904,7 @@ class VStoreNode:
             return min(snapshot.bandwidth_mbps, 4.5)
         return 1.5
 
-    def _ensure_local(self, meta: ObjectMeta):
+    def _ensure_local(self, meta: ObjectMeta, ctx=None):
         """Bring the argument object to this node if it is elsewhere."""
         if meta.location == self.name:
             yield self.sim.timeout(meta.size_mb / self.disk_mb_s)
@@ -849,12 +912,15 @@ class VStoreNode:
         if meta.is_remote:
             if self.cloud is None:
                 raise VStoreError(f"cannot reach remote object {meta.name!r}")
-            yield from self.cloud.fetch_remote(meta.name)
+            yield from self.cloud.fetch_remote(meta.name, ctx=ctx)
             return
+        body = {"name": meta.name, "to": self.name}
+        if self.sim.telemetry is not None and ctx is not None:
+            body["span"] = wire_ctx(ctx)
         yield self.endpoint.call(
             meta.location,
             MSG_FETCH,
-            {"name": meta.name, "to": self.name},
+            body,
             timeout=600.0,
         )
 
@@ -893,45 +959,70 @@ class VStoreNode:
 
     def _handle_store_voluntary(self, request: Request):
         body = request.body
+        tel, span = self._span(
+            "vstore.serve_store", body.get("span"), src=body["src"]
+        )
         if not self.voluntary.fits(body["size_mb"]):
-            raise BinFullError("voluntary", body["size_mb"], self.voluntary.free_mb)
+            exc = BinFullError("voluntary", body["size_mb"], self.voluntary.free_mb)
+            if span is not None:
+                tel.fail(span, exc)
+            raise exc
         yield from self.transfer.send(
-            body["src"], self.name, body["size_mb"] * 1024 * 1024
+            body["src"], self.name, body["size_mb"] * 1024 * 1024, ctx=span
         )
         self.voluntary.store(body["name"], body["size_mb"])
+        if span is not None:
+            tel.end(span)
         return {"stored": True, "bin": "voluntary"}
 
     def _handle_fetch(self, request: Request):
         body = request.body
         name = body["name"]
+        tel, span = self._span("vstore.serve_fetch", body.get("span"), object=name)
         if name in self.mandatory:
             size_mb = self.mandatory.size_of(name)
         elif name in self.voluntary:
             size_mb = self.voluntary.size_of(name)
         else:
-            raise ObjectNotFoundError(name)
+            exc = ObjectNotFoundError(name)
+            if span is not None:
+                tel.fail(span, exc)
+            raise exc
         # Disk read, then the zero-copy push to the requester.
         yield self.sim.timeout(size_mb / self.disk_mb_s)
-        yield from self.transfer.send(self.name, body["to"], size_mb * 1024 * 1024)
+        yield from self.transfer.send(
+            self.name, body["to"], size_mb * 1024 * 1024, ctx=span
+        )
+        if span is not None:
+            tel.end(span)
         return {"size_mb": size_mb}
 
     def _handle_process_remote(self, request: Request):
         body = request.body
+        tel, span = self._span(
+            "vstore.serve_process", body.get("span"), service=body["service"]
+        )
         service = self.registry.local.get(body["service"])
         if service is None:
-            raise ServiceUnavailableError(body["service"])
+            exc = ServiceUnavailableError(body["service"])
+            if span is not None:
+                tel.fail(span, exc)
+            raise exc
         move_t0 = self.sim.now
         if not self.holds(body["name"]):
             owner = body["owner"]
             if owner == LOCATION_REMOTE:
                 if self.cloud is None:
                     raise VStoreError("no cloud interface for remote argument")
-                yield from self.cloud.fetch_remote(body["name"])
+                yield from self.cloud.fetch_remote(body["name"], ctx=span)
             else:
+                fetch_body = {"name": body["name"], "to": self.name}
+                if span is not None:
+                    fetch_body["span"] = span.ctx_wire()
                 yield self.endpoint.call(
                     owner,
                     MSG_FETCH,
-                    {"name": body["name"], "to": self.name},
+                    fetch_body,
                     timeout=600.0,
                 )
         move_s = self.sim.now - move_t0
@@ -939,13 +1030,15 @@ class VStoreNode:
         domain = self.guest_domain or self.dom0_domain
         if domain is None:
             raise VStoreError(f"{self.name} has no domain to execute in")
-        result = yield from service.execute(domain, body["size_mb"])
+        result = yield from service.execute(domain, body["size_mb"], ctx=span)
         execute_s = self.sim.now - exec_t0
         reply_to = body.get("reply_to")
         if reply_to and reply_to != self.name and result.output_mb > 0:
             yield from self.transfer.send(
-                self.name, reply_to, result.output_mb * 1024 * 1024
+                self.name, reply_to, result.output_mb * 1024 * 1024, ctx=span
             )
+        if span is not None:
+            tel.end(span)
         return {
             "output_mb": result.output_mb,
             "execute_s": execute_s,
@@ -954,11 +1047,19 @@ class VStoreNode:
 
     def _handle_process_pipeline(self, request: Request):
         body = request.body
+        tel, span = self._span(
+            "vstore.serve_pipeline",
+            body.get("span"),
+            services="+".join(body["services"]),
+        )
         services = []
         for qs in body["services"]:
             service = self.registry.local.get(qs)
             if service is None:
-                raise ServiceUnavailableError(qs)
+                exc = ServiceUnavailableError(qs)
+                if span is not None:
+                    tel.fail(span, exc)
+                raise exc
             services.append(service)
         move_t0 = self.sim.now
         if not self.holds(body["name"]):
@@ -966,12 +1067,15 @@ class VStoreNode:
             if owner == LOCATION_REMOTE:
                 if self.cloud is None:
                     raise VStoreError("no cloud interface for remote argument")
-                yield from self.cloud.fetch_remote(body["name"])
+                yield from self.cloud.fetch_remote(body["name"], ctx=span)
             else:
+                fetch_body = {"name": body["name"], "to": self.name}
+                if span is not None:
+                    fetch_body["span"] = span.ctx_wire()
                 yield self.endpoint.call(
                     owner,
                     MSG_FETCH,
-                    {"name": body["name"], "to": self.name},
+                    fetch_body,
                     timeout=600.0,
                 )
         move_s = self.sim.now - move_t0
@@ -981,14 +1085,16 @@ class VStoreNode:
             raise VStoreError(f"{self.name} has no domain to execute in")
         output_mb = body["size_mb"]
         for service in services:
-            result = yield from service.execute(domain, body["size_mb"])
+            result = yield from service.execute(domain, body["size_mb"], ctx=span)
             output_mb = result.output_mb
         execute_s = self.sim.now - exec_t0
         reply_to = body.get("reply_to")
         if reply_to and reply_to != self.name and output_mb > 0:
             yield from self.transfer.send(
-                self.name, reply_to, output_mb * 1024 * 1024
+                self.name, reply_to, output_mb * 1024 * 1024, ctx=span
             )
+        if span is not None:
+            tel.end(span)
         return {
             "output_mb": output_mb,
             "execute_s": execute_s,

@@ -53,6 +53,49 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "pipeline ran on" in out
 
+    def test_report(self, capsys):
+        assert main(["report", "--files", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "latency attribution" in out
+        assert "slowest trace: client." in out
+        assert "== metrics ==" in out
+        assert "request trees" in out
+
+    def test_report_writes_valid_chrome_trace_and_span_dump(
+        self, capsys, tmp_path
+    ):
+        import json
+
+        from repro.telemetry import spans_from_dump, validate_chrome_trace
+
+        trace_path = tmp_path / "trace.json"
+        spans_path = tmp_path / "spans.json"
+        assert (
+            main(
+                [
+                    "report",
+                    "--files",
+                    "2",
+                    "--trace-out",
+                    str(trace_path),
+                    "--spans-out",
+                    str(spans_path),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(trace_path.read_text())
+        assert validate_chrome_trace(payload) > 0
+        spans = spans_from_dump(json.loads(spans_path.read_text()))
+        assert any(s.name == "client.fetch" for s in spans)
+
+    def test_report_is_seeded(self, capsys):
+        main(["report", "--files", "2", "--seed", "4"])
+        first = capsys.readouterr().out
+        main(["report", "--files", "2", "--seed", "4"])
+        second = capsys.readouterr().out
+        assert first == second
+
     def test_bench_help(self, capsys):
         assert main(["bench-help"]) == 0
         out = capsys.readouterr().out

@@ -1,0 +1,58 @@
+"""KvStats.snapshot(): the export the telemetry metrics plane ingests."""
+
+from repro.kvstore.store import LOOKUP_WINDOW, KvStats
+
+
+class TestSnapshot:
+    def test_counters_exported(self):
+        stats = KvStats(puts=3, gets=5, cache_hits=2, forwards=7)
+        counters = stats.snapshot()["counters"]
+        assert counters["puts"] == 3
+        assert counters["gets"] == 5
+        assert counters["cache_hits"] == 2
+        assert counters["forwards"] == 7
+        assert counters["deletes"] == 0
+
+    def test_empty_stats_snapshot(self):
+        snap = KvStats().snapshot()
+        assert snap["lookup_count"] == 0
+        assert snap["lookup_mean_s"] == 0.0
+        assert snap["lookup_window"] == {"n": 0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_mean_stays_exact_past_window_evictions(self):
+        """The regression the bounded window invites: the mean must come
+        from the running count/total pair, not the evicting deque."""
+        stats = KvStats()
+        n = 3 * LOOKUP_WINDOW
+        samples = [0.001 * (i + 1) for i in range(n)]
+        for s in samples:
+            stats.record_lookup(s)
+        # The window only holds the most recent LOOKUP_WINDOW samples...
+        assert len(stats.lookup_times) == LOOKUP_WINDOW
+        window_mean = sum(stats.lookup_times) / LOOKUP_WINDOW
+        exact_mean = sum(samples) / n
+        assert abs(window_mean - exact_mean) > 1e-6  # they genuinely differ
+        # ...but the snapshot mean is exact over the full lifetime.
+        snap = stats.snapshot()
+        assert snap["lookup_count"] == n
+        assert abs(snap["lookup_mean_s"] - exact_mean) < 1e-12
+
+    def test_window_quantiles_nearest_rank(self):
+        stats = KvStats()
+        for s in [0.5, 0.1, 0.3, 0.2, 0.4]:  # unsorted on purpose
+            stats.record_lookup(s)
+        window = stats.snapshot()["lookup_window"]
+        assert window["n"] == 5
+        assert window["p50"] == 0.3
+        assert window["p95"] == 0.5
+        assert window["p99"] == 0.5
+
+    def test_window_quantiles_cover_recent_samples_only(self):
+        stats = KvStats()
+        for _ in range(LOOKUP_WINDOW):
+            stats.record_lookup(100.0)  # old, all evicted below
+        for _ in range(LOOKUP_WINDOW):
+            stats.record_lookup(1.0)
+        window = stats.snapshot()["lookup_window"]
+        assert window["p50"] == 1.0
+        assert window["p99"] == 1.0

@@ -223,10 +223,10 @@ class _FailingStore:
         self.fail = fail
         self.exc_factory = exc_factory
 
-    def get(self, key):
+    def get(self, key, ctx=None):
         if key in self.fail:
             raise self.exc_factory()
-        return (yield from self.inner.get(key))
+        return (yield from self.inner.get(key, ctx=ctx))
 
 
 class TestDecisionFetchFailures:

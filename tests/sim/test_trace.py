@@ -44,6 +44,49 @@ class TestEmit:
         tracer.emit("b", "s")
         assert seen == ["a", "b"]
 
+    def test_eviction_is_constant_time_deque(self):
+        from collections import deque
+
+        tracer = Tracer(Simulator(), capacity=2)
+        assert isinstance(tracer.events, deque)
+        assert tracer.events.maxlen == 2
+
+    def test_dropped_counter_exact_across_clear(self):
+        tracer = Tracer(Simulator(), capacity=2)
+        for i in range(7):
+            tracer.emit("tick", "t", i=i)
+        assert tracer.dropped == 5
+        assert [e.detail["i"] for e in tracer.events] == [5, 6]
+        tracer.clear()
+        assert tracer.dropped == 0
+        assert len(tracer.events) == 0
+
+    def test_unbounded_tracer_never_drops(self):
+        tracer = Tracer(Simulator())
+        for i in range(500):
+            tracer.emit("tick", "t", i=i)
+        assert tracer.dropped == 0
+        assert len(tracer.events) == 500
+
+    def test_bad_subscriber_cannot_kill_the_run(self):
+        tracer = Tracer(Simulator())
+        seen = []
+
+        def bad(event):
+            raise RuntimeError("subscriber bug")
+
+        tracer.subscribers.append(bad)
+        tracer.subscribers.append(lambda e: seen.append(e.kind))
+        tracer.emit("a", "s")  # must not raise
+        # The healthy subscriber still ran; the bad one was dropped and
+        # the failure left a marker event in the trace.
+        assert seen == ["a"]
+        assert bad not in tracer.subscribers
+        kinds = [e.kind for e in tracer.events]
+        assert kinds == ["a", "tracer.subscriber-error"]
+        tracer.emit("b", "s")
+        assert seen == ["a", "b"]
+
 
 class TestSpan:
     def test_span_records_start_and_end(self):

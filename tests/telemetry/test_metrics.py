@@ -1,0 +1,121 @@
+"""Unit tests for the metrics plane: instruments + registry + shim."""
+
+import pytest
+
+from repro.kvstore.store import KvStats
+from repro.telemetry import DEFAULT_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter("ops")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        assert c.as_dict() == {"type": "counter", "value": 3.5}
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("ops").inc(-1)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge("free_mb")
+        g.set(10)
+        g.add(-4)
+        assert g.value == 6.0
+        assert g.as_dict()["type"] == "gauge"
+
+
+class TestHistogram:
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=[])
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=[2.0, 1.0])
+
+    def test_exact_aggregates(self):
+        h = Histogram("lat")
+        for v in [0.001, 0.002, 0.004]:
+            h.observe(v)
+        assert h.count == 3
+        assert h.mean == pytest.approx(0.007 / 3)
+        assert h.vmin == 0.001
+        assert h.vmax == 0.004
+
+    def test_quantiles_bounded_by_observations(self):
+        h = Histogram("lat")
+        for v in [0.001, 0.003, 0.010, 0.030, 0.100]:
+            h.observe(v)
+        s = h.summary()
+        assert s["min"] <= s["p50"] <= s["p95"] <= s["p99"] <= s["max"]
+
+    def test_single_observation_quantiles_exact(self):
+        h = Histogram("lat")
+        h.observe(0.02)
+        assert h.quantile(0.5) == pytest.approx(0.02)
+        assert h.quantile(0.99) == pytest.approx(0.02)
+
+    def test_empty_histogram_summary(self):
+        s = Histogram("lat").summary()
+        assert s["count"] == 0
+        assert s["p50"] == 0.0 and s["min"] == 0.0 and s["max"] == 0.0
+
+    def test_overflow_bucket_catches_huge_values(self):
+        h = Histogram("lat")
+        h.observe(10_000.0)  # way past the last edge
+        assert h.count == 1
+        assert h.counts[-1] == 1
+        assert h.quantile(0.5) == pytest.approx(10_000.0)
+
+    def test_quantile_range_validated(self):
+        with pytest.raises(ValueError):
+            Histogram("lat").quantile(1.5)
+
+    def test_memory_is_constant(self):
+        h = Histogram("lat")
+        for i in range(10_000):
+            h.observe(0.001 * (i % 100 + 1))
+        assert len(h.counts) == len(DEFAULT_BUCKETS) + 1
+
+
+class TestRegistry:
+    def test_get_or_create_identity(self):
+        reg = MetricsRegistry()
+        assert reg.counter("ops", node="a") is reg.counter("ops", node="a")
+        assert reg.counter("ops", node="a") is not reg.counter("ops", node="b")
+        assert reg.histogram("lat") is reg.histogram("lat")
+
+    def test_snapshot_nested_by_name_then_node(self):
+        reg = MetricsRegistry()
+        reg.counter("ops", node="a").inc()
+        reg.gauge("depth", node="a").set(3)
+        reg.histogram("lat", node="b").observe(0.01)
+        snap = reg.snapshot()
+        assert snap["ops"]["a"]["value"] == 1.0
+        assert snap["depth"]["a"]["type"] == "gauge"
+        assert snap["lat"]["b"]["count"] == 1
+        assert reg.names() == ["depth", "lat", "ops"]
+
+    def test_ingest_kvstats_maps_snapshot_onto_instruments(self):
+        stats = KvStats(puts=4, gets=9, forwards=2)
+        for s in [0.002, 0.004, 0.006]:
+            stats.record_lookup(s)
+        reg = MetricsRegistry()
+        reg.ingest_kvstats("netbook1", stats)
+        assert reg.counter("kv.puts", node="netbook1").value == 4.0
+        assert reg.counter("kv.gets", node="netbook1").value == 9.0
+        assert reg.counter("kv.forwards", node="netbook1").value == 2.0
+        assert reg.gauge("kv.lookup.mean_s", node="netbook1").value == (
+            pytest.approx(0.004)
+        )
+        assert reg.gauge("kv.lookup.window_n", node="netbook1").value == 3
+        assert reg.gauge("kv.lookup.window_p50_s", node="netbook1").value == 0.004
+
+    def test_ingest_is_idempotent_not_additive(self):
+        stats = KvStats(puts=4)
+        reg = MetricsRegistry()
+        reg.ingest_kvstats("n", stats)
+        reg.ingest_kvstats("n", stats)
+        assert reg.counter("kv.puts", node="n").value == 4.0

@@ -95,6 +95,7 @@ class TestDocumentedEntryPoints:
             "surveillance",
             "overlay",
             "sweep",
+            "report",
             "bench-help",
         }
 
