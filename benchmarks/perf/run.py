@@ -1,5 +1,5 @@
 """Run the perf suites: ``BENCH_fastpath.json`` + ``BENCH_parallel.json``
-+ ``BENCH_telemetry.json``.
++ ``BENCH_telemetry.json`` + ``BENCH_resilience.json``.
 
 Usage (from the repo root)::
 
@@ -12,8 +12,11 @@ seconds (used by CI, which makes no timing assertions).  ``--check``
 additionally enforces the acceptance thresholds: ≥2× on the 100 MB
 XenSocket transfer, ≥1.3× on the full Table I sweep, ≥2× for the
 parallel harness on the Table I sweep with repeats, a strictly
-faster scatter-gather decision at every candidate count, and a
-disabled-telemetry guard overhead under 5% of the Table I sweep.
+faster scatter-gather decision at every candidate count, a
+disabled-telemetry guard overhead under 5% of the Table I sweep, and
+>= 99% fetch/process availability with resilience on while 2 of 8
+nodes are down (the resilience suite also self-asserts that two
+identically seeded resilient runs agree bit-for-bit).
 
 The parallel suite verifies — not just claims — that pooled execution
 reproduces the naive serial loop bit-for-bit at several worker counts;
@@ -40,6 +43,7 @@ from benchmarks.perf.parallel_bench import (
     bench_parallel_fig5,
     bench_parallel_table1,
 )
+from benchmarks.perf.resilience_bench import bench_resilience
 from benchmarks.perf.table1_bench import bench_table1
 from benchmarks.perf.telemetry_bench import bench_telemetry
 from benchmarks.perf.xensocket_bench import bench_xensocket
@@ -56,6 +60,9 @@ PARALLEL_THRESHOLDS = {
 
 #: The guarded no-op emit path must stay under 5% of sweep wall time.
 TELEMETRY_MAX_DISABLED_OVERHEAD = 0.05
+
+#: Fetch/process availability with resilience on, 2 of 8 nodes dead.
+RESILIENCE_MIN_SUCCESS = 0.99
 
 
 def main(argv=None) -> int:
@@ -86,6 +93,11 @@ def main(argv=None) -> int:
         help="where to write the telemetry-overhead results JSON",
     )
     parser.add_argument(
+        "--output-resilience",
+        default=str(REPO_ROOT / "BENCH_resilience.json"),
+        help="where to write the availability-under-chaos results JSON",
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=4,
@@ -110,6 +122,7 @@ def main(argv=None) -> int:
             "decision_scatter_gather": bench_decision(ks=(2, 4)),
         }
         telemetry_result = bench_telemetry(sizes=[1, 10], repeats=1)
+        resilience_result = bench_resilience(n_objects=16)
     else:
         results = {
             "kernel": bench_kernel(),
@@ -123,6 +136,7 @@ def main(argv=None) -> int:
             "decision_scatter_gather": bench_decision(),
         }
         telemetry_result = bench_telemetry()
+        resilience_result = bench_resilience()
 
     host = {"python": platform.python_version(), "platform": platform.platform()}
     out = Path(args.output)
@@ -172,6 +186,22 @@ def main(argv=None) -> int:
         + "\n"
     )
 
+    out_resilience = Path(args.output_resilience)
+    out_resilience.write_text(
+        json.dumps(
+            {
+                "suite": "resilience",
+                "smoke": args.smoke,
+                **host,
+                "results": {"availability_under_chaos": resilience_result},
+                "min_success_rate": RESILIENCE_MIN_SUCCESS,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+
     mode = "smoke" if args.smoke else "full"
     print(f"fastpath microbenchmarks ({mode} mode)")
     for name, r in results.items():
@@ -189,7 +219,16 @@ def main(argv=None) -> int:
         f"enabled {telemetry_result['overhead_enabled']:+.1%}, "
         f"guard {telemetry_result['guard_cost_ns']:.0f} ns"
     )
-    print(f"written: {out} {out_parallel} {out_telemetry}")
+    print(f"availability under chaos ({mode} mode)")
+    print(
+        f"  resilience               off "
+        f"{resilience_result['off']['success_rate']:.1%} -> on "
+        f"{resilience_result['on']['success_rate']:.1%} "
+        f"(p99 {resilience_result['on']['p99_s']:.3f} s, "
+        f"{resilience_result['on']['repair_actions']} repairs, "
+        f"deterministic={resilience_result['deterministic']})"
+    )
+    print(f"written: {out} {out_parallel} {out_telemetry} {out_resilience}")
 
     if args.check:
         failures = [
@@ -207,6 +246,14 @@ def main(argv=None) -> int:
                 f"table1_telemetry: disabled-path overhead {disabled:.2%}"
                 f" >= {TELEMETRY_MAX_DISABLED_OVERHEAD:.0%}"
             )
+        on_success = resilience_result["on"]["success_rate"]
+        if on_success < RESILIENCE_MIN_SUCCESS:
+            failures.append(
+                f"resilience: on-success {on_success:.1%}"
+                f" < {RESILIENCE_MIN_SUCCESS:.0%}"
+            )
+        if not resilience_result["deterministic"]:
+            failures.append("resilience: runs are not bit-for-bit repeatable")
         if failures:
             print("threshold failures:\n  " + "\n  ".join(failures))
             return 1

@@ -8,6 +8,7 @@ Usage::
     python -m repro surveillance         # run the camera pipeline once
     python -m repro sweep --workers 4    # paper sweeps on a process pool
     python -m repro report --files 8     # traced run + latency attribution
+    python -m repro chaos --seed 3       # churn workload, resilience on
     python -m repro bench-help           # how to regenerate the paper
 
 All subcommands run entirely offline on the discrete-event simulator.
@@ -122,6 +123,45 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="slowest request trees to render in full",
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a seeded random-churn workload with the resilience layer",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--objects", type=int, default=24, help="objects stored over the run"
+    )
+    chaos.add_argument(
+        "--horizon",
+        type=float,
+        default=300.0,
+        help="simulated seconds of random chaos",
+    )
+    chaos.add_argument(
+        "--mean-interval",
+        type=float,
+        default=30.0,
+        help="mean seconds between injected faults",
+    )
+    chaos.add_argument(
+        "--loss-max",
+        type=float,
+        default=0.0,
+        help="max message-loss probability drawn by loss faults (loss "
+        "stresses layers below the retry wrapper, so it defaults off)",
+    )
+    chaos.add_argument(
+        "--resilience-off",
+        action="store_true",
+        help="run the same script without the resilience layer (contrast)",
+    )
+    chaos.add_argument(
+        "--assert-clean",
+        action="store_true",
+        help="exit 1 unless every operation succeeded and the repair "
+        "log is non-empty (the CI chaos smoke)",
     )
 
     sub.add_parser("bench-help", help="how to regenerate the paper's results")
@@ -338,6 +378,82 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    from repro.cluster.chaos import RandomChaos
+    from repro.kvstore import KvError
+    from repro.net import NetworkError
+    from repro.vstore.errors import VStoreError
+
+    config = ClusterConfig(
+        seed=args.seed,
+        resilience=not args.resilience_off,
+        data_replicas=2,
+        replication_factor=3,
+    )
+    c4h = Cloud4Home(config)
+    c4h.start()
+    chaos = RandomChaos(
+        c4h,
+        seed=args.seed,
+        mean_interval_s=args.mean_interval,
+        protected=("netbook0",),  # the measuring client stays up
+        loss_rate_max=args.loss_max,
+    )
+    schedule = chaos.script(args.horizon)
+    schedule.start()
+
+    client = c4h.device("netbook0")
+    failures: list[tuple[str, str]] = []
+    names: list[str] = []
+    step = args.horizon / max(1, args.objects)
+    for i in range(args.objects):
+        writer = c4h.devices[i % len(c4h.devices)]
+        if not c4h.network.hosts[writer.name].online:
+            writer = client  # a dead client can't issue requests
+        name = f"chaos-{i:03d}.bin"
+        try:
+            c4h.run(writer.client.store_file(name, 1.0))
+            names.append(name)
+        except (NetworkError, VStoreError, KvError) as exc:
+            failures.append((f"store {name}", repr(exc)))
+        c4h.sim.run(until=c4h.sim.now + step)
+    for name in names:
+        try:
+            c4h.run(client.client.fetch_object(name))
+        except (NetworkError, VStoreError, KvError) as exc:
+            failures.append((f"fetch {name}", repr(exc)))
+    c4h.sim.run(until=c4h.sim.now + 90.0)  # let revives and repairs drain
+
+    kinds: dict[str, int] = {}
+    for event in schedule.events:
+        kinds[event.kind] = kinds.get(event.kind, 0) + 1
+    repairs = sum(
+        len(d.repairer.repairs) for d in c4h.devices if d.repairer is not None
+    )
+    mode = "off" if args.resilience_off else "on"
+    print(
+        f"chaos run (seed {args.seed}, resilience {mode}): "
+        f"{len(schedule.events)} fault events over {args.horizon:g}s "
+        + (f"{dict(sorted(kinds.items()))}" if kinds else "")
+    )
+    ops = args.objects + len(names)
+    print(
+        f"  operations: {ops - len(failures)}/{ops} succeeded, "
+        f"{repairs} repair action(s) logged"
+    )
+    for op, error in failures:
+        print(f"  FAILED {op}: {error}")
+    if args.assert_clean:
+        if failures:
+            print("assert-clean: operation failures above")
+            return 1
+        if not args.resilience_off and repairs == 0:
+            print("assert-clean: repair log is empty")
+            return 1
+        print("assert-clean: ok")
+    return 0
+
+
 def cmd_bench_help(args) -> int:
     print("Regenerate every table and figure from the paper with:")
     print()
@@ -367,6 +483,7 @@ COMMANDS = {
     "overlay": cmd_overlay,
     "sweep": cmd_sweep,
     "report": cmd_report,
+    "chaos": cmd_chaos,
     "bench-help": cmd_bench_help,
 }
 

@@ -22,6 +22,7 @@ from repro.cluster.config import (
     ClusterConfig,
     DeviceConfig,
     LanConfig,
+    ResilienceConfig,
     WanConfig,
     default_devices,
 )
@@ -33,6 +34,7 @@ __all__ = [
     "ClusterConfig",
     "DeviceConfig",
     "LanConfig",
+    "ResilienceConfig",
     "WanConfig",
     "default_devices",
     "Federation",

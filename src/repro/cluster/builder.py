@@ -25,6 +25,12 @@ from repro.monitoring import (
 )
 from repro.net import Link, Network, Route, TcpProfile
 from repro.overlay import ChimeraNode
+from repro.resilience import (
+    BreakerRegistry,
+    Repairer,
+    ResilientCaller,
+    RetryPolicy,
+)
 from repro.services import Service, ServiceRegistry
 from repro.sim import RandomSource, Simulator
 from repro.telemetry import MetricsRegistry, Telemetry
@@ -76,6 +82,10 @@ class Device:
     cloud: PublicCloudInterface
     vstore: VStoreNode
     client: VStoreClient
+    #: Resilience layer (None when ``ClusterConfig.resilience`` is off).
+    breakers: Optional[BreakerRegistry] = None
+    caller: Optional[ResilientCaller] = None
+    repairer: Optional[Repairer] = None
 
     @property
     def name(self) -> str:
@@ -275,8 +285,37 @@ class Cloud4Home:
             cache_enabled=self.config.cache_enabled,
         )
         registry = ServiceRegistry(kv)
+        res = self.config.resilience_tuning if self.config.resilience else None
+        breakers = None
+        caller = None
+        if res is not None:
+            breakers = BreakerRegistry(
+                failure_threshold=res.failure_threshold,
+                cooldown_s=res.breaker_cooldown_s,
+                metrics=self.metrics,
+                node=dc.name,
+            )
+            caller = ResilientCaller(
+                chimera.endpoint,
+                policy=RetryPolicy(
+                    max_attempts=res.max_attempts,
+                    base_delay_s=res.base_delay_s,
+                    multiplier=res.multiplier,
+                    max_delay_s=res.max_delay_s,
+                    jitter=res.jitter,
+                    deadline_s=res.deadline_s,
+                ),
+                rng=self.rng.fork(f"retry:{dc.name}"),
+                breakers=breakers,
+                metrics=self.metrics,
+                node=dc.name,
+            )
         decision = DecisionEngine(
-            chimera, kv, parallel=self.config.parallel_decision
+            chimera,
+            kv,
+            parallel=self.config.parallel_decision,
+            freshness_ttl_s=res.freshness_ttl_s if res is not None else None,
+            breakers=breakers,
         )
         bandwidth = BandwidthEstimator(
             default_mbps=self.config.lan.bandwidth_mbps
@@ -301,7 +340,19 @@ class Cloud4Home:
             cloud=cloud,
             ec2=self.ec2[0] if self.ec2 else None,
             disk_mb_s=profile.disk_mb_s,
+            caller=caller,
+            data_replicas=self.config.data_replicas if res is not None else 0,
+            metrics=self.metrics,
         )
+        repairer = None
+        if res is not None:
+            repairer = Repairer(
+                vstore,
+                data_replicas=self.config.data_replicas,
+                period_s=res.repair_period_s,
+                caller=caller,
+                metrics=self.metrics,
+            )
         watcher = FileSystemWatcher(vstore.mandatory, vstore.voluntary)
 
         def sampler(
@@ -346,6 +397,9 @@ class Cloud4Home:
             cloud=cloud,
             vstore=vstore,
             client=client,
+            breakers=breakers,
+            caller=caller,
+            repairer=repairer,
         )
 
     # -- observability ----------------------------------------------------------
@@ -379,6 +433,8 @@ class Cloud4Home:
             self.run(device.monitor.publish_once())
             if monitors:
                 device.monitor.start(publish_immediately=False)
+                if device.repairer is not None:
+                    device.repairer.start()
         self._started = True
 
     def device(self, name: str) -> Device:

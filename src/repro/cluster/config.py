@@ -12,7 +12,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["WanConfig", "LanConfig", "DeviceConfig", "ClusterConfig"]
+__all__ = [
+    "WanConfig",
+    "LanConfig",
+    "DeviceConfig",
+    "ResilienceConfig",
+    "ClusterConfig",
+]
 
 MB = 1024 * 1024
 
@@ -89,6 +95,37 @@ def default_devices() -> list[DeviceConfig]:
 
 
 @dataclass
+class ResilienceConfig:
+    """Tuning for the resilience layer.
+
+    Only read when ``ClusterConfig.resilience`` is on; the defaults are
+    sized for the paper's testbed (5 s monitor period, 600 s worst-case
+    fetch timeout).
+    """
+
+    #: Retry policy around every peer RPC.
+    max_attempts: int = 4
+    base_delay_s: float = 0.05
+    multiplier: float = 2.0
+    max_delay_s: float = 2.0
+    jitter: float = 0.5
+    #: Per-operation deadline budget (attempts + backoffs).  Must exceed
+    #: the longest single-RPC timeout on the data path — fetches allow
+    #: 600 s — or legitimate large transfers would be cut short.
+    deadline_s: float = 900.0
+    #: Circuit breaker: consecutive failures before opening, and how
+    #: long an open breaker refuses calls before half-opening.
+    failure_threshold: int = 3
+    breaker_cooldown_s: float = 15.0
+    #: Period of each node's background payload-repair sweep.
+    repair_period_s: float = 30.0
+    #: Decision-engine freshness TTL: candidates whose published
+    #: snapshot is older than this are treated as dead.  Six monitor
+    #: periods of slack by default.
+    freshness_ttl_s: float = 30.0
+
+
+@dataclass
 class ClusterConfig:
     """Everything needed to build a Cloud4Home deployment."""
 
@@ -127,3 +164,14 @@ class ClusterConfig:
     #: so the flag defaults to off and has its own golden tests; the
     #: ranking produced is identical in both modes.
     parallel_decision: bool = False
+    #: Resilience layer (repro.resilience): retries with deadlines and
+    #: circuit breakers on every peer RPC, k-way payload replication at
+    #: store time with fetch failover, health-aware decision filtering,
+    #: and a background payload repairer per node.  Off by default:
+    #: with it off no retry/breaker/replication code runs and simulated
+    #: results are byte-identical to a build without the subsystem.
+    resilience: bool = False
+    #: Extra payload copies per object when ``resilience`` is on.
+    data_replicas: int = 2
+    #: Tuning knobs for the resilience layer.
+    resilience_tuning: ResilienceConfig = field(default_factory=ResilienceConfig)

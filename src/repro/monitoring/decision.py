@@ -78,6 +78,8 @@ class DecisionEngine:
         store: DhtKeyValueStore,
         include_self: bool = True,
         parallel: bool = False,
+        freshness_ttl_s: Optional[float] = None,
+        breakers=None,
     ) -> None:
         self.chimera = chimera
         self.store = store
@@ -86,7 +88,18 @@ class DecisionEngine:
         #: concurrently (max-of-k latency) instead of one after another
         #: (sum-of-k).
         self.parallel = parallel
+        #: Health filter (resilience layer): drop candidates whose
+        #: published snapshot is older than this — a node that stopped
+        #: publishing is likely dead, and its stale snapshot would keep
+        #: attracting placements.  None disables the filter.
+        self.freshness_ttl_s = freshness_ttl_s
+        #: Optional :class:`repro.resilience.BreakerRegistry`: drop
+        #: candidates whose circuit is currently open.
+        self.breakers = breakers
         self.decisions_made = 0
+        #: Candidates dropped by the health filters, for diagnostics.
+        self.filtered_stale = 0
+        self.filtered_open = 0
 
     @property
     def sim(self):
@@ -136,6 +149,8 @@ class DecisionEngine:
         for name, snapshot in zip(names, snapshots):
             if snapshot is None:
                 continue
+            if not self._healthy(name, snapshot):
+                continue
             if require is not None and not require(snapshot):
                 continue
             candidates.append(Candidate(name, snapshot))
@@ -146,6 +161,25 @@ class DecisionEngine:
         if count is not None:
             return candidates[:count]
         return candidates
+
+    def _healthy(self, name: str, snapshot: ResourceSnapshot) -> bool:
+        """Health-aware filtering: stale publishers and open breakers.
+
+        Our own snapshot is never stale — we just took it or could; and
+        there is no breaker on ourselves.
+        """
+        if name == self.chimera.name:
+            return True
+        if (
+            self.freshness_ttl_s is not None
+            and self.sim.now - snapshot.taken_at > self.freshness_ttl_s
+        ):
+            self.filtered_stale += 1
+            return False
+        if self.breakers is not None and self.breakers.is_open(name, self.sim.now):
+            self.filtered_open += 1
+            return False
+        return True
 
     def _fetch_snapshot(self, name: str, ctx=None):
         """Process: one candidate's published snapshot, or None.

@@ -138,6 +138,18 @@ class Network:
         self.coalesce_delivery = coalesce_delivery
         #: Delivered control messages, for diagnostics/tests.
         self.messages_delivered = 0
+        #: Active network partitions: pairs of host-name sets that
+        #: cannot reach each other (chaos injection).
+        self._partitions: list[tuple[frozenset, frozenset]] = []
+        #: Probability that a control message is silently lost in
+        #: flight (chaos injection).  Loss draws come from a dedicated
+        #: RNG fork so toggling loss never perturbs the latency-jitter
+        #: stream — a loss-free run is bit-identical with the feature
+        #: compiled in or out.
+        self.loss_rate = 0.0
+        self._loss_rng = self.rng.fork("loss")
+        #: Messages dropped by loss injection, for diagnostics.
+        self.messages_lost = 0
 
     # -- construction ------------------------------------------------------
 
@@ -178,6 +190,33 @@ class Network:
             return group
         raise NoRouteError(src, dst)
 
+    # -- partitions (chaos) ------------------------------------------------
+
+    def partition(self, side_a, side_b) -> None:
+        """Split the fabric: hosts in ``side_a`` and ``side_b`` can no
+        longer exchange messages or transfers (in either direction).
+        Connectivity within each side is untouched."""
+        self._partitions.append((frozenset(side_a), frozenset(side_b)))
+
+    def heal_partition(self, side_a=None, side_b=None) -> None:
+        """Remove one partition (both orientations), or every partition
+        when called with no arguments."""
+        if side_a is None and side_b is None:
+            self._partitions.clear()
+            return
+        pair = (frozenset(side_a or ()), frozenset(side_b or ()))
+        flipped = (pair[1], pair[0])
+        self._partitions = [
+            p for p in self._partitions if p != pair and p != flipped
+        ]
+
+    def partitioned(self, src: str, dst: str) -> bool:
+        """Does an active partition separate these two hosts?"""
+        for a, b in self._partitions:
+            if (src in a and dst in b) or (src in b and dst in a):
+                return True
+        return False
+
     # -- control plane ---------------------------------------------------
 
     def send(self, src: str, dst: str, payload: Any, size: int = 64) -> Event:
@@ -195,6 +234,17 @@ class Network:
             raise HostDownError(src)
         if not dst_host.online:
             raise HostDownError(dst)
+        if self.partitioned(src, dst):
+            # Same failure mode as a dead host: the connection attempt
+            # is refused at once, which is what lets callers (and the
+            # overlay) react instead of hanging.
+            raise HostDownError(dst)
+        if self.loss_rate > 0 and self._loss_rng.random() < self.loss_rate:
+            # Silent in-flight loss: the returned event never fires, so
+            # a waiting RPC caller surfaces this as a timeout — unlike
+            # a partition, the sender cannot tell loss from slowness.
+            self.messages_lost += 1
+            return self.sim.event()
         route = self.route(src, dst)
         delay = route.sample_latency(self.rng) + size / _CONTROL_BYTES_PER_SEC
         message = Message(src, dst, payload, size, sent_at=self.sim.now)
@@ -246,6 +296,8 @@ class Network:
         if not src_host.online:
             raise HostDownError(src)
         if not dst_host.online:
+            raise HostDownError(dst)
+        if self.partitioned(src, dst):
             raise HostDownError(dst)
         route = self.route(src, dst)
         latency = route.sample_latency(self.rng)

@@ -1,0 +1,46 @@
+"""Exception types for the resilience layer.
+
+Both errors deliberately subclass the network-substrate exceptions that
+existing call sites already handle: a peer behind an open circuit
+breaker *is* unreachable as far as the caller is concerned
+(:class:`HostDownError`), and an exhausted retry deadline *is* a
+timeout (:class:`RpcTimeoutError`).  Code written before the resilience
+layer existed — ``except (HostDownError, RpcTimeoutError,
+RemoteError)`` — therefore keeps working unchanged when the layer is
+switched on.
+"""
+
+from __future__ import annotations
+
+from repro.net import HostDownError, RpcTimeoutError
+
+__all__ = ["CircuitOpenError", "DeadlineExceededError"]
+
+
+class CircuitOpenError(HostDownError):
+    """The local circuit breaker refuses calls to this peer.
+
+    Raised *without* touching the network: the peer failed repeatedly
+    in the recent past and its breaker has not cooled down yet.
+    """
+
+    def __init__(self, peer: str, retry_at: float) -> None:
+        # HostDownError.__init__ sets .host and a generic message;
+        # override the message with the breaker-specific one.
+        super().__init__(peer)
+        self.args = (
+            f"circuit for peer {peer!r} is open (half-opens at "
+            f"t={retry_at:g})",
+        )
+        self.retry_at = retry_at
+
+
+class DeadlineExceededError(RpcTimeoutError):
+    """The operation's total retry/deadline budget ran out."""
+
+    def __init__(self, dst: str, msg_type: str, deadline_s: float) -> None:
+        super().__init__(dst, msg_type, deadline_s)
+        self.args = (
+            f"rpc {msg_type!r} to {dst!r} exhausted its {deadline_s:g}s "
+            "deadline budget (including retries)",
+        )

@@ -54,6 +54,11 @@ MSG_FETCH = "vstore.fetch"
 MSG_PROCESS_REMOTE = "vstore.process-remote"
 MSG_PROCESS_PIPELINE = "vstore.process-pipeline"
 MSG_DELETE = "vstore.delete"
+#: Liveness/holdership probe (resilience layer; reply says whether the
+#: payload is physically here).
+MSG_PING = "vstore.ping"
+#: Command a holder to push payload copies to the listed targets.
+MSG_REPLICATE = "vstore.replicate"
 
 
 def object_key(name: str) -> str:
@@ -123,6 +128,9 @@ class VStoreNode:
         snapshot_fn: Optional[Callable[[], ResourceSnapshot]] = None,
         op_overhead_s: float = 0.002,
         disk_mb_s: float = 80.0,
+        caller=None,
+        data_replicas: int = 0,
+        metrics=None,
     ) -> None:
         self.chimera = chimera
         self.kv = kv
@@ -140,6 +148,15 @@ class VStoreNode:
         self.snapshot_fn = snapshot_fn
         self.op_overhead_s = op_overhead_s
         self.disk_mb_s = disk_mb_s
+        #: Optional :class:`repro.resilience.ResilientCaller`; when set,
+        #: peer RPCs gain retries, deadlines, and circuit breaking.
+        self.caller = caller
+        if data_replicas < 0:
+            raise ValueError("data_replicas must be >= 0")
+        #: Extra payload copies placed at store time (0 = single-homed,
+        #: the pre-resilience behaviour).
+        self.data_replicas = data_replicas
+        self.metrics = metrics
         #: Objects created but not yet stored (CreateObject staging).
         self.staged: dict[str, ObjectMeta] = {}
         self._register_handlers()
@@ -168,6 +185,26 @@ class VStoreNode:
         if tel is None:
             return None, None
         return tel, tel.begin(name, layer="vstore", node=self.name, parent=ctx, **attrs)
+
+    def _count(self, metric: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(metric, node=self.name).inc()
+
+    def _call(self, dst: str, msg_type: str, body, timeout: float, size: int = 64):
+        """Process: one peer RPC, through the resilient caller when set.
+
+        Without a caller this is exactly ``endpoint.call`` — same event,
+        same timing — so resilience-off runs are unchanged.
+        """
+        if self.caller is not None:
+            return (
+                yield from self.caller.call(
+                    dst, msg_type, body, timeout=timeout, size=size
+                )
+            )
+        return (
+            yield self.endpoint.call(dst, msg_type, body, timeout=timeout, size=size)
+        )
 
     # -- object lifecycle -----------------------------------------------------
 
@@ -254,6 +291,8 @@ class VStoreNode:
         tel, span = self._span("vstore.place", ctx, object=meta.name)
         t0 = self.sim.now
         placement = yield from self._place(meta, ctx=span)
+        if self.data_replicas > 0:
+            yield from self._replicate_payload(meta, ctx=span)
         placement_s = self.sim.now - t0
         if span is not None:
             tel.end(span, target=placement.target.name)
@@ -261,6 +300,63 @@ class VStoreNode:
         yield from self.kv.put(object_key(meta.name), meta.wire(), ctx=ctx)
         metadata_s = self.sim.now - t1
         return placement, placement_s, metadata_s
+
+    def _replicate_payload(self, meta: ObjectMeta, ctx=None):
+        """Process: place ``data_replicas`` extra payload copies.
+
+        Copies land in peers' voluntary bins, chosen by the decision
+        engine; when fewer than the requested count fit in the home
+        cloud, one cloud spill copy backstops durability instead.
+        """
+        if meta.is_remote:
+            return  # the cloud already is the redundancy
+        tel, span = self._span(
+            "vstore.replicate", ctx, object=meta.name, want=self.data_replicas
+        )
+        exclude = {meta.location}
+        try:
+            candidates = yield from self.decision.decide(
+                DecisionPolicy.BALANCED,
+                require=lambda s: s.voluntary_free_mb >= meta.size_mb,
+                ctx=span,
+            )
+        except (HostDownError, RpcTimeoutError, RemoteError):
+            candidates = []
+        for candidate in candidates:
+            if len(meta.replicas) >= self.data_replicas:
+                break
+            node = candidate.node
+            if node in exclude or node in meta.replicas:
+                continue
+            if node == self.name:
+                if meta.name not in self.voluntary and self.voluntary.fits(
+                    meta.size_mb
+                ):
+                    self.voluntary.store(meta.name, meta.size_mb)
+                    meta.replicas.append(node)
+                continue
+            # The storing node still has the bytes in its control
+            # domain, so it streams every copy itself.
+            body = {"name": meta.name, "size_mb": meta.size_mb, "src": self.name}
+            if span is not None:
+                body["span"] = span.ctx_wire()
+            try:
+                yield from self._call(
+                    node, MSG_STORE_VOLUNTARY, body, timeout=120.0
+                )
+            except (HostDownError, RpcTimeoutError, RemoteError):
+                continue
+            meta.replicas.append(node)
+        if len(meta.replicas) < self.data_replicas:
+            self._count("vstore.replicate.short")
+            if self.cloud is not None and meta.url is None:
+                # Cloud spill: one durable copy stands in for the home
+                # replicas we could not place.
+                meta.url = yield from self.cloud.store_remote(
+                    meta.name, meta.size_bytes, ctx=span
+                )
+        if span is not None:
+            tel.end(span, placed=len(meta.replicas), spilled=meta.url is not None)
 
     def _place(self, meta: ObjectMeta, ctx=None):
         """Execute the policy decision, with the paper's fallbacks."""
@@ -365,7 +461,8 @@ class VStoreNode:
             # Local disk read.
             yield self.sim.timeout(meta.size_mb / self.disk_mb_s)
             served_from = "local"
-        else:
+        elif self.caller is None and not meta.replicas:
+            # Single-homed, resilience off: the original one-shot path.
             t0 = self.sim.now
             body = {"name": name, "to": self.name}
             if span is not None:
@@ -378,6 +475,10 @@ class VStoreNode:
             )
             inter_node_s = self.sim.now - t0
             served_from = meta.location
+        else:
+            served_from, inter_node_s, remote_s = yield from (
+                self._fetch_with_failover(meta, span)
+            )
 
         inter_domain_s = 0.0
         if to_guest and self.xensocket is not None:
@@ -396,6 +497,47 @@ class VStoreNode:
             remote_cloud_s=remote_s,
             served_from=served_from,
         )
+
+    def _fetch_with_failover(self, meta: ObjectMeta, span):
+        """Process: pull the payload from the first source that answers.
+
+        Tries the primary holder, then each payload replica, then the
+        remote-cloud copy when one exists.  Returns ``(served_from,
+        inter_node_s, remote_cloud_s)``; failed attempts stay inside
+        ``inter_node_s`` so the Table I breakdown still sums to total.
+        """
+        t_start = self.sim.now
+        sources = [meta.location]
+        sources.extend(r for r in meta.replicas if r not in sources)
+        last_exc = None
+        for src in sources:
+            if src == self.name:
+                if not self.holds(meta.name):
+                    continue
+                yield self.sim.timeout(meta.size_mb / self.disk_mb_s)
+                if src != meta.location:
+                    self._count("vstore.fetch.served_replica")
+                return src, self.sim.now - t_start, 0.0
+            body = {"name": meta.name, "to": self.name}
+            if span is not None:
+                body["span"] = span.ctx_wire()
+            try:
+                yield from self._call(src, MSG_FETCH, body, timeout=600.0)
+            except (HostDownError, RpcTimeoutError, RemoteError) as exc:
+                last_exc = exc
+                self._count("vstore.fetch.failover")
+                continue
+            if src != meta.location:
+                self._count("vstore.fetch.served_replica")
+            return src, self.sim.now - t_start, 0.0
+        if meta.url is not None and self.cloud is not None:
+            t0 = self.sim.now
+            yield from self.cloud.fetch_remote(meta.name, ctx=span)
+            self._count("vstore.fetch.served_cloud")
+            return "remote-cloud", t0 - t_start, self.sim.now - t0
+        if last_exc is None:
+            raise ObjectNotFoundError(meta.name)
+        raise last_exc
 
     def delete_object(self, name: str, ctx=None):
         """Process: remove an object and its metadata everywhere."""
@@ -529,9 +671,11 @@ class VStoreNode:
                 "size_mb": meta.size_mb,
                 "reply_to": self.name if return_output else None,
             }
+            if meta.replicas:
+                body["replicas"] = list(meta.replicas)
             if span is not None:
                 body["span"] = span.ctx_wire()
-            reply = yield self.endpoint.call(
+            reply = yield from self._call(
                 target,
                 MSG_PROCESS_REMOTE,
                 body,
@@ -666,9 +810,11 @@ class VStoreNode:
                 "size_mb": meta.size_mb,
                 "reply_to": self.name if return_output else None,
             }
+            if meta.replicas:
+                body["replicas"] = list(meta.replicas)
             if span is not None:
                 body["span"] = span.ctx_wire()
-            reply = yield self.endpoint.call(
+            reply = yield from self._call(
                 target,
                 MSG_PROCESS_PIPELINE,
                 body,
@@ -914,6 +1060,9 @@ class VStoreNode:
                 raise VStoreError(f"cannot reach remote object {meta.name!r}")
             yield from self.cloud.fetch_remote(meta.name, ctx=ctx)
             return
+        if self.caller is not None or meta.replicas:
+            yield from self._fetch_with_failover(meta, ctx)
+            return
         body = {"name": meta.name, "to": self.name}
         if self.sim.telemetry is not None and ctx is not None:
             body["span"] = wire_ctx(ctx)
@@ -947,6 +1096,68 @@ class VStoreNode:
             "move_s": move_s,
         }
 
+    def _pull_argument(self, body, span):
+        """Process: bring a process argument here from its holders.
+
+        Tries the recorded owner first, then any payload replicas the
+        requester passed along (resilience on); owners in the remote
+        cloud download directly.
+        """
+        owner = body["owner"]
+        if owner == LOCATION_REMOTE:
+            if self.cloud is None:
+                raise VStoreError("no cloud interface for remote argument")
+            yield from self.cloud.fetch_remote(body["name"], ctx=span)
+            return
+        sources = [owner]
+        sources.extend(r for r in body.get("replicas", []) if r not in sources)
+        last_exc = None
+        for src in sources:
+            if src == self.name:
+                continue
+            fetch_body = {"name": body["name"], "to": self.name}
+            if span is not None:
+                fetch_body["span"] = span.ctx_wire()
+            try:
+                yield from self._call(src, MSG_FETCH, fetch_body, timeout=600.0)
+            except (HostDownError, RpcTimeoutError, RemoteError) as exc:
+                last_exc = exc
+                continue
+            return
+        if last_exc is None:
+            raise VStoreError(
+                f"no reachable source for argument {body['name']!r}"
+            )
+        raise last_exc
+
+    # -- resilience: payload replication --------------------------------------
+
+    def replicate_local(self, name: str, size_mb: float, targets: list[str], ctx=None):
+        """Process: push copies of a locally held object to ``targets``.
+
+        The payload is read from disk once, then streamed to each
+        target's voluntary bin.  Returns ``{"stored": [...]}`` naming
+        the targets that accepted a copy (the repairer's contract).
+        """
+        if not self.holds(name):
+            raise ObjectNotFoundError(name)
+        yield self.sim.timeout(size_mb / self.disk_mb_s)
+        stored = []
+        for target in targets:
+            if target == self.name:
+                continue
+            body = {"name": name, "size_mb": size_mb, "src": self.name}
+            if ctx is not None:
+                body["span"] = wire_ctx(ctx)
+            try:
+                yield from self._call(
+                    target, MSG_STORE_VOLUNTARY, body, timeout=120.0
+                )
+            except (HostDownError, RpcTimeoutError, RemoteError):
+                continue
+            stored.append(target)
+        return {"stored": stored}
+
     # -- RPC handlers ---------------------------------------------------------------
 
     def _register_handlers(self) -> None:
@@ -956,6 +1167,8 @@ class VStoreNode:
         ep.register(MSG_PROCESS_REMOTE, self._handle_process_remote)
         ep.register(MSG_PROCESS_PIPELINE, self._handle_process_pipeline)
         ep.register(MSG_DELETE, self._handle_delete)
+        ep.register(MSG_PING, self._handle_ping)
+        ep.register(MSG_REPLICATE, self._handle_replicate)
 
     def _handle_store_voluntary(self, request: Request):
         body = request.body
@@ -1010,21 +1223,7 @@ class VStoreNode:
             raise exc
         move_t0 = self.sim.now
         if not self.holds(body["name"]):
-            owner = body["owner"]
-            if owner == LOCATION_REMOTE:
-                if self.cloud is None:
-                    raise VStoreError("no cloud interface for remote argument")
-                yield from self.cloud.fetch_remote(body["name"], ctx=span)
-            else:
-                fetch_body = {"name": body["name"], "to": self.name}
-                if span is not None:
-                    fetch_body["span"] = span.ctx_wire()
-                yield self.endpoint.call(
-                    owner,
-                    MSG_FETCH,
-                    fetch_body,
-                    timeout=600.0,
-                )
+            yield from self._pull_argument(body, span)
         move_s = self.sim.now - move_t0
         exec_t0 = self.sim.now
         domain = self.guest_domain or self.dom0_domain
@@ -1063,21 +1262,7 @@ class VStoreNode:
             services.append(service)
         move_t0 = self.sim.now
         if not self.holds(body["name"]):
-            owner = body["owner"]
-            if owner == LOCATION_REMOTE:
-                if self.cloud is None:
-                    raise VStoreError("no cloud interface for remote argument")
-                yield from self.cloud.fetch_remote(body["name"], ctx=span)
-            else:
-                fetch_body = {"name": body["name"], "to": self.name}
-                if span is not None:
-                    fetch_body["span"] = span.ctx_wire()
-                yield self.endpoint.call(
-                    owner,
-                    MSG_FETCH,
-                    fetch_body,
-                    timeout=600.0,
-                )
+            yield from self._pull_argument(body, span)
         move_s = self.sim.now - move_t0
         exec_t0 = self.sim.now
         domain = self.guest_domain or self.dom0_domain
@@ -1104,3 +1289,28 @@ class VStoreNode:
     def _handle_delete(self, request: Request) -> dict:
         self._remove_local(request.body["name"])
         return {"deleted": True}
+
+    def _handle_ping(self, request: Request) -> dict:
+        """Cheap liveness + holdership probe (repairer's health check)."""
+        return {"alive": True, "holds": self.holds(request.body["name"])}
+
+    def _handle_replicate(self, request: Request):
+        """Serve a repairer's command to push payload copies out."""
+        body = request.body
+        tel, span = self._span(
+            "vstore.serve_replicate",
+            body.get("span"),
+            object=body["name"],
+            targets=len(body["targets"]),
+        )
+        try:
+            reply = yield from self.replicate_local(
+                body["name"], body["size_mb"], body["targets"], ctx=span
+            )
+        except ObjectNotFoundError as exc:
+            if span is not None:
+                tel.fail(span, exc)
+            raise
+        if span is not None:
+            tel.end(span, stored=len(reply["stored"]))
+        return reply

@@ -49,6 +49,9 @@ class ObjectMeta:
     created_by: str = ""
     created_at: float = 0.0
     version: int = 1
+    #: Additional home nodes holding full payload copies (resilience
+    #: layer; empty unless ``data_replicas`` placement is enabled).
+    replicas: list[str] = field(default_factory=list)
 
     VALID_ACCESS = ("private", "home", "public")
 
@@ -91,7 +94,7 @@ class ObjectMeta:
         return self.location == LOCATION_REMOTE
 
     def wire(self) -> dict:
-        return {
+        data = {
             "name": self.name,
             "size_mb": self.size_mb,
             "object_type": self.object_type,
@@ -104,6 +107,12 @@ class ObjectMeta:
             "created_at": self.created_at,
             "version": self.version,
         }
+        # Only on the wire when present: message sizes are derived from
+        # the serialized value, so an always-present empty list would
+        # change simulated timings for resilience-off deployments.
+        if self.replicas:
+            data["replicas"] = list(self.replicas)
+        return data
 
     @classmethod
     def from_wire(cls, data: dict) -> "ObjectMeta":

@@ -2,8 +2,9 @@
 
 import pytest
 
-from repro.cluster import ChaosSchedule, Cloud4Home, ClusterConfig
-from repro.net import Link
+from repro.cluster import ChaosSchedule, Cloud4Home, ClusterConfig, DeviceConfig
+from repro.cluster.chaos import RandomChaos
+from repro.net import HostDownError, Link
 from repro.sim import Simulator
 
 
@@ -144,6 +145,158 @@ class TestChaosSchedule:
         chaos.start()
         c4h.sim.run(until=c4h.sim.now + 5.0)
         assert len(chaos.events) == 1
+
+    def test_overlapping_degrades_restore_exact_baseline(self):
+        """Regression: two overlapping degrades used to restore against
+        each other's degraded bandwidth instead of the healthy one."""
+        c4h = fresh_cluster(720)
+        link = c4h.lan_link
+        original = link.bandwidth
+        chaos = (
+            ChaosSchedule(c4h)
+            .degrade_link(after=1.0, link=link, factor=0.5, duration=10.0)
+            .degrade_link(after=2.0, link=link, factor=0.25, duration=4.0)
+        )
+        t0 = c4h.sim.now
+        chaos.start()
+        c4h.sim.run(until=t0 + 3.0)
+        # Overlapping degrades compound multiplicatively.
+        assert link.bandwidth == pytest.approx(original * 0.5 * 0.25)
+        c4h.sim.run(until=t0 + 8.0)  # inner degrade expired
+        assert link.bandwidth == pytest.approx(original * 0.5)
+        c4h.sim.run(until=t0 + 12.0)  # outer degrade expired
+        assert link.bandwidth == original  # exact — not approx
+
+    def test_revive_without_bootstrap_names_the_problem(self):
+        """Regression: with no joined device left, revive used to hit a
+        bare next() -> StopIteration -> opaque PEP 479 RuntimeError."""
+        config = ClusterConfig(
+            devices=[DeviceConfig(name="a"), DeviceConfig(name="b")], seed=730
+        )
+        c4h = Cloud4Home(config)
+        c4h.start(monitors=False)
+        for device in c4h.devices:
+            device.monitor.stop()
+            device.chimera.fail_abruptly()
+            c4h.network.take_offline(device.name)
+        chaos = ChaosSchedule(c4h)
+        gen = chaos._do_revive("b", None)
+        with pytest.raises(ValueError, match="no joined device"):
+            next(gen)
+
+    def test_leave_rehomes_owned_records(self):
+        c4h = fresh_cluster(721)
+        writer = c4h.devices[0]
+        for i in range(12):
+            c4h.run(writer.kv.put(f"leave-k{i}", i))
+        leaver = c4h.device("netbook3")
+        owned = [
+            r.name
+            for r in leaver.kv.primary.values()
+            if r.name.startswith("leave-k")
+        ]
+        chaos = ChaosSchedule(c4h).leave(after=1.0, device_name="netbook3")
+        chaos.start()
+        c4h.sim.run(until=c4h.sim.now + 10.0)
+        rehomed = {
+            r.name
+            for d in c4h.devices
+            if d.name != "netbook3"
+            for r in d.kv.primary.values()
+        }
+        assert all(name in rehomed for name in owned)
+        for i in range(12):
+            assert c4h.run(c4h.devices[1].kv.get(f"leave-k{i}")) == i
+
+    def test_partition_blocks_sends_then_heals(self):
+        c4h = fresh_cluster(722)
+        chaos = ChaosSchedule(c4h).partition(
+            after=1.0, side_a=["netbook0"], side_b=["netbook1"], duration=8.0
+        )
+        t0 = c4h.sim.now
+        chaos.start()
+        c4h.sim.run(until=t0 + 2.0)
+        assert c4h.network.partitioned("netbook0", "netbook1")
+        assert not c4h.network.partitioned("netbook0", "netbook2")
+        with pytest.raises(HostDownError):
+            c4h.network.send("netbook0", "netbook1", "blocked")
+        c4h.sim.run(until=t0 + 10.0)
+        assert not c4h.network.partitioned("netbook0", "netbook1")
+        c4h.network.send("netbook0", "netbook1", "flows-again")
+        assert [e.kind for e in chaos.events] == ["partition", "heal"]
+
+    def test_drop_messages_loses_and_restores(self):
+        c4h = fresh_cluster(723)
+        chaos = ChaosSchedule(c4h).drop_messages(after=1.0, rate=1.0, duration=5.0)
+        t0 = c4h.sim.now
+        chaos.start()
+        c4h.sim.run(until=t0 + 2.0)
+        assert c4h.network.loss_rate == 1.0
+        before = c4h.network.messages_lost
+        c4h.network.send("netbook0", "netbook1", "doomed")
+        assert c4h.network.messages_lost == before + 1
+        c4h.sim.run(until=t0 + 7.0)
+        assert c4h.network.loss_rate == 0.0
+        assert [e.kind for e in chaos.events] == ["loss", "loss-end"]
+
+    def test_flap_link_oscillates_and_settles(self):
+        c4h = fresh_cluster(724)
+        link = c4h.lan_link
+        original = link.bandwidth
+        chaos = ChaosSchedule(c4h).flap_link(
+            after=1.0, link=link, factor=0.5, period=2.0, count=3
+        )
+        t0 = c4h.sim.now
+        chaos.start()
+        c4h.sim.run(until=t0 + 1.5)  # inside the first degraded half
+        assert link.bandwidth == pytest.approx(original * 0.5)
+        c4h.sim.run(until=t0 + 20.0)
+        assert link.bandwidth == original
+        kinds = [e.kind for e in chaos.events]
+        assert kinds.count("degrade") == 3
+        assert kinds.count("restore") == 3
+
+    def test_random_chaos_same_seed_same_script(self):
+        def script(seed):
+            c4h = fresh_cluster(725)
+            chaos = RandomChaos(c4h, seed=seed, mean_interval_s=10.0)
+            schedule = chaos.script(200.0)
+            return [
+                (delay, action.__name__)
+                for delay, action, _args in schedule._pending
+            ]
+
+        first = script(5)
+        assert first == script(5)
+        assert first != script(6)
+        assert first  # the horizon actually produced events
+
+    def test_random_chaos_respects_protection_and_max_down(self):
+        c4h = fresh_cluster(726)
+        chaos = RandomChaos(
+            c4h,
+            seed=9,
+            mean_interval_s=5.0,
+            max_down=1,
+            protected=("netbook0",),
+        )
+        schedule = chaos.script(400.0)
+        crashes = [
+            (delay, args[0])
+            for delay, action, args in schedule._pending
+            if action.__name__ == "_do_crash"
+        ]
+        revives = [
+            (delay, args[0])
+            for delay, action, args in schedule._pending
+            if action.__name__ == "_do_revive"
+        ]
+        assert all(name != "netbook0" for _, name in crashes)
+        # Every crash is paired with a later revive of the same device.
+        assert len(crashes) == len(revives)
+        for (t_down, name), (t_up, revived) in zip(crashes, revives):
+            assert revived == name
+            assert t_up > t_down
 
     def test_workload_survives_chaos(self):
         """Store/fetch keeps working while a node crashes and the LAN

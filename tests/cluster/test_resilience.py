@@ -1,0 +1,249 @@
+"""Integration tests for the resilience layer across a deployment.
+
+Covers the store-time payload replication, fetch failover chain
+(primary -> replicas -> cloud copy), the background repairer, and the
+headline availability-under-crashes scenario from the robustness PR.
+"""
+
+from repro.cluster import (
+    ChaosSchedule,
+    Cloud4Home,
+    ClusterConfig,
+    DeviceConfig,
+    ResilienceConfig,
+)
+from repro.vstore.node import object_key
+from repro.vstore.objects import ObjectMeta
+
+
+def resilient_config(seed, nodes=8, **overrides):
+    defaults = dict(
+        devices=[DeviceConfig(name=f"node{i}") for i in range(nodes)],
+        seed=seed,
+        resilience=True,
+        data_replicas=2,
+        # Metadata on 3 KV copies so any 2 crashes leave the record
+        # reachable; payload availability is what's under test here.
+        replication_factor=3,
+        resilience_tuning=ResilienceConfig(repair_period_s=1000.0),
+    )
+    defaults.update(overrides)
+    return ClusterConfig(**defaults)
+
+
+def get_meta(c4h, device, name):
+    value = c4h.run(device.kv.get(object_key(name)))
+    return ObjectMeta.from_wire(dict(value))
+
+
+class TestReplicatedStore:
+    def test_store_places_payload_replicas(self):
+        c4h = Cloud4Home(resilient_config(801))
+        c4h.start()
+        writer = c4h.devices[0]
+        c4h.run(writer.client.store_file("obj.bin", 2.0))
+        meta = get_meta(c4h, writer, "obj.bin")
+        assert meta.location == "node0"
+        assert len(meta.replicas) == 2
+        for replica in meta.replicas:
+            assert replica != "node0"
+            assert c4h.device(replica).vstore.holds("obj.bin")
+
+    def test_resilience_off_places_no_replicas(self):
+        c4h = Cloud4Home(resilient_config(802, resilience=False))
+        c4h.start()
+        writer = c4h.devices[0]
+        c4h.run(writer.client.store_file("obj.bin", 2.0))
+        meta = get_meta(c4h, writer, "obj.bin")
+        assert meta.replicas == []
+        holders = [d for d in c4h.devices if d.vstore.holds("obj.bin")]
+        assert [d.name for d in holders] == ["node0"]
+
+    def test_replica_shortfall_spills_one_copy_to_cloud(self):
+        # No peer has voluntary room for the object, so replication
+        # falls short and a single durable cloud copy backstops it.
+        c4h = Cloud4Home(resilient_config(803, nodes=4))
+        for device in c4h.devices:
+            device.vstore.voluntary.capacity_mb = 0.5
+        c4h.start()
+        writer = c4h.device("node1")
+        c4h.run(writer.client.store_file("spill.bin", 1.0))
+        meta = get_meta(c4h, writer, "spill.bin")
+        assert meta.replicas == []
+        assert meta.url is not None
+        assert c4h.metrics.counter("vstore.replicate.short", node="node1").value >= 1
+
+
+class TestFetchFailover:
+    def test_fetch_fails_over_to_replica_after_crash(self):
+        c4h = Cloud4Home(resilient_config(804))
+        c4h.start()
+        writer = c4h.device("node1")
+        c4h.run(writer.client.store_file("x.bin", 1.0))
+        meta = get_meta(c4h, writer, "x.bin")
+        assert len(meta.replicas) == 2
+        ChaosSchedule(c4h).crash(after=0.5, device_name="node1").start()
+        c4h.sim.run(until=c4h.sim.now + 1.0)
+        fetch = c4h.run(c4h.device("node0").client.fetch_object("x.bin"))
+        assert fetch.served_from in meta.replicas
+
+    def test_fetch_falls_back_to_cloud_copy(self):
+        c4h = Cloud4Home(resilient_config(805, nodes=4))
+        for device in c4h.devices:
+            device.vstore.voluntary.capacity_mb = 0.5
+        c4h.start()
+        writer = c4h.device("node1")
+        c4h.run(writer.client.store_file("c.bin", 1.0))
+        assert get_meta(c4h, writer, "c.bin").url is not None
+        ChaosSchedule(c4h).crash(after=0.5, device_name="node1").start()
+        c4h.sim.run(until=c4h.sim.now + 1.0)
+        fetch = c4h.run(c4h.device("node0").client.fetch_object("c.bin"))
+        assert fetch.served_from == "remote-cloud"
+        assert fetch.remote_cloud_s > 0
+
+
+class TestRepairer:
+    def test_repairer_restores_replication_after_crash(self):
+        c4h = Cloud4Home(
+            resilient_config(
+                806,
+                resilience_tuning=ResilienceConfig(repair_period_s=10.0),
+            )
+        )
+        c4h.start()
+        writer = c4h.device("node0")
+        names = [f"r{i}.bin" for i in range(6)]
+        for name in names:
+            c4h.run(writer.client.store_file(name, 1.0))
+        # Crash one replica holder so at least one object drops below
+        # full redundancy.
+        victim = get_meta(c4h, writer, names[0]).replicas[0]
+        ChaosSchedule(c4h).crash(after=0.5, device_name=victim).start()
+        c4h.sim.run(until=c4h.sim.now + 60.0)  # several repair periods
+        live = {d.name for d in c4h.devices if d.name != victim}
+        repairs = [
+            action
+            for d in c4h.devices
+            if d.name != victim
+            for action in d.repairer.repairs
+        ]
+        assert repairs, "no repair action was logged"
+        assert any(a.action == "replicate" for a in repairs)
+        for name in names:
+            meta = get_meta(c4h, c4h.device("node0"), name)
+            assert meta.location in live
+            assert len(meta.replicas) == 2
+            assert all(r in live for r in meta.replicas)
+            for replica in meta.replicas:
+                assert c4h.device(replica).vstore.holds(name)
+
+
+class TestAvailabilityUnderChaos:
+    def test_fifty_objects_survive_two_crashed_holders(self):
+        """The PR's acceptance scenario: 8 nodes, 50 objects with two
+        payload replicas each, two holder nodes crash mid-workload —
+        every fetch still succeeds, and the repairer brings every
+        object back to full replication within the run."""
+        c4h = Cloud4Home(
+            resilient_config(
+                807,
+                resilience_tuning=ResilienceConfig(repair_period_s=15.0),
+            )
+        )
+        c4h.start()
+        victims = {"node1", "node2"}
+        names = []
+        for i in range(25):
+            writer = c4h.devices[i % len(c4h.devices)]
+            name = f"churn-{i:02d}.bin"
+            c4h.run(writer.client.store_file(name, 1.0))
+            names.append(name)
+        chaos = (
+            ChaosSchedule(c4h)
+            .crash(after=0.5, device_name="node1")
+            .crash(after=1.0, device_name="node2")
+        )
+        chaos.start()
+        c4h.sim.run(until=c4h.sim.now + 2.0)
+        survivors = [d for d in c4h.devices if d.name not in victims]
+        for i in range(25, 50):
+            writer = survivors[i % len(survivors)]
+            name = f"churn-{i:02d}.bin"
+            c4h.run(writer.client.store_file(name, 1.0))
+            names.append(name)
+
+        # Availability: every object fetches despite two dead holders.
+        fetcher = c4h.device("node0")
+        results = [c4h.run(fetcher.client.fetch_object(n)) for n in names]
+        assert len(results) == 50
+        assert all(r.served_from for r in results)
+        assert not any(r.served_from in victims for r in results)
+
+        # Durability: the repairer converges back to full replication.
+        c4h.sim.run(until=c4h.sim.now + 120.0)
+        live = {d.name for d in survivors}
+        repairs = [a for d in survivors for a in d.repairer.repairs]
+        assert repairs, "repair log is empty after the crash schedule"
+        for name in names:
+            meta = get_meta(c4h, fetcher, name)
+            assert not meta.is_remote
+            assert meta.location in live
+            assert all(r in live for r in meta.replicas)
+            assert len(meta.replicas) == 2
+
+
+class TestDeterminism:
+    def test_resilient_run_is_bit_for_bit_repeatable(self):
+        """Retry backoffs, failovers, and repairs all draw from seeded
+        streams: two identical runs agree on every simulated latency."""
+
+        def one_run():
+            c4h = Cloud4Home(
+                resilient_config(
+                    808,
+                    nodes=4,
+                    resilience_tuning=ResilienceConfig(repair_period_s=20.0),
+                )
+            )
+            c4h.start()
+            names = [f"d{i}.bin" for i in range(8)]
+            for i, name in enumerate(names):
+                writer = c4h.devices[i % 4]
+                c4h.run(writer.client.store_file(name, 1.0))
+            ChaosSchedule(c4h).crash(after=0.5, device_name="node1").start()
+            c4h.sim.run(until=c4h.sim.now + 1.0)
+            fetcher = c4h.device("node0")
+            latencies = [
+                c4h.run(fetcher.client.fetch_object(name)).total_s
+                for name in names
+            ]
+            c4h.sim.run(until=c4h.sim.now + 60.0)
+            repairs = [
+                (a.at, a.object, a.action, tuple(a.nodes))
+                for d in c4h.devices
+                if d.repairer is not None
+                for a in d.repairer.repairs
+            ]
+            return latencies, repairs, c4h.sim.now
+
+        assert one_run() == one_run()
+
+
+class TestHealthAwareDecisions:
+    def test_stale_snapshots_are_filtered(self):
+        c4h = Cloud4Home(
+            resilient_config(
+                809,
+                nodes=4,
+                resilience_tuning=ResilienceConfig(freshness_ttl_s=30.0),
+            )
+        )
+        c4h.start(monitors=False)  # snapshots published once, then age out
+        decider = c4h.devices[0].decision
+        c4h.sim.run(until=c4h.sim.now + 100.0)
+        from repro.monitoring import DecisionPolicy
+
+        ranked = c4h.run(decider.decide(DecisionPolicy.BALANCED))
+        # Only the decider itself survives the freshness filter.
+        assert [s.node for s in ranked] == ["node0"]
+        assert decider.filtered_stale > 0

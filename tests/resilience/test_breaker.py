@@ -1,0 +1,100 @@
+"""Unit tests for the per-peer circuit breaker state machine."""
+
+import pytest
+
+from repro.net import HostDownError
+from repro.resilience import BreakerRegistry, CircuitBreaker, CircuitOpenError
+from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_allows(self):
+        b = CircuitBreaker("peer")
+        assert b.state == CLOSED
+        assert b.allow(0.0)
+        assert not b.is_open(0.0)
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        b = CircuitBreaker("peer", failure_threshold=3)
+        assert not b.record_failure(1.0)
+        assert not b.record_failure(2.0)
+        assert b.record_failure(3.0)  # third failure trips
+        assert b.state == OPEN
+        assert b.is_open(3.0)
+        assert not b.allow(4.0)
+
+    def test_success_resets_the_failure_count(self):
+        b = CircuitBreaker("peer", failure_threshold=3)
+        b.record_failure(1.0)
+        b.record_failure(2.0)
+        b.record_success()
+        b.record_failure(3.0)
+        b.record_failure(4.0)
+        assert b.state == CLOSED  # only 2 consecutive since the success
+
+    def test_half_opens_after_cooldown(self):
+        b = CircuitBreaker("peer", failure_threshold=1, cooldown_s=10.0)
+        b.record_failure(5.0)
+        assert not b.allow(14.0)  # still cooling down
+        assert b.allow(15.0)  # cooldown elapsed: probe admitted
+        assert b.state == HALF_OPEN
+
+    def test_half_open_success_closes(self):
+        b = CircuitBreaker("peer", failure_threshold=1, cooldown_s=10.0)
+        b.record_failure(0.0)
+        b.allow(10.0)
+        assert b.record_success()
+        assert b.state == CLOSED
+
+    def test_half_open_failure_reopens_and_restarts_cooldown(self):
+        b = CircuitBreaker("peer", failure_threshold=1, cooldown_s=10.0)
+        b.record_failure(0.0)
+        b.allow(10.0)
+        assert b.record_failure(10.0)  # probe failed: re-open
+        assert b.state == OPEN
+        assert not b.allow(19.0)  # cooldown restarted at t=10
+        assert b.allow(20.0)
+
+    def test_is_open_is_read_only(self):
+        b = CircuitBreaker("peer", failure_threshold=1, cooldown_s=10.0)
+        b.record_failure(0.0)
+        assert not b.is_open(11.0)  # cooldown elapsed -> would admit
+        assert b.state == OPEN  # ...but no transition happened
+
+
+class TestBreakerRegistry:
+    def test_check_raises_circuit_open_as_host_down(self):
+        reg = BreakerRegistry(failure_threshold=1, cooldown_s=10.0)
+        reg.record_failure("peer", 0.0)
+        with pytest.raises(CircuitOpenError) as exc_info:
+            reg.check("peer", 1.0)
+        # The subclassing contract existing call sites rely on.
+        assert isinstance(exc_info.value, HostDownError)
+        assert exc_info.value.retry_at == pytest.approx(10.0)
+        assert reg.short_circuits == 1
+
+    def test_transitions_are_logged_in_order(self):
+        reg = BreakerRegistry(failure_threshold=1, cooldown_s=10.0)
+        reg.record_failure("peer", 0.0)
+        assert reg.allow("peer", 10.0)  # half-opens
+        reg.record_success("peer", 10.5)
+        states = [(t.old, t.new) for t in reg.transitions]
+        assert states == [
+            ("closed", "open"),
+            ("open", "half-open"),
+            ("half-open", "closed"),
+        ]
+
+    def test_open_peers_lists_only_cooling_breakers(self):
+        reg = BreakerRegistry(failure_threshold=1, cooldown_s=10.0)
+        reg.record_failure("a", 0.0)
+        reg.record_failure("b", 5.0)
+        reg.record_success("b", 6.0)
+        assert reg.open_peers(1.0) == ["a"]
+        assert reg.open_peers(11.0) == []  # cooldown over
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BreakerRegistry(failure_threshold=0)
+        with pytest.raises(ValueError):
+            BreakerRegistry(cooldown_s=0.0)

@@ -1,0 +1,193 @@
+"""Unit tests for RetryPolicy and ResilientCaller."""
+
+import pytest
+
+from repro.net import (
+    HostDownError,
+    Link,
+    Network,
+    RemoteError,
+    Route,
+    RpcEndpoint,
+    RpcTimeoutError,
+)
+from repro.resilience import (
+    BreakerRegistry,
+    CircuitOpenError,
+    DeadlineExceededError,
+    ResilientCaller,
+    RetryPolicy,
+)
+from repro.sim import RandomSource, Simulator
+
+
+def build_pair(latency=0.001):
+    sim = Simulator()
+    net = Network(sim, RandomSource(3))
+    a = net.add_host("a", group="home")
+    b = net.add_host("b", group="home")
+    link = Link(sim, bandwidth=10e6, name="lan")
+    net.connect_groups("home", "home", Route(link, base_latency=latency))
+    ep_a = RpcEndpoint(net, a)
+    ep_b = RpcEndpoint(net, b)
+    ep_a.start()
+    ep_b.start()
+    return sim, net, ep_a, ep_b
+
+
+def run_call(sim, caller, *args, **kwargs):
+    proc = sim.process(caller.call(*args, **kwargs))
+    return sim.run(until=proc)
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(
+            base_delay_s=0.1, multiplier=2.0, max_delay_s=0.5, jitter=0.0
+        )
+        assert policy.backoff_s(1) == pytest.approx(0.1)
+        assert policy.backoff_s(2) == pytest.approx(0.2)
+        assert policy.backoff_s(3) == pytest.approx(0.4)
+        assert policy.backoff_s(4) == pytest.approx(0.5)  # capped
+        assert policy.backoff_s(10) == pytest.approx(0.5)
+
+    def test_jitter_is_deterministic_per_seed(self):
+        policy = RetryPolicy(jitter=0.5)
+        seq1 = [policy.backoff_s(i, RandomSource(7)) for i in range(1, 5)]
+        seq2 = [policy.backoff_s(i, RandomSource(7)) for i in range(1, 5)]
+        assert seq1 == seq2
+        # Jitter stays within +/- 25% of the nominal delay.
+        nominal = [policy.backoff_s(i) for i in range(1, 5)]
+        for got, base in zip(seq1, nominal):
+            assert 0.75 * base <= got <= 1.25 * base
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=1.0, max_delay_s=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=2.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(deadline_s=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff_s(0)
+
+
+class TestResilientCaller:
+    def test_plain_success_is_one_attempt(self):
+        sim, _, ep_a, ep_b = build_pair()
+        ep_b.register("ping", lambda req: "pong")
+        caller = ResilientCaller(ep_a)
+        assert run_call(sim, caller, "b", "ping") == "pong"
+        assert caller.attempts == 1
+        assert caller.retries == 0
+
+    def test_retries_until_host_comes_back(self):
+        sim, net, ep_a, ep_b = build_pair()
+        ep_b.register("ping", lambda req: "pong")
+        net.take_offline("b")
+        caller = ResilientCaller(
+            ep_a,
+            RetryPolicy(max_attempts=5, base_delay_s=1.0, jitter=0.0),
+            rng=RandomSource(1),
+        )
+
+        def heal():
+            yield sim.timeout(2.5)  # back up during the third backoff
+            net.bring_online("b")
+
+        sim.process(heal())
+        assert run_call(sim, caller, "b", "ping") == "pong"
+        assert caller.retries >= 2
+        assert caller.giveups == 0
+
+    def test_gives_up_with_last_transport_error(self):
+        sim, net, ep_a, _ = build_pair()
+        net.take_offline("b")
+        caller = ResilientCaller(
+            ep_a, RetryPolicy(max_attempts=3, base_delay_s=0.01, jitter=0.0)
+        )
+        with pytest.raises(HostDownError):
+            run_call(sim, caller, "b", "ping")
+        assert caller.attempts == 3
+        assert caller.giveups == 1
+
+    def test_remote_error_is_not_retried(self):
+        sim, _, ep_a, ep_b = build_pair()
+
+        def boom(req):
+            raise KeyError("nope")
+
+        ep_b.register("boom", boom)
+        caller = ResilientCaller(ep_a, RetryPolicy(max_attempts=5))
+        with pytest.raises(RemoteError):
+            run_call(sim, caller, "b", "boom")
+        assert caller.attempts == 1
+
+    def test_deadline_exceeded_is_a_timeout_error(self):
+        sim, net, ep_a, _ = build_pair()
+        net.take_offline("b")
+        caller = ResilientCaller(
+            ep_a,
+            RetryPolicy(
+                max_attempts=100,
+                base_delay_s=1.0,
+                multiplier=1.0,
+                jitter=0.0,
+                deadline_s=5.0,
+            ),
+        )
+        with pytest.raises(DeadlineExceededError) as exc_info:
+            run_call(sim, caller, "b", "ping")
+        assert isinstance(exc_info.value, RpcTimeoutError)
+        assert sim.now <= 5.0 + 1e-9  # backoffs were clamped to the budget
+        assert caller.attempts < 100
+
+    def test_breaker_short_circuits_after_trip(self):
+        sim, net, ep_a, _ = build_pair()
+        net.take_offline("b")
+        breakers = BreakerRegistry(failure_threshold=2, cooldown_s=60.0)
+        caller = ResilientCaller(
+            ep_a,
+            RetryPolicy(max_attempts=2, base_delay_s=0.01, jitter=0.0),
+            breakers=breakers,
+        )
+        with pytest.raises(HostDownError):
+            run_call(sim, caller, "b", "ping")  # 2 failures -> trips
+        with pytest.raises(CircuitOpenError):
+            run_call(sim, caller, "b", "ping")  # refused locally
+        # A local refusal never touches the wire.
+        assert caller.attempts == 2
+
+    def test_breaker_half_open_probe_recovers(self):
+        sim, net, ep_a, ep_b = build_pair()
+        ep_b.register("ping", lambda req: "pong")
+        net.take_offline("b")
+        breakers = BreakerRegistry(failure_threshold=1, cooldown_s=5.0)
+        caller = ResilientCaller(
+            ep_a, RetryPolicy(max_attempts=1), breakers=breakers
+        )
+        with pytest.raises(HostDownError):
+            run_call(sim, caller, "b", "ping")
+        net.bring_online("b")
+        sim.run(until=sim.now + 10.0)  # past the cooldown
+        assert run_call(sim, caller, "b", "ping") == "pong"
+        assert not breakers.is_open("b", sim.now)
+
+    def test_backoff_delays_are_bit_for_bit_repeatable(self):
+        def one_run():
+            sim, net, ep_a, _ = build_pair()
+            net.take_offline("b")
+            caller = ResilientCaller(
+                ep_a,
+                RetryPolicy(max_attempts=4, base_delay_s=0.1, jitter=0.5),
+                rng=RandomSource(42).fork("retry"),
+            )
+            with pytest.raises(HostDownError):
+                run_call(sim, caller, "b", "ping")
+            return sim.now
+
+        assert one_run() == one_run()

@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.vstore",
     "repro.cluster",
     "repro.workloads",
+    "repro.resilience",
 ]
 
 
@@ -96,6 +97,7 @@ class TestDocumentedEntryPoints:
             "overlay",
             "sweep",
             "report",
+            "chaos",
             "bench-help",
         }
 
