@@ -25,7 +25,7 @@ def measure(cache_enabled, seed):
     for i in range(N_OBJECTS):
         c4h.run(owner.client.store_file(f"obj-{i}.bin", 1.0))
     lookups = []
-    for r in range(REPEATS):
+    for _ in range(REPEATS):
         for i in range(N_OBJECTS):
             # Readers repeat their own lookups across rounds: at home
             # scale routes are one hop, so the requester-side cache is

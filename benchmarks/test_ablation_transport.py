@@ -14,7 +14,7 @@ Two mechanisms from Section IV:
 import pytest
 
 from benchmarks.common import MB, format_table, report, run_once
-from repro import Cloud4Home, ClusterConfig, DeviceConfig
+from repro import Cloud4Home, ClusterConfig
 from repro.sim import Simulator
 from repro.virt import XenSocketChannel
 

@@ -19,11 +19,7 @@ import pytest
 from benchmarks.common import format_table, report, run_once
 from repro.parallel import run_jobs
 from repro.parallel.sweeps import (
-    FIG5_FILES_METHOD2 as FILES_METHOD2,
     FIG5_SIZES_MB,
-    FIG5_STORE_FRACTION as STORE_FRACTION,
-    FIG5_TOTAL_MB_METHOD1 as TOTAL_MB_METHOD1,
-    fig5_access_mix as run_access_mix,
     fig5_jobs,
 )
 

@@ -100,7 +100,7 @@ def test_fig7_service_placement(benchmark):
 
     rows = []
     for size in PAPER_IMAGE_SIZES_MB:
-        best = min(TARGETS, key=lambda t: results[(size, t)])
+        best = min(TARGETS, key=lambda t, size=size: results[(size, t)])
         rows.append(
             [f"{size:g}"]
             + [f"{results[(size, t)]:.2f}" for t in TARGETS]

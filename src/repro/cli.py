@@ -9,6 +9,7 @@ Usage::
     python -m repro sweep --workers 4    # paper sweeps on a process pool
     python -m repro report --files 8     # traced run + latency attribution
     python -m repro chaos --seed 3       # churn workload, resilience on
+    python -m repro lint --check         # simlint invariant checker
     python -m repro bench-help           # how to regenerate the paper
 
 All subcommands run entirely offline on the discrete-event simulator.
@@ -163,6 +164,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 1 unless every operation succeeded and the repair "
         "log is non-empty (the CI chaos smoke)",
     )
+
+    lint = sub.add_parser(
+        "lint",
+        help="run simlint, the AST-based invariant checker (--check = CI gate)",
+    )
+    from repro.lint.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
 
     sub.add_parser("bench-help", help="how to regenerate the paper's results")
     return parser
@@ -454,6 +463,12 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.lint.cli import run
+
+    return run(args)
+
+
 def cmd_bench_help(args) -> int:
     print("Regenerate every table and figure from the paper with:")
     print()
@@ -484,6 +499,7 @@ COMMANDS = {
     "sweep": cmd_sweep,
     "report": cmd_report,
     "chaos": cmd_chaos,
+    "lint": cmd_lint,
     "bench-help": cmd_bench_help,
 }
 

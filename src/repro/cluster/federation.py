@@ -75,7 +75,7 @@ class FederationDirectory:
         name = request.body["name"]
         entry = self.entries.get(name)
         if entry is None:
-            raise KeyError(f"no published object named {name!r}")
+            raise ObjectNotFoundError(name)
         return entry
 
     def _handle_subscribe(self, request: Request) -> dict:
@@ -218,7 +218,7 @@ class Federation:
         gateway over the home's own downlink.
         """
         gateway = self.gateway(home_index)
-        entry = yield self._call_event(
+        yield self._call_event(
             gateway.vstore.endpoint, MSG_LOOKUP, {"name": object_name}
         )
         home = self.homes[home_index]

@@ -358,7 +358,7 @@ class DhtKeyValueStore:
             except RemoteError as exc:
                 if fwd is not None:
                     tel.fail(fwd, exc)
-                raise self._translate(exc)
+                raise self._translate(exc) from exc
             if fwd is not None:
                 tel.end(fwd)
             # Keep any cached copy coherent with the accepted write.
@@ -425,7 +425,7 @@ class DhtKeyValueStore:
             except RemoteError as exc:
                 if fwd is not None:
                     tel.fail(fwd, exc)
-                raise self._translate(exc)
+                raise self._translate(exc) from exc
             if fwd is not None:
                 tel.end(fwd, source=reply.get("source", ""))
             if self.cache_enabled and reply.get("source") != "cache":
@@ -489,7 +489,7 @@ class DhtKeyValueStore:
             except RemoteError as exc:
                 if fwd is not None:
                     tel.fail(fwd, exc)
-                raise self._translate(exc)
+                raise self._translate(exc) from exc
             if fwd is not None:
                 tel.end(fwd)
             self.cache.pop(key_hex, None)

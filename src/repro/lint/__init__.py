@@ -1,0 +1,51 @@
+"""simlint: AST-based invariant checker for the reproduction's contracts.
+
+The reproduction's value rests on bit-for-bit deterministic simulation;
+nothing in a code review reliably stops a ``time.time()`` or an
+unseeded ``random`` draw from slipping into a hot path.  simlint
+encodes the repo's determinism, telemetry, RPC, and configuration
+contracts as pluggable :class:`~repro.lint.registry.Rule` visitors and
+runs them over the tree (``python -m repro lint --check`` in CI).
+
+Rule families (see docs/STATIC_ANALYSIS.md for the full catalogue):
+
+- ``SIM1xx`` — determinism: no wall clock, no global random streams,
+  no PEP 479 ``next()`` hazards, no unordered set iteration in
+  ranking code, no real sleeps, no ambient entropy.
+- ``TEL2xx`` — telemetry: every emit guarded by ``is not None`` so
+  telemetry-off runs stay byte-identical.
+- ``RPC3xx`` — RPC: handler exceptions stay inside the repro error
+  hierarchy so retry/breaker policy can classify them.
+- ``CFG4xx`` — configuration: new ``ClusterConfig`` fields default to
+  feature-off, keeping pinned goldens valid.
+
+Findings are suppressed inline with ``# simlint: ignore[CODE]`` or
+grandfathered in a committed baseline (``.simlint-baseline.json``),
+each entry carrying a one-line justification.
+"""
+
+from repro.lint.baseline import Baseline, BaselineEntry
+from repro.lint.engine import (
+    DEFAULT_PATHS,
+    LintReport,
+    lint_paths,
+    lint_source,
+    run_lint,
+)
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, all_rules, get_rule, register_rule
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "DEFAULT_PATHS",
+    "Finding",
+    "LintReport",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+    "run_lint",
+]

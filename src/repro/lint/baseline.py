@@ -1,0 +1,119 @@
+"""The committed baseline of grandfathered findings.
+
+A baseline entry matches a finding by ``(code, path, source line)`` —
+never by line number — so unrelated edits that shift code around do not
+resurrect grandfathered findings.  Matching is multiset-style: two
+identical violations in one file need two entries.
+
+The file is JSON, sorted and indented, so diffs stay reviewable and
+every grandfathered finding can carry a human justification (``note``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.lint.findings import Finding
+
+__all__ = ["Baseline", "BaselineEntry"]
+
+FORMAT_VERSION = 1
+
+
+@dataclass
+class BaselineEntry:
+    code: str
+    path: str
+    source: str
+    #: Line number when the baseline was written — informational only.
+    line: int = 0
+    #: One-line justification for grandfathering this finding.
+    note: str = ""
+
+    def key(self) -> tuple[str, str, str]:
+        return (self.code, self.path, self.source)
+
+
+@dataclass
+class Baseline:
+    entries: list[BaselineEntry] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path) -> "Baseline":
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        if payload.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {payload.get('version')!r} "
+                f"in {path} (expected {FORMAT_VERSION})"
+            )
+        entries = [
+            BaselineEntry(
+                code=e["code"],
+                path=e["path"],
+                source=e["source"],
+                line=e.get("line", 0),
+                note=e.get("note", ""),
+            )
+            for e in payload.get("entries", [])
+        ]
+        return cls(entries=entries)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        entries = [
+            BaselineEntry(
+                code=f.code, path=f.path, source=f.source, line=f.line
+            )
+            for f in findings
+            if not f.suppressed
+        ]
+        entries.sort(key=lambda e: (e.path, e.line, e.code))
+        return cls(entries=entries)
+
+    def write(self, path) -> None:
+        payload = {
+            "version": FORMAT_VERSION,
+            "entries": [
+                {
+                    "code": e.code,
+                    "path": e.path,
+                    "line": e.line,
+                    "source": e.source,
+                    **({"note": e.note} if e.note else {}),
+                }
+                for e in self.entries
+            ],
+        }
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    def apply(self, findings: list[Finding]) -> list[BaselineEntry]:
+        """Mark matched findings ``baselined``; return stale entries.
+
+        Stale entries (no finding matched them) mean the underlying
+        violation was fixed — the baseline should be regenerated so it
+        cannot mask a future regression at the same spot.
+        """
+        budget: dict[tuple[str, str, str], int] = {}
+        for entry in self.entries:
+            budget[entry.key()] = budget.get(entry.key(), 0) + 1
+        for finding in findings:
+            if finding.suppressed:
+                continue
+            remaining = budget.get(finding.key(), 0)
+            if remaining > 0:
+                budget[finding.key()] = remaining - 1
+                finding.baselined = True
+        # Leftover budget per key == stale entry count for that key.
+        stale: list[BaselineEntry] = []
+        remaining = {k: v for k, v in budget.items() if v > 0}
+        for entry in reversed(self.entries):
+            count = remaining.get(entry.key(), 0)
+            if count > 0:
+                stale.append(entry)
+                remaining[entry.key()] = count - 1
+        stale.reverse()
+        return stale

@@ -1,0 +1,143 @@
+"""The ``python -m repro lint`` subcommand.
+
+Modes:
+
+- ``repro lint`` — report findings (inline suppressions and the
+  committed baseline applied); always exits 0.
+- ``repro lint --check`` — the CI gate: exit 1 on any active finding,
+  parse error, or stale baseline entry.
+- ``repro lint --update-baseline`` — rewrite the baseline from the
+  current findings (grandfathering everything still unfixed).
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.lint.baseline import Baseline
+from repro.lint.engine import DEFAULT_PATHS, run_lint
+from repro.lint.registry import all_rules
+
+__all__ = ["add_lint_arguments", "run"]
+
+DEFAULT_BASELINE = ".simlint-baseline.json"
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help=f"files/directories to lint (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repository root paths are resolved against (default: cwd)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        metavar="PATH",
+        help="baseline file of grandfathered findings, relative to --root "
+        f"(default: {DEFAULT_BASELINE}; missing file = empty baseline)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: report grandfathered findings too",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings and exit",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="CI gate: exit 1 on active findings, parse errors, or "
+        "stale baseline entries",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also list suppressed and baselined findings",
+    )
+
+
+def _list_rules() -> int:
+    for code, cls in all_rules().items():
+        scope = ", ".join(cls.scope)
+        print(f"{code}  {cls.name}")
+        print(f"    {cls.message}")
+        print(f"    scope: {scope}")
+    return 0
+
+
+def run(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        return _list_rules()
+
+    root = Path(args.root)
+    paths = tuple(args.paths) if args.paths else DEFAULT_PATHS
+    codes = (
+        {c.strip() for c in args.select.split(",") if c.strip()}
+        if args.select
+        else None
+    )
+    baseline_path = None if args.no_baseline else root / args.baseline
+
+    if args.update_baseline:
+        report = run_lint(root, paths, baseline_path=None, codes=codes)
+        baseline = Baseline.from_findings(report.findings)
+        target = root / args.baseline
+        baseline.write(target)
+        print(
+            f"simlint: wrote {len(baseline.entries)} baseline "
+            f"entr{'y' if len(baseline.entries) == 1 else 'ies'} to {target}"
+        )
+        if report.errors:
+            for path, error in report.errors:
+                print(f"simlint: parse error in {path}: {error}")
+            return 1
+        return 0
+
+    report = run_lint(root, paths, baseline_path=baseline_path, codes=codes)
+
+    for finding in report.active:
+        print(finding.render())
+    if args.verbose:
+        for finding in report.suppressed:
+            print(f"{finding.render()} [suppressed]")
+        for finding in report.baselined:
+            print(f"{finding.render()} [baselined]")
+    for path, error in report.errors:
+        print(f"simlint: parse error in {path}: {error}")
+    for entry in report.stale_baseline:
+        print(
+            f"simlint: stale baseline entry {entry.code} at "
+            f"{entry.path} ({entry.source!r}) — fixed? regenerate with "
+            "--update-baseline"
+        )
+
+    n_active = len(report.active)
+    print(
+        f"simlint: {report.n_files} files, {n_active} finding(s) "
+        f"({len(report.baselined)} baselined, "
+        f"{len(report.suppressed)} suppressed)"
+    )
+    if args.check and not report.clean:
+        return 1
+    return 0

@@ -1,0 +1,101 @@
+"""Per-file analysis context shared by every simlint rule.
+
+Parses the file once, links every AST node to its parent (rules walk
+upward to find guarding ``if`` statements), and extracts the inline
+suppression comments (``# simlint: ignore[CODE]``) via the tokenizer so
+string literals containing the marker are never mistaken for comments.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+
+__all__ = ["FileContext", "dotted_name", "parse_suppressions"]
+
+_IGNORE_RE = re.compile(
+    r"#\s*simlint:\s*ignore(?:\[(?P<codes>[A-Z0-9,\s]+)\])?"
+)
+_SKIP_FILE_RE = re.compile(r"#\s*simlint:\s*skip-file\b")
+
+
+def parse_suppressions(source: str) -> tuple[dict[int, set[str]], bool]:
+    """Map line number -> suppressed codes (``{"*"}`` = all codes).
+
+    Returns ``(suppressions, skip_file)``.  Only real comment tokens
+    count; a marker inside a string literal is ignored.
+    """
+    suppressions: dict[int, set[str]] = {}
+    skip_file = False
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            if _SKIP_FILE_RE.search(tok.string):
+                skip_file = True
+            match = _IGNORE_RE.search(tok.string)
+            if not match:
+                continue
+            codes = match.group("codes")
+            if codes:
+                wanted = {c.strip() for c in codes.split(",") if c.strip()}
+            else:
+                wanted = {"*"}
+            suppressions.setdefault(tok.start[0], set()).update(wanted)
+    except tokenize.TokenError:
+        pass  # the ast parse will surface the syntax error instead
+    return suppressions, skip_file
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a pure Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class FileContext:
+    """One parsed file: tree, lines, parents, suppressions."""
+
+    def __init__(self, source: str, path: str) -> None:
+        #: Repo-relative posix path (drives rule scoping).
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=path)
+        self.suppressions, self.skip_file = parse_suppressions(source)
+        self.parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self.parents[child] = parent
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self.parents.get(node)
+
+    def ancestors(self, node: ast.AST):
+        """Yield enclosing nodes from the immediate parent outward."""
+        current = self.parents.get(node)
+        while current is not None:
+            yield current
+            current = self.parents.get(current)
+
+    def source_line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        for anc in self.ancestors(node):
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return anc
+        return None

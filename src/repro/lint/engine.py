@@ -1,0 +1,138 @@
+"""The simlint engine: walk files, run rules, apply suppressions/baseline.
+
+Entry points:
+
+- :func:`lint_source` — lint one in-memory source blob under a virtual
+  repo-relative path (drives the fixture-based rule tests).
+- :func:`lint_paths` — lint ``.py`` files under a root directory.
+- :func:`run_lint` — the full pipeline (walk + suppress + baseline)
+  returning a :class:`LintReport`; what the CLI calls.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+
+from repro.lint.baseline import Baseline, BaselineEntry
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.lint.registry import rules_for
+
+__all__ = ["LintReport", "lint_source", "lint_paths", "run_lint", "DEFAULT_PATHS"]
+
+#: What ``python -m repro lint`` checks when no paths are given.
+DEFAULT_PATHS = ("src/repro",)
+
+#: Directory basenames never descended into.
+_SKIP_DIRS = {"__pycache__", ".git", ".pytest_cache", ".ruff_cache"}
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    #: Files that failed to parse: (path, error message).
+    errors: list[tuple[str, str]] = field(default_factory=list)
+    stale_baseline: list[BaselineEntry] = field(default_factory=list)
+    n_files: int = 0
+
+    @property
+    def active(self) -> list[Finding]:
+        return [f for f in self.findings if f.active]
+
+    @property
+    def suppressed(self) -> list[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    @property
+    def baselined(self) -> list[Finding]:
+        return [f for f in self.findings if f.baselined]
+
+    @property
+    def clean(self) -> bool:
+        return not self.active and not self.errors and not self.stale_baseline
+
+
+def _normalize(path: str) -> str:
+    return str(PurePosixPath(path.replace(os.sep, "/")))
+
+
+def lint_source(
+    source: str, path: str, codes: set[str] | None = None
+) -> list[Finding]:
+    """Lint one source blob as if it lived at repo-relative ``path``.
+
+    Inline suppressions are applied; baselining is the caller's job.
+    """
+    path = _normalize(path)
+    ctx = FileContext(source, path)
+    if ctx.skip_file:
+        return []
+    findings: list[Finding] = []
+    for rule in rules_for(path, codes=codes):
+        findings.extend(rule.run(ctx))
+    for finding in findings:
+        codes_here = ctx.suppressions.get(finding.line, set())
+        if "*" in codes_here or finding.code in codes_here:
+            finding.suppressed = True
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+def iter_python_files(root: Path, paths: tuple[str, ...]):
+    """Yield (absolute, repo-relative-posix) pairs, sorted."""
+    seen: set[Path] = set()
+    for raw in paths:
+        base = (root / raw).resolve()
+        if base.is_file():
+            candidates = [base]
+        elif base.is_dir():
+            candidates = [
+                p
+                for p in sorted(base.rglob("*.py"))
+                if not (_SKIP_DIRS & set(p.parts))
+            ]
+        else:
+            raise FileNotFoundError(f"lint path does not exist: {raw}")
+        for path in candidates:
+            if path not in seen:
+                seen.add(path)
+                yield path, _normalize(str(path.relative_to(root.resolve())))
+
+
+def lint_paths(
+    root,
+    paths: tuple[str, ...] = DEFAULT_PATHS,
+    codes: set[str] | None = None,
+) -> LintReport:
+    """Lint every ``.py`` file under ``root``/``paths``."""
+    root = Path(root)
+    report = LintReport()
+    for abspath, relpath in iter_python_files(root, paths):
+        try:
+            source = abspath.read_text(encoding="utf-8")
+            findings = lint_source(source, relpath, codes=codes)
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            report.errors.append((relpath, str(exc)))
+            continue
+        report.n_files += 1
+        report.findings.extend(findings)
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return report
+
+
+def run_lint(
+    root,
+    paths: tuple[str, ...] = DEFAULT_PATHS,
+    baseline_path=None,
+    codes: set[str] | None = None,
+) -> LintReport:
+    """Lint + baseline: the complete pipeline behind the CLI."""
+    report = lint_paths(root, paths, codes=codes)
+    if baseline_path is not None and Path(baseline_path).exists():
+        baseline = Baseline.load(baseline_path)
+        report.stale_baseline = baseline.apply(report.findings)
+    return report

@@ -1,0 +1,45 @@
+"""Finding records produced by simlint rules.
+
+A :class:`Finding` pins one rule violation to a file, line, and column,
+and carries the stripped source line so the committed baseline can
+re-identify grandfathered findings even after unrelated edits shift
+line numbers (matching is by ``(code, path, source)``, not by line).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Finding"]
+
+
+@dataclass
+class Finding:
+    """One rule violation at a specific source location."""
+
+    code: str
+    path: str
+    line: int
+    col: int
+    message: str
+    #: The violating source line, stripped — the baseline match key.
+    source: str = ""
+    #: Set by the engine when an inline ``# simlint: ignore[CODE]``
+    #: comment covers this finding.
+    suppressed: bool = False
+    #: Set by the engine when the committed baseline grandfathers it.
+    baselined: bool = False
+    #: Free-form extras some rules attach (e.g. the offending call).
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def active(self) -> bool:
+        """True when the finding should gate the build."""
+        return not (self.suppressed or self.baselined)
+
+    def key(self) -> tuple[str, str, str]:
+        """Line-number-insensitive identity used by the baseline."""
+        return (self.code, self.path, self.source)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"

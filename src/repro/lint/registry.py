@@ -1,0 +1,102 @@
+"""Rule base class and registry for the simlint checker.
+
+Rules are :class:`ast.NodeVisitor` subclasses registered under a unique
+code (``SIM1xx`` determinism, ``TEL2xx`` telemetry, ``RPC3xx`` RPC
+contracts, ``CFG4xx`` configuration).  Each rule declares the path
+prefixes it applies to, so substrate-only invariants (no wall clock, no
+global random) never fire on the CLI or the parallel harness, which
+legitimately measure wall time.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+
+__all__ = ["Rule", "register_rule", "all_rules", "rules_for", "get_rule"]
+
+#: code -> rule class
+_REGISTRY: dict[str, type["Rule"]] = {}
+
+
+class Rule(ast.NodeVisitor):
+    """One invariant check over a single file's AST.
+
+    Subclasses set ``code``, ``name``, and ``message``; override
+    visitor methods and call :meth:`report`.  ``scope`` / ``exclude``
+    are path-prefix tuples against repo-relative posix paths.
+    """
+
+    code: str = ""
+    name: str = ""
+    #: One-line statement of the invariant (docs + ``--list-rules``).
+    message: str = ""
+    scope: tuple[str, ...] = ("src/repro",)
+    exclude: tuple[str, ...] = ()
+
+    def __init__(self) -> None:
+        self.ctx: FileContext | None = None
+        self.findings: list[Finding] = []
+
+    @classmethod
+    def applies_to(cls, path: str) -> bool:
+        if not any(path.startswith(prefix) for prefix in cls.scope):
+            return False
+        return not any(path.startswith(prefix) for prefix in cls.exclude)
+
+    def run(self, ctx: FileContext) -> list[Finding]:
+        self.ctx = ctx
+        self.findings = []
+        self.visit(ctx.tree)
+        return self.findings
+
+    def report(self, node: ast.AST, message: str | None = None, **extra) -> None:
+        assert self.ctx is not None
+        line = getattr(node, "lineno", 1)
+        self.findings.append(
+            Finding(
+                code=self.code,
+                path=self.ctx.path,
+                line=line,
+                col=getattr(node, "col_offset", 0) + 1,
+                message=message or self.message,
+                source=self.ctx.source_line(line),
+                extra=extra,
+            )
+        )
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: add a rule to the global registry."""
+    if not cls.code:
+        raise ValueError(f"rule {cls.__name__} has no code")
+    if cls.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    _REGISTRY[cls.code] = cls
+    return cls
+
+
+def _ensure_loaded() -> None:
+    # Import for the registration side effect; cheap after the first call.
+    from repro.lint import rules  # noqa: F401
+
+
+def all_rules() -> dict[str, type[Rule]]:
+    _ensure_loaded()
+    return dict(sorted(_REGISTRY.items()))
+
+
+def get_rule(code: str) -> type[Rule]:
+    _ensure_loaded()
+    return _REGISTRY[code]
+
+
+def rules_for(path: str, codes: set[str] | None = None) -> list[Rule]:
+    """Fresh rule instances applicable to ``path``."""
+    return [
+        cls()
+        for code, cls in all_rules().items()
+        if (codes is None or code in codes) and cls.applies_to(path)
+    ]

@@ -1,0 +1,15 @@
+"""Concrete simlint rules, grouped by invariant family.
+
+Importing this package registers every rule; the registry exposes them
+via :func:`repro.lint.registry.all_rules`.
+"""
+
+from repro.lint.rules import (  # noqa: F401  (imported for registration)
+    config,
+    rpc,
+    sim_determinism,
+    sim_structure,
+    telemetry,
+)
+
+__all__ = ["config", "rpc", "sim_determinism", "sim_structure", "telemetry"]

@@ -1,0 +1,260 @@
+"""SIM determinism rules: no ambient time or entropy in simulated code.
+
+The reproduction's goldens (PR 1 pinned to 1e-9, PR 2's cross-worker
+bit-equality, PR 4's repeatability assertions) only hold if nothing in
+the simulated substrate reads the wall clock or an unseeded random
+stream.  These rules scope to the simulation-facing packages; the CLI
+and the parallel harness measure real wall time on purpose and are out
+of scope.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.context import dotted_name
+from repro.lint.registry import Rule, register_rule
+
+__all__ = [
+    "WallClockRule",
+    "GlobalRandomRule",
+    "WallSleepRule",
+    "AmbientEntropyRule",
+]
+
+#: Packages whose code runs inside (or feeds) the simulated world.
+SIM_SCOPE = (
+    "src/repro/sim",
+    "src/repro/overlay",
+    "src/repro/kvstore",
+    "src/repro/net",
+    "src/repro/vstore",
+    "src/repro/cluster",
+    "src/repro/resilience",
+)
+
+
+def _import_map(tree: ast.AST, wanted: dict[str, set[str]]) -> dict[str, str]:
+    """Map local names to ``module.attr`` for from-imports of interest.
+
+    ``wanted`` maps module name -> attribute names to track, e.g.
+    ``{"time": {"time", "perf_counter"}}`` catches
+    ``from time import perf_counter as pc`` and records ``pc ->
+    time.perf_counter``.
+    """
+    bound: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module in wanted:
+            for alias in node.names:
+                if alias.name in wanted[node.module]:
+                    bound[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+    return bound
+
+
+class _CallChainRule(Rule):
+    """Shared machinery: flag calls whose dotted chain matches a set."""
+
+    #: Fully dotted suffixes to flag, e.g. ``time.perf_counter``.
+    banned_suffixes: tuple[str, ...] = ()
+    #: ``module -> {attrs}`` also banned when imported bare.
+    banned_from_imports: dict[str, set[str]] = {}
+
+    def run(self, ctx):
+        self._bound = _import_map(ctx.tree, self.banned_from_imports)
+        return super().run(ctx)
+
+    def _match(self, call: ast.Call) -> str | None:
+        func = call.func
+        if isinstance(func, ast.Name) and func.id in self._bound:
+            return self._bound[func.id]
+        dotted = dotted_name(func)
+        if dotted is None or dotted.startswith(("self.", "cls.")):
+            return None
+        for suffix in self.banned_suffixes:
+            if dotted == suffix or dotted.endswith("." + suffix):
+                return suffix
+        return None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        match = self._match(node)
+        if match is not None:
+            self.report(node, f"{self.message}: {match}()")
+        self.generic_visit(node)
+
+
+@register_rule
+class WallClockRule(_CallChainRule):
+    """SIM101: simulated code must use ``sim.now``, never the wall clock."""
+
+    code = "SIM101"
+    name = "no-wall-clock"
+    message = (
+        "wall-clock read inside simulated code (use sim.now / sim.timeout)"
+    )
+    scope = SIM_SCOPE
+    banned_suffixes = (
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "date.today",
+    )
+    banned_from_imports = {
+        "time": {
+            "time",
+            "time_ns",
+            "monotonic",
+            "monotonic_ns",
+            "perf_counter",
+            "perf_counter_ns",
+        },
+    }
+
+
+#: Module-level draw functions on the shared global ``random`` state.
+_RANDOM_DRAWS = {
+    "random",
+    "randint",
+    "randrange",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "uniform",
+    "gauss",
+    "normalvariate",
+    "lognormvariate",
+    "expovariate",
+    "paretovariate",
+    "betavariate",
+    "gammavariate",
+    "triangular",
+    "vonmisesvariate",
+    "weibullvariate",
+    "getrandbits",
+    "randbytes",
+    "seed",
+}
+
+#: numpy.random attributes that construct *seeded instances* (fine).
+_NUMPY_RANDOM_OK = {
+    "default_rng",
+    "Generator",
+    "RandomState",
+    "SeedSequence",
+    "PCG64",
+    "Philox",
+    "MT19937",
+    "SFC64",
+    "BitGenerator",
+}
+
+
+@register_rule
+class GlobalRandomRule(Rule):
+    """SIM102: draws must come from seeded ``repro.sim.RandomSource``.
+
+    ``random.Random(seed)`` instantiation is allowed (it is exactly what
+    ``RandomSource`` wraps); the *module-global* draw functions and the
+    shared ``numpy.random`` state are not.
+    """
+
+    code = "SIM102"
+    name = "no-global-random"
+    message = (
+        "global random stream inside simulated code "
+        "(use a seeded repro.sim.RandomSource)"
+    )
+    scope = SIM_SCOPE
+
+    def run(self, ctx):
+        self._bound = _import_map(ctx.tree, {"random": _RANDOM_DRAWS})
+        return super().run(ctx)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            for alias in node.names:
+                if alias.name in _RANDOM_DRAWS:
+                    self.report(
+                        node,
+                        f"{self.message}: from random import {alias.name}",
+                    )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in self._bound:
+            self.report(node, f"{self.message}: {self._bound[func.id]}()")
+        dotted = dotted_name(func)
+        if dotted is not None and not dotted.startswith(("self.", "cls.")):
+            parts = dotted.split(".")
+            if len(parts) == 2 and parts[0] == "random" and (
+                parts[1] in _RANDOM_DRAWS
+            ):
+                self.report(node, f"{self.message}: {dotted}()")
+            elif (
+                len(parts) >= 3
+                and parts[-3] in ("numpy", "np")
+                and parts[-2] == "random"
+                and parts[-1] not in _NUMPY_RANDOM_OK
+            ):
+                self.report(node, f"{self.message}: {dotted}()")
+        self.generic_visit(node)
+
+
+@register_rule
+class WallSleepRule(_CallChainRule):
+    """SIM105: never block the event loop with a real sleep."""
+
+    code = "SIM105"
+    name = "no-wall-sleep"
+    message = (
+        "time.sleep blocks the event loop inside simulated code "
+        "(yield sim.timeout(...) instead)"
+    )
+    scope = SIM_SCOPE
+    banned_suffixes = ("time.sleep",)
+    banned_from_imports = {"time": {"sleep"}}
+
+
+@register_rule
+class AmbientEntropyRule(_CallChainRule):
+    """SIM106: no OS entropy or random UUIDs in simulated code."""
+
+    code = "SIM106"
+    name = "no-ambient-entropy"
+    message = (
+        "ambient entropy inside simulated code (derive ids from "
+        "RandomSource or NodeId.from_name)"
+    )
+    scope = SIM_SCOPE
+    banned_suffixes = (
+        "os.urandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.token_urlsafe",
+        "secrets.randbelow",
+        "secrets.randbits",
+        "secrets.choice",
+    )
+    banned_from_imports = {
+        "os": {"urandom"},
+        "uuid": {"uuid1", "uuid4"},
+        "secrets": {
+            "token_bytes",
+            "token_hex",
+            "token_urlsafe",
+            "randbelow",
+            "randbits",
+            "choice",
+        },
+    }

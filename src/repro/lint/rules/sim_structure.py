@@ -1,0 +1,196 @@
+"""SIM structural rules: generator hazards and ordering hazards.
+
+SIM103 encodes the PEP 479 lesson from PR 4's ``_do_revive`` bug: a
+bare ``next()`` that raises ``StopIteration`` inside a generator body
+becomes a ``RuntimeError`` at an arbitrary resume point — in this
+codebase, inside the event kernel.  SIM104 protects the deterministic
+goldens from Python's unordered set iteration leaking into placement
+and decision ranking.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.registry import Rule, register_rule
+from repro.lint.rules.sim_determinism import SIM_SCOPE
+
+__all__ = ["BareNextRule", "SetIterationRule"]
+
+
+def _own_nodes(func: ast.AST):
+    """Walk a function's body without descending into nested defs."""
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def _is_generator(func: ast.AST) -> bool:
+    return any(
+        isinstance(node, (ast.Yield, ast.YieldFrom))
+        for node in _own_nodes(func)
+    )
+
+
+@register_rule
+class BareNextRule(Rule):
+    """SIM103: ``next(it)`` without a default inside a generator body.
+
+    Under PEP 479 the escaping ``StopIteration`` is converted to a
+    ``RuntimeError`` inside the simulator's process machinery — pass a
+    default (``next(it, None)``) or catch ``StopIteration`` locally.
+    """
+
+    code = "SIM103"
+    name = "no-bare-next-in-generator"
+    message = (
+        "bare next() inside a generator body (PEP 479: escaping "
+        "StopIteration becomes RuntimeError; pass a default)"
+    )
+    scope = SIM_SCOPE
+
+    def _check_function(self, func) -> None:
+        if not _is_generator(func):
+            return
+        for node in _own_nodes(func):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "next"
+                and len(node.args) == 1
+                and not node.keywords
+                and not self._locally_caught(node)
+            ):
+                self.report(node)
+
+    def _locally_caught(self, node: ast.Call) -> bool:
+        """True when an enclosing ``try`` catches StopIteration."""
+        assert self.ctx is not None
+        for anc in self.ctx.ancestors(node):
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return False
+            if isinstance(anc, ast.Try):
+                for handler in anc.handlers:
+                    names: list[ast.AST] = []
+                    if handler.type is None:
+                        return True
+                    if isinstance(handler.type, ast.Tuple):
+                        names = list(handler.type.elts)
+                    else:
+                        names = [handler.type]
+                    for name in names:
+                        if (
+                            isinstance(name, ast.Name)
+                            and name.id in ("StopIteration", "Exception")
+                        ):
+                            return True
+        return False
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_function(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_function(node)
+        self.generic_visit(node)
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    ):
+        return True
+    return False
+
+
+@register_rule
+class SetIterationRule(Rule):
+    """SIM104: no direct iteration over sets in ranking/placement code.
+
+    Set iteration order depends on insertion history and hash seeds of
+    the *contents*; feeding it into candidate ranking silently breaks
+    the pinned goldens.  Wrap the set in ``sorted(...)`` first.
+    """
+
+    code = "SIM104"
+    name = "no-unordered-set-iteration"
+    message = (
+        "iteration over an unordered set in ordering-sensitive code "
+        "(wrap in sorted(...))"
+    )
+    # Modules whose iteration order feeds candidate ranking directly.
+    scope = (
+        "src/repro/monitoring",
+        "src/repro/vstore/placement.py",
+        "src/repro/vstore/policies.py",
+        "src/repro/overlay/state.py",
+    )
+
+    def run(self, ctx):
+        self._set_names: dict[ast.AST, set[str]] = {}
+        return super().run(ctx)
+
+    def _function_set_names(self, node: ast.AST) -> set[str]:
+        """Names assigned from set expressions in the enclosing function."""
+        assert self.ctx is not None
+        func = self.ctx.enclosing_function(node) or self.ctx.tree
+        cached = self._set_names.get(func)
+        if cached is None:
+            cached = set()
+            for stmt in _own_nodes(func):
+                if isinstance(stmt, ast.Assign) and _is_set_expr(stmt.value):
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            cached.add(target.id)
+                if (
+                    isinstance(stmt, ast.AnnAssign)
+                    and stmt.value is not None
+                    and _is_set_expr(stmt.value)
+                    and isinstance(stmt.target, ast.Name)
+                ):
+                    cached.add(stmt.target.id)
+            self._set_names[func] = cached
+        return cached
+
+    def _is_set_like(self, node: ast.AST, where: ast.AST) -> bool:
+        if _is_set_expr(node):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self._function_set_names(where)
+        return False
+
+    def _check_iter(self, iter_node: ast.AST, where: ast.AST) -> None:
+        # sorted(set(...)) / sorted(s) is the sanctioned spelling.
+        node = iter_node
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("enumerate", "list", "tuple", "reversed")
+            and node.args
+        ):
+            node = node.args[0]
+        if self._is_set_like(node, where):
+            self.report(iter_node)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter, node)
+        self.generic_visit(node)
+
+    def _visit_comp(self, node) -> None:
+        for gen in node.generators:
+            self._check_iter(gen.iter, node)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comp
+    visit_SetComp = _visit_comp
+    visit_GeneratorExp = _visit_comp
+    visit_DictComp = _visit_comp

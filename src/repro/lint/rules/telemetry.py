@@ -1,0 +1,168 @@
+"""TEL rules: telemetry emits must be guarded in instrumented modules.
+
+The telemetry plane is off by default, and ``ClusterConfig(telemetry=
+False)`` runs must stay byte-identical to a build without the
+subsystem.  Every instrumented layer therefore emits behind a single
+``is not None`` check — either on the telemetry handle itself or on a
+span derived from it (the ``_span`` helper returns ``(None, None)``
+when telemetry is off).  TEL201 mechanically enforces that discipline.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.registry import Rule, register_rule
+
+__all__ = ["UnguardedEmitRule"]
+
+#: Methods on a Telemetry handle that emit (or mutate) span state.
+EMIT_METHODS = ("begin", "end", "fail", "event", "annotate")
+
+
+def _none_compares(test: ast.AST):
+    """Yield ``(operand_dump, is_not)`` for every ``X is [not] None``."""
+    for node in ast.walk(test):
+        if (
+            isinstance(node, ast.Compare)
+            and len(node.ops) == 1
+            and isinstance(node.ops[0], (ast.Is, ast.IsNot))
+            and isinstance(node.comparators[0], ast.Constant)
+            and node.comparators[0].value is None
+        ):
+            yield ast.dump(node.left), isinstance(node.ops[0], ast.IsNot)
+
+
+def _exits(stmt: ast.stmt) -> bool:
+    return isinstance(stmt, (ast.Return, ast.Raise, ast.Continue, ast.Break))
+
+
+@register_rule
+class UnguardedEmitRule(Rule):
+    """TEL201: every telemetry emit sits under an ``is not None`` guard.
+
+    A call ``tel.begin/end/fail/event(...)`` — where ``tel`` was bound
+    from ``*.telemetry`` or a ``_span``-style helper, or is the
+    ``*.telemetry`` attribute itself — is guarded when:
+
+    - an enclosing ``if``/ternary tests ``X is not None`` (call in the
+      then-branch) or ``X is None`` (call in the else-branch), where X
+      is the receiver or any name passed to the call (the
+      ``if span is not None: tel.end(span)`` idiom), or
+    - the enclosing function earlier runs ``if X is None: return/raise``
+      for the receiver (the early-return idiom in ``_span`` helpers).
+    """
+
+    code = "TEL201"
+    name = "guarded-telemetry-emit"
+    message = (
+        "telemetry emit not guarded by an 'is not None' check "
+        "(telemetry-off runs must skip emission entirely)"
+    )
+    scope = ("src/repro",)
+    exclude = ("src/repro/telemetry", "src/repro/lint")
+
+    def visit_Call(self, node: ast.Call) -> None:
+        receiver = self._telemetry_receiver(node)
+        if receiver is not None and not self._is_guarded(node, receiver):
+            self.report(node)
+        self.generic_visit(node)
+
+    # -- what counts as an emit ---------------------------------------
+
+    def _telemetry_receiver(self, node: ast.Call) -> str | None:
+        """The receiver's ast dump if this is a telemetry emit call."""
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr not in EMIT_METHODS:
+            return None
+        value = func.value
+        # Direct form: <anything>.telemetry.begin(...)
+        if isinstance(value, ast.Attribute) and value.attr == "telemetry":
+            return ast.dump(value)
+        # Handle form: tel.begin(...) where tel came from *.telemetry
+        # or from a (tel, span) = self._span(...) helper.
+        if isinstance(value, ast.Name) and value.id in self._handles(node):
+            return ast.dump(value)
+        return None
+
+    def _handles(self, node: ast.AST) -> set[str]:
+        """Telemetry handle names bound in the enclosing function."""
+        assert self.ctx is not None
+        func = self.ctx.enclosing_function(node) or self.ctx.tree
+        cached = getattr(func, "_simlint_tel_handles", None)
+        if cached is not None:
+            return cached
+        handles: set[str] = set()
+        for stmt in ast.walk(func):
+            if not isinstance(stmt, ast.Assign):
+                continue
+            value = stmt.value
+            # tel = self.sim.telemetry
+            if isinstance(value, ast.Attribute) and value.attr == "telemetry":
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        handles.add(target.id)
+            # tel, span = self._span(...)
+            if (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Attribute)
+                and value.func.attr.endswith("_span")
+            ):
+                for target in stmt.targets:
+                    if (
+                        isinstance(target, ast.Tuple)
+                        and target.elts
+                        and isinstance(target.elts[0], ast.Name)
+                    ):
+                        handles.add(target.elts[0].id)
+        func._simlint_tel_handles = handles  # type: ignore[attr-defined]
+        return handles
+
+    # -- what counts as a guard ---------------------------------------
+
+    def _guard_operands(self, node: ast.Call, receiver: str) -> set[str]:
+        """ast dumps whose non-None-ness guards this emit."""
+        operands = {receiver}
+        for arg in node.args:
+            if isinstance(arg, ast.Name):
+                operands.add(ast.dump(arg))
+        for kw in node.keywords:
+            if isinstance(kw.value, ast.Name):
+                operands.add(ast.dump(kw.value))
+        return operands
+
+    def _is_guarded(self, node: ast.Call, receiver: str) -> bool:
+        assert self.ctx is not None
+        operands = self._guard_operands(node, receiver)
+
+        # Enclosing if / ternary with the right branch polarity.
+        child: ast.AST = node
+        for anc in self.ctx.ancestors(node):
+            if isinstance(anc, (ast.If, ast.IfExp)):
+                in_else = (
+                    child in anc.orelse
+                    if isinstance(anc, ast.If)
+                    else child is anc.orelse
+                )
+                for operand, is_not in _none_compares(anc.test):
+                    if operand in operands and (is_not != in_else):
+                        return True
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                break
+            child = anc
+
+        # Early-return guard anywhere earlier in the function:
+        #   if tel is None: return ...
+        func = self.ctx.enclosing_function(node)
+        if func is not None:
+            for stmt in ast.walk(func):
+                if (
+                    isinstance(stmt, ast.If)
+                    and stmt.body
+                    and _exits(stmt.body[-1])
+                    and stmt.lineno <= node.lineno
+                ):
+                    for operand, is_not in _none_compares(stmt.test):
+                        if operand in operands and not is_not:
+                            return True
+        return False

@@ -92,7 +92,9 @@ class Resource:
             try:
                 self._waiting.remove(request)
             except ValueError:
-                raise SimulationError("releasing a request unknown to this resource")
+                raise SimulationError(
+                    "releasing a request unknown to this resource"
+                ) from None
 
     def _grant_next(self) -> None:
         while self._waiting and len(self._users) < self.capacity:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cloud import Ec2Instance, PublicCloudInterface, S3Store
+from repro.cloud import PublicCloudInterface
 from repro.cloud.s3 import S3Error
 from repro.cluster import Cloud4Home, ClusterConfig
 from repro.services import MediaConversion

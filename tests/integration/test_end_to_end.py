@@ -1,7 +1,5 @@
 """End-to-end integration scenarios across all layers."""
 
-import pytest
-
 from repro import (
     Cloud4Home,
     ClusterConfig,
@@ -13,7 +11,6 @@ from repro import (
 from repro.net import HostDownError, RemoteError, RpcTimeoutError
 from repro.services import FaceDetection, FaceRecognition, MediaConversion
 from repro.sim import AllOf
-from repro.vstore import ObjectNotFoundError
 from repro.workloads import EDonkeyTraceGenerator, SurveillanceWorkload
 
 

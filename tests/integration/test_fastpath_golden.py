@@ -88,11 +88,11 @@ def test_table1_matches_golden_legacy(size_mb, no_interning):
 
 
 def test_fig5_matches_golden_fastpath():
-    from benchmarks.test_fig5_optimal_object_size import (
-        FILES_METHOD2,
-        SIZES_MB,
-        TOTAL_MB_METHOD1,
-        run_access_mix,
+    from repro.parallel.sweeps import (
+        FIG5_FILES_METHOD2 as FILES_METHOD2,
+        FIG5_SIZES_MB as SIZES_MB,
+        FIG5_TOTAL_MB_METHOD1 as TOTAL_MB_METHOD1,
+        fig5_access_mix as run_access_mix,
     )
 
     for size in SIZES_MB:

@@ -16,7 +16,7 @@ def test_metrics_capture_degradation_and_errors():
     c4h.run(owner.client.store_file("obs.bin", 5.0))
 
     # Healthy fetches.
-    for i in range(3):
+    for _ in range(3):
         c4h.run(
             metrics.timed(
                 "fetch",
@@ -33,7 +33,7 @@ def test_metrics_capture_degradation_and_errors():
     )
     chaos.start()
     c4h.sim.run(until=c4h.sim.now + 1.0)
-    for i in range(3):
+    for _ in range(3):
         c4h.run(
             metrics.timed(
                 "fetch",

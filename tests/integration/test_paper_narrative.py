@@ -6,11 +6,8 @@ paper, so a regression shows up in `pytest tests/` long before anyone
 re-runs the benchmark suite.
 """
 
-import pytest
-
 from repro import (
     Cloud4Home,
-    ClusterConfig,
     Placement,
     PlacementTarget,
     StorePolicy,

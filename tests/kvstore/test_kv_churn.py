@@ -1,10 +1,7 @@
 """KV-store behaviour under sustained churn with stabilization."""
 
-import pytest
-
-from repro.kvstore import DhtKeyValueStore, KeyNotFoundError
-from repro.net import NetworkError
-from repro.overlay import ChimeraNode, Stabilizer
+from repro.kvstore import DhtKeyValueStore
+from repro.overlay import Stabilizer
 from tests.conftest import build_overlay
 
 

@@ -131,9 +131,7 @@ class TestCaching:
         sim, net, nodes, stores = build_kv_overlay(8, seed=2)
         run(sim, stores[0].put("popular", "data"))
         run(sim, stores[1].get("popular"))
-        t0 = sim.now
         run(sim, stores[1].get("popular"))
-        first_hops = None
         # The requester itself caches the record, so the repeat get is
         # served locally without any forwarding.
         assert stores[1].cache

@@ -1,0 +1,10 @@
+# simlint-fixture-path: src/repro/cluster/config.py
+# simlint-fixture-expect: CFG401 CFG401
+from dataclasses import dataclass
+
+
+@dataclass
+class ClusterConfig:
+    seed: int = 0
+    shiny_new_feature: bool = True
+    required_knob: float

@@ -1,0 +1,16 @@
+# simlint-fixture-path: src/repro/cluster/config.py
+# simlint-fixture-expect:
+from dataclasses import dataclass, field
+
+
+@dataclass
+class OtherConfig:
+    # Only ClusterConfig is constrained; tuning sub-configs are free.
+    aggressive: bool = True
+
+
+@dataclass
+class ClusterConfig:
+    seed: int = 0
+    shiny_new_feature: bool = False
+    devices: list = field(default_factory=list)

@@ -1,0 +1,9 @@
+# simlint-fixture-path: src/repro/cluster/config.py
+# simlint-fixture-expect:
+# simlint-fixture-expect-suppressed: CFG401
+from dataclasses import dataclass
+
+
+@dataclass
+class ClusterConfig:
+    shiny_new_feature: bool = True  # simlint: ignore[CFG401]

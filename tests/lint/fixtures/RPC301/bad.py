@@ -1,0 +1,13 @@
+# simlint-fixture-path: src/repro/kvstore/fixture.py
+# simlint-fixture-expect: RPC301 RPC301
+class Store:
+    def __init__(self, endpoint):
+        endpoint.register("kv.get", self._handle_get)
+        endpoint.register("kv.put", self._on_put)
+
+    def _handle_get(self, request):
+        raise KeyError(request.body["key"])
+
+    def _on_put(self, request):
+        # Registered under a non-conventional name: still a handler.
+        raise ValueError("bad value")

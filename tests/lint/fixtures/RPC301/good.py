@@ -1,0 +1,12 @@
+# simlint-fixture-path: src/repro/kvstore/fixture.py
+# simlint-fixture-expect:
+class Store:
+    def __init__(self, endpoint):
+        endpoint.register("kv.get", self._handle_get)
+
+    def _handle_get(self, request):
+        raise KeyNotFoundError(request.body["key"])
+
+    def helper(self):
+        # Not a handler: builtins are fine outside the RPC surface.
+        raise ValueError("local misuse")

@@ -1,0 +1,6 @@
+# simlint-fixture-path: src/repro/kvstore/fixture.py
+# simlint-fixture-expect:
+# simlint-fixture-expect-suppressed: RPC301
+class Store:
+    def _handle_get(self, request):
+        raise KeyError(request.body["key"])  # simlint: ignore[RPC301]

@@ -1,0 +1,12 @@
+# simlint-fixture-path: src/repro/sim/fixture.py
+# simlint-fixture-expect: SIM101 SIM101 SIM101
+import time
+from time import perf_counter
+from datetime import datetime
+
+
+def stamp_events(events):
+    started = time.time()
+    for event in events:
+        event.wall = datetime.now()
+    return perf_counter() - started

@@ -1,0 +1,7 @@
+# simlint-fixture-path: src/repro/sim/fixture.py
+# simlint-fixture-expect:
+def stamp_events(sim, events):
+    started = sim.now
+    for event in events:
+        event.at = sim.now
+    return sim.now - started

@@ -1,0 +1,8 @@
+# simlint-fixture-path: src/repro/sim/fixture.py
+# simlint-fixture-expect:
+# simlint-fixture-expect-suppressed: SIM101
+import time
+
+
+def wall_debug():
+    return time.time()  # simlint: ignore[SIM101]

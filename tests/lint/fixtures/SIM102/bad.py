@@ -1,0 +1,12 @@
+# simlint-fixture-path: src/repro/overlay/fixture.py
+# simlint-fixture-expect: SIM102 SIM102 SIM102
+import random
+
+import numpy as np
+
+
+def jitter(base):
+    return base * random.uniform(0.9, 1.1) + np.random.rand()
+
+
+from random import choice  # noqa: E402

@@ -1,0 +1,13 @@
+# simlint-fixture-path: src/repro/overlay/fixture.py
+# simlint-fixture-expect:
+import random
+
+
+class SeededStream:
+    """random.Random(seed) instantiation is the sanctioned wrapper."""
+
+    def __init__(self, seed):
+        self._rng = random.Random(seed)
+
+    def jitter(self, base):
+        return base * self._rng.uniform(0.9, 1.1)

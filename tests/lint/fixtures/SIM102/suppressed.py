@@ -1,0 +1,8 @@
+# simlint-fixture-path: src/repro/overlay/fixture.py
+# simlint-fixture-expect:
+# simlint-fixture-expect-suppressed: SIM102
+import random
+
+
+def scratch():
+    return random.random()  # simlint: ignore[SIM102]

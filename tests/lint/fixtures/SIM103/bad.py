@@ -1,0 +1,6 @@
+# simlint-fixture-path: src/repro/cluster/fixture.py
+# simlint-fixture-expect: SIM103
+def drain(sim, queue):
+    it = iter(queue)
+    first = next(it)
+    yield sim.timeout(first)

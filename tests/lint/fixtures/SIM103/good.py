@@ -1,0 +1,21 @@
+# simlint-fixture-path: src/repro/cluster/fixture.py
+# simlint-fixture-expect:
+def drain(sim, queue):
+    it = iter(queue)
+    first = next(it, None)
+    if first is not None:
+        yield sim.timeout(first)
+
+
+def caught(sim, queue):
+    it = iter(queue)
+    try:
+        first = next(it)
+    except StopIteration:
+        return
+    yield sim.timeout(first)
+
+
+def not_a_generator(queue):
+    # Outside a generator body a bare next() raises normally.
+    return next(iter(queue))

@@ -1,0 +1,7 @@
+# simlint-fixture-path: src/repro/cluster/fixture.py
+# simlint-fixture-expect:
+# simlint-fixture-expect-suppressed: SIM103
+def drain(sim, queue):
+    it = iter(queue)
+    first = next(it)  # simlint: ignore[SIM103]
+    yield sim.timeout(first)

@@ -1,0 +1,9 @@
+# simlint-fixture-path: src/repro/monitoring/fixture.py
+# simlint-fixture-expect: SIM104 SIM104
+def rank(candidates):
+    alive = set(candidates)
+    best = None
+    for name in alive:
+        if best is None:
+            best = name
+    return [n for n in {c.name for c in candidates}]

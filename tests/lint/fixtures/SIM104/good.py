@@ -1,0 +1,15 @@
+# simlint-fixture-path: src/repro/monitoring/fixture.py
+# simlint-fixture-expect:
+def rank(candidates):
+    alive = set(candidates)
+    best = None
+    for name in sorted(alive):
+        if best is None:
+            best = name
+    return best
+
+
+def membership_only(candidates, name):
+    # Set *membership* is deterministic; only iteration order is not.
+    alive = set(candidates)
+    return name in alive

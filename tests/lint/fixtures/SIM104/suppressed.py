@@ -1,0 +1,7 @@
+# simlint-fixture-path: src/repro/monitoring/fixture.py
+# simlint-fixture-expect:
+# simlint-fixture-expect-suppressed: SIM104
+def rank(candidates):
+    alive = set(candidates)
+    for name in alive:  # simlint: ignore[SIM104]
+        return name

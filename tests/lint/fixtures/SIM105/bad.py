@@ -1,0 +1,9 @@
+# simlint-fixture-path: src/repro/net/fixture.py
+# simlint-fixture-expect: SIM105 SIM105
+import time
+from time import sleep
+
+
+def backoff(attempt):
+    time.sleep(0.1 * attempt)
+    sleep(1.0)

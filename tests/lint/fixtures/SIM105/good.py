@@ -1,0 +1,4 @@
+# simlint-fixture-path: src/repro/net/fixture.py
+# simlint-fixture-expect:
+def backoff(sim, attempt):
+    yield sim.timeout(0.1 * attempt)

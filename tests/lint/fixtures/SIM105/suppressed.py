@@ -1,0 +1,8 @@
+# simlint-fixture-path: src/repro/net/fixture.py
+# simlint-fixture-expect:
+# simlint-fixture-expect-suppressed: SIM105
+import time
+
+
+def settle():
+    time.sleep(0.01)  # simlint: ignore[SIM105]

@@ -1,0 +1,8 @@
+# simlint-fixture-path: src/repro/resilience/fixture.py
+# simlint-fixture-expect: SIM106 SIM106
+import os
+import uuid
+
+
+def make_token():
+    return uuid.uuid4().hex + os.urandom(4).hex()

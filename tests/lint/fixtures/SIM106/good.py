@@ -1,0 +1,4 @@
+# simlint-fixture-path: src/repro/resilience/fixture.py
+# simlint-fixture-expect:
+def make_token(rng):
+    return f"{rng.getrandbits(64):016x}"

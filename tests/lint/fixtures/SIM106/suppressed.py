@@ -1,0 +1,8 @@
+# simlint-fixture-path: src/repro/resilience/fixture.py
+# simlint-fixture-expect:
+# simlint-fixture-expect-suppressed: SIM106
+import uuid
+
+
+def make_token():
+    return uuid.uuid4().hex  # simlint: ignore[SIM106]

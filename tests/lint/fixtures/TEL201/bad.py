@@ -1,0 +1,8 @@
+# simlint-fixture-path: src/repro/vstore/fixture.py
+# simlint-fixture-expect: TEL201 TEL201
+class Node:
+    def serve(self, request):
+        tel = self.sim.telemetry
+        span = tel.begin("vstore.serve", layer="vstore")
+        self.do_work(request)
+        tel.end(span)

@@ -1,0 +1,21 @@
+# simlint-fixture-path: src/repro/vstore/fixture.py
+# simlint-fixture-expect:
+class Node:
+    def serve(self, request):
+        tel = self.sim.telemetry
+        span = tel.begin("vstore.serve") if tel is not None else None
+        self.do_work(request)
+        if span is not None:
+            tel.end(span)
+
+    def _span(self, name, ctx):
+        tel = self.sim.telemetry
+        if tel is None:
+            return None, None
+        return tel, tel.begin(name, parent=ctx)
+
+    def serve_guarded_block(self, request):
+        tel = self.sim.telemetry
+        if tel is not None:
+            span = tel.begin("vstore.serve")
+            tel.end(span)

@@ -1,0 +1,7 @@
+# simlint-fixture-path: src/repro/vstore/fixture.py
+# simlint-fixture-expect:
+# simlint-fixture-expect-suppressed: TEL201
+class Node:
+    def serve(self, request):
+        tel = self.sim.telemetry
+        tel.begin("vstore.serve")  # simlint: ignore[TEL201]

@@ -1,0 +1,175 @@
+"""CLI behaviour: the --check gate over a seeded fixture tree.
+
+The tree below contains exactly one violation per registered rule, at
+a path inside the rule's scope — the acceptance criterion for
+``python -m repro lint --check`` exiting nonzero on dirty trees.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.lint import all_rules, lint_paths
+
+#: repo-relative path -> (source, violated codes)
+FIXTURE_TREE = {
+    "src/repro/sim/clock.py": (
+        "import time\nt = time.time()\n",
+        ["SIM101"],
+    ),
+    "src/repro/overlay/draws.py": (
+        "import random\nv = random.random()\n",
+        ["SIM102"],
+    ),
+    "src/repro/cluster/drain.py": (
+        "def drain(sim, it):\n    x = next(it)\n    yield sim.timeout(x)\n",
+        ["SIM103"],
+    ),
+    "src/repro/monitoring/rank.py": (
+        "def rank(c):\n    for x in set(c):\n        return x\n",
+        ["SIM104"],
+    ),
+    "src/repro/net/wait.py": (
+        "import time\ntime.sleep(1)\n",
+        ["SIM105"],
+    ),
+    "src/repro/resilience/token.py": (
+        "import uuid\nt = uuid.uuid4()\n",
+        ["SIM106"],
+    ),
+    "src/repro/vstore/emit.py": (
+        "class N:\n"
+        "    def serve(self):\n"
+        "        tel = self.sim.telemetry\n"
+        "        tel.begin('x')\n",
+        ["TEL201"],
+    ),
+    "src/repro/kvstore/handlers.py": (
+        "class S:\n"
+        "    def _handle_get(self, request):\n"
+        "        raise KeyError('missing')\n",
+        ["RPC301"],
+    ),
+    "src/repro/cluster/config.py": (
+        "class ClusterConfig:\n    newflag: bool = True\n",
+        ["CFG401"],
+    ),
+}
+
+
+@pytest.fixture
+def dirty_tree(tmp_path):
+    for relpath, (source, _) in FIXTURE_TREE.items():
+        target = tmp_path / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+    return tmp_path
+
+
+def test_fixture_tree_covers_every_rule():
+    seeded = sorted(
+        code for _, codes in FIXTURE_TREE.values() for code in codes
+    )
+    assert seeded == sorted(all_rules())
+
+
+def test_check_exits_nonzero_on_dirty_tree(dirty_tree, capsys):
+    rc = main(["lint", "--root", str(dirty_tree), "--check"])
+    assert rc == 1
+    out = capsys.readouterr().out
+    for code in all_rules():
+        assert code in out, f"{code} not reported"
+
+
+def test_report_mode_exits_zero_on_dirty_tree(dirty_tree):
+    assert main(["lint", "--root", str(dirty_tree)]) == 0
+
+
+def test_check_exits_zero_on_clean_tree(tmp_path, capsys):
+    clean = tmp_path / "src" / "repro" / "sim"
+    clean.mkdir(parents=True)
+    (clean / "ok.py").write_text("def f(sim):\n    return sim.now\n")
+    assert main(["lint", "--root", str(tmp_path), "--check"]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_update_baseline_then_check_passes(dirty_tree, capsys):
+    assert main(["lint", "--root", str(dirty_tree), "--update-baseline"]) == 0
+    baseline = json.loads((dirty_tree / ".simlint-baseline.json").read_text())
+    assert len(baseline["entries"]) == len(FIXTURE_TREE)
+    capsys.readouterr()
+    assert main(["lint", "--root", str(dirty_tree), "--check"]) == 0
+    out = capsys.readouterr().out
+    assert f"{len(FIXTURE_TREE)} baselined" in out
+
+
+def test_stale_baseline_fails_check(dirty_tree, capsys):
+    main(["lint", "--root", str(dirty_tree), "--update-baseline"])
+    fixed = dirty_tree / "src/repro/sim/clock.py"
+    fixed.write_text("t = 0\n")
+    rc = main(["lint", "--root", str(dirty_tree), "--check"])
+    assert rc == 1
+    assert "stale baseline entry" in capsys.readouterr().out
+
+
+def test_no_baseline_flag_reports_grandfathered(dirty_tree):
+    main(["lint", "--root", str(dirty_tree), "--update-baseline"])
+    report = lint_paths(dirty_tree)
+    assert len(report.findings) == len(FIXTURE_TREE)
+    assert main(["lint", "--root", str(dirty_tree), "--check"]) == 0
+    rc = main(
+        ["lint", "--root", str(dirty_tree), "--check", "--no-baseline"]
+    )
+    assert rc == 1
+
+
+def test_select_restricts_rules(dirty_tree, capsys):
+    rc = main(
+        [
+            "lint",
+            "--root",
+            str(dirty_tree),
+            "--check",
+            "--no-baseline",
+            "--select",
+            "TEL201",
+        ]
+    )
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "TEL201" in out and "SIM101" not in out
+
+
+def test_explicit_paths_narrow_the_walk(dirty_tree):
+    rc = main(
+        [
+            "lint",
+            "--root",
+            str(dirty_tree),
+            "--check",
+            "--no-baseline",
+            "src/repro/net",
+        ]
+    )
+    assert rc == 1  # SIM105 in src/repro/net
+    rc = main(
+        [
+            "lint",
+            "--root",
+            str(dirty_tree),
+            "--select",
+            "SIM101",
+            "--check",
+            "--no-baseline",
+            "src/repro/net",
+        ]
+    )
+    assert rc == 0  # no SIM101 violations under src/repro/net
+
+
+def test_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in all_rules():
+        assert code in out

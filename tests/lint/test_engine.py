@@ -1,0 +1,157 @@
+"""Engine mechanics: suppressions, baseline lifecycle, file walking."""
+
+import pytest
+
+from repro.lint import (
+    Baseline,
+    Finding,
+    LintReport,
+    lint_paths,
+    lint_source,
+    run_lint,
+)
+from repro.lint.context import parse_suppressions
+
+BAD_SIM = "import time\nt = time.time()\n"
+
+
+class TestSuppressions:
+    def test_bare_ignore_suppresses_all_codes(self):
+        source = "import time\nt = time.time()  # simlint: ignore\n"
+        findings = lint_source(source, "src/repro/sim/x.py")
+        assert findings and all(f.suppressed for f in findings)
+
+    def test_code_scoped_ignore_only_matches_its_code(self):
+        source = "import time\nt = time.time()  # simlint: ignore[TEL201]\n"
+        findings = lint_source(source, "src/repro/sim/x.py")
+        assert [f.code for f in findings if f.active] == ["SIM101"]
+
+    def test_multiple_codes_in_one_marker(self):
+        source = (
+            "import time\nimport random\n"
+            "v = time.time() + random.random()"
+            "  # simlint: ignore[SIM101, SIM102]\n"
+        )
+        findings = lint_source(source, "src/repro/sim/x.py")
+        assert [f.code for f in findings if f.active] == []
+        assert sorted(f.code for f in findings) == ["SIM101", "SIM102"]
+
+    def test_marker_inside_string_is_not_a_suppression(self):
+        source = (
+            "import time\n"
+            's = "# simlint: ignore"\n'
+            "t = time.time()\n"
+        )
+        findings = lint_source(source, "src/repro/sim/x.py")
+        assert [f.code for f in findings if f.active] == ["SIM101"]
+
+    def test_parse_suppressions_line_mapping(self):
+        supp, skip = parse_suppressions(
+            "x = 1  # simlint: ignore[SIM101]\ny = 2\n"
+        )
+        assert supp == {1: {"SIM101"}}
+        assert skip is False
+
+
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        findings = lint_source(BAD_SIM, "src/repro/sim/x.py")
+        baseline = Baseline.from_findings(findings)
+        target = tmp_path / "baseline.json"
+        baseline.write(target)
+        loaded = Baseline.load(target)
+        assert [e.key() for e in loaded.entries] == [
+            e.key() for e in baseline.entries
+        ]
+
+    def test_matching_survives_line_drift(self):
+        findings = lint_source(BAD_SIM, "src/repro/sim/x.py")
+        baseline = Baseline.from_findings(findings)
+        # Same violation, shifted four lines down.
+        drifted = "# pad\n# pad\n# pad\n# pad\n" + BAD_SIM
+        fresh = lint_source(drifted, "src/repro/sim/x.py")
+        stale = baseline.apply(fresh)
+        assert stale == []
+        assert all(f.baselined for f in fresh)
+
+    def test_fixed_violation_reports_stale_entry(self):
+        findings = lint_source(BAD_SIM, "src/repro/sim/x.py")
+        baseline = Baseline.from_findings(findings)
+        fresh = lint_source("x = 1\n", "src/repro/sim/x.py")
+        stale = baseline.apply(fresh)
+        assert [e.code for e in stale] == ["SIM101"]
+
+    def test_multiset_semantics(self):
+        two = "import time\na = time.time()\nb = time.time()\n"
+        findings = lint_source(two, "src/repro/sim/x.py")
+        assert len(findings) == 2
+        # Baseline only one of the two identical-keyed findings...
+        baseline = Baseline.from_findings(findings[:1])
+        fresh = lint_source(two, "src/repro/sim/x.py")
+        baseline.apply(fresh)
+        # ...and exactly one stays active.
+        assert sum(1 for f in fresh if f.active) == 1
+
+    def test_unknown_version_rejected(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text('{"version": 99, "entries": []}')
+        with pytest.raises(ValueError, match="version"):
+            Baseline.load(target)
+
+    def test_suppressed_findings_stay_out_of_baseline(self):
+        source = "import time\nt = time.time()  # simlint: ignore\n"
+        findings = lint_source(source, "src/repro/sim/x.py")
+        assert Baseline.from_findings(findings).entries == []
+
+
+class TestWalking:
+    def test_lint_paths_walks_and_scopes(self, tmp_path):
+        sim = tmp_path / "src" / "repro" / "sim"
+        sim.mkdir(parents=True)
+        (sim / "bad.py").write_text(BAD_SIM)
+        (sim / "__pycache__").mkdir()
+        (sim / "__pycache__" / "junk.py").write_text(BAD_SIM)
+        cli = tmp_path / "src" / "repro" / "cli.py"
+        cli.write_text(BAD_SIM)  # out of SIM scope
+        report = lint_paths(tmp_path)
+        assert report.n_files == 2  # pycache dir skipped
+        assert [f.path for f in report.active] == ["src/repro/sim/bad.py"]
+
+    def test_parse_error_is_reported_not_raised(self, tmp_path):
+        sim = tmp_path / "src" / "repro" / "sim"
+        sim.mkdir(parents=True)
+        (sim / "broken.py").write_text("def broken(:\n")
+        report = lint_paths(tmp_path)
+        assert len(report.errors) == 1
+        assert report.errors[0][0] == "src/repro/sim/broken.py"
+        assert not report.clean
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            lint_paths(tmp_path, paths=("no/such/dir",))
+
+    def test_run_lint_applies_baseline(self, tmp_path):
+        sim = tmp_path / "src" / "repro" / "sim"
+        sim.mkdir(parents=True)
+        (sim / "bad.py").write_text(BAD_SIM)
+        base = tmp_path / ".simlint-baseline.json"
+        report = run_lint(tmp_path, baseline_path=base)
+        assert not report.clean
+        Baseline.from_findings(report.findings).write(base)
+        report = run_lint(tmp_path, baseline_path=base)
+        assert report.clean and len(report.baselined) == 1
+
+
+class TestReportShape:
+    def test_partitions(self):
+        report = LintReport(
+            findings=[
+                Finding("SIM101", "a.py", 1, 1, "m"),
+                Finding("SIM101", "a.py", 2, 1, "m", suppressed=True),
+                Finding("SIM101", "a.py", 3, 1, "m", baselined=True),
+            ]
+        )
+        assert len(report.active) == 1
+        assert len(report.suppressed) == 1
+        assert len(report.baselined) == 1
+        assert not report.clean

@@ -1,0 +1,80 @@
+"""Acceptance tests against the real repository tree.
+
+Injects the two violations named in the PR's acceptance criteria into
+*real* source files (in memory) and asserts the corresponding rules
+catch them, then checks the committed tree itself is clean under the
+committed baseline.
+"""
+
+from pathlib import Path
+
+from repro.lint import lint_source, run_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _read(relpath: str) -> str:
+    return (REPO_ROOT / relpath).read_text(encoding="utf-8")
+
+
+class TestInjectedViolations:
+    def test_wall_clock_in_sim_kernel_is_caught(self):
+        path = "src/repro/sim/kernel.py"
+        source = _read(path) + (
+            "\n\ndef _leak_wall_clock():\n"
+            "    import time\n"
+            "    return time.time()\n"
+        )
+        codes = [f.code for f in lint_source(source, path) if f.active]
+        assert "SIM101" in codes
+
+    def test_unguarded_emit_in_vstore_node_is_caught(self):
+        path = "src/repro/vstore/node.py"
+        source = _read(path) + (
+            "\n\ndef _leak_unguarded_emit(node):\n"
+            "    tel = node.sim.telemetry\n"
+            "    tel.begin('vstore.leak', layer='vstore')\n"
+        )
+        codes = [f.code for f in lint_source(source, path) if f.active]
+        assert "TEL201" in codes
+
+    def test_global_random_in_overlay_is_caught(self):
+        path = "src/repro/overlay/node.py"
+        source = _read(path) + (
+            "\n\ndef _leak_global_random():\n"
+            "    import random\n"
+            "    return random.random()\n"
+        )
+        codes = [f.code for f in lint_source(source, path) if f.active]
+        assert "SIM102" in codes
+
+    def test_feature_on_default_in_config_is_caught(self):
+        path = "src/repro/cluster/config.py"
+        source = _read(path).replace(
+            "    resilience: bool = False",
+            "    resilience: bool = True",
+        )
+        codes = [f.code for f in lint_source(source, path) if f.active]
+        assert "CFG401" in codes
+
+
+class TestCommittedTree:
+    def test_tree_is_clean_under_committed_baseline(self):
+        report = run_lint(
+            REPO_ROOT,
+            baseline_path=REPO_ROOT / ".simlint-baseline.json",
+        )
+        assert report.n_files > 50
+        assert [f.render() for f in report.active] == []
+        assert report.errors == []
+        assert [e.key() for e in report.stale_baseline] == []
+
+    def test_committed_baseline_is_annotated(self):
+        import json
+
+        payload = json.loads(
+            (REPO_ROOT / ".simlint-baseline.json").read_text()
+        )
+        assert payload["entries"], "baseline unexpectedly empty"
+        for entry in payload["entries"]:
+            assert entry.get("note"), f"baseline entry lacks a note: {entry}"

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.net.tcp import RatePhase, TcpProfile, UNCAPPED
+from repro.net.tcp import RatePhase, TcpProfile
 
 
 MB = 1024 * 1024

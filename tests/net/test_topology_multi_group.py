@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.net import Link, Network, NoRouteError, Route, UNCAPPED
+from repro.net import Link, Network, NoRouteError, Route
 from repro.sim import RandomSource, Simulator
 
 
@@ -67,7 +67,7 @@ class TestMultiGroupRouting:
         sim, net, _ = build_two_homes()
         slow = net.transfer("h0-dev0", "s3", 2e6)  # 1 MB/s uplink
         fast = net.transfer("h1-dev0", "s3", 2e6)  # 2 MB/s uplink
-        first = sim.run(until=fast)
+        sim.run(until=fast)
         assert not slow.triggered
         sim.run(until=slow)
 

@@ -1,10 +1,8 @@
 """Protocol-level tests for overlay messages (join/route internals)."""
 
-import pytest
-
 from repro.overlay import ChimeraNode, NodeId, PeerInfo
 from repro.overlay.node import MSG_ROUTE
-from tests.conftest import build_lan, build_overlay
+from tests.conftest import build_overlay
 
 
 def run(sim, generator):

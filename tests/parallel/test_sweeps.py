@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.parallel import canonical_json, derive_seed, run_jobs
+from repro.parallel import canonical_json, derive_seed
 from repro.parallel.sweeps import (
     DECISION_KS,
     FIG5_SIZES_MB,

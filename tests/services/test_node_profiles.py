@@ -1,7 +1,5 @@
 """Tests for per-node-type service profiles (Section III-A)."""
 
-import pytest
-
 from repro.cluster import Cloud4Home, ClusterConfig
 from repro.monitoring import ResourceSnapshot
 from repro.services import ComputeModel, Service, ServiceProfile

@@ -9,7 +9,7 @@ from repro.services import (
     surveillance_pipeline,
 )
 from repro.sim import Simulator
-from repro.virt import ATOM_S1, QUAD_S2, DeviceProfile, Hypervisor
+from repro.virt import ATOM_S1, QUAD_S2, Hypervisor
 
 
 def domain_for(profile, mem_mb, vcpus):

@@ -5,10 +5,8 @@ import pytest
 from repro.sim import (
     AllOf,
     AnyOf,
-    Event,
     Interrupt,
     Simulator,
-    SimulationError,
 )
 
 

@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.cluster",
     "repro.workloads",
     "repro.resilience",
+    "repro.lint",
 ]
 
 
@@ -88,7 +89,7 @@ class TestDocumentedEntryPoints:
         import repro.__main__  # noqa: F401
         from repro.cli import COMMANDS, build_parser
 
-        parser = build_parser()
+        build_parser()
         assert set(COMMANDS) == {
             "demo",
             "topology",
@@ -98,6 +99,7 @@ class TestDocumentedEntryPoints:
             "sweep",
             "report",
             "chaos",
+            "lint",
             "bench-help",
         }
 

@@ -90,7 +90,7 @@ class TestXenSocketInterleaving:
         """Commands and bulk data share one page ring per channel."""
         sim = Simulator()
         channel = XenSocketChannel(sim)
-        bulk = sim.process(channel.transfer(50 * MB))
+        sim.process(channel.transfer(50 * MB))
         command = sim.process(channel.transfer(48))
         sim.run(until=command)
         # The command had to wait for the bulk transfer's ring slot.

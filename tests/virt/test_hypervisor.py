@@ -99,7 +99,7 @@ class TestExecution:
         hv = Hypervisor(sim, profile)
         d1 = hv.create_domain("d1", vcpus=1, mem_mb=512)
         d2 = hv.create_domain("d2", vcpus=1, mem_mb=512)
-        p1 = sim.process(d1.execute(1e9))
+        sim.process(d1.execute(1e9))
         p2 = sim.process(d2.execute(1e9))
         sim.run(until=p2)
         # One core: the second domain waits for the first.

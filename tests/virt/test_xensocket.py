@@ -71,7 +71,7 @@ class TestXenSocketChannel:
     def test_concurrent_transfers_serialize_on_ring(self):
         sim = Simulator()
         ch = XenSocketChannel(sim)
-        p1 = sim.process(ch.transfer(10 * MB))
+        sim.process(ch.transfer(10 * MB))
         p2 = sim.process(ch.transfer(10 * MB))
         sim.run(until=p2)
         single = ch.transfer_time(10 * MB)

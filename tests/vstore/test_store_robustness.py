@@ -10,7 +10,7 @@ from repro import (
     PlacementTarget,
     StorePolicy,
 )
-from repro.vstore import BinFullError, ObjectExistsError, ObjectNotFoundError
+from repro.vstore import ObjectExistsError, ObjectNotFoundError
 
 
 def fresh(seed, devices=None, **kwargs):

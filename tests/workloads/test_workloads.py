@@ -5,7 +5,6 @@ import pytest
 from repro.sim import RandomSource
 from repro.workloads import (
     PAPER_IMAGE_SIZES_MB,
-    SIZE_BUCKETS,
     EDonkeyTraceGenerator,
     MediaLibrary,
     SurveillanceWorkload,
