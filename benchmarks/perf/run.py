@@ -1,5 +1,5 @@
 """Run the perf suites: ``BENCH_fastpath.json`` + ``BENCH_parallel.json``
-+ ``BENCH_telemetry.json`` + ``BENCH_resilience.json``.
++ ``BENCH_telemetry.json`` + ``BENCH_resilience.json`` + ``BENCH_scale.json``.
 
 Usage (from the repo root)::
 
@@ -21,6 +21,14 @@ identically seeded resilient runs agree bit-for-bit).
 The parallel suite verifies — not just claims — that pooled execution
 reproduces the naive serial loop bit-for-bit at several worker counts;
 the speedup numbers only mean anything on top of that equality.
+
+The scale suite (``BENCH_scale.json``) drives 256 → 10 k-node overlays
+with the open-loop load driver and A/Bs the O(N²) protocol join against
+``fast_join``; ``--check`` requires ≥2× on that A/B at the largest
+node count.  It is the slow suite — skip it with ``--no-scale`` when
+iterating on the others.  Every suite payload records a
+:func:`repro.telemetry.memory_probe` snapshot (current + peak RSS) so
+memory regressions surface next to time regressions.
 """
 
 from __future__ import annotations
@@ -44,13 +52,18 @@ from benchmarks.perf.parallel_bench import (
     bench_parallel_table1,
 )
 from benchmarks.perf.resilience_bench import bench_resilience
+from benchmarks.perf.scale_bench import bench_scale
 from benchmarks.perf.table1_bench import bench_table1
 from benchmarks.perf.telemetry_bench import bench_telemetry
 from benchmarks.perf.xensocket_bench import bench_xensocket
+from repro.telemetry import memory_probe
 
 MB = 1024 * 1024
 
 THRESHOLDS = {"xensocket_100mb": 2.0, "table1_sweep": 1.3}
+
+#: Protocol join vs fast_join at the largest A/B node count.
+SCALE_MIN_JOIN_SPEEDUP = 2.0
 
 PARALLEL_THRESHOLDS = {
     "table1_parallel": 2.0,
@@ -98,10 +111,20 @@ def main(argv=None) -> int:
         help="where to write the availability-under-chaos results JSON",
     )
     parser.add_argument(
+        "--output-scale",
+        default=str(REPO_ROOT / "BENCH_scale.json"),
+        help="where to write the scale-wall results JSON",
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=4,
         help="pool size for the parallel-harness benchmarks",
+    )
+    parser.add_argument(
+        "--no-scale",
+        action="store_true",
+        help="skip the (slow) 10k-node scale suite",
     )
     args = parser.parse_args(argv)
 
@@ -123,6 +146,15 @@ def main(argv=None) -> int:
         }
         telemetry_result = bench_telemetry(sizes=[1, 10], repeats=1)
         resilience_result = bench_resilience(n_objects=16)
+        scale_result = None
+        if not args.no_scale:
+            scale_result = bench_scale(
+                node_counts=(64, 256),
+                rates=(500.0, 4000.0),
+                duration_s=2.0,
+                workers=args.workers,
+                ab_node_counts=(256,),
+            )
     else:
         results = {
             "kernel": bench_kernel(),
@@ -137,8 +169,13 @@ def main(argv=None) -> int:
         }
         telemetry_result = bench_telemetry()
         resilience_result = bench_resilience()
+        scale_result = None
+        if not args.no_scale:
+            scale_result = bench_scale(workers=args.workers)
 
     host = {"python": platform.python_version(), "platform": platform.platform()}
+    # Satellite invariant: every BENCH json records a memory snapshot.
+    host["memory"] = memory_probe(count_objects=False)
     out = Path(args.output)
     out.write_text(
         json.dumps(
@@ -202,6 +239,23 @@ def main(argv=None) -> int:
         + "\n"
     )
 
+    out_scale = Path(args.output_scale)
+    if scale_result is not None:
+        out_scale.write_text(
+            json.dumps(
+                {
+                    "suite": "scale",
+                    "smoke": args.smoke,
+                    **host,
+                    "results": scale_result,
+                    "min_join_speedup": SCALE_MIN_JOIN_SPEEDUP,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+
     mode = "smoke" if args.smoke else "full"
     print(f"fastpath microbenchmarks ({mode} mode)")
     for name, r in results.items():
@@ -228,7 +282,26 @@ def main(argv=None) -> int:
         f"{resilience_result['on']['repair_actions']} repairs, "
         f"deterministic={resilience_result['deterministic']})"
     )
-    print(f"written: {out} {out_parallel} {out_telemetry} {out_resilience}")
+    if scale_result is not None:
+        print(f"scale wall ({mode} mode, {args.workers} workers)")
+        for n in scale_result["node_counts"]:
+            curve = scale_result["curves"][str(n)]
+            knee = curve["points"][-1]
+            print(
+                f"  {n:>6d} nodes: saturation "
+                f"{curve['saturation_rate']:8.0f} req/s, "
+                f"p99 {knee['p99_ms']:6.1f} ms, "
+                f"peak rss {curve['peak_rss_mb']:.0f} MB"
+            )
+        print(
+            f"  join A/B @ {scale_result['speedup_nodes']} nodes: "
+            f"{scale_result['speedup']:.2f}x"
+        )
+
+    written = [out, out_parallel, out_telemetry, out_resilience]
+    if scale_result is not None:
+        written.append(out_scale)
+    print("written: " + " ".join(str(p) for p in written))
 
     if args.check:
         failures = [
@@ -254,6 +327,14 @@ def main(argv=None) -> int:
             )
         if not resilience_result["deterministic"]:
             failures.append("resilience: runs are not bit-for-bit repeatable")
+        if scale_result is not None and (
+            scale_result["speedup"] < SCALE_MIN_JOIN_SPEEDUP
+        ):
+            failures.append(
+                f"scale: join A/B {scale_result['speedup']:.2f}x"
+                f" < {SCALE_MIN_JOIN_SPEEDUP}x"
+                f" at {scale_result['speedup_nodes']} nodes"
+            )
         if failures:
             print("threshold failures:\n  " + "\n  ".join(failures))
             return 1

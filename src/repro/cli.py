@@ -9,6 +9,7 @@ Usage::
     python -m repro sweep --workers 4    # paper sweeps on a process pool
     python -m repro report --files 8     # traced run + latency attribution
     python -m repro chaos --seed 3       # churn workload, resilience on
+    python -m repro load --nodes 256     # open-loop load driver
     python -m repro lint --check         # simlint invariant checker
     python -m repro bench-help           # how to regenerate the paper
 
@@ -163,6 +164,41 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit 1 unless every operation succeeded and the repair "
         "log is non-empty (the CI chaos smoke)",
+    )
+
+    load = sub.add_parser(
+        "load",
+        help="drive an overlay with the open-loop load generator",
+    )
+    load.add_argument(
+        "--nodes", type=int, default=256, help="overlay size (devices)"
+    )
+    load.add_argument(
+        "--rate", type=float, default=2000.0, help="offered arrival rate, req/s"
+    )
+    load.add_argument(
+        "--duration",
+        type=float,
+        default=5.0,
+        help="simulated injection window, seconds",
+    )
+    load.add_argument("--seed", type=int, default=0)
+    load.add_argument(
+        "--arrivals",
+        choices=["poisson", "deterministic"],
+        default="poisson",
+        help="arrival process (both seeded / exactly reproducible)",
+    )
+    load.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI gate: cap at 256 nodes, run the point twice, and fail "
+        "unless the simulated results are bit-for-bit identical",
+    )
+    load.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full scale_point payload as JSON",
     )
 
     lint = sub.add_parser(
@@ -463,6 +499,67 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def cmd_load(args) -> int:
+    import json
+
+    from repro.load import scale_point
+
+    nodes = args.nodes
+    if args.smoke and nodes > 256:
+        print(f"load --smoke: capping --nodes {nodes} at 256")
+        nodes = 256
+    kwargs = dict(
+        n_nodes=nodes,
+        rate=args.rate,
+        duration_s=args.duration,
+        seed=args.seed,
+        arrivals=args.arrivals,
+        probe_objects=False,
+    )
+    result = scale_point(**kwargs)
+
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+    else:
+        sim = result["sim"]
+        wall = result["wall"]
+        lat = sim["latency"]
+        print(
+            f"load: {nodes} nodes, {args.arrivals} arrivals at "
+            f"{args.rate:g} req/s for {args.duration:g}s (seed {args.seed})"
+        )
+        print(
+            f"  offered {sim['offered_rate']:.1f}/s -> achieved "
+            f"{sim['achieved_rate']:.1f}/s "
+            f"({sim['completed']} completed, {sim['shed']} shed, "
+            f"{sim['failed']} failed, {sim['kv_misses']} misses)"
+        )
+        print(
+            f"  latency p50 {lat['p50'] * 1000:.1f} ms / "
+            f"p99 {lat['p99'] * 1000:.1f} ms / "
+            f"p999 {lat['p999'] * 1000:.1f} ms "
+            f"(max inflight {sim['max_inflight_seen']})"
+        )
+        print(
+            f"  wall: build {wall['build_s']:.2f}s, run {wall['run_s']:.2f}s, "
+            f"{wall['events_per_s']} events/s, "
+            f"rss {result['memory']['rss_mb']} MB"
+        )
+
+    if args.smoke:
+        rerun = scale_point(**kwargs)
+        # Wall/memory blocks measure the machine; the simulated block
+        # must be reproduced bit-for-bit from the seed.
+        first, second = result["sim"], rerun["sim"]
+        if json.dumps(first, sort_keys=True) != json.dumps(
+            second, sort_keys=True
+        ):
+            print("load --smoke: FAIL — seeded rerun diverged")
+            return 1
+        print("load --smoke: ok (seeded rerun bit-for-bit identical)")
+    return 0
+
+
 def cmd_lint(args) -> int:
     from repro.lint.cli import run
 
@@ -499,6 +596,7 @@ COMMANDS = {
     "sweep": cmd_sweep,
     "report": cmd_report,
     "chaos": cmd_chaos,
+    "load": cmd_load,
     "lint": cmd_lint,
     "bench-help": cmd_bench_help,
 }

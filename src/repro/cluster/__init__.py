@@ -16,6 +16,7 @@ from repro.cluster.presets import (
     large_home,
     minimal_pair,
     paper_testbed,
+    scale_overlay,
 )
 from repro.cluster.federation import Federation, FederationDirectory
 from repro.cluster.config import (
@@ -47,4 +48,5 @@ __all__ = [
     "figure7_pair",
     "minimal_pair",
     "large_home",
+    "scale_overlay",
 ]

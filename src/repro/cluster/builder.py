@@ -11,6 +11,7 @@ simulated S3/EC2 cloud.
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Optional
 
@@ -24,7 +25,7 @@ from repro.monitoring import (
     ResourceSnapshot,
 )
 from repro.net import Link, Network, Route, TcpProfile
-from repro.overlay import ChimeraNode
+from repro.overlay import ID_DIGITS, ChimeraNode, PeerInfo
 from repro.resilience import (
     BreakerRegistry,
     Repairer,
@@ -158,6 +159,7 @@ class Cloud4Home:
         self.devices: list[Device] = [
             self._build_device(dc) for dc in self.config.devices
         ]
+        self._by_name: dict[str, Device] = {d.name: d for d in self.devices}
         self._started = False
 
     # -- fabric -----------------------------------------------------------
@@ -278,11 +280,13 @@ class Cloud4Home:
             leaf_size=self.config.leaf_size,
             route_cache=self.config.fastpath,
             rpc_push=self.config.fastpath,
+            route_cache_max=self.config.route_cache_max,
         )
         kv = DhtKeyValueStore(
             chimera,
             replication_factor=self.config.replication_factor,
             cache_enabled=self.config.cache_enabled,
+            ring_scan_reference=self.config.ring_scan_reference,
         )
         registry = ServiceRegistry(kv)
         res = self.config.resilience_tuning if self.config.resilience else None
@@ -420,29 +424,84 @@ class Cloud4Home:
 
     # -- lifecycle --------------------------------------------------------------
 
-    def start(self, monitors: bool = True) -> None:
-        """Join all devices into one overlay and publish resources."""
+    def start(self, monitors: bool = True, publish: bool = True) -> None:
+        """Join all devices into one overlay and publish resources.
+
+        ``publish=False`` skips the initial resource-snapshot puts —
+        the scale benches bring up 10k-node overlays that only exercise
+        the KV path and have no use for 10k monitor publications.
+        """
         if self._started:
             return
-        bootstrap = self.devices[0]
-        bootstrap.chimera.start()
-        for device in self.devices[1:]:
-            self.run(device.chimera.join(bootstrap=bootstrap.name))
-            self.sim.run()  # drain join announcements
+        if self.config.fast_join:
+            self._seed_overlay_views()
+        else:
+            bootstrap = self.devices[0]
+            bootstrap.chimera.start()
+            for device in self.devices[1:]:
+                self.run(device.chimera.join(bootstrap=bootstrap.name))
+                self.sim.run()  # drain join announcements
         for device in self.devices:
-            self.run(device.monitor.publish_once())
+            if publish:
+                self.run(device.monitor.publish_once())
             if monitors:
                 device.monitor.start(publish_immediately=False)
                 if device.repairer is not None:
                     device.repairer.start()
         self._started = True
 
+    def _seed_overlay_views(self) -> None:
+        """Install Pastry-correct partial views on every node directly.
+
+        Builds the routing state a fresh protocol bring-up converges
+        to, straight from the globally sorted id list: each node's leaf
+        set is its ``leaf_size`` true ring neighbours per side, and its
+        routing-table (row, col) entry is the first id inside that
+        prefix range (deterministic — no RNG, no protocol traffic, no
+        simulated time).  Rows stop once the node is alone in its
+        prefix group, so per-node state is O(log N) and total
+        construction is O(N log N) instead of the protocol join's
+        O(N²) messages.
+        """
+        order = sorted((d.chimera for d in self.devices), key=lambda c: c.id.value)
+        values = [c.id.value for c in order]
+        infos = [PeerInfo(c.name, c.id) for c in order]
+        n = len(order)
+        per_side = self.config.leaf_size
+        for i, node in enumerate(order):
+            node.start()
+            if n == 1:
+                continue
+            peers: dict[int, PeerInfo] = {}
+            for j in range(1, per_side + 1):
+                for k in ((i + j) % n, (i - j) % n):
+                    if k != i:
+                        peers[k] = infos[k]
+            value = node.id.value
+            for row in range(ID_DIGITS):
+                shift = (ID_DIGITS - row - 1) * 4
+                prefix_base = (value >> (shift + 4)) << (shift + 4)
+                glo = bisect_left(values, prefix_base)
+                ghi = bisect_left(values, prefix_base + (1 << (shift + 4)))
+                if ghi - glo <= 1:
+                    break  # alone in the prefix group: deeper rows are empty
+                own_col = (value >> shift) & 0xF
+                for col in range(16):
+                    if col == own_col:
+                        continue
+                    low = prefix_base + (col << shift)
+                    k = bisect_left(values, low, glo, ghi)
+                    if k < ghi and values[k] < low + (1 << shift):
+                        peers[k] = infos[k]
+            peers.pop(i, None)
+            node.seed_view(peers.values())
+
     def device(self, name: str) -> Device:
         """Look up one assembled device by name (KeyError if absent)."""
-        for device in self.devices:
-            if device.name == name:
-                return device
-        raise KeyError(f"no device named {name!r}")
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"no device named {name!r}") from None
 
     def run(self, generator):
         """Drive a process generator to completion; return its value."""

@@ -175,3 +175,20 @@ class ClusterConfig:
     data_replicas: int = 2
     #: Tuning knobs for the resilience layer.
     resilience_tuning: ResilienceConfig = field(default_factory=ResilienceConfig)
+    #: Scale construction: instead of the sequential protocol join
+    #: (O(N²) messages — minutes of wall clock past ~1k devices), the
+    #: builder computes each node's Pastry-correct partial view (leaf
+    #: set + routing table) directly from the sorted id list and
+    #: installs it in O(N log N) total.  No protocol traffic is emitted
+    #: and no simulated time elapses, so it is only valid for bringing
+    #: up a *fresh* overlay (which is exactly what the scale benches
+    #: do).  Off by default: the default path stays the paper-faithful
+    #: protocol join.
+    fast_join: bool = False
+    #: Per-node route-cache entry cap (LRU).  Lower it for 10k-node
+    #: runs where per-node memory dominates.
+    route_cache_max: int = 4096
+    #: Use the legacy full-membership-sort ring scans in the KV layer
+    #: (replica targets, owner selection) instead of the ring-window
+    #: query.  Identical results either way; kept for A/B measurement.
+    ring_scan_reference: bool = False

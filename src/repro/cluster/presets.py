@@ -14,6 +14,7 @@ __all__ = [
     "figure7_pair",
     "minimal_pair",
     "large_home",
+    "scale_overlay",
 ]
 
 
@@ -77,4 +78,22 @@ def large_home(n_devices: int = 24, seed: int = 0, **overrides) -> ClusterConfig
         else:
             devices.append(DeviceConfig(name=f"dev{i:02d}"))
     overrides.setdefault("leaf_size", 2)
+    return ClusterConfig(devices=devices, seed=seed, **overrides)
+
+
+def scale_overlay(n_nodes: int, seed: int = 0, **overrides) -> ClusterConfig:
+    """A 1k–10k-node neighbourhood overlay for scale benchmarking.
+
+    Homogeneous netbook-class devices, no public cloud, ``fast_join``
+    construction, and a small per-node route cache — the configuration
+    `benchmarks/perf/scale_bench.py` and ``python -m repro load`` drive
+    open-loop traffic against.  Only the KV/overlay path matters at
+    this scale, so EC2 and monitors stay off.
+    """
+    if n_nodes < 2:
+        raise ValueError("scale_overlay needs at least 2 nodes")
+    devices = [DeviceConfig(name=f"n{i:05d}") for i in range(n_nodes)]
+    overrides.setdefault("with_ec2", False)
+    overrides.setdefault("fast_join", True)
+    overrides.setdefault("route_cache_max", 256)
     return ClusterConfig(devices=devices, seed=seed, **overrides)

@@ -121,6 +121,7 @@ class KvStats:
                 "p50": _q(0.50),
                 "p95": _q(0.95),
                 "p99": _q(0.99),
+                "p999": _q(0.999),
             },
         }
 
@@ -139,6 +140,12 @@ class DhtKeyValueStore:
         Intermediate-hop caching switch and per-node LRU capacity.
     processing_s:
         Local store processing cost per handled request.
+    ring_scan_reference:
+        When True, replica-target and owner selection use the legacy
+        full-membership sort instead of the ring-window query on
+        :meth:`ChimeraNode.nearest_peers`.  Both paths return identical
+        peers (pinned by equality tests); the reference path is kept
+        for A/B measurement.
     """
 
     def __init__(
@@ -148,6 +155,7 @@ class DhtKeyValueStore:
         cache_enabled: bool = True,
         cache_capacity: int = 512,
         processing_s: float = 0.004,
+        ring_scan_reference: bool = False,
     ) -> None:
         if replication_factor < 0:
             raise ValueError("replication_factor must be >= 0")
@@ -158,6 +166,7 @@ class DhtKeyValueStore:
         self.cache_enabled = cache_enabled
         self.cache_capacity = cache_capacity
         self.processing_s = processing_s
+        self.ring_scan_reference = ring_scan_reference
         self.primary: dict[str, Record] = {}
         self.replicas: dict[str, Record] = {}
         self.cache: "OrderedDict[str, Record]" = OrderedDict()
@@ -517,11 +526,9 @@ class DhtKeyValueStore:
         if self.replication_factor == 0:
             return []
         key = NodeId.from_hex(key_hex)
-        peers = sorted(
-            self.chimera.peers(),
-            key=lambda p: (p.id.distance(key), p.id.value),
+        return self.chimera.nearest_peers(
+            key, self.replication_factor, reference=self.ring_scan_reference
         )
-        return peers[: self.replication_factor]
 
     def _push_replicas(self, record: Record) -> None:
         wire = record.wire()
@@ -553,14 +560,10 @@ class DhtKeyValueStore:
             pass
 
     def _owner_excluding_self(self, key: NodeId) -> Optional[PeerInfo]:
-        best: Optional[PeerInfo] = None
-        best_rank = None
-        for peer in self.chimera.peers():
-            rank = (peer.id.distance(key), peer.id.value)
-            if best_rank is None or rank < best_rank:
-                best_rank = rank
-                best = peer
-        return best
+        nearest = self.chimera.nearest_peers(
+            key, 1, reference=self.ring_scan_reference
+        )
+        return nearest[0] if nearest else None
 
     def _translate(self, exc: RemoteError) -> KvError:
         """Map remote handler failures back to typed client errors."""

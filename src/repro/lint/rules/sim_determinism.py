@@ -20,6 +20,7 @@ __all__ = [
     "GlobalRandomRule",
     "WallSleepRule",
     "AmbientEntropyRule",
+    "UnseededRandomRule",
 ]
 
 #: Packages whose code runs inside (or feeds) the simulated world.
@@ -31,7 +32,14 @@ SIM_SCOPE = (
     "src/repro/vstore",
     "src/repro/cluster",
     "src/repro/resilience",
+    "src/repro/load",
+    "src/repro/workloads",
 )
+
+#: The scale-bench job functions measure wall time *on purpose* (the
+#: scale wall is a wall-clock phenomenon); simulated state never reads
+#: those values.  Everything else in the load package stays in scope.
+_WALL_BENCH_EXCLUDE = ("src/repro/load/bench.py",)
 
 
 def _import_map(tree: ast.AST, wanted: dict[str, set[str]]) -> dict[str, str]:
@@ -94,6 +102,7 @@ class WallClockRule(_CallChainRule):
         "wall-clock read inside simulated code (use sim.now / sim.timeout)"
     )
     scope = SIM_SCOPE
+    exclude = _WALL_BENCH_EXCLUDE
     banned_suffixes = (
         "time.time",
         "time.time_ns",
@@ -258,3 +267,37 @@ class AmbientEntropyRule(_CallChainRule):
             "choice",
         },
     }
+
+
+@register_rule
+class UnseededRandomRule(Rule):
+    """SIM107: ``random.Random()`` without a seed argument.
+
+    SIM102 allows ``random.Random(seed)`` instantiation because that is
+    exactly what :class:`repro.sim.RandomSource` wraps — but an
+    *argless* ``Random()`` seeds itself from OS entropy, which silently
+    breaks the bit-for-bit determinism contract of the load driver and
+    the workload models.  Seed it, or fork a ``RandomSource`` stream.
+    """
+
+    code = "SIM107"
+    name = "no-unseeded-random"
+    message = (
+        "unseeded random.Random() inside simulated code "
+        "(pass a seed, or fork a repro.sim.RandomSource)"
+    )
+    scope = SIM_SCOPE
+
+    def run(self, ctx):
+        self._bound = _import_map(ctx.tree, {"random": {"Random"}})
+        return super().run(ctx)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        dotted = dotted_name(func)
+        is_random_ctor = (
+            isinstance(func, ast.Name) and func.id in self._bound
+        ) or dotted == "random.Random"
+        if is_random_ctor and not node.args and not node.keywords:
+            self.report(node)
+        self.generic_visit(node)

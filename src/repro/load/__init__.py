@@ -1,0 +1,42 @@
+"""Open-loop load generation against a Cloud4Home deployment.
+
+Public surface:
+
+* :class:`OpenLoopDriver`, :class:`LoadReport` — the driver: inject on
+  a fixed arrival schedule, measure offered vs. achieved throughput
+  and the latency distribution.
+* :class:`ArrivalProcess`, :class:`PoissonArrivals`,
+  :class:`DeterministicArrivals`, :class:`ModulatedPoissonArrivals` —
+  injection schedules (all seeded via :class:`repro.sim.RandomSource`).
+* :class:`KvScenario`, :class:`CameraPutScenario` — bindings from the
+  :mod:`repro.workloads` models to a deployment's KV path.
+* :func:`scale_point`, :func:`join_wall` — parallel-runner job
+  functions used by ``benchmarks/perf/scale_bench.py``.
+
+Methodology (open- vs. closed-loop, reproducing ``BENCH_scale.json``)
+is documented in ``docs/SCALING.md``.
+"""
+
+from repro.load.arrivals import (
+    ArrivalProcess,
+    DeterministicArrivals,
+    ModulatedPoissonArrivals,
+    PoissonArrivals,
+)
+from repro.load.bench import DEFAULT_MAX_INFLIGHT, join_wall, scale_point
+from repro.load.driver import LoadReport, OpenLoopDriver
+from repro.load.scenario import CameraPutScenario, KvScenario
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "DeterministicArrivals",
+    "ModulatedPoissonArrivals",
+    "OpenLoopDriver",
+    "LoadReport",
+    "KvScenario",
+    "CameraPutScenario",
+    "scale_point",
+    "join_wall",
+    "DEFAULT_MAX_INFLIGHT",
+]

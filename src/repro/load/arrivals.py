@@ -1,0 +1,118 @@
+"""Arrival processes for open-loop load generation.
+
+An arrival process is a deterministic function of its seed: it yields
+the absolute injection times of successive requests, independent of
+anything the system under test does.  That independence is the whole
+point of open-loop measurement — see ``docs/SCALING.md``.
+
+All stochastic processes draw from :class:`repro.sim.RandomSource`
+(simlint's SIM107 rejects unseeded ``random.Random()`` here).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.sim import RandomSource
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "DeterministicArrivals",
+    "ModulatedPoissonArrivals",
+]
+
+
+class ArrivalProcess:
+    """Base class: a stream of absolute arrival times."""
+
+    def times(self, start: float = 0.0) -> Iterator[float]:
+        """Yield successive absolute arrival times, forever."""
+        raise NotImplementedError
+
+    def schedule(self, duration_s: float, start: float = 0.0) -> list[float]:
+        """All arrival times inside ``[start, start + duration_s)``.
+
+        Materialized for determinism tests and offline inspection; the
+        driver itself consumes :meth:`times` lazily.
+        """
+        out = []
+        end = start + duration_s
+        for t in self.times(start):
+            if t >= end:
+                break
+            out.append(t)
+        return out
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Homogeneous Poisson arrivals at ``rate`` requests/second."""
+
+    def __init__(self, rate: float, rng: RandomSource) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.rate = rate
+        self._rng = rng
+
+    def times(self, start: float = 0.0) -> Iterator[float]:
+        t = start
+        rate = self.rate
+        rng = self._rng
+        while True:
+            t += rng.exponential(rate)
+            yield t
+
+
+class DeterministicArrivals(ArrivalProcess):
+    """Evenly spaced arrivals at exactly ``rate`` requests/second."""
+
+    def __init__(self, rate: float) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.rate = rate
+
+    def times(self, start: float = 0.0) -> Iterator[float]:
+        gap = 1.0 / self.rate
+        n = 1
+        while True:
+            # Multiply instead of accumulating so float error stays
+            # bounded over millions of arrivals.
+            yield start + n * gap
+            n += 1
+
+
+class ModulatedPoissonArrivals(ArrivalProcess):
+    """Non-homogeneous Poisson arrivals with time-varying ``rate_fn``.
+
+    Implemented by Lewis–Shedler thinning: candidates are generated at
+    ``peak_rate`` and accepted with probability ``rate_fn(t) /
+    peak_rate``.  ``rate_fn`` must never exceed ``peak_rate`` (checked
+    per candidate).  Pair with :class:`repro.workloads.DiurnalRate`
+    for day/night load curves.
+    """
+
+    def __init__(
+        self,
+        rate_fn: Callable[[float], float],
+        peak_rate: float,
+        rng: RandomSource,
+    ) -> None:
+        if peak_rate <= 0:
+            raise ValueError("peak_rate must be positive")
+        self.rate_fn = rate_fn
+        self.peak_rate = peak_rate
+        self._rng = rng
+
+    def times(self, start: float = 0.0) -> Iterator[float]:
+        t = start
+        rng = self._rng
+        peak = self.peak_rate
+        while True:
+            t += rng.exponential(peak)
+            rate = self.rate_fn(t)
+            if rate > peak:
+                raise ValueError(
+                    f"rate_fn({t:.3f}) = {rate:.3f} exceeds peak_rate {peak:.3f}"
+                )
+            if rng.random() * peak < rate:
+                yield t

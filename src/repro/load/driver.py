@@ -1,0 +1,226 @@
+"""The open-loop load driver.
+
+Closed-loop drivers (N workers, each issuing the next request when the
+previous one returns) let a slow system throttle its own load, hiding
+saturation entirely — the classic coordinated-omission trap.  This
+driver is *open-loop*: an arrival process fixes the injection schedule
+up front, requests are injected on that schedule whether or not earlier
+ones have completed, and the gap between offered and achieved
+throughput (plus the latency tail) is the measurement.
+
+Bounded memory past saturation comes from load shedding, not queueing:
+at most ``max_inflight`` requests run concurrently, and arrivals that
+would exceed the cap are counted as shed and dropped.  An overloaded
+run therefore reports ``achieved < offered`` with a flat memory
+profile instead of an ever-growing process queue.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from repro.load.arrivals import ArrivalProcess
+from repro.sim.kernel import Simulator
+from repro.telemetry import MetricsRegistry
+
+__all__ = ["OpenLoopDriver", "LoadReport"]
+
+#: The instrument names the driver writes under the metrics registry.
+LATENCY_HISTOGRAM = "load.latency"
+
+#: A request generator: called with (request index, injection time),
+#: returns a simulation process generator.
+Operation = Callable[[int, float], Generator]
+
+
+class LoadReport:
+    """The outcome of one driver run (JSON-ready via :meth:`as_dict`)."""
+
+    def __init__(
+        self,
+        *,
+        duration_s: float,
+        offered: int,
+        injected: int,
+        shed: int,
+        completed: int,
+        failed: int,
+        inflight_at_end: int,
+        max_inflight_seen: int,
+        latency: dict,
+    ) -> None:
+        self.duration_s = duration_s
+        self.offered = offered
+        self.injected = injected
+        self.shed = shed
+        self.completed = completed
+        self.failed = failed
+        self.inflight_at_end = inflight_at_end
+        self.max_inflight_seen = max_inflight_seen
+        self.latency = latency
+
+    @property
+    def offered_rate(self) -> float:
+        return self.offered / self.duration_s if self.duration_s else 0.0
+
+    @property
+    def achieved_rate(self) -> float:
+        return self.completed / self.duration_s if self.duration_s else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "duration_s": self.duration_s,
+            "offered": self.offered,
+            "injected": self.injected,
+            "shed": self.shed,
+            "completed": self.completed,
+            "failed": self.failed,
+            "inflight_at_end": self.inflight_at_end,
+            "max_inflight_seen": self.max_inflight_seen,
+            "offered_rate": self.offered_rate,
+            "achieved_rate": self.achieved_rate,
+            "latency": dict(self.latency),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<LoadReport offered={self.offered_rate:.1f}/s "
+            f"achieved={self.achieved_rate:.1f}/s "
+            f"p99={self.latency.get('p99', 0.0) * 1000:.1f}ms>"
+        )
+
+
+class OpenLoopDriver:
+    """Inject requests on a fixed arrival schedule; measure the gap.
+
+    Parameters
+    ----------
+    sim:
+        The simulator the system under test runs on.
+    arrivals:
+        The injection schedule (:class:`repro.load.ArrivalProcess`).
+        Seeded arrivals make the whole run bit-for-bit deterministic.
+    operation:
+        Factory called as ``operation(index, injected_at)`` per
+        arrival; returns the process generator to run.
+    metrics:
+        Registry for the latency histogram and throughput counters
+        (one is created when omitted).
+    node:
+        Instrument node label (distinguishes concurrent drivers).
+    max_inflight:
+        Load-shedding cap: arrivals beyond this many in-flight
+        requests are dropped (and counted), keeping memory bounded
+        past saturation.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        arrivals: ArrivalProcess,
+        operation: Operation,
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+        node: str = "",
+        max_inflight: int = 10_000,
+    ) -> None:
+        if max_inflight <= 0:
+            raise ValueError("max_inflight must be positive")
+        self.sim = sim
+        self.arrivals = arrivals
+        self.operation = operation
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.node = node
+        self.max_inflight = max_inflight
+        self.histogram = self.metrics.histogram(LATENCY_HISTOGRAM, node=node)
+        #: Injection times, in order (the determinism contract: same
+        #: seed -> identical list).
+        self.injections: list[float] = []
+        self.offered = 0
+        self.shed = 0
+        self.completed = 0
+        self.failed = 0
+        self.inflight = 0
+        self.max_inflight_seen = 0
+        self._ran = False
+
+    # -- the run -----------------------------------------------------------
+
+    def run(self, duration_s: float, drain_s: float = 0.0) -> LoadReport:
+        """Drive the simulation: inject for ``duration_s``, then allow
+        ``drain_s`` more simulated seconds for stragglers, and report.
+
+        Requests still in flight when the drain window closes are
+        reported in ``inflight_at_end`` (they are *not* failures — the
+        system simply had not finished them).
+        """
+        if duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if self._ran:
+            raise RuntimeError("a driver instance runs exactly once")
+        self._ran = True
+        start = self.sim.now
+        self.sim.process(self._inject(start, duration_s))
+        self.sim.run(until=start + duration_s)
+        if drain_s > 0:
+            self.sim.run(until=start + duration_s + drain_s)
+        return self._report(duration_s)
+
+    def _inject(self, start: float, duration_s: float):
+        end = start + duration_s
+        sim = self.sim
+        for when in self.arrivals.times(start):
+            if when >= end:
+                return
+            delay = when - sim.now
+            if delay > 0:
+                yield sim.timeout(delay)
+            self.offered += 1
+            self.injections.append(when)
+            if self.inflight >= self.max_inflight:
+                self.shed += 1
+                continue
+            self.inflight += 1
+            if self.inflight > self.max_inflight_seen:
+                self.max_inflight_seen = self.inflight
+            sim.process(self._one(self.offered - 1, when))
+
+    def _one(self, index: int, injected_at: float):
+        try:
+            yield from self.operation(index, injected_at)
+        except Exception:
+            self.failed += 1
+        else:
+            self.completed += 1
+            self.histogram.observe(self.sim.now - injected_at)
+        finally:
+            self.inflight -= 1
+
+    def _report(self, duration_s: float) -> LoadReport:
+        for key, value in (
+            ("load.offered", self.offered),
+            ("load.shed", self.shed),
+            ("load.completed", self.completed),
+            ("load.failed", self.failed),
+        ):
+            self.metrics.counter(key, node=self.node).value = float(value)
+        hist = self.histogram.summary()
+        latency = {
+            "mean": hist["mean"],
+            "max": hist["max"],
+            "p50": hist["p50"],
+            "p99": hist["p99"],
+            "p999": hist["p999"],
+            "overflow": hist["overflow"],
+        }
+        return LoadReport(
+            duration_s=duration_s,
+            offered=self.offered,
+            injected=self.offered - self.shed,
+            shed=self.shed,
+            completed=self.completed,
+            failed=self.failed,
+            inflight_at_end=self.inflight,
+            max_inflight_seen=self.max_inflight_seen,
+            latency=latency,
+        )

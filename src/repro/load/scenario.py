@@ -1,0 +1,101 @@
+"""Scenarios: binding workload models to a deployment's KV path.
+
+A scenario turns the abstract workload models (zipfian keys, camera
+streams) into the ``operation(index, injected_at)`` factory the
+:class:`repro.load.OpenLoopDriver` calls per arrival.  Origin devices,
+keys, and operation mix are all drawn from forked
+:class:`repro.sim.RandomSource` streams, so a scenario is as
+deterministic as its seed.
+"""
+
+from __future__ import annotations
+
+from repro.kvstore import KeyNotFoundError
+from repro.sim import RandomSource
+from repro.workloads.models import CameraStream, ZipfianKeys
+
+__all__ = ["KvScenario", "CameraPutScenario"]
+
+
+class KvScenario:
+    """A zipfian get/put mix over the deployment's KV stores.
+
+    Each arrival picks a uniformly random origin device, a zipfian key,
+    and (with probability ``get_fraction``) issues a get, otherwise a
+    put of a small value.  ``prepopulate()`` puts every key once so
+    early gets do not all miss.
+    """
+
+    def __init__(
+        self,
+        c4h,
+        rng: RandomSource,
+        n_keys: int = 512,
+        skew: float = 0.99,
+        get_fraction: float = 0.9,
+        value: str = "x" * 64,
+    ) -> None:
+        if not 0.0 <= get_fraction <= 1.0:
+            raise ValueError("get_fraction must be in [0, 1]")
+        self.devices = c4h.devices
+        self.keys = ZipfianKeys(n_keys, rng.fork("keys"), skew=skew)
+        self._origins = rng.fork("origins")
+        self._mix = rng.fork("mix")
+        self.get_fraction = get_fraction
+        self.value = value
+        self.misses = 0
+
+    def prepopulate(self):
+        """Process: put every key once (round-robin over devices)."""
+        n = len(self.devices)
+        for rank in range(self.keys.n_keys):
+            device = self.devices[rank % n]
+            yield from device.kv.put(self.keys.key_name(rank), self.value)
+
+    def operation(self, index: int, injected_at: float):
+        """Process factory handed to the driver (one KV op per call)."""
+        device = self.devices[self._origins.randint(0, len(self.devices) - 1)]
+        key = self.keys.sample()
+        if self._mix.random() < self.get_fraction:
+            try:
+                yield from device.kv.get(key)
+            except KeyNotFoundError:
+                # A put raced us out, or prepopulation was skipped;
+                # the op still completed from the driver's viewpoint.
+                self.misses += 1
+        else:
+            yield from device.kv.put(key, self.value)
+
+
+class CameraPutScenario:
+    """Surveillance-camera PUT streams as driver operations.
+
+    Every arrival is one captured frame from one of ``n_cameras``
+    (chosen round-robin over the first devices of the deployment); the
+    frame's size in MB is drawn from the camera model and stored as
+    the record value, mirroring Figure 7's image-upload path at the
+    metadata layer.
+    """
+
+    def __init__(
+        self,
+        c4h,
+        rng: RandomSource,
+        n_cameras: int = 4,
+        period_s: float = 10.0,
+    ) -> None:
+        if n_cameras <= 0:
+            raise ValueError("n_cameras must be positive")
+        self.devices = c4h.devices[: max(1, min(n_cameras, len(c4h.devices)))]
+        self._model = CameraStream(rng.fork("camera"), period_s=period_s)
+        self._sizes = rng.fork("sizes")
+        self.frames = 0
+
+    def operation(self, index: int, injected_at: float):
+        device = self.devices[index % len(self.devices)]
+        size_mb = self._sizes.choice(self._model.sizes_mb)
+        self.frames += 1
+        yield from device.kv.put(
+            f"frame-{device.name}-{index:08d}",
+            {"size_mb": size_mb, "captured_at": injected_at},
+        )

@@ -16,7 +16,9 @@ among the available set of nodes" (Section III-A).
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+import bisect
+from collections import OrderedDict
+from typing import Callable, Iterable, Optional
 
 from repro.net import (
     HostDownError,
@@ -90,9 +92,16 @@ class ChimeraNode:
         cached per key and the whole cache is invalidated on any
         join/leave/stabilizer-driven view change.  Disable to measure
         the uncached baseline (perf harness) or to debug routing.
+    route_cache_max:
+        Entry cap for the route cache.  The cache is a bounded LRU: the
+        least recently used key is evicted when the cap is reached
+        (previously the whole cache was dropped wholesale, which both
+        let memory spike to the cap on every node and caused recompute
+        storms right after the flush).  Caching only affects wall-clock
+        time, never simulated results.
     """
 
-    #: Route-cache entries are dropped wholesale past this size.
+    #: Default route-cache entry cap (LRU eviction past this size).
     ROUTE_CACHE_MAX = 4096
 
     def __init__(
@@ -104,6 +113,7 @@ class ChimeraNode:
         hop_processing_s: float = 0.002,
         route_cache: bool = True,
         rpc_push: bool = True,
+        route_cache_max: Optional[int] = None,
     ) -> None:
         self.network = network
         self.host = host
@@ -120,9 +130,19 @@ class ChimeraNode:
         #: Diagnostics: total hops taken by route requests we initiated.
         self.routes_resolved = 0
         self.route_cache_enabled = route_cache
-        #: key -> next hop (PeerInfo, or None when we are the root).
-        self._route_cache: dict[NodeId, Optional[PeerInfo]] = {}
+        self.route_cache_max = (
+            route_cache_max if route_cache_max is not None else self.ROUTE_CACHE_MAX
+        )
+        #: key -> next hop (PeerInfo, or None when we are the root),
+        #: in LRU order (oldest first).
+        self._route_cache: OrderedDict[NodeId, Optional[PeerInfo]] = OrderedDict()
         self.route_cache_hits = 0
+        #: Bumped on every membership-view change; consumers (sorted-id
+        #: snapshot below, the stabilizer's probe cursor) use it to
+        #: detect staleness without rescanning the view.
+        self.view_version = 0
+        self._ids_cache: tuple[NodeId, ...] = ()
+        self._ids_cache_version = -1
         self._register_handlers()
 
     @property
@@ -145,23 +165,80 @@ class ChimeraNode:
             return self.name
         return self.known.get(node_id)
 
-    def closest_known(self, key: NodeId) -> PeerInfo:
+    def sorted_ids(self) -> tuple[NodeId, ...]:
+        """Known peer ids in ascending order, cached per view version.
+
+        The tuple is rebuilt lazily after a membership change, so steady
+        -state callers (ring-window queries, the stabilizer's probe
+        cursor) pay O(1) instead of re-traversing the red-black tree.
+        """
+        if self._ids_cache_version != self.view_version:
+            self._ids_cache = tuple(self.known.keys())
+            self._ids_cache_version = self.view_version
+        return self._ids_cache
+
+    def nearest_peers(
+        self, key: NodeId, count: int, reference: bool = False
+    ) -> list[PeerInfo]:
+        """The ``count`` known peers closest to ``key``.
+
+        Ordered by ``(circular distance, id value)`` — the same total
+        order the key-value layer's replica selection has always used.
+
+        The default path exploits the fact that the ``k`` nearest ids
+        form a contiguous arc around ``key`` on the ring: it bisects the
+        sorted-id snapshot and ranks only the ``2*count`` ids flanking
+        the insertion point — O(k log k + log N) instead of the
+        reference full sort's O(N log N).  ``reference=True`` selects
+        the full-sort path; both return identical results (pinned by
+        the A/B equality tests).
+        """
+        if count <= 0 or not self.known:
+            return []
+        if reference:
+            ranked = sorted(
+                ((nid.distance(key), nid.value, nid) for nid in self.known.keys())
+            )[:count]
+        else:
+            ids = self.sorted_ids()
+            n = len(ids)
+            if n <= 2 * count:
+                window = ids
+            else:
+                i = bisect.bisect_left(ids, key)
+                window = [ids[(i + j) % n] for j in range(-count, count)]
+            ranked = sorted((nid.distance(key), nid.value, nid) for nid in window)[
+                :count
+            ]
+        return [PeerInfo(self._peer_name(nid), nid) for _d, _v, nid in ranked]
+
+    def closest_known(self, key: NodeId, reference: bool = False) -> PeerInfo:
         """The member of our view (including ourselves) closest to ``key``.
 
         Used by the key-value layer to decide which records must move
         when membership changes.  Ties break toward the smaller id, the
         same rule the leaf set uses, so all nodes agree.
         """
-        best_id = self.id
-        best = (self.id.distance(key), self.id.value)
-        for nid, _name in self.known.items():
-            candidate = (nid.distance(key), nid.value)
-            if candidate < best:
-                best = candidate
-                best_id = nid
-        if best_id == self.id:
-            return PeerInfo(self.name, self.id)
-        return PeerInfo(self._peer_name(best_id), best_id)
+        if reference:
+            best_id = self.id
+            best = (self.id.distance(key), self.id.value)
+            for nid, _name in self.known.items():
+                candidate = (nid.distance(key), nid.value)
+                if candidate < best:
+                    best = candidate
+                    best_id = nid
+            if best_id == self.id:
+                return PeerInfo(self.name, self.id)
+            return PeerInfo(self._peer_name(best_id), best_id)
+        nearest = self.nearest_peers(key, 1)
+        if nearest:
+            peer = nearest[0]
+            if (peer.id.distance(key), peer.id.value) < (
+                self.id.distance(key),
+                self.id.value,
+            ):
+                return peer
+        return PeerInfo(self.name, self.id)
 
     def successors(self, count: int) -> list[PeerInfo]:
         """Up to ``count`` clockwise neighbours (replica targets)."""
@@ -243,10 +320,11 @@ class ChimeraNode:
             hit = cache.get(key, _ROUTE_MISS)
             if hit is not _ROUTE_MISS:
                 self.route_cache_hits += 1
+                cache.move_to_end(key)
                 return hit
             result = self._next_hop_uncached(key)
-            if len(cache) >= self.ROUTE_CACHE_MAX:
-                cache.clear()
+            if len(cache) >= self.route_cache_max:
+                cache.popitem(last=False)
             cache[key] = result
             return result
         return self._next_hop_uncached(key)
@@ -399,6 +477,24 @@ class ChimeraNode:
             out.append(PeerInfo(name, nid).wire())
         return out
 
+    def seed_view(self, peers: "Iterable[PeerInfo]") -> None:
+        """Bulk-install a pre-computed membership view.
+
+        Used by the cluster builder's ``fast_join`` path: inserts every
+        peer into the known view, leaf set, and routing table without
+        firing per-peer join callbacks or announcements — the caller is
+        constructing the whole overlay at once, so there is no stored
+        data to redistribute and no protocol traffic to emit.
+        """
+        for peer in peers:
+            if peer.id == self.id or peer.id in self.known:
+                continue
+            self.known.insert(peer.id, peer.name)
+            self.leaf.add(peer.id)
+            self.table.add(peer.id)
+        self._route_cache.clear()
+        self.view_version += 1
+
     def _add_peer(self, peer: PeerInfo) -> None:
         if peer.id == self.id:
             return
@@ -408,6 +504,7 @@ class ChimeraNode:
         self.table.add(peer.id)
         if is_new:
             self._route_cache.clear()
+            self.view_version += 1
             for callback in self.on_node_joined:
                 callback(peer)
 
@@ -422,6 +519,7 @@ class ChimeraNode:
         # ring stays connected after departures.
         self.leaf.update(nid for nid, _ in self.known.items())
         self._route_cache.clear()
+        self.view_version += 1
         if notify:
             peer = PeerInfo(name, node_id)
             for callback in self.on_node_left:

@@ -12,6 +12,9 @@ merging fresh ones.
 
 from __future__ import annotations
 
+import bisect
+from typing import Optional
+
 from repro.net import HostDownError, RemoteError, Request, RpcTimeoutError
 from repro.overlay.ids import NodeId
 from repro.overlay.node import ChimeraNode, PeerInfo
@@ -30,12 +33,18 @@ class Stabilizer:
         node: ChimeraNode,
         period_s: float = 10.0,
         ping_timeout_s: float = 2.0,
+        scan_reference: bool = False,
     ) -> None:
         if period_s <= 0:
             raise ValueError("period_s must be positive")
         self.node = node
         self.period_s = period_s
         self.ping_timeout_s = ping_timeout_s
+        #: When True, the round-robin probe target is picked by the
+        #: legacy O(N)-per-round filtered scan of the known view; the
+        #: default picks the identical element by index arithmetic over
+        #: the cached sorted-id snapshot (pinned by equality tests).
+        self.scan_reference = scan_reference
         self.rounds = 0
         self.evictions = 0
         self.discoveries = 0
@@ -136,11 +145,9 @@ class Stabilizer:
         # SWIM-style sweep: besides the ring neighbours, probe one
         # further known peer per round (round-robin), so stale entries
         # about distant nodes are eventually caught too.
-        others = [
-            nid for nid, _ in self.node.known.items() if nid not in neighbours
-        ]
-        if others:
-            neighbours.append(others[self.rounds % len(others)])
+        probe = self._round_robin_probe(neighbours)
+        if probe is not None:
+            neighbours.append(probe)
         live: list[NodeId] = []
         for nid in neighbours:
             name = self.node.name_of(nid)
@@ -187,6 +194,41 @@ class Stabilizer:
         self.evictions += evicted
         self.discoveries += discovered
         return evicted, discovered
+
+    def _round_robin_probe(self, neighbours: list[NodeId]) -> Optional[NodeId]:
+        """This round's extra probe target.
+
+        Semantics (both paths): the in-order known view minus the leaf
+        neighbours, indexed at ``rounds % len``.  The reference path
+        materializes that filtered list — O(N) per round.  The default
+        path picks the identical element from the node's cached
+        sorted-id snapshot with index arithmetic: bisect the (at most
+        two) neighbour positions out, then shift the round-robin index
+        past them.
+        """
+        if self.scan_reference:
+            others = [
+                nid for nid, _ in self.node.known.items() if nid not in neighbours
+            ]
+            if not others:
+                return None
+            return others[self.rounds % len(others)]
+        ids = self.node.sorted_ids()
+        if not ids:
+            return None
+        skip: set[int] = set()
+        for nb in neighbours:
+            pos = bisect.bisect_left(ids, nb)
+            if pos < len(ids) and ids[pos] == nb:
+                skip.add(pos)
+        remaining = len(ids) - len(skip)
+        if remaining <= 0:
+            return None
+        j = self.rounds % remaining
+        for pos in sorted(skip):
+            if pos <= j:
+                j += 1
+        return ids[j]
 
     def _run(self):
         try:

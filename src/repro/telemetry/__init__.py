@@ -28,6 +28,7 @@ from repro.telemetry.export import (
     spans_from_dump,
     validate_chrome_trace,
 )
+from repro.telemetry.memprobe import memory_probe
 from repro.telemetry.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -55,4 +56,5 @@ __all__ = [
     "attribution_report",
     "layer_attribution",
     "metrics_report",
+    "memory_probe",
 ]

@@ -22,9 +22,13 @@ from typing import Optional, Sequence
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS"]
 
-#: Default latency buckets (seconds): 100 µs .. ~7 min, roughly 3 per
+#: Default latency buckets (seconds): 100 µs .. ~40 min, roughly 3 per
 #: decade, matching the simulated operation range (ms XenSocket pushes
-#: up to multi-minute 100 MB cloud transfers).
+#: up to multi-minute 100 MB cloud transfers).  The top decade
+#: (500/1000/2500 s) covers the queueing tail seen when driving
+#: 10k-node overlays past saturation — without it, everything past
+#: 250 s lands in the overflow bucket and the p99/p999 estimates
+#: degrade to the observed max.
 DEFAULT_BUCKETS: tuple[float, ...] = (
     0.0001,
     0.00025,
@@ -46,6 +50,9 @@ DEFAULT_BUCKETS: tuple[float, ...] = (
     50.0,
     100.0,
     250.0,
+    500.0,
+    1000.0,
+    2500.0,
 )
 
 
@@ -154,6 +161,17 @@ class Histogram:
             seen += n
         return self.vmax
 
+    @property
+    def overflow(self) -> int:
+        """Observations above the last bucket edge.
+
+        These are counted explicitly (and exported by :meth:`summary`)
+        rather than silently clamped: a nonzero overflow count means
+        the bucket layout no longer covers the observed range and the
+        upper quantiles are interpolating against the raw max.
+        """
+        return self.counts[-1]
+
     def summary(self) -> dict:
         return {
             "type": "histogram",
@@ -164,6 +182,8 @@ class Histogram:
             "p50": self.quantile(0.50),
             "p95": self.quantile(0.95),
             "p99": self.quantile(0.99),
+            "p999": self.quantile(0.999),
+            "overflow": self.overflow,
         }
 
     def as_dict(self) -> dict:
@@ -221,8 +241,9 @@ class MetricsRegistry:
         self.gauge("kv.lookup.mean_s", node=node).set(snapshot["lookup_mean_s"])
         window = snapshot["lookup_window"]
         self.gauge("kv.lookup.window_n", node=node).set(window["n"])
-        for q in ("p50", "p95", "p99"):
-            self.gauge(f"kv.lookup.window_{q}_s", node=node).set(window[q])
+        for q in ("p50", "p95", "p99", "p999"):
+            if q in window:
+                self.gauge(f"kv.lookup.window_{q}_s", node=node).set(window[q])
 
     # -- export ------------------------------------------------------------
 

@@ -8,6 +8,9 @@ Public surface:
   ``PAPER_IMAGE_SIZES_MB`` — the home-security image stream (Figure 7).
 * :class:`MediaLibrary`, :class:`Video` — the media-conversion library
   (Figure 8).
+* :class:`ZipfianKeys`, :class:`DiurnalRate`, :class:`DeviceChurn`,
+  :class:`CameraStream` — composable synthetic workload models for the
+  open-loop load driver (:mod:`repro.load`).
 """
 
 from repro.workloads.edonkey import (
@@ -18,6 +21,13 @@ from repro.workloads.edonkey import (
     bucket_of,
 )
 from repro.workloads.media import MediaLibrary, Video
+from repro.workloads.models import (
+    CameraStream,
+    ChurnEvent,
+    DeviceChurn,
+    DiurnalRate,
+    ZipfianKeys,
+)
 from repro.workloads.stats import TraceStats, summarize_accesses, summarize_files
 from repro.workloads.surveillance import (
     PAPER_IMAGE_SIZES_MB,
@@ -39,4 +49,9 @@ __all__ = [
     "TraceStats",
     "summarize_files",
     "summarize_accesses",
+    "ZipfianKeys",
+    "DiurnalRate",
+    "DeviceChurn",
+    "ChurnEvent",
+    "CameraStream",
 ]

@@ -1,0 +1,202 @@
+"""Composable workload models for the open-loop load driver.
+
+The trace generators in this package replay specific figures from the
+paper; these models are the building blocks for *synthetic* traffic at
+neighbourhood scale (the ``repro.load`` driver composes them):
+
+* :class:`ZipfianKeys` — skewed key popularity (the access pattern DHT
+  caches live or die by).
+* :class:`DiurnalRate` — a smooth day/night arrival-rate curve, usable
+  as the rate function of a non-homogeneous Poisson arrival process.
+* :class:`DeviceChurn` — per-home device availability as alternating
+  exponential up/down periods.
+* :class:`CameraStream` — a surveillance camera's periodic image PUTs
+  (sizes drawn from the paper's Figure 7 sweep).
+
+Every model draws exclusively from a :class:`repro.sim.RandomSource`,
+so a fixed seed reproduces the exact event sequence (simlint's SIM107
+rejects unseeded ``random.Random()`` in this package).
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.sim import RandomSource
+from repro.workloads.surveillance import PAPER_IMAGE_SIZES_MB
+
+__all__ = [
+    "ZipfianKeys",
+    "DiurnalRate",
+    "DeviceChurn",
+    "ChurnEvent",
+    "CameraStream",
+]
+
+
+class ZipfianKeys:
+    """Zipf-distributed popularity over a fixed key universe.
+
+    Key ``rank`` (0-based) is drawn with probability proportional to
+    ``1 / (rank + 1) ** skew``; ``skew=0`` degrades to uniform.  The
+    CDF is precomputed once, so a draw is one uniform variate plus a
+    bisect — O(log n) regardless of universe size.
+    """
+
+    def __init__(
+        self,
+        n_keys: int,
+        rng: RandomSource,
+        skew: float = 0.99,
+        prefix: str = "key",
+    ) -> None:
+        if n_keys <= 0:
+            raise ValueError("n_keys must be positive")
+        if skew < 0:
+            raise ValueError("skew must be non-negative")
+        self.n_keys = n_keys
+        self.skew = skew
+        self.prefix = prefix
+        self._rng = rng
+        cdf = []
+        total = 0.0
+        for rank in range(n_keys):
+            total += 1.0 / (rank + 1) ** skew
+            cdf.append(total)
+        self._cdf = cdf
+        self._total = total
+
+    def key_name(self, rank: int) -> str:
+        return f"{self.prefix}-{rank:06d}"
+
+    def sample_rank(self) -> int:
+        u = self._rng.random() * self._total
+        return min(bisect_left(self._cdf, u), self.n_keys - 1)
+
+    def sample(self) -> str:
+        """One key name, drawn by popularity."""
+        return self.key_name(self.sample_rank())
+
+    def probability(self, rank: int) -> float:
+        """The exact draw probability of the given rank."""
+        return (1.0 / (rank + 1) ** self.skew) / self._total
+
+
+class DiurnalRate:
+    """A smooth day/night arrival-rate curve, ``rate(t)`` in req/s.
+
+    A raised cosine between ``base_rate`` (trough) and ``peak_rate``,
+    peaking at ``peak_at_s`` within each ``period_s`` cycle — the
+    classic residential traffic shape (quiet overnight, busy evening).
+    Instances are callables so they plug directly into
+    :class:`repro.load.ModulatedPoissonArrivals` as its rate function.
+    """
+
+    def __init__(
+        self,
+        base_rate: float,
+        peak_rate: float,
+        period_s: float = 86_400.0,
+        peak_at_s: float = 72_000.0,  # 20:00 on a midnight-based clock
+    ) -> None:
+        if base_rate < 0 or peak_rate < base_rate:
+            raise ValueError("need 0 <= base_rate <= peak_rate")
+        if period_s <= 0:
+            raise ValueError("period_s must be positive")
+        self.base_rate = base_rate
+        self.peak_rate = peak_rate
+        self.period_s = period_s
+        self.peak_at_s = peak_at_s
+
+    def __call__(self, t: float) -> float:
+        phase = 2.0 * math.pi * (t - self.peak_at_s) / self.period_s
+        weight = 0.5 * (1.0 + math.cos(phase))  # 1 at the peak, 0 at trough
+        return self.base_rate + (self.peak_rate - self.base_rate) * weight
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One availability transition for one device."""
+
+    at_s: float
+    node: str
+    online: bool
+
+
+class DeviceChurn:
+    """Per-home device availability: alternating exponential periods.
+
+    Each device stays up for Exp(1/mean_up_s) seconds, down for
+    Exp(1/mean_down_s), repeating — the renewal model behind the
+    paper's observation that home devices come and go (Section III-A).
+    Each device gets its own forked stream, so adding a device never
+    perturbs the schedules of the others.
+    """
+
+    def __init__(
+        self,
+        rng: RandomSource,
+        mean_up_s: float = 3_600.0,
+        mean_down_s: float = 300.0,
+    ) -> None:
+        if mean_up_s <= 0 or mean_down_s <= 0:
+            raise ValueError("mean up/down times must be positive")
+        self._rng = rng
+        self.mean_up_s = mean_up_s
+        self.mean_down_s = mean_down_s
+
+    def schedule(self, nodes: Sequence[str], horizon_s: float) -> list[ChurnEvent]:
+        """All transitions for ``nodes`` up to ``horizon_s``, time-sorted.
+
+        Every device starts online at t=0; the first event for a device
+        is therefore always a departure.
+        """
+        events: list[ChurnEvent] = []
+        for node in nodes:
+            stream = self._rng.fork(f"churn:{node}")
+            t = 0.0
+            online = True
+            while True:
+                mean = self.mean_up_s if online else self.mean_down_s
+                t += stream.exponential(1.0 / mean)
+                if t >= horizon_s:
+                    break
+                online = not online
+                events.append(ChurnEvent(at_s=t, node=node, online=online))
+        events.sort(key=lambda e: (e.at_s, e.node))
+        return events
+
+
+class CameraStream:
+    """A surveillance camera's PUT stream: periodic captures with
+    jitter, image sizes drawn from the paper's Figure 7 sweep.
+
+    ``events(horizon_s)`` yields ``(at_s, size_mb)`` pairs — the shape
+    the load driver's camera scenario injects as KV puts.
+    """
+
+    def __init__(
+        self,
+        rng: RandomSource,
+        period_s: float = 10.0,
+        jitter: float = 0.2,
+        sizes_mb: Optional[Sequence[float]] = None,
+    ) -> None:
+        if period_s <= 0:
+            raise ValueError("period_s must be positive")
+        self._rng = rng
+        self.period_s = period_s
+        self.jitter = jitter
+        self.sizes_mb = tuple(sizes_mb) if sizes_mb else PAPER_IMAGE_SIZES_MB
+
+    def events(self, horizon_s: float):
+        """Yield ``(at_s, size_mb)`` capture events up to ``horizon_s``."""
+        t = 0.0
+        while True:
+            t += self._rng.jittered(self.period_s, self.jitter)
+            if t >= horizon_s:
+                return
+            yield t, self._rng.choice(self.sizes_mb)

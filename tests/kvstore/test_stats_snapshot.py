@@ -17,7 +17,13 @@ class TestSnapshot:
         snap = KvStats().snapshot()
         assert snap["lookup_count"] == 0
         assert snap["lookup_mean_s"] == 0.0
-        assert snap["lookup_window"] == {"n": 0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+        assert snap["lookup_window"] == {
+            "n": 0,
+            "p50": 0.0,
+            "p95": 0.0,
+            "p99": 0.0,
+            "p999": 0.0,
+        }
 
     def test_mean_stays_exact_past_window_evictions(self):
         """The regression the bounded window invites: the mean must come
@@ -46,6 +52,7 @@ class TestSnapshot:
         assert window["p50"] == 0.3
         assert window["p95"] == 0.5
         assert window["p99"] == 0.5
+        assert window["p999"] == 0.5
 
     def test_window_quantiles_cover_recent_samples_only(self):
         stats = KvStats()

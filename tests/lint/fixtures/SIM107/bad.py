@@ -1,0 +1,14 @@
+# simlint-fixture-path: src/repro/load/fixture.py
+# simlint-fixture-expect: SIM107 SIM107
+import random
+
+from random import Random
+
+
+def schedule():
+    rng = random.Random()  # self-seeds from OS entropy
+    return [rng.random() for _ in range(4)]
+
+
+def other_schedule():
+    return Random().random()

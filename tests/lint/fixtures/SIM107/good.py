@@ -1,0 +1,12 @@
+# simlint-fixture-path: src/repro/workloads/fixture.py
+# simlint-fixture-expect:
+import random
+
+from random import Random
+
+
+def schedule(seed):
+    """Explicitly seeded instantiation is the sanctioned pattern."""
+    rng = random.Random(seed)
+    alt = Random(x=seed)
+    return rng.random() + alt.random()

@@ -1,0 +1,8 @@
+# simlint-fixture-path: src/repro/load/fixture.py
+# simlint-fixture-expect:
+# simlint-fixture-expect-suppressed: SIM107
+import random
+
+
+def scratch():
+    return random.Random()  # simlint: ignore[SIM107]

@@ -38,6 +38,10 @@ FIXTURE_TREE = {
         "import uuid\nt = uuid.uuid4()\n",
         ["SIM106"],
     ),
+    "src/repro/load/seeding.py": (
+        "import random\nrng = random.Random()\n",
+        ["SIM107"],
+    ),
     "src/repro/vstore/emit.py": (
         "class N:\n"
         "    def serve(self):\n"

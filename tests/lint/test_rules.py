@@ -34,6 +34,7 @@ class TestFixtureCoverage:
             "SIM104",
             "SIM105",
             "SIM106",
+            "SIM107",
             "TEL201",
             "RPC301",
             "CFG401",

@@ -1,0 +1,78 @@
+"""Arrival processes: determinism, rates, and thinning sanity."""
+
+import pytest
+
+from repro.load import (
+    DeterministicArrivals,
+    ModulatedPoissonArrivals,
+    PoissonArrivals,
+)
+from repro.sim import RandomSource
+from repro.workloads import DiurnalRate
+
+
+class TestPoissonArrivals:
+    def test_same_seed_identical_schedule(self):
+        a = PoissonArrivals(50.0, RandomSource(7, "arr")).schedule(20.0)
+        b = PoissonArrivals(50.0, RandomSource(7, "arr")).schedule(20.0)
+        assert a == b  # bit-for-bit, not approximately
+
+    def test_different_seeds_differ(self):
+        a = PoissonArrivals(50.0, RandomSource(7, "arr")).schedule(5.0)
+        b = PoissonArrivals(50.0, RandomSource(8, "arr")).schedule(5.0)
+        assert a != b
+
+    def test_mean_rate(self):
+        times = PoissonArrivals(100.0, RandomSource(0)).schedule(100.0)
+        assert 100.0 * 100 * 0.9 < len(times) < 100.0 * 100 * 1.1
+
+    def test_strictly_increasing_from_start(self):
+        times = PoissonArrivals(20.0, RandomSource(1)).schedule(
+            10.0, start=5.0
+        )
+        assert times[0] > 5.0
+        assert all(t0 < t1 for t0, t1 in zip(times, times[1:]))
+        assert times[-1] < 15.0
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0.0, RandomSource(0))
+
+
+class TestDeterministicArrivals:
+    def test_exact_spacing(self):
+        times = DeterministicArrivals(4.0).schedule(2.0)
+        assert times == [0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75]
+
+    def test_no_cumulative_drift(self):
+        times = DeterministicArrivals(1000.0).schedule(100.0)
+        # The 100-thousandth arrival lands exactly where multiplication
+        # puts it — accumulation would have drifted by now.
+        assert times[-1] == len(times) * (1.0 / 1000.0)
+
+
+class TestModulatedPoissonArrivals:
+    def test_diurnal_peak_beats_trough(self):
+        day = DiurnalRate(
+            base_rate=5.0, peak_rate=100.0, period_s=1000.0, peak_at_s=500.0
+        )
+        times = ModulatedPoissonArrivals(
+            day, peak_rate=100.0, rng=RandomSource(3)
+        ).schedule(1000.0)
+        trough = sum(1 for t in times if t < 100.0 or t > 900.0)
+        peak = sum(1 for t in times if 400.0 < t < 600.0)
+        assert peak > 3 * trough
+
+    def test_same_seed_identical_schedule(self):
+        day = DiurnalRate(2.0, 20.0, period_s=100.0, peak_at_s=50.0)
+        make = lambda: ModulatedPoissonArrivals(  # noqa: E731
+            day, peak_rate=20.0, rng=RandomSource(11, "mod")
+        )
+        assert make().schedule(200.0) == make().schedule(200.0)
+
+    def test_rate_above_peak_raises(self):
+        proc = ModulatedPoissonArrivals(
+            lambda t: 50.0, peak_rate=10.0, rng=RandomSource(0)
+        )
+        with pytest.raises(ValueError, match="exceeds peak_rate"):
+            proc.schedule(1.0)

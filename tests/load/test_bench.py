@@ -1,0 +1,65 @@
+"""Scale-bench jobs: seeded determinism and fast-path identity.
+
+These are the golden contracts behind ``BENCH_scale.json``: the
+simulated block of a scale point is a pure function of its seed, and
+the ring-scan fast path changes wall time only — the simulated results
+are byte-equal against the reference scan.
+"""
+
+import json
+
+from repro.load import scale_point
+from repro.load.bench import join_wall
+
+POINT = dict(n_nodes=24, rate=300.0, duration_s=1.0, seed=5, n_keys=64)
+
+
+def sim_block(**overrides):
+    result = scale_point(**{**POINT, **overrides, "probe_objects": False})
+    return json.dumps(result["sim"], sort_keys=True)
+
+
+class TestScalePointDeterminism:
+    def test_same_seed_bit_identical(self):
+        assert sim_block() == sim_block()
+
+    def test_different_seed_differs(self):
+        assert sim_block() != sim_block(seed=6)
+
+    def test_deterministic_arrivals_also_stable(self):
+        a = sim_block(arrivals="deterministic")
+        assert a == sim_block(arrivals="deterministic")
+
+
+class TestFastPathSimulationIdentity:
+    def test_ring_scan_fast_equals_reference(self):
+        """The nearest-peers fast path is invisible to the simulation."""
+        assert sim_block(ring_scan_reference=False) == sim_block(
+            ring_scan_reference=True
+        )
+
+
+class TestScalePointShape:
+    def test_payload_blocks(self):
+        result = scale_point(**POINT)
+        assert result["n_nodes"] == 24
+        sim = result["sim"]
+        assert sim["offered"] == sim["injected"] + sim["shed"]
+        assert sim["completed"] > 0
+        assert sim["failed"] == 0
+        for q in ("p50", "p99", "p999"):
+            assert sim["latency"][q] > 0.0
+        assert result["wall"]["events"] > 0
+        assert result["memory"]["rss_mb"] is not None
+        assert result["memory"]["gc_objects"] is not None
+
+    def test_join_wall_reports_both_phases(self):
+        result = join_wall(16, seed=1, fast_join=True)
+        assert result["fast_join"] is True
+        assert result["total_s"] >= 0.0
+        assert set(result) >= {
+            "device_build_s",
+            "join_s",
+            "total_s",
+            "memory",
+        }

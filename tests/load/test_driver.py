@@ -1,0 +1,143 @@
+"""The open-loop driver on a bare simulator: determinism, shedding,
+failure accounting.  (End-to-end driver runs against a full deployment
+are covered by ``tests/load/test_bench.py``.)"""
+
+import pytest
+
+from repro.load import DeterministicArrivals, OpenLoopDriver, PoissonArrivals
+from repro.sim import RandomSource, Simulator
+
+
+def fixed_service(sim, service_s=0.05):
+    """An operation factory whose requests each take ``service_s``."""
+
+    def operation(index, injected_at):
+        yield sim.timeout(service_s)
+
+    return operation
+
+
+def seeded_service(sim, rng, mean_s=0.02):
+    def operation(index, injected_at):
+        yield sim.timeout(rng.exponential(1.0 / mean_s))
+
+    return operation
+
+
+class TestDeterminism:
+    def _run(self, seed):
+        sim = Simulator()
+        driver = OpenLoopDriver(
+            sim,
+            PoissonArrivals(200.0, RandomSource(seed, "arrivals")),
+            seeded_service(sim, RandomSource(seed, "service")),
+        )
+        report = driver.run(5.0, drain_s=5.0)
+        return driver.injections, report.as_dict()
+
+    def test_same_seed_same_injections_and_report(self):
+        injections_a, report_a = self._run(42)
+        injections_b, report_b = self._run(42)
+        assert injections_a == injections_b
+        assert report_a == report_b
+
+    def test_different_seed_differs(self):
+        assert self._run(1)[0] != self._run(2)[0]
+
+
+class TestOpenLoopAccounting:
+    def test_underload_completes_everything(self):
+        sim = Simulator()
+        driver = OpenLoopDriver(
+            sim, DeterministicArrivals(100.0), fixed_service(sim, 0.001)
+        )
+        report = driver.run(1.0, drain_s=1.0)
+        assert report.offered == 99
+        assert report.shed == 0
+        assert report.completed == 99
+        assert report.inflight_at_end == 0
+        assert report.achieved_rate == pytest.approx(report.offered_rate)
+        assert report.latency["p50"] == pytest.approx(0.001, rel=0.5)
+
+    def test_overload_sheds_and_bounds_inflight(self):
+        sim = Simulator()
+        # 1000 req/s against 0.1 s service = 100 in flight at
+        # equilibrium; a cap of 10 must shed most of the offered load.
+        driver = OpenLoopDriver(
+            sim,
+            DeterministicArrivals(1000.0),
+            fixed_service(sim, 0.1),
+            max_inflight=10,
+        )
+        report = driver.run(2.0, drain_s=2.0)
+        assert report.shed > 0
+        assert report.completed < report.offered
+        assert report.achieved_rate < report.offered_rate
+        assert report.max_inflight_seen <= 10
+        # Shedding means nothing queues: everything admitted finishes.
+        assert report.completed + report.inflight_at_end == report.injected
+        assert report.inflight_at_end == 0
+        # The cap throttles throughput to ~max_inflight / service time.
+        assert report.achieved_rate == pytest.approx(100.0, rel=0.1)
+
+    def test_injection_is_open_loop(self):
+        """Arrivals keep coming while earlier requests are stuck."""
+        sim = Simulator()
+        driver = OpenLoopDriver(
+            sim,
+            DeterministicArrivals(50.0),
+            fixed_service(sim, 10.0),  # far longer than the run
+            max_inflight=1000,
+        )
+        report = driver.run(1.0)
+        assert report.offered == 49  # schedule ran to completion
+        assert report.completed == 0
+        assert report.inflight_at_end == 49
+
+    def test_failures_counted_not_raised(self):
+        sim = Simulator()
+
+        def operation(index, injected_at):
+            yield sim.timeout(0.001)
+            if index % 2 == 0:
+                raise RuntimeError("boom")
+
+        driver = OpenLoopDriver(
+            sim, DeterministicArrivals(100.0), operation
+        )
+        report = driver.run(1.0, drain_s=1.0)
+        assert report.failed == 50
+        assert report.completed == 49
+        assert report.failed + report.completed == report.injected
+
+    def test_driver_runs_exactly_once(self):
+        sim = Simulator()
+        driver = OpenLoopDriver(
+            sim, DeterministicArrivals(10.0), fixed_service(sim)
+        )
+        driver.run(0.5)
+        with pytest.raises(RuntimeError):
+            driver.run(0.5)
+
+    def test_metrics_registry_sees_counters_and_histogram(self):
+        from repro.telemetry import MetricsRegistry
+
+        sim = Simulator()
+        metrics = MetricsRegistry()
+        driver = OpenLoopDriver(
+            sim,
+            DeterministicArrivals(100.0),
+            fixed_service(sim, 0.002),
+            metrics=metrics,
+            node="loadgen",
+        )
+        report = driver.run(1.0, drain_s=1.0)
+        snapshot = metrics.snapshot()
+        assert snapshot["load.offered"]["loadgen"]["value"] == report.offered
+        assert (
+            snapshot["load.completed"]["loadgen"]["value"] == report.completed
+        )
+        latency = snapshot["load.latency"]["loadgen"]
+        assert latency["count"] == report.completed
+        for q in ("p50", "p99", "p999"):
+            assert q in report.latency

@@ -1,0 +1,93 @@
+"""Workload models: distribution sanity and seeded reproducibility."""
+
+import math
+
+import pytest
+
+from repro.sim import RandomSource
+from repro.workloads import (
+    CameraStream,
+    DeviceChurn,
+    DiurnalRate,
+    ZipfianKeys,
+)
+
+
+class TestZipfianKeys:
+    def test_probabilities_sum_to_one(self):
+        keys = ZipfianKeys(100, RandomSource(0), skew=0.99)
+        assert math.fsum(
+            keys.probability(r) for r in range(100)
+        ) == pytest.approx(1.0)
+
+    def test_head_dominates_tail(self):
+        keys = ZipfianKeys(1000, RandomSource(5), skew=0.99)
+        draws = [keys.sample_rank() for _ in range(20_000)]
+        head = sum(1 for r in draws if r == 0)
+        tail = sum(1 for r in draws if r == 999)
+        assert head > 20 * max(tail, 1)
+        # The empirical head frequency tracks the exact probability.
+        assert head / len(draws) == pytest.approx(
+            keys.probability(0), rel=0.15
+        )
+
+    def test_zero_skew_is_uniform(self):
+        keys = ZipfianKeys(10, RandomSource(1), skew=0.0)
+        assert keys.probability(0) == pytest.approx(keys.probability(9))
+
+    def test_key_names_stable(self):
+        keys = ZipfianKeys(5, RandomSource(0), prefix="obj")
+        assert keys.key_name(3) == "obj-000003"
+        assert keys.sample() in {keys.key_name(r) for r in range(5)}
+
+    def test_same_seed_same_draws(self):
+        a = ZipfianKeys(50, RandomSource(9, "z"))
+        b = ZipfianKeys(50, RandomSource(9, "z"))
+        assert [a.sample_rank() for _ in range(100)] == [
+            b.sample_rank() for _ in range(100)
+        ]
+
+
+class TestDiurnalRate:
+    def test_peak_and_trough(self):
+        day = DiurnalRate(2.0, 10.0, period_s=100.0, peak_at_s=60.0)
+        assert day(60.0) == pytest.approx(10.0)
+        assert day(10.0) == pytest.approx(2.0)  # half a period away
+
+    def test_periodic(self):
+        day = DiurnalRate(1.0, 5.0, period_s=86_400.0)
+        assert day(12_345.0) == pytest.approx(day(12_345.0 + 86_400.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalRate(5.0, 2.0)  # peak below base
+
+
+class TestDeviceChurn:
+    def test_schedule_sorted_first_event_is_departure(self):
+        churn = DeviceChurn(RandomSource(3), mean_up_s=50.0, mean_down_s=10.0)
+        events = churn.schedule([f"n{i}" for i in range(8)], 1_000.0)
+        assert events == sorted(events, key=lambda e: (e.at_s, e.node))
+        first_by_node = {}
+        for event in events:
+            first_by_node.setdefault(event.node, event)
+        assert all(not e.online for e in first_by_node.values())
+
+    def test_per_node_streams_independent(self):
+        churn = DeviceChurn(RandomSource(3), mean_up_s=50.0, mean_down_s=10.0)
+        solo = [e for e in churn.schedule(["a"], 500.0)]
+        churn2 = DeviceChurn(RandomSource(3), mean_up_s=50.0, mean_down_s=10.0)
+        both = [e for e in churn2.schedule(["a", "b"], 500.0) if e.node == "a"]
+        assert solo == both  # adding "b" never perturbs "a"
+
+
+class TestCameraStream:
+    def test_period_and_sizes(self):
+        stream = CameraStream(RandomSource(4), period_s=10.0, jitter=0.2)
+        events = list(stream.events(1_000.0))
+        assert 80 <= len(events) <= 120
+        assert all(size in stream.sizes_mb for _, size in events)
+        times = [t for t, _ in events]
+        assert times == sorted(times)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(8.0 <= g <= 12.0 for g in gaps)

@@ -1,0 +1,110 @@
+"""Optimized hot paths vs their O(N) reference implementations.
+
+Every fast path added for the 10k-node scale work keeps its reference
+twin in the code (``reference=True`` / ``scan_reference=True``); these
+tests pin the two to *exact* equality over real overlay views, which
+is what lets the benchmarks claim the speedups change wall time and
+nothing else.
+"""
+
+import pytest
+
+from repro.overlay import ChimeraNode, NodeId
+from repro.overlay.stabilizer import Stabilizer
+from tests.conftest import build_overlay
+
+KEYS = [NodeId.from_name(f"probe-key-{i}") for i in range(40)]
+
+
+def flat(peers):
+    """PeerInfo has no __eq__; compare by (name, id)."""
+    if isinstance(peers, list):
+        return [(p.name, p.id) for p in peers]
+    return (peers.name, peers.id)
+
+
+@pytest.fixture(scope="module")
+def overlay():
+    return build_overlay(14, seed=6)
+
+
+class TestNearestPeers:
+    def test_matches_reference_across_keys_and_counts(self, overlay):
+        _, _, nodes = overlay
+        for node in nodes:
+            for key in KEYS:
+                for count in (1, 2, 3, 8, len(nodes) + 5):
+                    fast = node.nearest_peers(key, count)
+                    ref = node.nearest_peers(key, count, reference=True)
+                    assert flat(fast) == flat(ref), (node.name, key.hex, count)
+
+    def test_own_id_keys(self, overlay):
+        _, _, nodes = overlay
+        for node in nodes:
+            for other in nodes:
+                fast = node.nearest_peers(other.id, 3)
+                ref = node.nearest_peers(other.id, 3, reference=True)
+                assert flat(fast) == flat(ref)
+
+    def test_empty_view(self):
+        from tests.conftest import build_lan
+
+        sim, net, hosts = build_lan(1)
+        node = ChimeraNode(net, hosts[0])
+        node.start()
+        assert node.nearest_peers(KEYS[0], 3) == []
+        assert node.nearest_peers(KEYS[0], 3, reference=True) == []
+
+
+class TestClosestKnown:
+    def test_matches_reference(self, overlay):
+        _, _, nodes = overlay
+        for node in nodes:
+            for key in KEYS:
+                assert flat(node.closest_known(key)) == flat(
+                    node.closest_known(key, reference=True)
+                )
+
+
+class TestStabilizerProbe:
+    def test_round_robin_matches_reference_scan(self, overlay):
+        _, _, nodes = overlay
+        node = nodes[0]
+        fast = Stabilizer(node)
+        ref = Stabilizer(node, scan_reference=True)
+        neighbours = list(node.leaf.neighbours())
+        # Walk well past one full cycle of the filtered view.
+        for round_no in range(3 * len(nodes)):
+            fast.rounds = ref.rounds = round_no
+            assert fast._round_robin_probe(neighbours) == ref._round_robin_probe(
+                neighbours
+            ), round_no
+
+    def test_no_neighbours_filter(self, overlay):
+        _, _, nodes = overlay
+        node = nodes[1]
+        fast = Stabilizer(node)
+        ref = Stabilizer(node, scan_reference=True)
+        for round_no in range(2 * len(nodes)):
+            fast.rounds = ref.rounds = round_no
+            assert fast._round_robin_probe([]) == ref._round_robin_probe([])
+
+
+class TestRouteCacheLru:
+    def test_bounded_and_lru_evicts_oldest(self, overlay):
+        _, _, nodes = overlay
+        node = nodes[0]
+        node.route_cache_max = 4
+        node._route_cache.clear()
+        keys = [NodeId.from_name(f"lru-{i}") for i in range(6)]
+        for key in keys[:4]:
+            node.next_hop(key)
+        assert len(node._route_cache) == 4
+        node.next_hop(keys[0])  # cache hit: refresh the oldest entry
+        node.next_hop(keys[4])  # insert: evicts keys[1], not keys[0]
+        assert len(node._route_cache) == 4
+        assert keys[0] in node._route_cache
+        assert keys[1] not in node._route_cache
+        node.next_hop(keys[5])
+        assert len(node._route_cache) == 4
+        assert keys[2] not in node._route_cache

@@ -100,6 +100,7 @@ class TestDocumentedEntryPoints:
             "report",
             "chaos",
             "lint",
+            "load",
             "bench-help",
         }
 
