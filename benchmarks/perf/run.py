@@ -1,5 +1,6 @@
 """Run the perf suites: ``BENCH_fastpath.json`` + ``BENCH_parallel.json``
-+ ``BENCH_telemetry.json`` + ``BENCH_resilience.json`` + ``BENCH_scale.json``.
++ ``BENCH_telemetry.json`` + ``BENCH_resilience.json`` + ``BENCH_scale.json``
++ ``BENCH_striping.json``.
 
 Usage (from the repo root)::
 
@@ -13,10 +14,13 @@ additionally enforces the acceptance thresholds: ≥2× on the 100 MB
 XenSocket transfer, ≥1.3× on the full Table I sweep, ≥2× for the
 parallel harness on the Table I sweep with repeats, a strictly
 faster scatter-gather decision at every candidate count, a
-disabled-telemetry guard overhead under 5% of the Table I sweep, and
+disabled-telemetry guard overhead under 5% of the Table I sweep,
 >= 99% fetch/process availability with resilience on while 2 of 8
 nodes are down (the resilience suite also self-asserts that two
-identically seeded resilient runs agree bit-for-bit).
+identically seeded resilient runs agree bit-for-bit), and for the
+striping suite a >= 2x large-object fetch speedup over whole-payload
+replication at <= 0.6x its stored bytes with 100% availability under
+the same 2-of-8 kill.
 
 The parallel suite verifies — not just claims — that pooled execution
 reproduces the naive serial loop bit-for-bit at several worker counts;
@@ -53,6 +57,7 @@ from benchmarks.perf.parallel_bench import (
 )
 from benchmarks.perf.resilience_bench import bench_resilience
 from benchmarks.perf.scale_bench import bench_scale
+from benchmarks.perf.striping_bench import bench_striping
 from benchmarks.perf.table1_bench import bench_table1
 from benchmarks.perf.telemetry_bench import bench_telemetry
 from benchmarks.perf.xensocket_bench import bench_xensocket
@@ -76,6 +81,13 @@ TELEMETRY_MAX_DISABLED_OVERHEAD = 0.05
 
 #: Fetch/process availability with resilience on, 2 of 8 nodes dead.
 RESILIENCE_MIN_SUCCESS = 0.99
+
+#: Striping vs replication: summed healthy large-object transfer time.
+STRIPING_MIN_SPEEDUP = 2.0
+#: Striped stored bytes over replicated stored bytes ((k+m)/k vs 1+R).
+STRIPING_MAX_STORAGE_RATIO = 0.6
+#: Fetch availability with striping on and exactly m=2 holders dead.
+STRIPING_MIN_SUCCESS = 1.0
 
 
 def main(argv=None) -> int:
@@ -116,6 +128,11 @@ def main(argv=None) -> int:
         help="where to write the scale-wall results JSON",
     )
     parser.add_argument(
+        "--output-striping",
+        default=str(REPO_ROOT / "BENCH_striping.json"),
+        help="where to write the striping-vs-replication results JSON",
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=4,
@@ -146,6 +163,7 @@ def main(argv=None) -> int:
         }
         telemetry_result = bench_telemetry(sizes=[1, 10], repeats=1)
         resilience_result = bench_resilience(n_objects=16)
+        striping_result = bench_striping(n_objects=8)
         scale_result = None
         if not args.no_scale:
             scale_result = bench_scale(
@@ -169,6 +187,7 @@ def main(argv=None) -> int:
         }
         telemetry_result = bench_telemetry()
         resilience_result = bench_resilience()
+        striping_result = bench_striping()
         scale_result = None
         if not args.no_scale:
             scale_result = bench_scale(workers=args.workers)
@@ -239,6 +258,24 @@ def main(argv=None) -> int:
         + "\n"
     )
 
+    out_striping = Path(args.output_striping)
+    out_striping.write_text(
+        json.dumps(
+            {
+                "suite": "striping",
+                "smoke": args.smoke,
+                **host,
+                "results": {"striping_vs_replication": striping_result},
+                "min_speedup": STRIPING_MIN_SPEEDUP,
+                "max_storage_ratio": STRIPING_MAX_STORAGE_RATIO,
+                "min_success_rate": STRIPING_MIN_SUCCESS,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+
     out_scale = Path(args.output_scale)
     if scale_result is not None:
         out_scale.write_text(
@@ -282,6 +319,16 @@ def main(argv=None) -> int:
         f"{resilience_result['on']['repair_actions']} repairs, "
         f"deterministic={resilience_result['deterministic']})"
     )
+    print(f"striping vs replication ({mode} mode)")
+    print(
+        f"  striping                 speedup "
+        f"{striping_result['speedup']:6.2f}x, storage "
+        f"{striping_result['storage_ratio']:.2f}x of replication, "
+        f"availability {striping_result['on']['success_rate']:.0%} "
+        f"with {len(striping_result['killed'])} of "
+        f"{striping_result['nodes']} killed "
+        f"(deterministic={striping_result['deterministic']})"
+    )
     if scale_result is not None:
         print(f"scale wall ({mode} mode, {args.workers} workers)")
         for n in scale_result["node_counts"]:
@@ -298,7 +345,7 @@ def main(argv=None) -> int:
             f"{scale_result['speedup']:.2f}x"
         )
 
-    written = [out, out_parallel, out_telemetry, out_resilience]
+    written = [out, out_parallel, out_telemetry, out_resilience, out_striping]
     if scale_result is not None:
         written.append(out_scale)
     print("written: " + " ".join(str(p) for p in written))
@@ -327,6 +374,24 @@ def main(argv=None) -> int:
             )
         if not resilience_result["deterministic"]:
             failures.append("resilience: runs are not bit-for-bit repeatable")
+        if striping_result["speedup"] < STRIPING_MIN_SPEEDUP:
+            failures.append(
+                f"striping: fetch speedup {striping_result['speedup']:.2f}x"
+                f" < {STRIPING_MIN_SPEEDUP}x"
+            )
+        if striping_result["storage_ratio"] > STRIPING_MAX_STORAGE_RATIO:
+            failures.append(
+                f"striping: storage ratio {striping_result['storage_ratio']:.2f}x"
+                f" > {STRIPING_MAX_STORAGE_RATIO}x of replication"
+            )
+        striping_success = striping_result["on"]["success_rate"]
+        if striping_success < STRIPING_MIN_SUCCESS:
+            failures.append(
+                f"striping: availability {striping_success:.1%}"
+                f" < {STRIPING_MIN_SUCCESS:.0%} with m holders killed"
+            )
+        if not striping_result["deterministic"]:
+            failures.append("striping: runs are not bit-for-bit repeatable")
         if scale_result is not None and (
             scale_result["speedup"] < SCALE_MIN_JOIN_SPEEDUP
         ):

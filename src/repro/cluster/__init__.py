@@ -24,6 +24,7 @@ from repro.cluster.config import (
     DeviceConfig,
     LanConfig,
     ResilienceConfig,
+    StripingConfig,
     WanConfig,
     default_devices,
 )
@@ -36,6 +37,7 @@ __all__ = [
     "DeviceConfig",
     "LanConfig",
     "ResilienceConfig",
+    "StripingConfig",
     "WanConfig",
     "default_devices",
     "Federation",

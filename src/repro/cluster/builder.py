@@ -47,7 +47,7 @@ from repro.virt import (
     TransferEngine,
     XenSocketChannel,
 )
-from repro.vstore import VStoreClient, VStoreNode
+from repro.vstore import StripeCodec, StripingPolicy, VStoreClient, VStoreNode
 from repro.cluster.config import ClusterConfig, DeviceConfig
 
 __all__ = ["Device", "Cloud4Home", "PROFILES"]
@@ -330,6 +330,14 @@ class Cloud4Home:
         cloud = PublicCloudInterface(
             self.network, dc.name, self.s3, gateway=self.config.cloud_gateway
         )
+        striping = None
+        if self.config.striping:
+            st = self.config.striping_tuning
+            striping = StripingPolicy(
+                codec=StripeCodec(st.stripe_k, st.stripe_m),
+                min_object_mb=st.min_object_mb,
+                codec_mb_s=st.codec_mb_s,
+            )
         vstore = VStoreNode(
             chimera=chimera,
             kv=kv,
@@ -346,6 +354,7 @@ class Cloud4Home:
             disk_mb_s=profile.disk_mb_s,
             caller=caller,
             data_replicas=self.config.data_replicas if res is not None else 0,
+            striping=striping,
             metrics=self.metrics,
         )
         repairer = None

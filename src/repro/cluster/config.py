@@ -17,6 +17,7 @@ __all__ = [
     "LanConfig",
     "DeviceConfig",
     "ResilienceConfig",
+    "StripingConfig",
     "ClusterConfig",
 ]
 
@@ -126,6 +127,27 @@ class ResilienceConfig:
 
 
 @dataclass
+class StripingConfig:
+    """Tuning for erasure-coded striping.
+
+    Only read when ``ClusterConfig.striping`` is on.  The (4, 2)
+    default matches the resilience layer's 2-failure tolerance
+    (``data_replicas=2``) at half its storage overhead: 1.5x stored
+    bytes per logical byte instead of 3.0x.
+    """
+
+    #: Data chunks per object — reads parallelize k ways.
+    stripe_k: int = 4
+    #: Parity chunks per object — up to m holders may fail.
+    stripe_m: int = 2
+    #: Objects below this size keep the replication path (chunking a
+    #: tiny object trades one RPC for k+m of them with no bandwidth win).
+    min_object_mb: float = 4.0
+    #: Erasure encode/decode throughput, MB of logical data per second.
+    codec_mb_s: float = 400.0
+
+
+@dataclass
 class ClusterConfig:
     """Everything needed to build a Cloud4Home deployment."""
 
@@ -175,6 +197,16 @@ class ClusterConfig:
     data_replicas: int = 2
     #: Tuning knobs for the resilience layer.
     resilience_tuning: ResilienceConfig = field(default_factory=ResilienceConfig)
+    #: Erasure-coded striping (repro.vstore.striping): qualifying
+    #: objects split into (k, m) chunks scattered across distinct
+    #: holders; fetches run as first-k-of-(k+m) parallel scatter-gather
+    #: and tolerate up to m lost holders at m/k storage overhead.  Off
+    #: by default: with it off no striping code runs on any store or
+    #: fetch path and simulated results are byte-identical to a build
+    #: without the subsystem.
+    striping: bool = False
+    #: Tuning knobs for erasure-coded striping.
+    striping_tuning: StripingConfig = field(default_factory=StripingConfig)
     #: Scale construction: instead of the sequential protocol join
     #: (O(N²) messages — minutes of wall clock past ~1k devices), the
     #: builder computes each node's Pastry-correct partial view (leaf

@@ -132,6 +132,7 @@ class SetIterationRule(Rule):
         "src/repro/monitoring",
         "src/repro/vstore/placement.py",
         "src/repro/vstore/policies.py",
+        "src/repro/vstore/striping.py",
         "src/repro/overlay/state.py",
     )
 

@@ -40,6 +40,7 @@ from repro.sim import Interrupt
 from repro.vstore.errors import VStoreError
 from repro.vstore.node import MSG_PING, MSG_REPLICATE, object_key
 from repro.vstore.objects import LOCATION_REMOTE, ObjectMeta
+from repro.vstore.striping import StripingPolicy, chunk_name, plan_chunk_placement
 
 __all__ = ["Repairer", "RepairAction"]
 
@@ -53,7 +54,7 @@ class RepairAction:
 
     at: float
     object: str
-    #: "replicate" | "promote" | "promote-cloud" | "lost"
+    #: "replicate" | "promote" | "promote-cloud" | "lost" | "rebuild"
     action: str
     detail: str = ""
     nodes: list[str] = field(default_factory=list)
@@ -185,6 +186,8 @@ class Repairer:
         return changed
 
     def _repair(self, meta: ObjectMeta, span):
+        if meta.is_striped:
+            return (yield from self._repair_striped(meta, span))
         holders = []
         if not meta.is_remote and meta.location:
             holders.append(meta.location)
@@ -238,6 +241,121 @@ class Repairer:
         if changed:
             yield from self._republish(meta, span)
         return changed
+
+    def _repair_striped(self, meta: ObjectMeta, span):
+        """Process: rebuild a stripe's missing chunks from any k survivors.
+
+        The erasure code makes repair cheap: instead of re-copying the
+        whole payload, this node pulls any ``k`` live chunks (k/n of
+        the object's bytes), re-encodes the lost ones, and pushes each
+        rebuilt chunk to a fresh decision-engine-chosen holder.  Chunks
+        in the remote cloud count as live — the cloud is the
+        durability backstop, not a failure domain we probe.  When fewer
+        than ``k`` chunks survive, the full-object cloud copy (if any)
+        takes over as the object's location; otherwise the stripe is
+        logged lost and left for a later sweep in case holders return.
+        """
+        live: list[int] = []
+        for index, holder in enumerate(meta.chunk_nodes):
+            if holder == LOCATION_REMOTE:
+                live.append(index)
+                continue
+            alive = yield from self._holds_object(
+                holder, chunk_name(meta.name, index), span
+            )
+            if alive:
+                live.append(index)
+
+        n = meta.stripe_k + meta.stripe_m
+        if len(live) == n:
+            return False  # full stripe width; nothing to do
+        if len(live) < meta.stripe_k:
+            if meta.url:
+                meta.location = LOCATION_REMOTE
+                meta.bin_name = ""
+                meta.stripe_k = 0
+                meta.stripe_m = 0
+                meta.chunk_nodes = []
+                self._log(
+                    "promote-cloud",
+                    meta.name,
+                    f"only {len(live)}/{n} chunks live -> cloud copy",
+                    [],
+                )
+                yield from self._republish(meta, span)
+                return True
+            self._log(
+                "lost",
+                meta.name,
+                f"only {len(live)}/{n} chunks live, need {meta.stripe_k}",
+                [],
+            )
+            return False
+
+        missing = [i for i in range(n) if i not in live]
+        chunk_mb = meta.size_mb / meta.stripe_k
+        # Pull the k fastest live chunks here and re-encode the lost
+        # ones.  The stragglers' pulls keep draining in the background;
+        # only k chunks' worth of bytes cross the network.
+        pulls = [self.vstore._pull_chunk(meta, i, span) for i in live]
+        outcomes = yield self.sim.gather(
+            pulls, count=meta.stripe_k, return_exceptions=True
+        )
+        pulled = sum(1 for outcome in outcomes if isinstance(outcome, int))
+        if pulled < meta.stripe_k:
+            # A holder died between probe and pull; next sweep retries.
+            return False
+        policy = self.vstore.striping
+        mb_s = policy.codec_mb_s if policy is not None else StripingPolicy().codec_mb_s
+        yield self.sim.timeout(meta.size_mb / mb_s)
+
+        exclude = {meta.chunk_nodes[i] for i in live}
+        exclude.discard(LOCATION_REMOTE)
+        try:
+            candidates = yield from self.vstore.decision.decide(
+                DecisionPolicy.BALANCED,
+                require=lambda s: s.voluntary_free_mb >= chunk_mb,
+                ctx=span,
+            )
+        except (HostDownError, RpcTimeoutError, RemoteError):
+            candidates = []
+        plan = plan_chunk_placement(
+            [c.node for c in candidates], len(missing), exclude=sorted(exclude)
+        )
+        rebuilt: list[str] = []
+        for index, target in zip(missing, plan):
+            if target is None:
+                # Every live home node already holds a chunk of this
+                # stripe; the cloud is the one distinct holder left.
+                if self.vstore.cloud is None:
+                    continue  # retry next sweep (a node may revive)
+                yield from self.vstore.cloud.store_remote(
+                    chunk_name(meta.name, index),
+                    chunk_mb * 1024 * 1024,
+                    ctx=span,
+                )
+                meta.chunk_nodes[index] = LOCATION_REMOTE
+                rebuilt.append(LOCATION_REMOTE)
+                continue
+            try:
+                yield from self.vstore._push_chunk(
+                    meta.name, index, chunk_mb, target, span
+                )
+            except (HostDownError, RpcTimeoutError, RemoteError, VStoreError):
+                continue
+            meta.chunk_nodes[index] = target
+            rebuilt.append(target)
+        if not rebuilt:
+            return False
+        self._log(
+            "rebuild",
+            meta.name,
+            f"re-encoded {len(rebuilt)}/{len(missing)} missing chunks",
+            rebuilt,
+        )
+        self._count("stripe.repair.rebuilt")
+        yield from self._republish(meta, span)
+        return True
 
     def _replicate(self, meta: ObjectMeta, missing: int, span):
         """Process: pick targets and command a live holder to push copies."""

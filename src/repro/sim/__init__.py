@@ -12,7 +12,15 @@ Public surface:
 """
 
 from repro.sim.errors import Interrupt, SimulationError
-from repro.sim.kernel import AllOf, AnyOf, Event, Process, Simulator, Timeout
+from repro.sim.kernel import (
+    GATHER_PENDING,
+    AllOf,
+    AnyOf,
+    Event,
+    Process,
+    Simulator,
+    Timeout,
+)
 from repro.sim.random import RandomSource
 from repro.sim.resources import Container, Request, Resource, Store
 from repro.sim.trace import TraceEvent, Tracer
@@ -24,6 +32,7 @@ __all__ = [
     "Process",
     "AnyOf",
     "AllOf",
+    "GATHER_PENDING",
     "Resource",
     "Request",
     "Container",

@@ -61,7 +61,23 @@ __all__ = [
     "AnyOf",
     "AllOf",
     "Simulator",
+    "GATHER_PENDING",
 ]
+
+
+class _GatherPending:
+    """Sentinel for branches still running when a counted gather fires."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "GATHER_PENDING"
+
+
+#: Placeholder in a ``gather(..., count=n)`` result for branches that had
+#: not finished when the n-th success triggered the join.  The branches
+#: themselves keep running in the background.
+GATHER_PENDING = _GatherPending()
 
 #: Ordering priorities for events scheduled at the same timestamp.
 #: Urgent events (process resumptions caused by interrupts) run before
@@ -439,7 +455,12 @@ class Simulator:
         """Event that succeeds when every one of ``events`` succeeds."""
         return AllOf(self, events)
 
-    def gather(self, generators: Iterable["Generator | Process"]) -> Event:
+    def gather(
+        self,
+        generators: Iterable["Generator | Process"],
+        count: Optional[int] = None,
+        return_exceptions: bool = False,
+    ) -> Event:
         """Scatter-gather: run ``generators`` concurrently, join them.
 
         Each element is spawned as a :class:`Process` (existing processes
@@ -449,17 +470,34 @@ class Simulator:
         of results *in submission order*, regardless of the order in
         which the branches finish.
 
-        If any branch fails, the gather fails with that exception (the
-        first one, in trigger order).  The remaining branches keep
-        running, and any further failures among them are defused so they
-        do not take the whole simulation down; a caller who needs
-        per-branch error recovery should catch inside each generator and
-        return a sentinel instead.
+        By default, if any branch fails, the gather fails with that
+        exception (the first one, in trigger order).  The remaining
+        branches keep running, and any further failures among them are
+        defused so they do not take the whole simulation down.
+
+        ``return_exceptions=True`` switches to per-branch outcomes: a
+        failed branch contributes its exception *instance* to the result
+        list instead of poisoning the join, so one dead source cannot
+        sink the other pulls — the caller inspects each slot.
+
+        ``count=n`` requests first-n-of-k early completion: the join
+        triggers as soon as ``n`` branches have *succeeded* (erasure-
+        decode style — any k of k+m chunks suffice), with still-running
+        branches reported as :data:`GATHER_PENDING`.  Those branches keep
+        running in the background and their late failures are defused.
+        When fewer than ``n`` successes remain possible the join triggers
+        once every branch has finished (with ``return_exceptions=False``
+        the first failure still fails the join immediately), so a counted
+        gather always completes.
         """
+        if count is not None and count < 0:
+            raise ValueError(f"count must be non-negative, got {count!r}")
         procs = [
             gen if isinstance(gen, Process) else self.process(gen)
             for gen in generators
         ]
+        if count is not None or return_exceptions:
+            return self._gather_partial(procs, count, return_exceptions)
         result = Event(self)
         joined = AllOf(self, procs)
 
@@ -481,6 +519,60 @@ class Simulator:
         for proc in procs:
             if proc.callbacks is not None:
                 proc.callbacks.append(_absorb_late_failure)
+        return result
+
+    def _gather_partial(
+        self,
+        procs: list["Process"],
+        count: Optional[int],
+        return_exceptions: bool,
+    ) -> Event:
+        """Join machinery behind gather's per-branch / counted modes.
+
+        Kept separate from the default path so the legacy all-or-fail
+        join keeps its exact event sequence (the parallel-decision
+        goldens pin it).
+        """
+        result = Event(self)
+        values: list[Any] = [GATHER_PENDING] * len(procs)
+        # Mutable counters shared by the per-branch closures.
+        state = {"successes": 0, "done": 0}
+        needed = count if count is not None else len(procs)
+
+        def _maybe_finish() -> None:
+            if result.triggered:
+                return
+            if state["successes"] >= needed or state["done"] == len(procs):
+                result.succeed(list(values))
+
+        def _on_branch(index: int, proc: "Process"):
+            def _cb(event: Event) -> None:
+                if not event._ok:
+                    # Consumed here either way: as a recorded outcome,
+                    # as the join's failure, or as a late straggler.
+                    event._defused = True
+                if result.triggered:
+                    return
+                state["done"] += 1
+                if event._ok:
+                    state["successes"] += 1
+                    values[index] = event._value
+                elif return_exceptions:
+                    values[index] = event._value
+                else:
+                    result.fail(event._value)
+                    return
+                _maybe_finish()
+
+            return _cb
+
+        for i, proc in enumerate(procs):
+            if proc.callbacks is None:
+                _on_branch(i, proc)(proc)
+            else:
+                proc.callbacks.append(_on_branch(i, proc))
+        if not result.triggered and (not procs or needed == 0):
+            result.succeed(list(values))
         return result
 
     # -- scheduling --------------------------------------------------------

@@ -19,6 +19,7 @@ from repro.vstore.client import VStoreClient
 from repro.vstore.commands import Command, CommandType
 from repro.vstore.errors import (
     BinFullError,
+    ChunksLostError,
     ObjectExistsError,
     ObjectNotFoundError,
     PlacementError,
@@ -43,6 +44,12 @@ from repro.vstore.policies import (
     tag_rule,
     type_rule,
 )
+from repro.vstore.striping import (
+    StripeCodec,
+    StripingPolicy,
+    chunk_name,
+    plan_chunk_placement,
+)
 
 __all__ = [
     "VStoreNode",
@@ -62,6 +69,10 @@ __all__ = [
     "StoreResult",
     "FetchResult",
     "ProcessResult",
+    "StripeCodec",
+    "StripingPolicy",
+    "chunk_name",
+    "plan_chunk_placement",
     "PlacementEstimate",
     "estimate_completion",
     "object_key",
@@ -70,5 +81,6 @@ __all__ = [
     "ObjectExistsError",
     "BinFullError",
     "PlacementError",
+    "ChunksLostError",
     "ServiceUnavailableError",
 ]

@@ -120,6 +120,31 @@ class VStoreClient:
         result = yield from self._run(tel, span, op())
         return result
 
+    def fetch_range(self, name: str, offset_mb: float, length_mb: float):
+        """Process: FetchRange() — bring only a byte range into this VM.
+
+        On erasure-coded objects only the data chunks covering
+        ``[offset, offset + length)`` move over the network; the
+        XenSocket delivery carries just the requested bytes either way.
+        """
+        tel, span = self._begin(
+            "fetch_range", object=name, offset_mb=offset_mb, length_mb=length_mb
+        )
+
+        def op():
+            yield from self._send_command(
+                CommandType.FETCH_RANGE,
+                {"name": name, "offset_mb": offset_mb, "length_mb": length_mb},
+                ctx=span,
+            )
+            result = yield from self.node.fetch_range(
+                name, offset_mb, length_mb, ctx=span
+            )
+            return result
+
+        result = yield from self._run(tel, span, op())
+        return result
+
     def prefetch_object(self, name: str):
         """Process: start an asynchronous fetch; returns its handle.
 

@@ -22,6 +22,7 @@ class CommandType(Enum):
     CREATE_OBJECT = "create"
     STORE_OBJECT = "store"
     FETCH_OBJECT = "fetch"
+    FETCH_RANGE = "fetch-range"
     PROCESS = "process"
     FETCH_PROCESS = "fetch-process"
     DELETE_OBJECT = "delete"

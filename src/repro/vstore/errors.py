@@ -48,6 +48,23 @@ class PlacementError(VStoreError):
     """No placement target satisfies the store policy."""
 
 
+class ChunksLostError(VStoreError):
+    """Too few chunks of an erasure-coded stripe survive to decode.
+
+    Raised when fewer than ``k`` of an object's ``k + m`` chunks are
+    reachable and no cloud backstop copy exists.
+    """
+
+    def __init__(self, name: str, available: int, needed: int) -> None:
+        super().__init__(
+            f"object {name!r} unrecoverable: only {available} of the "
+            f"required {needed} chunks reachable"
+        )
+        self.name = name
+        self.available = available
+        self.needed = needed
+
+
 class AccessDeniedError(VStoreError):
     """The requesting device may not read this object.
 

@@ -37,6 +37,7 @@ from repro.vstore.bins import StorageBin
 from repro.vstore.errors import (
     AccessDeniedError,
     BinFullError,
+    ChunksLostError,
     ObjectExistsError,
     ObjectNotFoundError,
     PlacementError,
@@ -46,6 +47,12 @@ from repro.vstore.errors import (
 from repro.vstore.objects import LOCATION_REMOTE, ObjectMeta
 from repro.vstore.placement import PlacementEstimate, estimate_completion
 from repro.vstore.policies import Placement, PlacementTarget, StorePolicy
+from repro.vstore.striping import (
+    StripeCodec,
+    StripingPolicy,
+    chunk_name,
+    plan_chunk_placement,
+)
 
 __all__ = ["VStoreNode", "StoreResult", "FetchResult", "ProcessResult"]
 
@@ -130,6 +137,7 @@ class VStoreNode:
         disk_mb_s: float = 80.0,
         caller=None,
         data_replicas: int = 0,
+        striping: Optional[StripingPolicy] = None,
         metrics=None,
     ) -> None:
         self.chimera = chimera
@@ -156,6 +164,12 @@ class VStoreNode:
         #: Extra payload copies placed at store time (0 = single-homed,
         #: the pre-resilience behaviour).
         self.data_replicas = data_replicas
+        #: Optional :class:`repro.vstore.striping.StripingPolicy`; when
+        #: set, qualifying objects are split into (k, m) erasure-coded
+        #: chunks scattered across distinct holders instead of stored
+        #: (and replicated) whole.  ``None`` keeps every store on the
+        #: replication-era path unchanged.
+        self.striping = striping
         self.metrics = metrics
         #: Objects created but not yet stored (CreateObject staging).
         self.staged: dict[str, ObjectMeta] = {}
@@ -290,9 +304,12 @@ class VStoreNode:
     def _place_and_publish(self, meta: ObjectMeta, ctx=None):
         tel, span = self._span("vstore.place", ctx, object=meta.name)
         t0 = self.sim.now
-        placement = yield from self._place(meta, ctx=span)
-        if self.data_replicas > 0:
-            yield from self._replicate_payload(meta, ctx=span)
+        if self.striping is not None and self.striping.applies_to(meta.size_mb):
+            placement = yield from self._stripe_and_place(meta, ctx=span)
+        else:
+            placement = yield from self._place(meta, ctx=span)
+            if self.data_replicas > 0:
+                yield from self._replicate_payload(meta, ctx=span)
         placement_s = self.sim.now - t0
         if span is not None:
             tel.end(span, target=placement.target.name)
@@ -430,6 +447,279 @@ class VStoreNode:
         meta.bin_name = "voluntary"
         return True
 
+    # -- erasure-coded striping -------------------------------------------------
+
+    def _stripe_and_place(self, meta: ObjectMeta, ctx=None):
+        """Process: encode a stripe and scatter its chunks in parallel.
+
+        The object is split into ``k`` data + ``m`` parity chunks;
+        holders come from the decision engine's ranking, one chunk per
+        distinct node (anything the home cloud cannot hold spills to
+        the remote cloud).  All pushes run concurrently — the store
+        cost is dominated by the slowest chunk, not the sum.  The
+        coordinator (this node) is recorded as ``meta.location`` purely
+        as the metadata anchor; the payload lives only in the chunks.
+        """
+        policy = self.striping
+        codec = policy.codec
+        tel, span = self._span(
+            "vstore.stripe", ctx, object=meta.name, k=codec.k, m=codec.m
+        )
+        # Encoding: compute the m parity chunks over the k data slices.
+        yield self.sim.timeout(policy.codec_time_s(meta.size_mb))
+        chunk_mb = codec.chunk_size_mb(meta.size_mb)
+        try:
+            candidates = yield from self.decision.decide(
+                DecisionPolicy.BALANCED,
+                require=lambda s: s.voluntary_free_mb >= chunk_mb,
+                ctx=span,
+            )
+        except (HostDownError, RpcTimeoutError, RemoteError):
+            candidates = []
+        plan = plan_chunk_placement([c.node for c in candidates], codec.n)
+        pushes = [
+            self._push_chunk(meta.name, index, chunk_mb, target, span)
+            for index, target in enumerate(plan)
+            if target is not None
+        ]
+        outcomes = yield self.sim.gather(pushes, return_exceptions=True)
+        pushed: list = []
+        pos = 0
+        for target in plan:
+            pushed.append(outcomes[pos] if target is not None else None)
+            pos += target is not None
+        holders: list[str] = []
+        spilled = 0
+        for index, target in enumerate(plan):
+            if target is not None and not isinstance(pushed[index], BaseException):
+                holders.append(target)
+                self._count("stripe.store.placed")
+                continue
+            # No distinct home holder (or the push failed): the chunk
+            # spills to the remote cloud, which is failure-independent
+            # of every home node.
+            if self.cloud is None:
+                raise PlacementError(
+                    f"object {meta.name!r}: chunk {index} has no home "
+                    "holder and no public-cloud interface is configured"
+                )
+            yield from self.cloud.store_remote(
+                chunk_name(meta.name, index), chunk_mb * 1024 * 1024, ctx=span
+            )
+            holders.append(LOCATION_REMOTE)
+            spilled += 1
+            self._count("stripe.store.spilled")
+        meta.stripe_k = codec.k
+        meta.stripe_m = codec.m
+        meta.chunk_nodes = holders
+        meta.location = self.name
+        meta.bin_name = ""
+        if span is not None:
+            tel.end(span, spilled=spilled)
+        return Placement(PlacementTarget.HOME_VOLUNTARY, self.name)
+
+    def _push_chunk(self, name: str, index: int, chunk_mb: float, target, span):
+        """Process: stream one chunk to its holder's voluntary bin."""
+        cname = chunk_name(name, index)
+        if target == self.name:
+            yield self.sim.timeout(chunk_mb / self.disk_mb_s)
+            if not self.voluntary.fits(chunk_mb):
+                raise BinFullError("voluntary", chunk_mb, self.voluntary.free_mb)
+            self.voluntary.store(cname, chunk_mb)
+            return target
+        body = {"name": cname, "size_mb": chunk_mb, "src": self.name}
+        if span is not None:
+            body["span"] = span.ctx_wire()
+        yield from self._call(target, MSG_STORE_VOLUNTARY, body, timeout=120.0)
+        return target
+
+    def _pull_chunk(self, meta: ObjectMeta, index: int, span):
+        """Process: bring chunk ``index`` of a stripe to this node.
+
+        Each pull is its own telemetry span, so a scatter-gather fetch
+        reconstructs as one parent with k+m ``vstore.chunk_pull``
+        children.  Returns the chunk index; raises on unreachable
+        holders (the gather's ``return_exceptions`` captures those).
+        """
+        cname = chunk_name(meta.name, index)
+        holder = meta.chunk_nodes[index]
+        chunk_mb = meta.size_mb / meta.stripe_k
+        tel, cspan = self._span(
+            "vstore.chunk_pull", span, object=meta.name, chunk=index, holder=holder
+        )
+        try:
+            if holder == LOCATION_REMOTE:
+                if self.cloud is None:
+                    raise VStoreError(
+                        f"chunk {cname!r} is in the remote cloud but this "
+                        "node has no public-cloud interface"
+                    )
+                yield from self.cloud.fetch_remote(cname, ctx=cspan)
+            elif holder == self.name:
+                if not self.holds(cname):
+                    raise ObjectNotFoundError(cname)
+                yield self.sim.timeout(chunk_mb / self.disk_mb_s)
+            else:
+                body = {"name": cname, "to": self.name}
+                if cspan is not None:
+                    body["span"] = cspan.ctx_wire()
+                yield from self._call(holder, MSG_FETCH, body, timeout=600.0)
+        except Exception as exc:
+            if cspan is not None:
+                tel.fail(cspan, exc)
+            raise
+        if cspan is not None:
+            tel.end(cspan)
+        return index
+
+    def _fetch_striped(self, meta: ObjectMeta, span):
+        """Process: scatter-gather chunk pulls, first k of k+m win.
+
+        All ``k + m`` pulls launch together; the join fires at the
+        k-th success, so fetch latency is the max of the *fastest* k
+        pulls and up to ``m`` dead or slow holders cost nothing but
+        their parity.  Decoding is only charged when a parity chunk had
+        to stand in for data (a degraded read).  When fewer than k
+        chunks are reachable the full-object cloud copy (if any)
+        backstops; otherwise the typed :class:`ChunksLostError` names
+        the shortfall.  Returns ``(served_from, inter_node_s,
+        remote_cloud_s)`` like :meth:`_fetch_with_failover`.
+        """
+        codec = StripeCodec(meta.stripe_k, meta.stripe_m)
+        t_start = self.sim.now
+        pulls = [self._pull_chunk(meta, i, span) for i in range(codec.n)]
+        outcomes = yield self.sim.gather(
+            pulls, count=codec.k, return_exceptions=True
+        )
+        arrived = [
+            i for i, outcome in enumerate(outcomes) if isinstance(outcome, int)
+        ]
+        if codec.can_decode(len(arrived)):
+            if any(codec.is_parity(i) for i in arrived):
+                # Parity chunks were among the first k (they won the
+                # race, or stood in for failed data holders): the
+                # missing data slices must be reconstructed.
+                mb_s = (
+                    self.striping.codec_mb_s
+                    if self.striping is not None
+                    else StripingPolicy().codec_mb_s
+                )
+                yield self.sim.timeout(meta.size_mb / mb_s)
+            # Degraded means holders actually failed, not that parity
+            # merely out-raced data on a healthy cluster.
+            degraded = any(
+                isinstance(outcome, BaseException) for outcome in outcomes
+            )
+            if degraded:
+                self._count("stripe.fetch.degraded")
+            served_from = "stripe-degraded" if degraded else "stripe"
+            return served_from, self.sim.now - t_start, 0.0
+        if meta.url is not None and self.cloud is not None:
+            t0 = self.sim.now
+            yield from self.cloud.fetch_remote(meta.name, ctx=span)
+            self._count("stripe.fetch.cloud_backstop")
+            return "remote-cloud", t0 - t_start, self.sim.now - t0
+        self._count("stripe.fetch.lost")
+        raise ChunksLostError(meta.name, len(arrived), codec.k)
+
+    def fetch_range(
+        self,
+        name: str,
+        offset_mb: float,
+        length_mb: float,
+        to_guest: bool = True,
+        ctx=None,
+    ):
+        """Process: FetchRange — bring only bytes [offset, offset+length).
+
+        On a striped object just the data chunks covering the range
+        move (a suffix read of a 32 MB object touches 1-2 chunks, not
+        32 MB); if a covering chunk's holder is unreachable the read
+        degrades to a full k-of-(k+m) decode.  Un-striped objects fall
+        back to a whole-object fetch with only the range delivered to
+        the guest.
+        """
+        tel, span = self._span(
+            "vstore.fetch_range",
+            ctx,
+            object=name,
+            offset_mb=offset_mb,
+            length_mb=length_mb,
+        )
+        started = self.sim.now
+        yield self.sim.timeout(self.op_overhead_s)
+        meta, dht_s = yield from self._lookup_meta(name, ctx=span)
+        self._check_access(meta)
+        if offset_mb < 0 or length_mb < 0 or offset_mb + length_mb > meta.size_mb:
+            raise ValueError(
+                f"range [{offset_mb}, {offset_mb + length_mb}) MB outside "
+                f"object {name!r} ({meta.size_mb} MB)"
+            )
+        self._count("stripe.fetch.range")
+
+        inter_node_s = 0.0
+        remote_s = 0.0
+        if meta.is_striped:
+            codec = StripeCodec(meta.stripe_k, meta.stripe_m)
+            indices = codec.data_chunks_for_range(
+                meta.size_mb, offset_mb, length_mb
+            )
+            t0 = self.sim.now
+            pulls = [self._pull_chunk(meta, i, span) for i in indices]
+            outcomes = yield self.sim.gather(pulls, return_exceptions=True)
+            served_from = "stripe-range"
+            if any(isinstance(outcome, BaseException) for outcome in outcomes):
+                # A covering chunk is lost: any k of the k+m chunks
+                # reconstruct every byte, so degrade to a full decode.
+                self._count("stripe.fetch.range_degraded")
+                served_from, _, remote_s = yield from self._fetch_striped(
+                    meta, span
+                )
+            inter_node_s = self.sim.now - t0 - remote_s
+        else:
+            fetch = yield from self.fetch_object(name, to_guest=False, ctx=span)
+            inter_node_s = fetch.inter_node_s
+            remote_s = fetch.remote_cloud_s
+            served_from = fetch.served_from
+
+        inter_domain_s = 0.0
+        if to_guest and self.xensocket is not None:
+            t0 = self.sim.now
+            yield from self.xensocket.transfer(length_mb * 1024 * 1024, ctx=span)
+            inter_domain_s = self.sim.now - t0
+
+        if span is not None:
+            tel.end(span, served_from=served_from)
+        return FetchResult(
+            meta=meta,
+            total_s=self.sim.now - started,
+            dht_lookup_s=dht_s,
+            inter_node_s=inter_node_s,
+            inter_domain_s=inter_domain_s,
+            remote_cloud_s=remote_s,
+            served_from=served_from,
+        )
+
+    def _delete_stripe(self, meta: ObjectMeta, span):
+        """Process: remove every chunk of a stripe from its holders."""
+        for index, holder in enumerate(meta.chunk_nodes):
+            cname = chunk_name(meta.name, index)
+            if holder == LOCATION_REMOTE:
+                if self.cloud is not None:
+                    self.cloud.s3.delete_object(cname)
+            elif holder == self.name:
+                self._remove_local(cname)
+            else:
+                body = {"name": cname}
+                if span is not None:
+                    body["span"] = span.ctx_wire()
+                try:
+                    yield self.endpoint.call(holder, MSG_DELETE, body)
+                except (HostDownError, RpcTimeoutError, RemoteError):
+                    pass
+        if meta.url is not None and self.cloud is not None:
+            self.cloud.s3.delete_object(meta.name)
+
     # -- fetch ------------------------------------------------------------------
 
     def fetch_object(self, name: str, to_guest: bool = True, ctx=None):
@@ -447,7 +737,11 @@ class VStoreNode:
 
         inter_node_s = 0.0
         remote_s = 0.0
-        if meta.is_remote:
+        if meta.is_striped:
+            served_from, inter_node_s, remote_s = yield from self._fetch_striped(
+                meta, span
+            )
+        elif meta.is_remote:
             t0 = self.sim.now
             if self.cloud is None:
                 raise VStoreError(
@@ -543,7 +837,9 @@ class VStoreNode:
         """Process: remove an object and its metadata everywhere."""
         tel, span = self._span("vstore.delete", ctx, object=name)
         meta, _ = yield from self._lookup_meta(name, ctx=span)
-        if meta.is_remote:
+        if meta.is_striped:
+            yield from self._delete_stripe(meta, span)
+        elif meta.is_remote:
             if self.cloud is not None:
                 self.cloud.s3.delete_object(name)
         elif meta.location == self.name:
@@ -673,6 +969,13 @@ class VStoreNode:
             }
             if meta.replicas:
                 body["replicas"] = list(meta.replicas)
+            if meta.is_striped:
+                body["stripe"] = {
+                    "k": meta.stripe_k,
+                    "m": meta.stripe_m,
+                    "chunk_nodes": list(meta.chunk_nodes),
+                    "url": meta.url,
+                }
             if span is not None:
                 body["span"] = span.ctx_wire()
             reply = yield from self._call(
@@ -812,6 +1115,13 @@ class VStoreNode:
             }
             if meta.replicas:
                 body["replicas"] = list(meta.replicas)
+            if meta.is_striped:
+                body["stripe"] = {
+                    "k": meta.stripe_k,
+                    "m": meta.stripe_m,
+                    "chunk_nodes": list(meta.chunk_nodes),
+                    "url": meta.url,
+                }
             if span is not None:
                 body["span"] = span.ctx_wire()
             reply = yield from self._call(
@@ -1052,6 +1362,9 @@ class VStoreNode:
 
     def _ensure_local(self, meta: ObjectMeta, ctx=None):
         """Bring the argument object to this node if it is elsewhere."""
+        if meta.is_striped:
+            yield from self._fetch_striped(meta, ctx)
+            return
         if meta.location == self.name:
             yield self.sim.timeout(meta.size_mb / self.disk_mb_s)
             return
@@ -1103,6 +1416,21 @@ class VStoreNode:
         requester passed along (resilience on); owners in the remote
         cloud download directly.
         """
+        stripe = body.get("stripe")
+        if stripe is not None:
+            # The argument is erasure-coded: reassemble it here from
+            # the chunk map the requester passed along.
+            meta = ObjectMeta(
+                name=body["name"],
+                size_mb=body["size_mb"],
+                location=body["owner"],
+                url=stripe.get("url"),
+                stripe_k=stripe["k"],
+                stripe_m=stripe["m"],
+                chunk_nodes=list(stripe["chunk_nodes"]),
+            )
+            yield from self._fetch_striped(meta, span)
+            return
         owner = body["owner"]
         if owner == LOCATION_REMOTE:
             if self.cloud is None:

@@ -52,6 +52,14 @@ class ObjectMeta:
     #: Additional home nodes holding full payload copies (resilience
     #: layer; empty unless ``data_replicas`` placement is enabled).
     replicas: list[str] = field(default_factory=list)
+    #: Erasure-code parameters when the object is striped (0/0 for
+    #: replication-era full-payload objects): ``stripe_k`` data chunks
+    #: plus ``stripe_m`` parity chunks, any k of the k+m reconstruct.
+    stripe_k: int = 0
+    stripe_m: int = 0
+    #: Holder of chunk ``i`` — a home node name, or LOCATION_REMOTE for
+    #: chunks spilled to the cloud.  Length k+m when striped, else empty.
+    chunk_nodes: list[str] = field(default_factory=list)
 
     VALID_ACCESS = ("private", "home", "public")
 
@@ -69,6 +77,18 @@ class ObjectMeta:
             )
         if not self.object_type and "." in self.name:
             self.object_type = self.name.rsplit(".", 1)[-1].lower()
+        if self.stripe_k < 0 or self.stripe_m < 0:
+            raise ValueError("stripe_k and stripe_m must be non-negative")
+        if (self.stripe_k == 0) != (not self.chunk_nodes):
+            raise ValueError(
+                "striped metadata needs both stripe_k and chunk_nodes "
+                "(or neither)"
+            )
+        if self.stripe_k and len(self.chunk_nodes) != self.stripe_k + self.stripe_m:
+            raise ValueError(
+                f"chunk_nodes must list all {self.stripe_k + self.stripe_m} "
+                f"holders, got {len(self.chunk_nodes)}"
+            )
 
     def readable_by(self, device: str, same_home: bool = True) -> bool:
         """May ``device`` fetch/process this object?"""
@@ -93,6 +113,10 @@ class ObjectMeta:
     def is_remote(self) -> bool:
         return self.location == LOCATION_REMOTE
 
+    @property
+    def is_striped(self) -> bool:
+        return self.stripe_k > 0
+
     def wire(self) -> dict:
         data = {
             "name": self.name,
@@ -112,6 +136,10 @@ class ObjectMeta:
         # change simulated timings for resilience-off deployments.
         if self.replicas:
             data["replicas"] = list(self.replicas)
+        if self.stripe_k:
+            data["stripe_k"] = self.stripe_k
+            data["stripe_m"] = self.stripe_m
+            data["chunk_nodes"] = list(self.chunk_nodes)
         return data
 
     @classmethod

@@ -91,6 +91,13 @@ class TestScoping:
         source = "def f(x):\n    for item in set(x):\n        pass\n"
         assert lint_source(source, "src/repro/net/link.py") == []
 
+    def test_striping_module_is_in_set_iteration_scope(self):
+        # Chunk placement feeds the deterministic goldens; unordered
+        # set iteration there must be flagged like the other rankers.
+        source = "def f(x):\n    for item in set(x):\n        pass\n"
+        findings = lint_source(source, "src/repro/vstore/striping.py")
+        assert [f.code for f in findings] == ["SIM104"]
+
     def test_skip_file_marker(self):
         source = "# simlint: skip-file\nimport time\nt = time.time()\n"
         assert lint_source(source, "src/repro/sim/x.py") == []

@@ -1,0 +1,180 @@
+"""Chaos proofs for erasure-coded striping.
+
+The stripe's contract: with (k, m) coding, any m holder failures cost
+nothing (every object still decodes from k survivors); m+1 failures on
+one stripe exceed the code's budget, so either the full-object cloud
+copy backstops the read or the typed :class:`ChunksLostError` names
+the shortfall; and the Repairer rebuilds lost chunks from any k
+survivors, restoring full stripe width.
+"""
+
+import pytest
+
+from repro.cluster import (
+    ChaosSchedule,
+    Cloud4Home,
+    ClusterConfig,
+    DeviceConfig,
+    ResilienceConfig,
+)
+from repro.vstore import ChunksLostError
+from repro.vstore.node import object_key
+from repro.vstore.objects import LOCATION_REMOTE, ObjectMeta
+from repro.vstore.striping import chunk_name
+
+
+def chaos_config(seed, nodes=8, repair_period_s=1000.0, **overrides):
+    defaults = dict(
+        devices=[DeviceConfig(name=f"node{i}") for i in range(nodes)],
+        seed=seed,
+        striping=True,
+        resilience=True,
+        data_replicas=0,  # the stripe's parity is the redundancy
+        replication_factor=3,
+        with_ec2=False,
+        resilience_tuning=ResilienceConfig(repair_period_s=repair_period_s),
+    )
+    defaults.update(overrides)
+    return ClusterConfig(**defaults)
+
+
+def get_meta(c4h, device, name):
+    value = c4h.run(device.kv.get(object_key(name)))
+    return ObjectMeta.from_wire(dict(value))
+
+
+def crash(c4h, *names):
+    schedule = ChaosSchedule(c4h)
+    for name in names:
+        schedule.crash(0.0, name)
+    schedule.start()
+    c4h.sim.run(until=c4h.sim.now + 1.0)
+    return schedule
+
+
+def live_reader(c4h, victims, exclude=()):
+    gone = set(victims) | set(exclude)
+    return next(d for d in c4h.devices if d.name not in gone)
+
+
+class TestKillExactlyM:
+    def test_every_object_still_decodes(self):
+        c4h = Cloud4Home(chaos_config(951))
+        c4h.start()
+        writer = c4h.devices[0]
+        names = [f"obj{i}.bin" for i in range(4)]
+        for name in names:
+            c4h.run(writer.client.store_file(name, 16.0))
+        metas = {n: get_meta(c4h, writer, n) for n in names}
+        assert all(m.stripe_m == 2 for m in metas.values())
+
+        # Kill exactly m=2 chunk holders of the first object.
+        victims = [h for h in metas[names[0]].chunk_nodes if h != writer.name][:2]
+        crash(c4h, *victims)
+
+        reader = live_reader(c4h, victims, exclude=[writer.name])
+        for name in names:
+            result = c4h.run(reader.client.fetch_object(name))
+            assert result.served_from in ("stripe", "stripe-degraded")
+
+    def test_degraded_read_is_counted(self):
+        c4h = Cloud4Home(chaos_config(952))
+        c4h.start()
+        writer = c4h.devices[0]
+        c4h.run(writer.client.store_file("obj.bin", 16.0))
+        meta = get_meta(c4h, writer, "obj.bin")
+        victims = [h for h in meta.chunk_nodes if h != writer.name][:2]
+        crash(c4h, *victims)
+        reader = live_reader(c4h, victims, exclude=[writer.name])
+        result = c4h.run(reader.client.fetch_object("obj.bin"))
+        assert result.served_from == "stripe-degraded"
+        assert (
+            c4h.metrics.counter("stripe.fetch.degraded", node=reader.name).value
+            >= 1
+        )
+
+
+class TestKillMoreThanM:
+    def test_typed_error_names_the_shortfall(self):
+        c4h = Cloud4Home(chaos_config(953))
+        c4h.start()
+        writer = c4h.devices[0]
+        c4h.run(writer.client.store_file("obj.bin", 16.0))
+        meta = get_meta(c4h, writer, "obj.bin")
+        victims = [h for h in meta.chunk_nodes if h != writer.name][:3]
+        crash(c4h, *victims)
+        reader = live_reader(c4h, victims, exclude=[writer.name])
+
+        def attempt():
+            with pytest.raises(ChunksLostError) as excinfo:
+                yield from reader.client.fetch_object("obj.bin")
+            assert excinfo.value.needed == 4
+            assert excinfo.value.available < 4
+
+        c4h.run(attempt())
+        assert (
+            c4h.metrics.counter("stripe.fetch.lost", node=reader.name).value == 1
+        )
+
+    def test_cloud_backstop_serves_when_a_full_copy_exists(self):
+        c4h = Cloud4Home(chaos_config(954))
+        c4h.start()
+        writer = c4h.devices[0]
+        c4h.run(writer.client.store_file("obj.bin", 16.0))
+        meta = get_meta(c4h, writer, "obj.bin")
+        # Give the object a full-payload cloud copy (the durability
+        # backstop a spill-time policy would have left behind).
+        meta.url = c4h.run(
+            writer.vstore.cloud.store_remote("obj.bin", meta.size_bytes)
+        )
+        c4h.run(writer.kv.put(object_key("obj.bin"), meta.wire()))
+
+        victims = [h for h in meta.chunk_nodes if h != writer.name][:3]
+        crash(c4h, *victims)
+        reader = live_reader(c4h, victims, exclude=[writer.name])
+        result = c4h.run(reader.client.fetch_object("obj.bin"))
+        assert result.served_from == "remote-cloud"
+        assert (
+            c4h.metrics.counter(
+                "stripe.fetch.cloud_backstop", node=reader.name
+            ).value
+            == 1
+        )
+
+
+class TestRepairerRestoresStripeWidth:
+    def test_rebuild_from_k_survivors(self):
+        c4h = Cloud4Home(chaos_config(955, repair_period_s=30.0))
+        c4h.start()
+        writer = c4h.devices[0]
+        c4h.run(writer.client.store_file("obj.bin", 16.0))
+        meta = get_meta(c4h, writer, "obj.bin")
+        victims = [h for h in meta.chunk_nodes if h != writer.name][:2]
+        crash(c4h, *victims)
+
+        # Let the owning node's repair sweeps run.
+        c4h.sim.run(until=c4h.sim.now + 200.0)
+
+        repairs = [
+            r
+            for d in c4h.devices
+            if d.repairer is not None
+            for r in d.repairer.repairs
+            if r.object == "obj.bin"
+        ]
+        assert any(r.action == "rebuild" for r in repairs)
+
+        reader = live_reader(c4h, victims, exclude=[writer.name])
+        healed = get_meta(c4h, reader, "obj.bin")
+        assert len(healed.chunk_nodes) == 6
+        assert not any(h in victims for h in healed.chunk_nodes)
+        # Every rebuilt chunk physically exists at its recorded holder.
+        for index, holder in enumerate(healed.chunk_nodes):
+            cname = chunk_name("obj.bin", index)
+            if holder == LOCATION_REMOTE:
+                assert cname in c4h.s3.objects
+            else:
+                assert c4h.device(holder).vstore.holds(cname)
+        # A post-repair fetch is clean, not degraded.
+        result = c4h.run(reader.client.fetch_object("obj.bin"))
+        assert result.served_from == "stripe"

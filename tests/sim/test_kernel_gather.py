@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Simulator
+from repro.sim import GATHER_PENDING, Simulator
 
 
 def drive(sim, generator):
@@ -139,3 +139,243 @@ class TestGatherFailure:
 
         drive(sim, main(sim))
         assert log == [("slow done", 4.0)]
+
+
+class TestGatherReturnExceptions:
+    """Per-branch outcomes: one failed pull must not poison the join."""
+
+    def test_failures_reported_in_place(self):
+        sim = Simulator()
+
+        def ok(sim, delay, value):
+            yield sim.timeout(delay)
+            return value
+
+        def bad(sim, delay, message):
+            yield sim.timeout(delay)
+            raise ValueError(message)
+
+        def main(sim):
+            results = yield sim.gather(
+                [ok(sim, 1.0, "a"), bad(sim, 0.5, "dead"), ok(sim, 2.0, "b")],
+                return_exceptions=True,
+            )
+            return results
+
+        results = drive(sim, main(sim))
+        assert results[0] == "a"
+        assert isinstance(results[1], ValueError)
+        assert str(results[1]) == "dead"
+        assert results[2] == "b"
+        assert sim.now == 2.0
+
+    def test_all_failures_still_complete(self):
+        sim = Simulator()
+
+        def bad(sim, delay):
+            yield sim.timeout(delay)
+            raise RuntimeError("down")
+
+        def main(sim):
+            results = yield sim.gather(
+                [bad(sim, 1.0), bad(sim, 2.0)], return_exceptions=True
+            )
+            return results
+
+        results = drive(sim, main(sim))
+        assert all(isinstance(r, RuntimeError) for r in results)
+        assert sim.now == 2.0
+
+    def test_empty_gather(self):
+        sim = Simulator()
+
+        def main(sim):
+            return (yield sim.gather([], return_exceptions=True))
+
+        assert drive(sim, main(sim)) == []
+
+
+class TestGatherFirstNOfK:
+    """Counted completion: the join fires at the n-th success."""
+
+    def test_completes_at_nth_success(self):
+        sim = Simulator()
+
+        def branch(sim, delay, value):
+            yield sim.timeout(delay)
+            return value
+
+        def main(sim):
+            results = yield sim.gather(
+                [
+                    branch(sim, 3.0, "c"),
+                    branch(sim, 1.0, "a"),
+                    branch(sim, 2.0, "b"),
+                ],
+                count=2,
+            )
+            return results
+
+        results = drive(sim, main(sim))
+        # The slowest branch is still pending at the join instant.
+        assert results == [GATHER_PENDING, "a", "b"]
+
+    def test_join_fires_at_second_fastest_time(self):
+        sim = Simulator()
+        joined_at = []
+
+        def branch(sim, delay):
+            yield sim.timeout(delay)
+            return delay
+
+        def main(sim):
+            yield sim.gather(
+                [branch(sim, d) for d in (9.0, 1.0, 4.0, 6.0)], count=2
+            )
+            joined_at.append(sim.now)
+
+        drive(sim, main(sim))
+        assert joined_at == [4.0]
+        assert sim.now == 9.0  # stragglers ran to completion afterwards
+
+    def test_failures_do_not_count_as_successes(self):
+        sim = Simulator()
+
+        def ok(sim, delay, value):
+            yield sim.timeout(delay)
+            return value
+
+        def bad(sim, delay):
+            yield sim.timeout(delay)
+            raise RuntimeError("lost chunk")
+
+        def main(sim):
+            results = yield sim.gather(
+                [bad(sim, 0.5), ok(sim, 1.0, "x"), ok(sim, 2.0, "y")],
+                count=2,
+                return_exceptions=True,
+            )
+            return results
+
+        results = drive(sim, main(sim))
+        assert isinstance(results[0], RuntimeError)
+        assert results[1] == "x"
+        assert results[2] == "y"
+        assert sim.now >= 2.0
+
+    def test_impossible_count_completes_when_all_done(self):
+        """Too many failures: the join still triggers (never hangs)."""
+        sim = Simulator()
+
+        def ok(sim):
+            yield sim.timeout(1.0)
+            return "only"
+
+        def bad(sim, delay):
+            yield sim.timeout(delay)
+            raise RuntimeError("down")
+
+        def main(sim):
+            results = yield sim.gather(
+                [ok(sim), bad(sim, 2.0), bad(sim, 3.0)],
+                count=2,
+                return_exceptions=True,
+            )
+            return results
+
+        results = drive(sim, main(sim))
+        assert results[0] == "only"
+        assert isinstance(results[1], RuntimeError)
+        assert isinstance(results[2], RuntimeError)
+        assert sim.now == 3.0
+
+    def test_count_without_return_exceptions_fails_fast(self):
+        sim = Simulator()
+
+        def ok(sim, delay):
+            yield sim.timeout(delay)
+
+        def bad(sim):
+            yield sim.timeout(0.5)
+            raise ValueError("early failure")
+
+        def main(sim):
+            with pytest.raises(ValueError, match="early failure"):
+                yield sim.gather([ok(sim, 1.0), ok(sim, 2.0), bad(sim)], count=2)
+            return "handled"
+
+        assert drive(sim, main(sim)) == "handled"
+
+    def test_late_straggler_failure_is_defused(self):
+        sim = Simulator()
+
+        def ok(sim, delay):
+            yield sim.timeout(delay)
+            return delay
+
+        def bad(sim):
+            yield sim.timeout(5.0)
+            raise RuntimeError("straggler died after the join")
+
+        def main(sim):
+            results = yield sim.gather(
+                [ok(sim, 1.0), ok(sim, 2.0), bad(sim)], count=2
+            )
+            return results
+
+        proc = sim.process(main(sim))
+        sim.run()  # must not surface the straggler's failure
+        assert proc.value == [1.0, 2.0, GATHER_PENDING]
+
+    def test_count_zero_completes_immediately(self):
+        sim = Simulator()
+
+        def branch(sim):
+            yield sim.timeout(1.0)
+
+        def main(sim):
+            results = yield sim.gather([branch(sim)], count=0)
+            return (results, sim.now)
+
+        results, at = drive(sim, main(sim))
+        assert results == [GATHER_PENDING]
+        assert at == 0.0
+
+    def test_count_larger_than_branches_waits_for_all(self):
+        sim = Simulator()
+
+        def branch(sim, delay):
+            yield sim.timeout(delay)
+            return delay
+
+        def main(sim):
+            results = yield sim.gather(
+                [branch(sim, 1.0), branch(sim, 2.0)], count=5
+            )
+            return results
+
+        assert drive(sim, main(sim)) == [1.0, 2.0]
+        assert sim.now == 2.0
+
+    def test_negative_count_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError, match="count"):
+            sim.gather([], count=-1)
+
+    def test_pre_completed_processes(self):
+        sim = Simulator()
+
+        def quick(sim, value):
+            yield sim.timeout(1.0)
+            return value
+
+        procs = [sim.process(quick(sim, i)) for i in range(3)]
+        sim.run()  # all three already processed
+
+        def main(sim):
+            results = yield sim.gather(procs, count=2)
+            return results
+
+        results = drive(sim, main(sim))
+        assert results.count(GATHER_PENDING) == 1
+        assert sorted(r for r in results if r is not GATHER_PENDING) == [0, 1]

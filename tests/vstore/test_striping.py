@@ -1,0 +1,154 @@
+"""Unit tests for the erasure-coding codec and chunk-placement planner."""
+
+import pytest
+
+from repro.vstore import StripeCodec, StripingPolicy, chunk_name, plan_chunk_placement
+
+
+class TestStripeCodec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StripeCodec(0, 2)
+        with pytest.raises(ValueError):
+            StripeCodec(4, -1)
+
+    def test_counts_and_overhead(self):
+        codec = StripeCodec(4, 2)
+        assert codec.n == 6
+        assert codec.storage_overhead == 1.5
+        assert StripeCodec(1, 0).storage_overhead == 1.0
+        assert StripeCodec(2, 2).storage_overhead == 2.0
+
+    def test_chunk_sizes(self):
+        codec = StripeCodec(4, 2)
+        assert codec.chunk_size_mb(32.0) == 8.0
+        assert codec.stored_mb(32.0) == 48.0
+        with pytest.raises(ValueError):
+            codec.chunk_size_mb(-1.0)
+
+    def test_parity_indices(self):
+        codec = StripeCodec(4, 2)
+        assert [codec.is_parity(i) for i in range(6)] == [
+            False,
+            False,
+            False,
+            False,
+            True,
+            True,
+        ]
+        with pytest.raises(ValueError):
+            codec.is_parity(6)
+        with pytest.raises(ValueError):
+            codec.is_parity(-1)
+
+    def test_can_decode(self):
+        codec = StripeCodec(4, 2)
+        assert codec.can_decode(4)
+        assert codec.can_decode(6)
+        assert not codec.can_decode(3)
+
+
+class TestRangeMapping:
+    def test_full_range_covers_all_data_chunks(self):
+        codec = StripeCodec(4, 2)
+        assert codec.data_chunks_for_range(32.0, 0.0, 32.0) == [0, 1, 2, 3]
+
+    def test_sub_range_covers_only_its_chunks(self):
+        codec = StripeCodec(4, 2)  # 8 MB chunks of a 32 MB object
+        assert codec.data_chunks_for_range(32.0, 0.0, 8.0) == [0]
+        assert codec.data_chunks_for_range(32.0, 8.0, 8.0) == [1]
+        assert codec.data_chunks_for_range(32.0, 24.0, 8.0) == [3]
+
+    def test_range_straddling_a_boundary(self):
+        codec = StripeCodec(4, 2)
+        assert codec.data_chunks_for_range(32.0, 6.0, 4.0) == [0, 1]
+        assert codec.data_chunks_for_range(32.0, 7.9, 16.2) == [0, 1, 2, 3]
+
+    def test_zero_length_range(self):
+        codec = StripeCodec(4, 2)
+        assert codec.data_chunks_for_range(32.0, 16.0, 0.0) == []
+
+    def test_range_outside_object_rejected(self):
+        codec = StripeCodec(4, 2)
+        with pytest.raises(ValueError):
+            codec.data_chunks_for_range(32.0, 30.0, 4.0)
+        with pytest.raises(ValueError):
+            codec.data_chunks_for_range(32.0, -1.0, 4.0)
+        with pytest.raises(ValueError):
+            codec.data_chunks_for_range(32.0, 0.0, -4.0)
+
+    def test_exact_end_boundary_is_allowed(self):
+        codec = StripeCodec(4, 2)
+        assert codec.data_chunks_for_range(32.0, 24.0, 8.0) == [3]
+
+    def test_never_returns_parity_indices(self):
+        codec = StripeCodec(2, 4)
+        indices = codec.data_chunks_for_range(10.0, 0.0, 10.0)
+        assert indices == [0, 1]
+        assert all(not codec.is_parity(i) for i in indices)
+
+
+class TestChunkName:
+    def test_deterministic_and_distinct(self):
+        assert chunk_name("video.mp4", 0) == chunk_name("video.mp4", 0)
+        names = {chunk_name("video.mp4", i) for i in range(6)}
+        assert len(names) == 6
+
+    def test_out_of_object_namespace(self):
+        # Chunk names must never collide with plausible user filenames.
+        assert "#~" in chunk_name("a.bin", 3)
+        with pytest.raises(ValueError):
+            chunk_name("a.bin", -1)
+
+
+class TestPlacementPlanner:
+    def test_one_chunk_per_distinct_node(self):
+        plan = plan_chunk_placement(["a", "b", "c", "d"], 3)
+        assert plan == ["a", "b", "c"]
+
+    def test_duplicate_candidates_collapse(self):
+        plan = plan_chunk_placement(["a", "a", "b", "a", "c"], 3)
+        assert plan == ["a", "b", "c"]
+
+    def test_shortfall_spills_to_none(self):
+        plan = plan_chunk_placement(["a", "b"], 4)
+        assert plan == ["a", "b", None, None]
+
+    def test_exclusions_respected(self):
+        plan = plan_chunk_placement(["a", "b", "c"], 2, exclude=["b"])
+        assert plan == ["a", "c"]
+
+    def test_order_follows_ranking(self):
+        plan = plan_chunk_placement(["z", "y", "x"], 3)
+        assert plan == ["z", "y", "x"]
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            plan_chunk_placement(["a"], -1)
+
+
+class TestStripingPolicy:
+    def test_defaults(self):
+        policy = StripingPolicy()
+        assert policy.codec.k == 4
+        assert policy.codec.m == 2
+
+    def test_applies_only_above_threshold(self):
+        policy = StripingPolicy(min_object_mb=4.0)
+        assert policy.applies_to(4.0)
+        assert policy.applies_to(100.0)
+        assert not policy.applies_to(3.9)
+
+    def test_single_chunk_stripe_never_applies(self):
+        policy = StripingPolicy(codec=StripeCodec(1, 0))
+        assert not policy.applies_to(100.0)
+
+    def test_codec_time(self):
+        policy = StripingPolicy(codec_mb_s=400.0)
+        assert policy.codec_time_s(32.0) == pytest.approx(0.08)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StripingPolicy(min_object_mb=-1.0)
+        with pytest.raises(ValueError):
+            StripingPolicy(codec_mb_s=0.0)
