@@ -1,6 +1,6 @@
 """Run the perf suites: ``BENCH_fastpath.json`` + ``BENCH_parallel.json``
 + ``BENCH_telemetry.json`` + ``BENCH_resilience.json`` + ``BENCH_scale.json``
-+ ``BENCH_striping.json``.
++ ``BENCH_striping.json`` + ``BENCH_slo.json``.
 
 Usage (from the repo root)::
 
@@ -15,6 +15,9 @@ XenSocket transfer, ≥1.3× on the full Table I sweep, ≥2× for the
 parallel harness on the Table I sweep with repeats, a strictly
 faster scatter-gather decision at every candidate count, a
 disabled-telemetry guard overhead under 5% of the Table I sweep,
+an active SLO layer (windowed rollups + engine + flight recorders)
+under 5% on top of plain telemetry with its seeded chaos scenario
+firing and resolving the availability alert deterministically,
 >= 99% fetch/process availability with resilience on while 2 of 8
 nodes are down (the resilience suite also self-asserts that two
 identically seeded resilient runs agree bit-for-bit), and for the
@@ -57,6 +60,7 @@ from benchmarks.perf.parallel_bench import (
 )
 from benchmarks.perf.resilience_bench import bench_resilience
 from benchmarks.perf.scale_bench import bench_scale
+from benchmarks.perf.slo_bench import bench_slo
 from benchmarks.perf.striping_bench import bench_striping
 from benchmarks.perf.table1_bench import bench_table1
 from benchmarks.perf.telemetry_bench import bench_telemetry
@@ -78,6 +82,9 @@ PARALLEL_THRESHOLDS = {
 
 #: The guarded no-op emit path must stay under 5% of sweep wall time.
 TELEMETRY_MAX_DISABLED_OVERHEAD = 0.05
+
+#: The active SLO layer must stay under 5% on top of plain telemetry.
+SLO_MAX_ENABLED_OVERHEAD = 0.05
 
 #: Fetch/process availability with resilience on, 2 of 8 nodes dead.
 RESILIENCE_MIN_SUCCESS = 0.99
@@ -133,6 +140,11 @@ def main(argv=None) -> int:
         help="where to write the striping-vs-replication results JSON",
     )
     parser.add_argument(
+        "--output-slo",
+        default=str(REPO_ROOT / "BENCH_slo.json"),
+        help="where to write the SLO-layer overhead + chaos results JSON",
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=4,
@@ -164,6 +176,7 @@ def main(argv=None) -> int:
         telemetry_result = bench_telemetry(sizes=[1, 10], repeats=1)
         resilience_result = bench_resilience(n_objects=16)
         striping_result = bench_striping(n_objects=8)
+        slo_result = bench_slo(sizes=[1, 10], repeats=2, ops=2)
         scale_result = None
         if not args.no_scale:
             scale_result = bench_scale(
@@ -188,6 +201,7 @@ def main(argv=None) -> int:
         telemetry_result = bench_telemetry()
         resilience_result = bench_resilience()
         striping_result = bench_striping()
+        slo_result = bench_slo()
         scale_result = None
         if not args.no_scale:
             scale_result = bench_scale(workers=args.workers)
@@ -276,6 +290,22 @@ def main(argv=None) -> int:
         + "\n"
     )
 
+    out_slo = Path(args.output_slo)
+    out_slo.write_text(
+        json.dumps(
+            {
+                "suite": "slo",
+                "smoke": args.smoke,
+                **host,
+                "results": {"table1_slo": slo_result},
+                "max_enabled_overhead": SLO_MAX_ENABLED_OVERHEAD,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+
     out_scale = Path(args.output_scale)
     if scale_result is not None:
         out_scale.write_text(
@@ -309,6 +339,17 @@ def main(argv=None) -> int:
         f"{telemetry_result['overhead_disabled_estimate']:.4%} (est.), "
         f"enabled {telemetry_result['overhead_enabled']:+.1%}, "
         f"guard {telemetry_result['guard_cost_ns']:.0f} ns"
+    )
+    chaos = slo_result["chaos"]
+    print(f"slo layer ({mode} mode)")
+    print(
+        f"  table1_slo               overhead "
+        f"{slo_result['overhead_vs_telemetry']:+.1%} vs telemetry "
+        f"({slo_result['overhead_vs_disabled']:+.1%} vs all-off); "
+        f"chaos fired +{chaos['fired_within_s']:.2f}s after the kill, "
+        f"resolved at {chaos['resolved_at']:.2f}s "
+        f"(ok={chaos['ok']}, deterministic={chaos['deterministic']}, "
+        f"{chaos['dump_entries']} dump entries)"
     )
     print(f"availability under chaos ({mode} mode)")
     print(
@@ -345,7 +386,14 @@ def main(argv=None) -> int:
             f"{scale_result['speedup']:.2f}x"
         )
 
-    written = [out, out_parallel, out_telemetry, out_resilience, out_striping]
+    written = [
+        out,
+        out_parallel,
+        out_telemetry,
+        out_resilience,
+        out_striping,
+        out_slo,
+    ]
     if scale_result is not None:
         written.append(out_scale)
     print("written: " + " ".join(str(p) for p in written))
@@ -366,6 +414,19 @@ def main(argv=None) -> int:
                 f"table1_telemetry: disabled-path overhead {disabled:.2%}"
                 f" >= {TELEMETRY_MAX_DISABLED_OVERHEAD:.0%}"
             )
+        slo_overhead = slo_result["overhead_vs_telemetry"]
+        if slo_overhead >= SLO_MAX_ENABLED_OVERHEAD:
+            failures.append(
+                f"slo: enabled overhead {slo_overhead:.2%} on top of telemetry"
+                f" >= {SLO_MAX_ENABLED_OVERHEAD:.0%}"
+            )
+        if not slo_result["chaos"]["ok"]:
+            failures.append(
+                "slo: chaos scenario did not fire-and-resolve the"
+                " availability SLO within its bars"
+            )
+        if not slo_result["chaos"]["deterministic"]:
+            failures.append("slo: chaos scenario runs are not bit-for-bit repeatable")
         on_success = resilience_result["on"]["success_rate"]
         if on_success < RESILIENCE_MIN_SUCCESS:
             failures.append(

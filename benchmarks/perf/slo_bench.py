@@ -1,0 +1,142 @@
+"""SLO-layer overhead + the fire/resolve proof: ``BENCH_slo.json``.
+
+Two claims, one payload:
+
+* **Overhead** — the active observability layer (windowed rollups fed
+  from judged spans, the SLO engine, the flight-recorder hub) must
+  cost ≤ 5% wall time *on top of plain telemetry* on the paper's
+  Table I store+fetch sweep.  Three sweeps are timed: everything off,
+  telemetry on, and ``slo=True`` (telemetry + windowed rollups +
+  engine + recorders); the gate compares the minimum walls of the
+  last two, with the modes interleaved across ``repeats`` rounds so
+  host-load drift hits all three alike.  The simulated metrics of all
+  three must be bit-identical — the SLO layer observes the
+  simulation, it never perturbs it.
+
+  Staying under the bar is a design property, not luck: the span feed
+  only writes rollups for the metrics the engine and health board
+  judge (``WindowPolicy.names``), and the flight recorder reads span
+  tails from the telemetry plane at dump time instead of copying
+  every span as it finishes — so a span outside the judged set costs
+  one set-membership test.
+
+* **Fire/resolve** — the seeded 8-node chaos scenario
+  (:func:`repro.cluster.availability_chaos_scenario`): killing 2 of 8
+  nodes must fire the availability SLO within one window (plus one
+  evaluator period) of the second kill, and the alert must resolve
+  after the Repairer restores replication.  The scenario is run twice
+  and must reproduce bit-for-bit; its flight-recorder dump must
+  validate against the ``c4h.flightrec/1`` schema.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro import Cloud4Home, ClusterConfig
+from repro.cluster import availability_chaos_scenario
+from repro.telemetry import validate_recorder_dump
+
+SIZES_MB = [1, 2, 5, 10, 20, 50, 100]
+
+#: Sweep modes, in measurement order.
+_MODES = ("off", "telemetry", "slo")
+
+
+def _measure(size_mb: int, mode: str, ops: int):
+    """One Table I point: a cluster, then ``ops`` store+fetch pairs.
+
+    Several operations per build keep the measurement about the steady
+    state (the per-span feed, the rollup writes) rather than about
+    cluster construction, which dominates a single-op point.
+    """
+    config = ClusterConfig(
+        seed=700 + size_mb,
+        telemetry=mode != "off",
+        slo=mode == "slo",
+    )
+    c4h = Cloud4Home(config)
+    c4h.start(monitors=False)
+    owner = c4h.devices[0]
+    reader = c4h.devices[2]
+    fetches = []
+    for i in range(ops):
+        name = f"table1-{size_mb}-{i}.bin"
+        c4h.run(owner.client.store_file(name, float(size_mb)))
+        fetches.append(c4h.run(reader.vstore.fetch_object(name)))
+    if mode == "slo":
+        # One end-of-point evaluation (the periodic evaluator is a
+        # monitor and monitors are off here) so the engine path is on
+        # the clock too.
+        c4h.slo_engine.evaluate(c4h.sim.now)
+    return fetches
+
+
+def _sweep(sizes, mode: str, ops: int) -> tuple[float, dict]:
+    t0 = time.perf_counter()
+    results = {size: _measure(size, mode, ops) for size in sizes}
+    wall = time.perf_counter() - t0
+    metrics = {
+        str(size): [
+            [f.total_s, f.dht_lookup_s, f.inter_node_s, f.inter_domain_s]
+            for f in fetches
+        ]
+        for size, fetches in results.items()
+    }
+    return wall, metrics
+
+
+def _chaos_section() -> dict:
+    """Run the availability scenario twice; summarize + verify."""
+    first = availability_chaos_scenario()
+    second = availability_chaos_scenario()
+    deterministic = json.dumps(first, sort_keys=True) == json.dumps(
+        second, sort_keys=True
+    )
+    dump_entries = validate_recorder_dump(first["dump"])
+    return {
+        "nodes": first["nodes"],
+        "killed": first["killed"],
+        "window_s": first["window_s"],
+        "eval_period_s": first["eval_period_s"],
+        "t_kill": first["t_kill"],
+        "fired_at": first["fired_at"],
+        "fired_within_s": first["fired_within_s"],
+        "resolved_at": first["resolved_at"],
+        "first_repair_at": first["first_repair_at"],
+        "repair_actions": first["repair_actions"],
+        "alerts": first["alerts"],
+        "evaluations": first["evaluations"],
+        "dump_entries": dump_entries,
+        "ok": first["ok"],
+        "deterministic": deterministic,
+    }
+
+
+def bench_slo(sizes=SIZES_MB, repeats: int = 9, ops: int = 6) -> dict:
+    walls: dict[str, list[float]] = {mode: [] for mode in _MODES}
+    metrics: dict[str, dict] = {}
+    for _ in range(repeats):
+        for mode in _MODES:
+            wall, metrics[mode] = _sweep(sizes, mode, ops)
+            walls[mode].append(wall)
+    assert metrics["off"] == metrics["telemetry"] == metrics["slo"], (
+        "the SLO layer perturbed simulated results: "
+        f"{metrics['off']} vs {metrics['telemetry']} vs {metrics['slo']}"
+    )
+    off_wall = min(walls["off"])
+    telemetry_wall = min(walls["telemetry"])
+    slo_wall = min(walls["slo"])
+    return {
+        "sizes_mb": list(sizes),
+        "repeats": repeats,
+        "ops_per_point": ops,
+        "disabled_wall_s": off_wall,
+        "telemetry_wall_s": telemetry_wall,
+        "slo_wall_s": slo_wall,
+        "overhead_vs_disabled": slo_wall / off_wall - 1.0,
+        "overhead_vs_telemetry": slo_wall / telemetry_wall - 1.0,
+        "simulated_results_identical": True,
+        "chaos": _chaos_section(),
+    }

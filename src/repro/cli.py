@@ -10,6 +10,7 @@ Usage::
     python -m repro report --files 8     # traced run + latency attribution
     python -m repro chaos --seed 3       # churn workload, resilience on
     python -m repro load --nodes 256     # open-loop load driver
+    python -m repro slo --check          # SLO fire/resolve chaos gate
     python -m repro lint --check         # simlint invariant checker
     python -m repro bench-help           # how to regenerate the paper
 
@@ -164,6 +165,48 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit 1 unless every operation succeeded and the repair "
         "log is non-empty (the CI chaos smoke)",
+    )
+    chaos.add_argument(
+        "--flightrec-dir",
+        default=None,
+        metavar="DIR",
+        help="enable the flight recorder and dump per-node rings to "
+        "this directory when --assert-clean fails (CI uploads them "
+        "as artifacts)",
+    )
+
+    slo = sub.add_parser(
+        "slo",
+        help="seeded availability-SLO chaos scenario: kill 2 of 8 nodes, "
+        "require the alert to fire within a window and resolve after repair",
+    )
+    slo.add_argument("--seed", type=int, default=7)
+    slo.add_argument(
+        "--objects", type=int, default=24, help="objects in the working set"
+    )
+    slo.add_argument(
+        "--horizon",
+        type=float,
+        default=80.0,
+        help="simulated seconds of fetch load after the stores",
+    )
+    slo.add_argument(
+        "--dump-dir",
+        default=None,
+        metavar="DIR",
+        help="write alert-triggered flight-recorder dumps here",
+    )
+    slo.add_argument(
+        "--check",
+        action="store_true",
+        help="CI gate: exit 1 unless the SLO fires within one window of "
+        "the kills, resolves after the Repairer acts, and the "
+        "flight-recorder dump is schema-valid",
+    )
+    slo.add_argument(
+        "--json",
+        action="store_true",
+        help="print the scenario timeline as JSON (dump elided to a summary)",
     )
 
     load = sub.add_parser(
@@ -424,16 +467,22 @@ def cmd_report(args) -> int:
 
 
 def cmd_chaos(args) -> int:
+    from repro.cluster import SloConfig
     from repro.cluster.chaos import RandomChaos
     from repro.kvstore import KvError
     from repro.net import NetworkError
     from repro.vstore.errors import VStoreError
 
+    # The flight recorder rides on the SLO layer; enabling it is
+    # observation-only (guarded emits), so the churn outcome is the
+    # same either way.
     config = ClusterConfig(
         seed=args.seed,
         resilience=not args.resilience_off,
         data_replicas=2,
         replication_factor=3,
+        slo=args.flightrec_dir is not None,
+        slo_tuning=SloConfig(recorder_dump_dir=args.flightrec_dir),
     )
     c4h = Cloud4Home(config)
     c4h.start()
@@ -489,13 +538,94 @@ def cmd_chaos(args) -> int:
     for op, error in failures:
         print(f"  FAILED {op}: {error}")
     if args.assert_clean:
-        if failures:
-            print("assert-clean: operation failures above")
-            return 1
-        if not args.resilience_off and repairs == 0:
-            print("assert-clean: repair log is empty")
+        if failures or (not args.resilience_off and repairs == 0):
+            print(
+                "assert-clean: operation failures above"
+                if failures
+                else "assert-clean: repair log is empty"
+            )
+            if c4h.recorders is not None:
+                c4h.recorders.dump(
+                    now=c4h.sim.now, reason="assert-clean-failure"
+                )
+                for path in c4h.recorders.dump_paths:
+                    print(f"  flight recorder: {path}")
             return 1
         print("assert-clean: ok")
+    return 0
+
+
+def cmd_slo(args) -> int:
+    import json
+
+    from repro.cluster import availability_chaos_scenario
+    from repro.telemetry import validate_recorder_dump
+
+    result = availability_chaos_scenario(
+        seed=args.seed,
+        n_objects=args.objects,
+        horizon_s=args.horizon,
+        dump_dir=args.dump_dir,
+    )
+    try:
+        entries = validate_recorder_dump(result["dump"])
+        dump_error = None
+    except ValueError as exc:
+        entries = 0
+        dump_error = str(exc)
+
+    if args.json:
+        payload = dict(result)
+        payload["dump"] = {
+            "schema": result["dump"].get("schema"),
+            "entries": entries,
+            "nodes": sorted(result["dump"].get("nodes", {})),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        bar = result["window_s"] + result["eval_period_s"]
+        print(
+            f"slo scenario (seed {args.seed}): {result['nodes']} nodes, "
+            f"{result['objects']} objects, killed {result['killed']} "
+            f"at t={result['t_kill']:.1f}s"
+        )
+        if result["fired_at"] is not None:
+            print(
+                f"  firing   at {result['fired_at']:.2f}s "
+                f"(+{result['fired_within_s']:.2f}s after the kill; "
+                f"bar {bar:g}s)"
+            )
+        else:
+            print("  firing   never (FAIL)")
+        if result["first_repair_at"] is not None:
+            print(
+                f"  repair   at {result['first_repair_at']:.2f}s "
+                f"({result['repair_actions']} promote/replicate actions)"
+            )
+        if result["resolved_at"] is not None:
+            print(f"  resolved at {result['resolved_at']:.2f}s")
+        else:
+            print("  resolved never (FAIL)")
+        if dump_error is None:
+            print(
+                f"  flight recorder: {entries} entries across "
+                f"{len(result['dump']['nodes'])} nodes "
+                f"(schema {result['dump']['schema']})"
+            )
+        else:
+            print(f"  flight recorder: INVALID — {dump_error}")
+        for path in result["dump_paths"]:
+            print(f"  wrote {path}")
+        health = " ".join(
+            f"{node} {score:.2f}"
+            for node, score in sorted(result["health"].items())
+        )
+        print(f"  health: {health}")
+
+    if args.check:
+        ok = result["ok"] and dump_error is None
+        print(f"slo --check: {'ok' if ok else 'FAIL'}")
+        return 0 if ok else 1
     return 0
 
 
@@ -596,6 +726,7 @@ COMMANDS = {
     "sweep": cmd_sweep,
     "report": cmd_report,
     "chaos": cmd_chaos,
+    "slo": cmd_slo,
     "load": cmd_load,
     "lint": cmd_lint,
     "bench-help": cmd_bench_help,

@@ -24,10 +24,12 @@ from repro.cluster.config import (
     DeviceConfig,
     LanConfig,
     ResilienceConfig,
+    SloConfig,
     StripingConfig,
     WanConfig,
     default_devices,
 )
+from repro.cluster.slo_demo import availability_chaos_scenario
 
 __all__ = [
     "Cloud4Home",
@@ -37,8 +39,10 @@ __all__ = [
     "DeviceConfig",
     "LanConfig",
     "ResilienceConfig",
+    "SloConfig",
     "StripingConfig",
     "WanConfig",
+    "availability_chaos_scenario",
     "default_devices",
     "Federation",
     "FederationDirectory",

@@ -34,7 +34,16 @@ from repro.resilience import (
 )
 from repro.services import Service, ServiceRegistry
 from repro.sim import RandomSource, Simulator
-from repro.telemetry import MetricsRegistry, Telemetry
+from repro.telemetry import (
+    HealthBoard,
+    MetricsRegistry,
+    RecorderHub,
+    SloEngine,
+    SloEvaluator,
+    Telemetry,
+    WindowPolicy,
+    default_slo_specs,
+)
 from repro.virt import (
     ATOM_NETBOOK,
     ATOM_S1,
@@ -133,11 +142,18 @@ class Cloud4Home:
             self.network = network
             self.sim = network.sim
             self.rng = RandomSource(self.config.seed).fork(home_group)
-        if self.config.telemetry and self.sim.telemetry is None:
+        want_windowed = self.config.windowed_metrics or self.config.slo
+        want_telemetry = self.config.telemetry or want_windowed
+        if want_telemetry and self.sim.telemetry is None:
             # Federated homes on a shared fabric inherit the simulator's
             # already-attached plane instead of replacing it, so one
             # span/metric store covers the whole federation.
-            Telemetry(self.sim).attach()
+            windowed = self._window_policy() if want_windowed else None
+            Telemetry(self.sim, windowed=windowed).attach()
+        elif want_windowed and self.sim.telemetry.windowed is None:
+            # Joining a federation whose plane predates this home's
+            # windowed request: upgrade the shared plane in place.
+            self.sim.telemetry.windowed = self._window_policy()
         #: Shared metrics plane for this deployment.  With telemetry
         #: attached this is the plane's own registry, so span latency
         #: histograms and ingested KV counters land in one place.
@@ -160,6 +176,13 @@ class Cloud4Home:
             self._build_device(dc) for dc in self.config.devices
         ]
         self._by_name: dict[str, Device] = {d.name: d for d in self.devices}
+        #: Active observability layer (None unless ``config.slo``).
+        self.slo_engine: Optional[SloEngine] = None
+        self.health: Optional[HealthBoard] = None
+        self.recorders: Optional[RecorderHub] = None
+        self._slo_evaluator: Optional[SloEvaluator] = None
+        if self.config.slo:
+            self._build_slo_layer()
         self._started = False
 
     # -- fabric -----------------------------------------------------------
@@ -322,7 +345,9 @@ class Cloud4Home:
             breakers=breakers,
         )
         bandwidth = BandwidthEstimator(
-            default_mbps=self.config.lan.bandwidth_mbps
+            default_mbps=self.config.lan.bandwidth_mbps,
+            metrics=self.metrics,
+            node=dc.name,
         )
         transfer = TransferEngine(
             self.network, zero_copy=True, observer=bandwidth.observe_report
@@ -417,6 +442,68 @@ class Cloud4Home:
 
     # -- observability ----------------------------------------------------------
 
+    def _slo_specs(self) -> list:
+        tuning = self.config.slo_tuning
+        return (
+            tuning.specs
+            if tuning.specs is not None
+            else default_slo_specs(window_s=tuning.window_s)
+        )
+
+    def _window_policy(self) -> WindowPolicy:
+        """The windowed-rollup shape for this home's telemetry plane.
+
+        ``windowed_metrics=True`` feeds a rollup for every span name.
+        ``slo=True`` alone scopes the per-span feed to the metrics the
+        engine and health board actually judge — every other span then
+        costs one set-membership test instead of a ring write, which is
+        what keeps the active layer inside its overhead budget
+        (``benchmarks/perf/slo_bench.py``).
+        """
+        tuning = self.config.slo_tuning
+        names = None
+        if not self.config.windowed_metrics:
+            names = frozenset(
+                {spec.metric for spec in self._slo_specs()}
+                | {tuning.health_latency_metric}
+            )
+        return WindowPolicy(
+            window_s=tuning.window_s, sub_windows=tuning.sub_windows, names=names
+        )
+
+    def _build_slo_layer(self) -> None:
+        """SLO engine + health scoreboard + flight recorders (slo on)."""
+        tuning = self.config.slo_tuning
+        specs = self._slo_specs()
+        self.slo_engine = SloEngine(
+            self.metrics, specs, telemetry=self.sim.telemetry, node=self.home_group
+        )
+        res = self.config.resilience_tuning
+        self.health = HealthBoard(
+            self.metrics,
+            latency_metric=tuning.health_latency_metric,
+            latency_target_s=tuning.health_latency_target_s,
+            repair_window_s=tuning.health_repair_window_s,
+            freshness_ttl_s=res.freshness_ttl_s,
+        )
+        self.recorders = RecorderHub(
+            telemetry=self.sim.telemetry,
+            metrics=self.metrics,
+            capacity=tuning.recorder_capacity,
+            dump_dir=tuning.recorder_dump_dir,
+        )
+        self.slo_engine.on_alert(self.recorders.alert_hook)
+        for device in self.devices:
+            self.health.attach_node(
+                device.name,
+                breakers=device.breakers,
+                repairer=device.repairer,
+                monitor=device.monitor,
+            )
+        self._slo_evaluator = SloEvaluator(
+            self.sim, self.slo_engine, period_s=tuning.eval_period_s
+        )
+
     @property
     def telemetry(self):
         """The attached :class:`repro.telemetry.Telemetry` plane, or
@@ -457,6 +544,11 @@ class Cloud4Home:
                 device.monitor.start(publish_immediately=False)
                 if device.repairer is not None:
                     device.repairer.start()
+        # The SLO evaluator is a background process like the monitors;
+        # monitors=False means "no periodic activity" and callers can
+        # still drive SloEngine.evaluate() by hand.
+        if monitors and self._slo_evaluator is not None:
+            self._slo_evaluator.start()
         self._started = True
 
     def _seed_overlay_views(self) -> None:

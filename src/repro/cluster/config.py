@@ -18,6 +18,7 @@ __all__ = [
     "DeviceConfig",
     "ResilienceConfig",
     "StripingConfig",
+    "SloConfig",
     "ClusterConfig",
 ]
 
@@ -148,6 +149,37 @@ class StripingConfig:
 
 
 @dataclass
+class SloConfig:
+    """Tuning for the active observability layer.
+
+    Only read when ``ClusterConfig.slo`` (or ``windowed_metrics``) is
+    on.  Window geometry applies to every windowed rollup the
+    telemetry plane mints; the SLO engine evaluates once per
+    ``eval_period_s`` of simulated time.
+    """
+
+    #: Sliding-window span for every windowed instrument, seconds.
+    window_s: float = 60.0
+    #: Ring granularity: rotation happens every window_s / sub_windows.
+    sub_windows: int = 6
+    #: Simulated period of the background SLO evaluator process.
+    eval_period_s: float = 10.0
+    #: Objectives to enforce; None selects
+    #: :func:`repro.telemetry.slo.default_slo_specs`.
+    specs: list | None = None
+    #: Health scoreboard: the reference latency metric/target and the
+    #: repair-pressure window (freshness TTL comes from
+    #: ``ResilienceConfig.freshness_ttl_s``).
+    health_latency_metric: str = "kv.get"
+    health_latency_target_s: float = 2.0
+    health_repair_window_s: float = 60.0
+    #: Flight recorder: per-node ring capacity, and where firing alerts
+    #: drop their dump artifacts (None = keep dumps in memory only).
+    recorder_capacity: int = 256
+    recorder_dump_dir: str | None = None
+
+
+@dataclass
 class ClusterConfig:
     """Everything needed to build a Cloud4Home deployment."""
 
@@ -207,6 +239,24 @@ class ClusterConfig:
     striping: bool = False
     #: Tuning knobs for erasure-coded striping.
     striping_tuning: StripingConfig = field(default_factory=StripingConfig)
+    #: Windowed metrics rollups (repro.telemetry.timeseries): every
+    #: finished span additionally feeds a sliding-window histogram and
+    #: success-ratio per (name, node).  Implies ``telemetry``.  Off by
+    #: default: with it off no windowed instrument is ever allocated
+    #: and simulated results are byte-identical.
+    windowed_metrics: bool = False
+    #: The active observability layer (repro.telemetry.slo / health /
+    #: recorder): declarative SLOs evaluated periodically over the
+    #: windowed rollups with firing/resolved alerts, a per-node health
+    #: scoreboard, and per-node flight recorders.  Implies ``telemetry``
+    #: and ``windowed_metrics``.  Off by default: nothing is built and
+    #: simulated results are byte-identical.  Enabled, the evaluator
+    #: tick is pure observation (no shared randomness, no simulated
+    #: resources), so workload results stay identical too — asserted in
+    #: ``benchmarks/perf/slo_bench.py``.
+    slo: bool = False
+    #: Tuning knobs for windows, SLO evaluation, health, and recorders.
+    slo_tuning: SloConfig = field(default_factory=SloConfig)
     #: Scale construction: instead of the sequential protocol join
     #: (O(N²) messages — minutes of wall clock past ~1k devices), the
     #: builder computes each node's Pastry-correct partial view (leaf

@@ -60,7 +60,17 @@ class UnguardedEmitRule(Rule):
         "(telemetry-off runs must skip emission entirely)"
     )
     scope = ("src/repro",)
-    exclude = ("src/repro/telemetry", "src/repro/lint")
+    # Only the passive plane — the modules that *implement* the emit
+    # machinery — is exempt.  The active layer (slo/health/recorder/
+    # timeseries) consumes the plane like any instrumented layer and
+    # must guard its emits the same way.
+    exclude = (
+        "src/repro/telemetry/__init__.py",
+        "src/repro/telemetry/spans.py",
+        "src/repro/telemetry/metrics.py",
+        "src/repro/telemetry/export.py",
+        "src/repro/lint",
+    )
 
     def visit_Call(self, node: ast.Call) -> None:
         receiver = self._telemetry_receiver(node)

@@ -48,6 +48,7 @@ class LoadReport:
         inflight_at_end: int,
         max_inflight_seen: int,
         latency: dict,
+        alerts: Optional[list] = None,
     ) -> None:
         self.duration_s = duration_s
         self.offered = offered
@@ -58,6 +59,10 @@ class LoadReport:
         self.inflight_at_end = inflight_at_end
         self.max_inflight_seen = max_inflight_seen
         self.latency = latency
+        #: SLO alerts emitted during the run (None when no engine was
+        #: attached — absent from :meth:`as_dict` too, so reports from
+        #: SLO-less runs are unchanged byte for byte).
+        self.alerts = alerts
 
     @property
     def offered_rate(self) -> float:
@@ -80,6 +85,7 @@ class LoadReport:
             "offered_rate": self.offered_rate,
             "achieved_rate": self.achieved_rate,
             "latency": dict(self.latency),
+            **({"alerts": list(self.alerts)} if self.alerts is not None else {}),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -112,6 +118,13 @@ class OpenLoopDriver:
         Load-shedding cap: arrivals beyond this many in-flight
         requests are dropped (and counted), keeping memory bounded
         past saturation.
+    slo_engine:
+        Optional :class:`repro.telemetry.SloEngine`.  When given, every
+        completion additionally feeds sliding-window latency and
+        success-ratio rollups under ``load.latency``, the engine is
+        evaluated once more when the run ends, and the report carries
+        the alerts emitted during the run.  ``None`` (default) leaves
+        reports byte-identical to pre-SLO runs.
     """
 
     def __init__(
@@ -123,6 +136,7 @@ class OpenLoopDriver:
         metrics: Optional[MetricsRegistry] = None,
         node: str = "",
         max_inflight: int = 10_000,
+        slo_engine=None,
     ) -> None:
         if max_inflight <= 0:
             raise ValueError("max_inflight must be positive")
@@ -132,6 +146,15 @@ class OpenLoopDriver:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.node = node
         self.max_inflight = max_inflight
+        self.slo_engine = slo_engine
+        if slo_engine is not None:
+            # The windowed rollup lives in the engine's registry so the
+            # specs can see it even if a separate driver registry was
+            # passed.  One instrument carries both the latency window
+            # and (via the per-observation ok flag) the success ratio.
+            self._whist = slo_engine.metrics.windowed_histogram(
+                LATENCY_HISTOGRAM, node=node
+            )
         self.histogram = self.metrics.histogram(LATENCY_HISTOGRAM, node=node)
         #: Injection times, in order (the determinism contract: same
         #: seed -> identical list).
@@ -160,11 +183,18 @@ class OpenLoopDriver:
             raise RuntimeError("a driver instance runs exactly once")
         self._ran = True
         start = self.sim.now
+        alerts_before = (
+            len(self.slo_engine.alerts) if self.slo_engine is not None else 0
+        )
         self.sim.process(self._inject(start, duration_s))
         self.sim.run(until=start + duration_s)
         if drain_s > 0:
             self.sim.run(until=start + duration_s + drain_s)
-        return self._report(duration_s)
+        alerts = None
+        if self.slo_engine is not None:
+            self.slo_engine.evaluate(self.sim.now)
+            alerts = [a.as_dict() for a in self.slo_engine.alerts[alerts_before:]]
+        return self._report(duration_s, alerts)
 
     def _inject(self, start: float, duration_s: float):
         end = start + duration_s
@@ -190,13 +220,21 @@ class OpenLoopDriver:
             yield from self.operation(index, injected_at)
         except Exception:
             self.failed += 1
+            if self.slo_engine is not None:
+                # Time-to-failure is the failed request's latency.
+                self._whist.observe(
+                    self.sim.now - injected_at, now=self.sim.now, ok=False
+                )
         else:
             self.completed += 1
-            self.histogram.observe(self.sim.now - injected_at)
+            latency = self.sim.now - injected_at
+            self.histogram.observe(latency)
+            if self.slo_engine is not None:
+                self._whist.observe(latency, now=self.sim.now)
         finally:
             self.inflight -= 1
 
-    def _report(self, duration_s: float) -> LoadReport:
+    def _report(self, duration_s: float, alerts: Optional[list] = None) -> LoadReport:
         for key, value in (
             ("load.offered", self.offered),
             ("load.shed", self.shed),
@@ -223,4 +261,5 @@ class OpenLoopDriver:
             inflight_at_end=self.inflight,
             max_inflight_seen=self.max_inflight_seen,
             latency=latency,
+            alerts=alerts,
         )

@@ -33,6 +33,8 @@ class BandwidthEstimator:
         alpha: float = 0.3,
         default_mbps: float = 100.0,
         alpha_down: float = 0.7,
+        metrics=None,
+        node: str = "",
     ) -> None:
         if not 0.0 < alpha <= 1.0:
             raise ValueError("alpha must be in (0, 1]")
@@ -43,6 +45,13 @@ class BandwidthEstimator:
         self.alpha = alpha
         self.alpha_down = alpha_down
         self.default_mbps = default_mbps
+        #: Optional :class:`repro.telemetry.MetricsRegistry`: when set,
+        #: every fold mirrors the estimates into ``net.bandwidth.ewma``
+        #: gauges — the overall estimate under ``node`` and each
+        #: per-peer estimate under ``node->peer`` — so link degradation
+        #: shows up in metrics reports, not just placement internals.
+        self.metrics = metrics
+        self.node = node
         self._estimates: dict[str, float] = {}
         self._overall: Optional[float] = None
         self.observations = 0
@@ -65,6 +74,13 @@ class BandwidthEstimator:
         self._estimates[peer] = self._fold(self._estimates.get(peer), mbps)
         self._overall = self._fold(self._overall, mbps)
         self.observations += 1
+        if self.metrics is not None:
+            self.metrics.gauge("net.bandwidth.ewma", node=self.node).set(
+                self._overall
+            )
+            self.metrics.gauge(
+                "net.bandwidth.ewma", node=f"{self.node}->{peer}"
+            ).set(self._estimates[peer])
 
     def observe_report(self, report: TransferReport) -> None:
         """Convenience: fold a network-layer :class:`TransferReport`."""

@@ -45,6 +45,9 @@ class ResourceMonitor:
         self.sampler = sampler
         self.period_s = period_s
         self.updates_published = 0
+        #: Simulated time of the last successful publish (None before
+        #: the first one) — the health scoreboard's staleness input.
+        self.last_published_at: float | None = None
         self._process = None
 
     @property
@@ -71,6 +74,7 @@ class ResourceMonitor:
             resource_key(self.store.name), snapshot.wire()
         )
         self.updates_published += 1
+        self.last_published_at = self.sim.now
         return snapshot
 
     def fetch(self, node_name: str):

@@ -183,3 +183,7 @@ class BreakerRegistry:
         return sorted(
             peer for peer, b in self._breakers.items() if b.is_open(now)
         )
+
+    def known_peers(self) -> list[str]:
+        """Every peer this node has a breaker for (open or not)."""
+        return sorted(self._breakers)

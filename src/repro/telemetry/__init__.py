@@ -12,6 +12,21 @@ The telemetry plane has three pieces:
   ``trace_event`` export (``chrome://tracing`` / Perfetto), flame-style
   latency attribution, and per-worker trace merging.
 
+The *active* observability layer builds on those (see
+docs/OBSERVABILITY.md, "Windows, SLOs, and the flight recorder"):
+
+* :mod:`repro.telemetry.timeseries` — sliding-window instruments keyed
+  by simulated time (:class:`WindowedHistogram`, :class:`WindowedRate`,
+  :class:`WindowedRatio`), rolled up per (name, node) in the registry.
+* :mod:`repro.telemetry.slo` — declarative :class:`SloSpec` objectives
+  judged by an :class:`SloEngine` with firing/resolved hysteresis,
+  emitting typed :class:`AlertEvent`\\ s.
+* :mod:`repro.telemetry.health` — per-node :class:`HealthScore` fusion
+  behind the narrow :class:`HealthView` read surface.
+* :mod:`repro.telemetry.recorder` — bounded per-node
+  :class:`FlightRecorder` rings dumped to schema-validated JSON
+  artifacts on alerts and chaos failures.
+
 Telemetry is off by default: layers guard every emit behind
 ``sim.telemetry is not None`` and add nothing to simulated behaviour
 when disabled.  Enable per cluster with ``ClusterConfig(telemetry=True)``
@@ -28,6 +43,7 @@ from repro.telemetry.export import (
     spans_from_dump,
     validate_chrome_trace,
 )
+from repro.telemetry.health import HealthBoard, HealthScore, HealthView
 from repro.telemetry.memprobe import memory_probe
 from repro.telemetry.metrics import (
     DEFAULT_BUCKETS,
@@ -36,7 +52,27 @@ from repro.telemetry.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.telemetry.recorder import (
+    RECORDER_SCHEMA,
+    FlightRecorder,
+    RecorderHub,
+    validate_recorder_dump,
+)
+from repro.telemetry.slo import (
+    AlertEvent,
+    SloEngine,
+    SloEvaluator,
+    SloSpec,
+    default_slo_specs,
+)
 from repro.telemetry.spans import Span, SpanContext, Telemetry, wire_ctx
+from repro.telemetry.timeseries import (
+    WindowedHistogram,
+    WindowedRate,
+    WindowedRatio,
+    WindowPolicy,
+    merge_window_histograms,
+)
 
 __all__ = [
     "Telemetry",
@@ -48,6 +84,23 @@ __all__ = [
     "Gauge",
     "Histogram",
     "DEFAULT_BUCKETS",
+    "WindowPolicy",
+    "WindowedHistogram",
+    "WindowedRate",
+    "WindowedRatio",
+    "merge_window_histograms",
+    "SloSpec",
+    "AlertEvent",
+    "SloEngine",
+    "SloEvaluator",
+    "default_slo_specs",
+    "HealthView",
+    "HealthScore",
+    "HealthBoard",
+    "FlightRecorder",
+    "RecorderHub",
+    "RECORDER_SCHEMA",
+    "validate_recorder_dump",
     "span_dump",
     "spans_from_dump",
     "merge_span_dumps",

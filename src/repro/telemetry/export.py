@@ -51,25 +51,49 @@ def spans_from_dump(dump: Iterable[dict]) -> list[Span]:
 def merge_span_dumps(dumps: Sequence[Iterable[dict]]) -> list[dict]:
     """Merge per-worker span dumps into one id-collision-free dump.
 
-    Workers allocate span ids independently from 1, so identical id
-    ranges collide when traces are pooled.  Each dump's ids are offset
-    by the cumulative maximum of the dumps before it — a deterministic
-    rebase that preserves every parent/child edge (submission order in,
-    submission order out, matching :func:`repro.parallel.run_jobs`).
+    Workers allocate span ids independently from 1, so pooled dumps can
+    reuse an id for entirely different spans.  Blindly rebasing *every*
+    dump (the old behaviour) destroyed the two benign shapes: dumps
+    whose id spaces are already disjoint (their parent edges may
+    deliberately point across dumps) and dumps that overlap (the same
+    spans re-exported).  Each incoming dump is therefore compared
+    against the ids already merged:
+
+    * **disjoint ids** — the dump joins the merged id space untouched;
+    * **shared ids, entries identical** — the duplicates are dropped
+      and the rest join untouched (an overlap, not a collision);
+    * **any shared id that disagrees** — on parentage, name, timing,
+      anything — is a true collision: that whole dump is rebased past
+      the merged maximum, preserving its internal parent/child edges.
+
+    Deterministic either way: submission order in, submission order
+    out, matching :func:`repro.parallel.run_jobs`.
     """
     merged: list[dict] = []
-    offset = 0
+    by_id: dict[int, dict] = {}
+    highest = 0
     for dump in dumps:
         entries = [dict(entry) for entry in dump]
-        highest = 0
+        collision = any(
+            entry["span_id"] in by_id and by_id[entry["span_id"]] != entry
+            for entry in entries
+        )
+        if collision:
+            offset = highest
+            for entry in entries:
+                entry["trace_id"] += offset
+                entry["span_id"] += offset
+                if entry.get("parent_id") is not None:
+                    entry["parent_id"] += offset
         for entry in entries:
-            entry["trace_id"] += offset
-            entry["span_id"] += offset
-            if entry.get("parent_id") is not None:
-                entry["parent_id"] += offset
-            highest = max(highest, entry["span_id"], entry["trace_id"])
-        merged.extend(entries)
-        offset = max(offset, highest)
+            if entry["span_id"] in by_id:
+                continue  # identical duplicate (collisions were rebased away)
+            by_id[entry["span_id"]] = entry
+            merged.append(entry)
+            if entry["span_id"] > highest:
+                highest = entry["span_id"]
+            if entry["trace_id"] > highest:
+                highest = entry["trace_id"]
     return merged
 
 

@@ -197,6 +197,12 @@ class MetricsRegistry:
         self._counters: dict[tuple[str, str], Counter] = {}
         self._gauges: dict[tuple[str, str], Gauge] = {}
         self._histograms: dict[tuple[str, str], Histogram] = {}
+        # Windowed rollups (see repro.telemetry.timeseries), keyed the
+        # same way; created on demand so runs without windowed_metrics
+        # pay nothing.
+        self._windowed_histograms: dict = {}
+        self._windowed_rates: dict = {}
+        self._windowed_ratios: dict = {}
 
     # -- instrument accessors (get-or-create) ------------------------------
 
@@ -222,6 +228,97 @@ class MetricsRegistry:
         if instrument is None:
             instrument = self._histograms[key] = Histogram(name, node, buckets)
         return instrument
+
+    # -- windowed rollups (get-or-create) ----------------------------------
+
+    def windowed_histogram(
+        self,
+        name: str,
+        node: str = "",
+        window_s: float = 60.0,
+        sub_windows: int = 6,
+        buckets: Optional[Sequence[float]] = None,
+    ):
+        """Get-or-create a sliding-window latency histogram rollup."""
+        from repro.telemetry.timeseries import WindowedHistogram
+
+        key = (name, node)
+        instrument = self._windowed_histograms.get(key)
+        if instrument is None:
+            instrument = self._windowed_histograms[key] = WindowedHistogram(
+                name, node, window_s=window_s, sub_windows=sub_windows, buckets=buckets
+            )
+        return instrument
+
+    def windowed_rate(
+        self, name: str, node: str = "", window_s: float = 60.0, sub_windows: int = 6
+    ):
+        """Get-or-create a sliding-window event-rate rollup."""
+        from repro.telemetry.timeseries import WindowedRate
+
+        key = (name, node)
+        instrument = self._windowed_rates.get(key)
+        if instrument is None:
+            instrument = self._windowed_rates[key] = WindowedRate(
+                name, node, window_s=window_s, sub_windows=sub_windows
+            )
+        return instrument
+
+    def windowed_ratio(
+        self, name: str, node: str = "", window_s: float = 60.0, sub_windows: int = 6
+    ):
+        """Get-or-create a sliding-window success-ratio rollup."""
+        from repro.telemetry.timeseries import WindowedRatio
+
+        key = (name, node)
+        instrument = self._windowed_ratios.get(key)
+        if instrument is None:
+            instrument = self._windowed_ratios[key] = WindowedRatio(
+                name, node, window_s=window_s, sub_windows=sub_windows
+            )
+        return instrument
+
+    def windowed_histograms_for(self, name: str) -> list:
+        """Every node's windowed histogram under ``name`` (sorted by node)."""
+        return [
+            inst
+            for (n, _node), inst in sorted(self._windowed_histograms.items())
+            if n == name
+        ]
+
+    def windowed_rates_for(self, name: str) -> list:
+        return [
+            inst for (n, _node), inst in sorted(self._windowed_rates.items()) if n == name
+        ]
+
+    def windowed_ratios_for(self, name: str) -> list:
+        return [
+            inst for (n, _node), inst in sorted(self._windowed_ratios.items()) if n == name
+        ]
+
+    def counter_items(self) -> list:
+        """Every counter as ((name, node), Counter), sorted by key."""
+        return sorted(self._counters.items())
+
+    def peek_windowed_histogram(self, name: str, node: str = ""):
+        """The windowed histogram under (name, node), or None (no create)."""
+        return self._windowed_histograms.get((name, node))
+
+    def windowed_ratios_on(self, node: str) -> list:
+        """Every windowed ratio living on ``node`` (sorted by name)."""
+        return [
+            inst
+            for (_name, inode), inst in sorted(self._windowed_ratios.items())
+            if inode == node
+        ]
+
+    def windowed_histograms_on(self, node: str) -> list:
+        """Every windowed histogram living on ``node`` (sorted by name)."""
+        return [
+            inst
+            for (_name, inode), inst in sorted(self._windowed_histograms.items())
+            if inode == node
+        ]
 
     # -- KvStats compatibility shim ----------------------------------------
 
@@ -250,13 +347,32 @@ class MetricsRegistry:
     def snapshot(self) -> dict:
         """JSON-ready nested export: name -> node -> instrument dict."""
         out: dict[str, dict] = {}
-        for store in (self._counters, self._gauges, self._histograms):
+        # Windowed rollups share names with their cumulative twins
+        # (``kv.get`` the run-long histogram vs ``kv.get`` the last 60 s),
+        # so they export under a ``.window*`` suffix.
+        stores = (
+            (self._counters, ""),
+            (self._gauges, ""),
+            (self._histograms, ""),
+            (self._windowed_histograms, ".window"),
+            (self._windowed_rates, ".window.rate"),
+            (self._windowed_ratios, ".window.ratio"),
+        )
+        for store, suffix in stores:
             for (name, node), instrument in sorted(store.items()):
-                out.setdefault(name, {})[node] = instrument.as_dict()
+                out.setdefault(name + suffix, {})[node] = instrument.as_dict()
         return out
 
     def names(self) -> list[str]:
         keys = set()
-        for store in (self._counters, self._gauges, self._histograms):
-            keys.update(name for name, _node in store)
+        stores = (
+            (self._counters, ""),
+            (self._gauges, ""),
+            (self._histograms, ""),
+            (self._windowed_histograms, ".window"),
+            (self._windowed_rates, ".window.rate"),
+            (self._windowed_ratios, ".window.ratio"),
+        )
+        for store, suffix in stores:
+            keys.update(name + suffix for name, _node in store)
         return sorted(keys)

@@ -154,6 +154,15 @@ class Telemetry:
         histogram named after the span under node ``span.node`` in
         :attr:`metrics` — the bridge between the trace plane and the
         metrics plane.
+    windowed:
+        Optional :class:`~repro.telemetry.timeseries.WindowPolicy`.
+        When set, every finished span *also* feeds a per-``(name,
+        node)`` sliding-window histogram (which carries latency *and*
+        success counts — see ``WindowedHistogram.window_totals``) in
+        :attr:`metrics` — the live view the SLO engine and health
+        scoreboard read.  A policy with ``names`` set scopes the feed
+        to those span names.  ``None`` (default) keeps the windowed
+        plane entirely unallocated.
     """
 
     def __init__(
@@ -161,16 +170,27 @@ class Telemetry:
         sim,
         max_spans: Optional[int] = None,
         record_span_metrics: bool = True,
+        windowed=None,
     ) -> None:
         if max_spans is not None and max_spans <= 0:
             raise ValueError("max_spans must be positive")
         self.sim = sim
         self.max_spans = max_spans
         self.record_span_metrics = record_span_metrics
+        self.windowed = windowed
         self.spans: list[Span] = []
         self.dropped = 0
         self.metrics = MetricsRegistry()
         self._ids = itertools.count(1)
+        #: Callables invoked with every *finished* span (ends, fails,
+        #: and instant events).  Guarded: a raising subscriber is
+        #: dropped, never the simulation.  Nothing in the stock stack
+        #: subscribes on the hot path — the flight recorder reads the
+        #: retained span list at dump time instead.
+        self._subscribers: list = []
+        #: (name, node) -> WindowedHistogram — skips the registry's
+        #: get-or-create on the per-span hot path.
+        self._windowed_cache: dict = {}
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -182,6 +202,27 @@ class Telemetry:
     def detach(self) -> None:
         if getattr(self.sim, "telemetry", None) is self:
             self.sim.telemetry = None
+
+    # -- subscribers -------------------------------------------------------
+
+    def subscribe(self, fn) -> None:
+        """Call ``fn(span)`` for every finished span from now on."""
+        self._subscribers.append(fn)
+
+    def unsubscribe(self, fn) -> None:
+        if fn in self._subscribers:
+            self._subscribers.remove(fn)
+
+    def _notify(self, span: Span) -> None:
+        if not self._subscribers:
+            return
+        for fn in list(self._subscribers):
+            try:
+                fn(span)
+            except Exception:
+                # A broken subscriber must never take down the
+                # simulation; evict it (same contract as Tracer).
+                self.unsubscribe(fn)
 
     # -- span emission -----------------------------------------------------
 
@@ -200,14 +241,7 @@ class Telemetry:
         which case this span roots a brand-new trace.
         """
         span_id = next(self._ids)
-        if parent is None:
-            trace_id, parent_id = span_id, None
-        elif isinstance(parent, Span):
-            trace_id, parent_id = parent.trace_id, parent.span_id
-        elif isinstance(parent, SpanContext):
-            trace_id, parent_id = parent.trace_id, parent.span_id
-        else:  # wire dict from an RPC body
-            trace_id, parent_id = parent["t"], parent["s"]
+        trace_id, parent_id = self._resolve_parent(parent, span_id)
         span = Span(
             trace_id=trace_id,
             span_id=span_id,
@@ -218,11 +252,58 @@ class Telemetry:
             start=self.sim.now,
             attrs=attrs,
         )
+        self._retain(span)
+        return span
+
+    def event(
+        self,
+        name: str,
+        layer: str,
+        node: str,
+        parent: "Span | SpanContext | dict | None" = None,
+        status: str = "ok",
+        **attrs: Any,
+    ) -> Span:
+        """Emit an instant span: zero duration, already closed.
+
+        Used for point-in-time facts (an SLO alert firing, a breaker
+        tripping) that belong in the trace stream but are not timed
+        work — so they do *not* feed the latency histograms or the
+        windowed rollups.
+        """
+        span_id = next(self._ids)
+        trace_id, parent_id = self._resolve_parent(parent, span_id)
+        now = self.sim.now
+        span = Span(
+            trace_id=trace_id,
+            span_id=span_id,
+            parent_id=parent_id,
+            name=name,
+            layer=layer,
+            node=node,
+            start=now,
+            end=now,
+            status=status,
+            attrs=attrs,
+        )
+        self._retain(span)
+        if self._subscribers:
+            self._notify(span)
+        return span
+
+    @staticmethod
+    def _resolve_parent(parent, span_id: int) -> tuple[int, Optional[int]]:
+        if parent is None:
+            return span_id, None
+        if isinstance(parent, (Span, SpanContext)):
+            return parent.trace_id, parent.span_id
+        return parent["t"], parent["s"]  # wire dict from an RPC body
+
+    def _retain(self, span: Span) -> None:
         if self.max_spans is not None and len(self.spans) >= self.max_spans:
             del self.spans[0]
             self.dropped += 1
         self.spans.append(span)
-        return span
 
     def end(self, span: Span, status: str = "ok", **attrs: Any) -> Span:
         """Close a span at the current simulated time."""
@@ -236,6 +317,20 @@ class Telemetry:
             )
             if status != "ok":
                 self.metrics.counter(f"{span.name}.errors", node=span.node).inc()
+        policy = self.windowed
+        if policy is not None and (policy.names is None or span.name in policy.names):
+            key = (span.name, span.node)
+            rollup = self._windowed_cache.get(key)
+            if rollup is None:
+                rollup = self._windowed_cache[key] = self.metrics.windowed_histogram(
+                    span.name,
+                    node=span.node,
+                    window_s=policy.window_s,
+                    sub_windows=policy.sub_windows,
+                )
+            rollup.observe(span.end - span.start, now=span.end, ok=(status == "ok"))
+        if self._subscribers:
+            self._notify(span)
         return span
 
     def fail(self, span: Span, exc: BaseException, **attrs: Any) -> Span:

@@ -17,11 +17,11 @@ from repro.telemetry import (
 )
 
 
-def small_trace() -> Telemetry:
+def small_trace(obj: str = "x") -> Telemetry:
     """One finished 2-level trace plus one unfinished span."""
     sim = Simulator()
     tel = Telemetry(sim).attach()
-    root = tel.begin("client.fetch", layer="client", node="n0", object="x")
+    root = tel.begin("client.fetch", layer="client", node="n0", object=obj)
     child = tel.begin("kv.get", layer="kvstore", node="n0", parent=root)
     sim._now = 0.3
     tel.end(child)
@@ -47,7 +47,9 @@ class TestDumps:
         assert spans_from_dump(dump) == tel.spans
 
     def test_merge_rebases_ids_and_preserves_edges(self):
-        dumps = [span_dump(small_trace()) for _ in range(3)]
+        # Three workers, same 1-based id ranges, different work: a
+        # true collision, so later dumps are rebased past the first.
+        dumps = [span_dump(small_trace(obj=f"x{i}")) for i in range(3)]
         merged = merge_span_dumps(dumps)
         assert len(merged) == 12
         ids = [d["span_id"] for d in merged]
@@ -63,6 +65,61 @@ class TestDumps:
     def test_merge_of_single_dump_is_identity(self):
         dump = span_dump(small_trace())
         assert merge_span_dumps([dump]) == dump
+
+    @staticmethod
+    def entry(span_id, trace_id=None, parent_id=None, **attrs):
+        return {
+            "trace_id": span_id if trace_id is None else trace_id,
+            "span_id": span_id,
+            "parent_id": parent_id,
+            "name": "op",
+            "layer": "l",
+            "node": "n",
+            "start": 0.0,
+            "end": 1.0,
+            "status": "ok",
+            "attrs": attrs,
+        }
+
+    def test_merge_rebases_on_parentage_collision(self):
+        # The regression case: both dumps contain span id 2, but they
+        # disagree on its parentage — dump A's is a child of span 1,
+        # dump B's is a root.  The old merge rebased unconditionally;
+        # the property that matters is that a *disagreeing* shared id
+        # forces a rebase and both versions survive with their edges.
+        dump_a = [self.entry(1), self.entry(2, trace_id=1, parent_id=1)]
+        dump_b = [self.entry(2), self.entry(3, trace_id=2, parent_id=2)]
+        merged = merge_span_dumps([dump_a, dump_b])
+        assert len(merged) == 4
+        ids = [d["span_id"] for d in merged]
+        assert len(set(ids)) == len(ids)
+        by_id = {d["span_id"]: d for d in merged}
+        # Dump A is untouched; dump B was rebased past A's max id.
+        assert merged[:2] == dump_a
+        rebased_root, rebased_child = merged[2], merged[3]
+        assert rebased_root["span_id"] > 2 and rebased_root["parent_id"] is None
+        assert by_id[rebased_child["parent_id"]] is rebased_root
+
+    def test_merge_leaves_disjoint_id_spaces_untouched(self):
+        # Disjoint ids mean one shared id space — possibly with parent
+        # edges deliberately pointing across dumps.  No rebase.
+        dump_a = [self.entry(1), self.entry(2, trace_id=1, parent_id=1)]
+        dump_b = [self.entry(10, trace_id=1, parent_id=2)]
+        merged = merge_span_dumps([dump_a, dump_b])
+        assert merged == dump_a + dump_b  # cross-dump edge still resolves
+
+    def test_merge_dedupes_identical_overlap(self):
+        # Shared ids whose entries are byte-identical are an overlap
+        # (the same spans re-exported), not a collision: dropped once.
+        shared = self.entry(2, trace_id=1, parent_id=1)
+        dump_a = [self.entry(1), shared]
+        dump_b = [dict(shared), self.entry(3, trace_id=1, parent_id=2)]
+        merged = merge_span_dumps([dump_a, dump_b])
+        assert [d["span_id"] for d in merged] == [1, 2, 3]
+
+    def test_merge_identical_dumps_collapse(self):
+        dump = span_dump(small_trace())
+        assert merge_span_dumps([dump, dump]) == dump
 
 
 class TestChromeTrace:

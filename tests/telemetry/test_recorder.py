@@ -1,0 +1,182 @@
+"""Unit tests for the flight recorder (recorder.py)."""
+
+import json
+
+import pytest
+
+from repro.sim import Simulator
+from repro.telemetry import (
+    RECORDER_SCHEMA,
+    AlertEvent,
+    FlightRecorder,
+    MetricsRegistry,
+    RecorderHub,
+    Telemetry,
+    validate_recorder_dump,
+)
+
+
+def alert(at=1.0, state="firing", node="n0") -> AlertEvent:
+    return AlertEvent(
+        at=at, slo_id="avail", metric="fetch.clean", node=node,
+        state=state, value=0.5, threshold=0.9,
+    )
+
+
+def busy_telemetry(spans_per_node=3) -> Telemetry:
+    """Finished spans on n0/n1 plus one unfinished span (skipped)."""
+    sim = Simulator()
+    tel = Telemetry(sim).attach()
+    for i in range(spans_per_node):
+        for node in ("n0", "n1"):
+            span = tel.begin("kv.get", layer="kvstore", node=node)
+            sim._now = float(i + 1)
+            tel.end(span)
+    tel.begin("kv.get", layer="kvstore", node="n0")  # unfinished
+    return tel
+
+
+class TestFlightRecorder:
+    def test_ring_bounds_and_accounting(self):
+        rec = FlightRecorder("n0", capacity=2)
+        for at in (1.0, 2.0, 3.0):
+            rec.record("alert", at, {"i": at})
+        assert rec.recorded == 3 and rec.dropped == 1
+        entries = rec.entries()
+        assert [e["at"] for e in entries] == [2.0, 3.0]
+
+    def test_unknown_kind_and_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FlightRecorder("n0", capacity=0)
+        with pytest.raises(ValueError):
+            FlightRecorder("n0").record("bogus", 1.0, {})
+
+    def test_as_dict_merges_span_tail_in_time_order(self):
+        rec = FlightRecorder("n0", capacity=8)
+        rec.record_alert(alert(at=2.5))
+        tel = busy_telemetry()
+        tail = [s for s in tel.spans if s.node == "n0" and s.end is not None]
+        out = rec.as_dict(span_tail=tail, spans_seen=len(tail))
+        kinds_at = [(e["kind"], e["at"]) for e in out["entries"]]
+        assert kinds_at == [
+            ("span", 1.0),
+            ("span", 2.0),
+            ("alert", 2.5),
+            ("span", 3.0),
+        ]
+        assert out["recorded"] == 4 and out["dropped"] == 0
+
+    def test_as_dict_truncates_merge_to_capacity(self):
+        rec = FlightRecorder("n0", capacity=2)
+        rec.record_alert(alert(at=0.5))
+        tel = busy_telemetry()
+        tail = [s for s in tel.spans if s.node == "n0" and s.end is not None]
+        out = rec.as_dict(span_tail=tail, spans_seen=5)
+        assert len(out["entries"]) == 2
+        assert [e["at"] for e in out["entries"]] == [2.0, 3.0]
+        # 1 alert + 5 spans seen; 3 in tail, 2 merged out -> 4 dropped.
+        assert out["recorded"] == 6
+        assert out["dropped"] == 4
+
+    def test_clear_resets_everything(self):
+        rec = FlightRecorder("n0", capacity=1)
+        rec.record("metric", 1.0, {})
+        rec.record("metric", 2.0, {})
+        rec.clear()
+        assert rec.entries() == []
+        assert rec.recorded == 0 and rec.dropped == 0
+
+
+class TestRecorderHub:
+    def test_dump_reads_span_tails_from_the_plane(self):
+        tel = busy_telemetry()
+        hub = RecorderHub(telemetry=tel, capacity=8)
+        dump = hub.dump(now=5.0, reason="test")
+        # Nodes appear from the span tails alone, no explicit recorders.
+        assert set(dump["nodes"]) == {"n0", "n1"}
+        assert dump["nodes"]["n0"]["recorded"] == 3  # unfinished span skipped
+        assert validate_recorder_dump(dump) == 6
+
+    def test_tail_is_bounded_by_capacity(self):
+        tel = busy_telemetry(spans_per_node=5)
+        hub = RecorderHub(telemetry=tel, capacity=2)
+        dump = hub.dump(now=9.0, reason="test")
+        n0 = dump["nodes"]["n0"]
+        assert len(n0["entries"]) == 2
+        assert n0["recorded"] == 5 and n0["dropped"] == 3
+        assert [e["at"] for e in n0["entries"]] == [4.0, 5.0]
+
+    def test_counter_deltas_are_per_dump(self):
+        metrics = MetricsRegistry()
+        hub = RecorderHub(metrics=metrics)
+        metrics.counter("kv.puts", node="n0").inc(4)
+        first = hub.dump(now=1.0, reason="a")
+        assert first["counter_deltas"] == {"kv.puts": {"n0": 4.0}}
+        second = hub.dump(now=2.0, reason="b")
+        assert second["counter_deltas"] == {}  # nothing changed since
+        metrics.counter("kv.puts", node="n0").inc()
+        third = hub.dump(now=3.0, reason="c")
+        assert third["counter_deltas"] == {"kv.puts": {"n0": 1.0}}
+
+    def test_alert_hook_dumps_on_firing_only(self, tmp_path):
+        hub = RecorderHub(dump_dir=str(tmp_path))
+        hub.alert_hook(alert(at=1.0, state="firing"))
+        hub.alert_hook(alert(at=2.0, state="resolved"))
+        assert len(hub.dump_paths) == 1
+        payload = json.loads((tmp_path / "flightrec-000.json").read_text())
+        assert payload["reason"] == "alert:avail"
+        assert validate_recorder_dump(payload) >= 1
+        # Both alerts still landed in the node's ring.
+        kinds = [e["kind"] for e in hub.recorder("n0").entries()]
+        assert kinds == ["alert", "alert"]
+
+    def test_dump_without_directory_stays_in_memory(self):
+        hub = RecorderHub()
+        hub.record_alert(alert())
+        dump = hub.dump(now=1.0, reason="mem")
+        assert hub.dumps == [dump]
+        assert hub.dump_paths == []
+
+
+class TestValidator:
+    def good_dump(self):
+        hub = RecorderHub(telemetry=busy_telemetry())
+        return hub.dump(now=5.0, reason="ok")
+
+    def test_accepts_real_dump(self):
+        assert validate_recorder_dump(self.good_dump()) == 6
+
+    def test_rejects_wrong_schema_and_missing_keys(self):
+        with pytest.raises(ValueError, match="schema"):
+            validate_recorder_dump({"schema": "bogus/9"})
+        bad = self.good_dump()
+        del bad["reason"]
+        with pytest.raises(ValueError, match="reason"):
+            validate_recorder_dump(bad)
+        with pytest.raises(ValueError, match="JSON object"):
+            validate_recorder_dump([])
+
+    def test_rejects_capacity_overflow(self):
+        bad = self.good_dump()
+        bad["nodes"]["n0"]["capacity"] = 1
+        with pytest.raises(ValueError, match="overflows"):
+            validate_recorder_dump(bad)
+
+    def test_rejects_unordered_entries(self):
+        bad = self.good_dump()
+        bad["nodes"]["n0"]["entries"].reverse()
+        with pytest.raises(ValueError, match="time-ordered"):
+            validate_recorder_dump(bad)
+
+    def test_rejects_bad_kind_and_node_mismatch(self):
+        bad = self.good_dump()
+        bad["nodes"]["n0"]["entries"][0]["kind"] = "mystery"
+        with pytest.raises(ValueError, match="kind"):
+            validate_recorder_dump(bad)
+        bad = self.good_dump()
+        bad["nodes"]["n0"]["node"] = "other"
+        with pytest.raises(ValueError, match="mismatch"):
+            validate_recorder_dump(bad)
+
+    def test_schema_constant_is_versioned(self):
+        assert RECORDER_SCHEMA.endswith("/1")

@@ -99,6 +99,7 @@ class TestDocumentedEntryPoints:
             "sweep",
             "report",
             "chaos",
+            "slo",
             "lint",
             "load",
             "bench-help",
