@@ -1,6 +1,6 @@
 """Run the perf suites: ``BENCH_fastpath.json`` + ``BENCH_parallel.json``
 + ``BENCH_telemetry.json`` + ``BENCH_resilience.json`` + ``BENCH_scale.json``
-+ ``BENCH_striping.json`` + ``BENCH_slo.json``.
++ ``BENCH_striping.json`` + ``BENCH_slo.json`` + ``BENCH_durability.json``.
 
 Usage (from the repo root)::
 
@@ -20,10 +20,13 @@ under 5% on top of plain telemetry with its seeded chaos scenario
 firing and resolving the availability alert deterministically,
 >= 99% fetch/process availability with resilience on while 2 of 8
 nodes are down (the resilience suite also self-asserts that two
-identically seeded resilient runs agree bit-for-bit), and for the
+identically seeded resilient runs agree bit-for-bit), for the
 striping suite a >= 2x large-object fetch speedup over whole-payload
 replication at <= 0.6x its stored bytes with 100% availability under
-the same 2-of-8 kill.
+the same 2-of-8 kill, and for the durability suite a WAL rejoin that
+costs <= 0.25x the repair bytes of an empty (mem) rejoin while the
+revived nodes serve >= 90% of their pre-crash holdings locally and
+both modes stay at 100% fetch availability.
 
 The parallel suite verifies — not just claims — that pooled execution
 reproduces the naive serial loop bit-for-bit at several worker counts;
@@ -52,6 +55,7 @@ for entry in (str(REPO_ROOT / "src"), str(REPO_ROOT)):
         sys.path.insert(0, entry)
 
 from benchmarks.perf.decision_bench import bench_decision
+from benchmarks.perf.durability_bench import bench_durability
 from benchmarks.perf.kernel_bench import bench_kernel
 from benchmarks.perf.overlay_bench import bench_overlay
 from benchmarks.perf.parallel_bench import (
@@ -95,6 +99,13 @@ STRIPING_MIN_SPEEDUP = 2.0
 STRIPING_MAX_STORAGE_RATIO = 0.6
 #: Fetch availability with striping on and exactly m=2 holders dead.
 STRIPING_MIN_SUCCESS = 1.0
+
+#: WAL-rejoin repair bytes over empty-rejoin repair bytes.
+DURABILITY_MAX_REPAIR_RATIO = 0.25
+#: Fraction of their pre-crash holdings revived WAL nodes serve locally.
+DURABILITY_MIN_LOCAL_SERVE = 0.9
+#: Fetch availability after recovery, in *both* storage modes.
+DURABILITY_MIN_SUCCESS = 1.0
 
 
 def main(argv=None) -> int:
@@ -145,6 +156,11 @@ def main(argv=None) -> int:
         help="where to write the SLO-layer overhead + chaos results JSON",
     )
     parser.add_argument(
+        "--output-durability",
+        default=str(REPO_ROOT / "BENCH_durability.json"),
+        help="where to write the WAL-vs-empty rejoin results JSON",
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=4,
@@ -177,6 +193,7 @@ def main(argv=None) -> int:
         resilience_result = bench_resilience(n_objects=16)
         striping_result = bench_striping(n_objects=8)
         slo_result = bench_slo(sizes=[1, 10], repeats=2, ops=2)
+        durability_result = bench_durability(n_objects=12)
         scale_result = None
         if not args.no_scale:
             scale_result = bench_scale(
@@ -202,6 +219,7 @@ def main(argv=None) -> int:
         resilience_result = bench_resilience()
         striping_result = bench_striping()
         slo_result = bench_slo()
+        durability_result = bench_durability()
         scale_result = None
         if not args.no_scale:
             scale_result = bench_scale(workers=args.workers)
@@ -306,6 +324,24 @@ def main(argv=None) -> int:
         + "\n"
     )
 
+    out_durability = Path(args.output_durability)
+    out_durability.write_text(
+        json.dumps(
+            {
+                "suite": "durability",
+                "smoke": args.smoke,
+                **host,
+                "results": {"wal_vs_empty_rejoin": durability_result},
+                "max_repair_ratio": DURABILITY_MAX_REPAIR_RATIO,
+                "min_local_serve": DURABILITY_MIN_LOCAL_SERVE,
+                "min_success_rate": DURABILITY_MIN_SUCCESS,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+
     out_scale = Path(args.output_scale)
     if scale_result is not None:
         out_scale.write_text(
@@ -370,6 +406,17 @@ def main(argv=None) -> int:
         f"{striping_result['nodes']} killed "
         f"(deterministic={striping_result['deterministic']})"
     )
+    print(f"durable vs empty rejoin ({mode} mode)")
+    print(
+        f"  durability               repair bytes "
+        f"{durability_result['wal']['repair_bytes_mb']:.0f} MB (wal) vs "
+        f"{durability_result['mem']['repair_bytes_mb']:.0f} MB (mem), "
+        f"ratio {durability_result['repair_ratio']:.2f}x, "
+        f"local-serve {durability_result['wal']['local_serve_fraction']:.0%}, "
+        f"availability {durability_result['wal']['success_rate']:.0%}/"
+        f"{durability_result['mem']['success_rate']:.0%} "
+        f"(deterministic={durability_result['deterministic']})"
+    )
     if scale_result is not None:
         print(f"scale wall ({mode} mode, {args.workers} workers)")
         for n in scale_result["node_counts"]:
@@ -393,6 +440,7 @@ def main(argv=None) -> int:
         out_resilience,
         out_striping,
         out_slo,
+        out_durability,
     ]
     if scale_result is not None:
         written.append(out_scale)
@@ -453,6 +501,29 @@ def main(argv=None) -> int:
             )
         if not striping_result["deterministic"]:
             failures.append("striping: runs are not bit-for-bit repeatable")
+        if durability_result["repair_ratio"] > DURABILITY_MAX_REPAIR_RATIO:
+            failures.append(
+                f"durability: WAL rejoin repair ratio"
+                f" {durability_result['repair_ratio']:.2f}x"
+                f" > {DURABILITY_MAX_REPAIR_RATIO}x of the empty rejoin"
+            )
+        wal_local = durability_result["wal"]["local_serve_fraction"]
+        if wal_local < DURABILITY_MIN_LOCAL_SERVE:
+            failures.append(
+                f"durability: WAL local-serve {wal_local:.1%}"
+                f" < {DURABILITY_MIN_LOCAL_SERVE:.0%} after revive"
+            )
+        for mode_name in ("mem", "wal"):
+            mode_success = durability_result[mode_name]["success_rate"]
+            if mode_success < DURABILITY_MIN_SUCCESS:
+                failures.append(
+                    f"durability: {mode_name} availability {mode_success:.1%}"
+                    f" < {DURABILITY_MIN_SUCCESS:.0%} after recovery"
+                )
+        if not durability_result["deterministic"]:
+            failures.append(
+                "durability: runs are not bit-for-bit repeatable"
+            )
         if scale_result is not None and (
             scale_result["speedup"] < SCALE_MIN_JOIN_SPEEDUP
         ):

@@ -161,6 +161,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the same script without the resilience layer (contrast)",
     )
     chaos.add_argument(
+        "--durability",
+        action="store_true",
+        help="attach the WAL storage backend: crashed nodes lose RAM, "
+        "replay their journal on revive, and run an anti-entropy round "
+        "(with --assert-clean, the run must show a WAL-backed recovery)",
+    )
+    chaos.add_argument(
         "--assert-clean",
         action="store_true",
         help="exit 1 unless every operation succeeded and the repair "
@@ -483,6 +490,7 @@ def cmd_chaos(args) -> int:
         replication_factor=3,
         slo=args.flightrec_dir is not None,
         slo_tuning=SloConfig(recorder_dump_dir=args.flightrec_dir),
+        storage="wal" if args.durability else "off",
     )
     c4h = Cloud4Home(config)
     c4h.start()
@@ -535,14 +543,29 @@ def cmd_chaos(args) -> int:
         f"  operations: {ops - len(failures)}/{ops} succeeded, "
         f"{repairs} repair action(s) logged"
     )
+    recoveries = 0
+    if args.durability:
+        recoveries = sum(
+            1
+            for event in schedule.events
+            if event.kind == "revive" and "replayed" in event.detail
+        )
+        backends = sum(1 for d in c4h.devices if d.storage is not None)
+        print(
+            f"  durability: {backends} WAL backends attached, "
+            f"{recoveries} revive(s) recovered from the journal"
+        )
     for op, error in failures:
         print(f"  FAILED {op}: {error}")
     if args.assert_clean:
-        if failures or (not args.resilience_off and repairs == 0):
+        missing_recovery = args.durability and recoveries == 0
+        if failures or (not args.resilience_off and repairs == 0) or missing_recovery:
             print(
                 "assert-clean: operation failures above"
                 if failures
                 else "assert-clean: repair log is empty"
+                if not args.resilience_off and repairs == 0
+                else "assert-clean: no revive recovered from the WAL"
             )
             if c4h.recorders is not None:
                 c4h.recorders.dump(

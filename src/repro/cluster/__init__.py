@@ -25,6 +25,7 @@ from repro.cluster.config import (
     LanConfig,
     ResilienceConfig,
     SloConfig,
+    StorageConfig,
     StripingConfig,
     WanConfig,
     default_devices,
@@ -40,6 +41,7 @@ __all__ = [
     "LanConfig",
     "ResilienceConfig",
     "SloConfig",
+    "StorageConfig",
     "StripingConfig",
     "WanConfig",
     "availability_chaos_scenario",

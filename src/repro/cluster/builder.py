@@ -34,6 +34,7 @@ from repro.resilience import (
 )
 from repro.services import Service, ServiceRegistry
 from repro.sim import RandomSource, Simulator
+from repro.storage import SimDiskStore, StorageFlusher, make_store
 from repro.telemetry import (
     HealthBoard,
     MetricsRegistry,
@@ -96,6 +97,10 @@ class Device:
     breakers: Optional[BreakerRegistry] = None
     caller: Optional[ResilientCaller] = None
     repairer: Optional[Repairer] = None
+    #: Durable storage backend (None when ``ClusterConfig.storage`` is
+    #: ``"off"``) and its background flusher (``"disk"`` backend only).
+    storage: Optional[object] = None
+    flusher: Optional[StorageFlusher] = None
 
     @property
     def name(self) -> str:
@@ -305,11 +310,31 @@ class Cloud4Home:
             rpc_push=self.config.fastpath,
             route_cache_max=self.config.route_cache_max,
         )
+        storage = None
+        flusher = None
+        if self.config.storage != "off":
+            st = self.config.storage_tuning
+            storage = make_store(
+                self.config.storage,
+                node=dc.name,
+                metrics=self.metrics,
+                snapshot_every=st.snapshot_every,
+                write_mb_s=st.write_mb_s,
+                fsync_s=st.fsync_s,
+                replay_mb_s=st.replay_mb_s,
+                jitter=st.jitter,
+                rng=self.rng.fork(f"storage:{dc.name}"),
+            )
+            if isinstance(storage, SimDiskStore):
+                flusher = StorageFlusher(
+                    self.sim, storage, period_s=st.fsync_interval_s
+                )
         kv = DhtKeyValueStore(
             chimera,
             replication_factor=self.config.replication_factor,
             cache_enabled=self.config.cache_enabled,
             ring_scan_reference=self.config.ring_scan_reference,
+            storage=storage,
         )
         registry = ServiceRegistry(kv)
         res = self.config.resilience_tuning if self.config.resilience else None
@@ -381,6 +406,7 @@ class Cloud4Home:
             data_replicas=self.config.data_replicas if res is not None else 0,
             striping=striping,
             metrics=self.metrics,
+            storage=storage,
         )
         repairer = None
         if res is not None:
@@ -390,6 +416,7 @@ class Cloud4Home:
                 period_s=res.repair_period_s,
                 caller=caller,
                 metrics=self.metrics,
+                track_lost=storage is not None,
             )
         watcher = FileSystemWatcher(vstore.mandatory, vstore.voluntary)
 
@@ -438,6 +465,8 @@ class Cloud4Home:
             breakers=breakers,
             caller=caller,
             repairer=repairer,
+            storage=storage,
+            flusher=flusher,
         )
 
     # -- observability ----------------------------------------------------------
@@ -544,6 +573,8 @@ class Cloud4Home:
                 device.monitor.start(publish_immediately=False)
                 if device.repairer is not None:
                     device.repairer.start()
+                if device.flusher is not None:
+                    device.flusher.start()
         # The SLO evaluator is a background process like the monitors;
         # monitors=False means "no periodic activity" and callers can
         # still drive SloEngine.evaluate() by hand.

@@ -185,9 +185,22 @@ class ChaosSchedule:
         device.monitor.stop()
         if device.repairer is not None:
             device.repairer.stop()
+        if device.flusher is not None:
+            # Stopped *before* the backend's crash(): a flush that was
+            # mid-charge never commits, so its entries are lost tail.
+            device.flusher.stop()
         device.chimera.fail_abruptly()
         self.cluster.network.take_offline(name)
-        self.events.append(ChaosEvent(self.sim.now, "crash", name))
+        detail = ""
+        if device.storage is not None:
+            report = device.storage.crash()
+            device.kv.lose_memory()
+            device.vstore.lose_memory()
+            detail = (
+                f"lost {report['lost_records']} records, "
+                f"{report['lost_ops']} unsynced ops"
+            )
+        self.events.append(ChaosEvent(self.sim.now, "crash", name, detail))
         return
         yield  # pragma: no cover - generator marker
 
@@ -196,12 +209,21 @@ class ChaosSchedule:
         device.monitor.stop()
         if device.repairer is not None:
             device.repairer.stop()
+        if device.flusher is not None:
+            device.flusher.stop()
         yield from device.kv.leave()
         self.cluster.network.take_offline(name)
         self.events.append(ChaosEvent(self.sim.now, "leave", name))
 
     def _do_revive(self, name: str, bootstrap: Optional[str]):
         device = self._device(name)
+        if device.chimera.joined and self.cluster.network.hosts[name].online:
+            # Reviving a node that never went down must be a typed
+            # no-op, not a double-join that corrupts overlay state.
+            self.events.append(
+                ChaosEvent(self.sim.now, "revive-skip", name, "already online")
+            )
+            return
         self.cluster.network.bring_online(name)
         if bootstrap is None:
             bootstrap = next(
@@ -220,12 +242,33 @@ class ChaosSchedule:
                     f"cannot revive {name!r}: no joined device is "
                     "available to bootstrap from"
                 )
+        detail = f"via {bootstrap}"
+        if device.storage is not None:
+            # Replay the durable state (charging the backend's replay
+            # cost) *before* rejoining, like a real boot sequence.
+            report = yield from device.kv.recover()
+            device.vstore.recover()
+            detail += f", replayed {report.records} records"
         yield from device.chimera.join(bootstrap=bootstrap)
         yield from device.monitor.publish_once()
+        if device.storage is not None:
+            # One anti-entropy round with the ring neighbours: pull
+            # writes missed while down, push records only we hold,
+            # apply deletes we slept through.
+            tuning = self.cluster.config.storage_tuning
+            summary = yield from device.kv.sync_with_peers(
+                fanout=tuning.anti_entropy_peers or None
+            )
+            detail += (
+                f", synced +{summary['pulled']}/-{summary['deleted']} "
+                f"(pushed {summary['pushed']})"
+            )
         if device.repairer is not None:
             device.repairer.start()
+        if device.flusher is not None:
+            device.flusher.start()
         self.events.append(
-            ChaosEvent(self.sim.now, "revive", name, f"via {bootstrap}")
+            ChaosEvent(self.sim.now, "revive", name, detail)
         )
 
     def _do_degrade(self, link: Link, factor: float, duration: Optional[float]):

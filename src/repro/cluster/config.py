@@ -19,6 +19,7 @@ __all__ = [
     "ResilienceConfig",
     "StripingConfig",
     "SloConfig",
+    "StorageConfig",
     "ClusterConfig",
 ]
 
@@ -180,6 +181,32 @@ class SloConfig:
 
 
 @dataclass
+class StorageConfig:
+    """Tuning for the durable storage backends.
+
+    Only read when ``ClusterConfig.storage`` is not ``"off"``.  The
+    cost-model fields apply to the ``"disk"`` backend only; WAL
+    geometry applies to both ``"wal"`` and ``"disk"``.
+    """
+
+    #: Fold the WAL into the compacted snapshot every N entries.
+    snapshot_every: int = 256
+    #: Disk cost model: sequential journal write bandwidth, MB/s.
+    write_mb_s: float = 40.0
+    #: Disk cost model: per-fsync latency, seconds.
+    fsync_s: float = 0.005
+    #: Period of the background flusher that makes appends durable.
+    fsync_interval_s: float = 0.25
+    #: Disk cost model: replay read bandwidth, MB/s.
+    replay_mb_s: float = 80.0
+    #: Multiplicative latency jitter on flush/replay costs.
+    jitter: float = 0.10
+    #: Ring neighbours contacted per anti-entropy round after a
+    #: recovery (0 = derive from the KV replication factor).
+    anti_entropy_peers: int = 0
+
+
+@dataclass
 class ClusterConfig:
     """Everything needed to build a Cloud4Home deployment."""
 
@@ -274,3 +301,17 @@ class ClusterConfig:
     #: (replica targets, owner selection) instead of the ring-window
     #: query.  Identical results either way; kept for A/B measurement.
     ring_scan_reference: bool = False
+    #: Durable storage backend per device (repro.storage): ``"off"``
+    #: (no backend object exists — byte-identical to a build without
+    #: the subsystem), ``"mem"`` (explicit volatile baseline: a crash
+    #: wipes everything and the node rejoins empty), ``"wal"``
+    #: (append-only journal with snapshot+compaction; every KV/bin
+    #: mutation is durable instantly and replayed on revive), or
+    #: ``"disk"`` (WAL plus a seeded disk cost model: interval fsync
+    #: via a background flusher, un-synced appends lost on crash,
+    #: replay latency charged through the event kernel).  Durable
+    #: backends also enable delete tombstones and the anti-entropy
+    #: rejoin round.
+    storage: str = "off"
+    #: Tuning knobs for the storage backends and anti-entropy.
+    storage_tuning: StorageConfig = field(default_factory=StorageConfig)

@@ -15,7 +15,8 @@ defined exactly once:
 
 The SLO judges *clean* fetches: a fetch counts toward availability
 only when it succeeds **and** is served by the object's recorded
-primary (or the local disk), not by replica failover or the cloud
+primary or from the fetching node's own disk (as primary or replica
+holder), not by failover to a *remote* replica or the cloud
 backstop.  That is the honest signal here: with two replicas the stack
 keeps every fetch *succeeding* through the outage (that is PR 4's
 availability claim, benchmarked in ``resilience_bench``), but a
@@ -103,7 +104,15 @@ def _one_fetch(c4h: Cloud4Home, survivor, name: str, ratio):
     except (NetworkError, VStoreError, KvError):
         ratio.mark(now=sim.now, ok=False)
     else:
-        clean = result.served_from in ("local", result.meta.location)
+        # Clean = served from this node's own disk (as primary or as a
+        # replica holder) or by the recorded primary.  A serve that had
+        # to fail over to a *remote* replica or the cloud backstop is
+        # the degraded signal the SLO watches.
+        clean = result.served_from in (
+            "local",
+            survivor.name,
+            result.meta.location,
+        )
         ratio.mark(now=sim.now, ok=clean)
 
 
@@ -140,7 +149,13 @@ def availability_chaos_scenario(
     """
     c4h = _build(seed, dump_dir)
     engine = c4h.slo_engine
-    survivor = c4h.device("node0")
+    # The fetch vantage must be a survivor that is *not* itself a
+    # replica holder for the working set: the balanced placement
+    # policy concentrates replica copies on a few nodes (node0 among
+    # them), and a node that holds a copy of everything serves every
+    # fetch from its own disk — clean by definition — so it can never
+    # observe the degraded window the SLO is meant to catch.
+    survivor = c4h.device("node3")
 
     names = []
     for i in range(n_objects):

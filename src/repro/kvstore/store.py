@@ -18,6 +18,13 @@ mechanisms:
 * **Key redistribution** — records move to a joining node that becomes
   their root, and a gracefully departing node hands all its records to
   their new owners before leaving.
+* **Durability & anti-entropy** (``storage`` backend attached) — every
+  primary/replica mutation is journaled through a
+  :class:`repro.storage.IStore` backend, deletes leave tombstones, and
+  a recovered node replays its WAL (:meth:`DhtKeyValueStore.recover`)
+  then reconciles with its ring neighbours
+  (:meth:`DhtKeyValueStore.sync_with_peers`): pull what was missed
+  during the outage, push what peers lost, drop what was deleted.
 """
 
 from __future__ import annotations
@@ -35,6 +42,13 @@ from repro.kvstore.records import (
     Record,
     payload_size,
 )
+from repro.kvstore.sync import (
+    digest_beats,
+    record_beats_digest,
+    record_digest,
+    tombstone_covers,
+    tombstone_digest,
+)
 
 __all__ = ["DhtKeyValueStore", "KvStats"]
 
@@ -46,6 +60,9 @@ MSG_REPLICA_DELETE = "kv.replica-delete"
 MSG_CACHE_UPDATE = "kv.cache-update"
 MSG_CACHE_INVALIDATE = "kv.cache-invalidate"
 MSG_TRANSFER = "kv.transfer"
+#: Anti-entropy: digest exchange and the follow-up record push.
+MSG_SYNC = "kv.sync"
+MSG_SYNC_PUSH = "kv.sync-push"
 
 
 #: How many recent lookup samples :class:`KvStats` keeps for inspection.
@@ -66,10 +83,16 @@ class KvStats:
     gets: int = 0
     deletes: int = 0
     cache_hits: int = 0
+    #: Cache entries dropped by failure-triggered coherence (a reader
+    #: saw evidence its cached record was stale, e.g. a fetch failover).
+    cache_invalidated: int = 0
     served_primary: int = 0
     served_replica: int = 0
     forwards: int = 0
     records_received: int = 0
+    #: Records silently lost because every transfer target was
+    #: unreachable during a graceful leave.
+    leave_stranded: int = 0
     lookup_times: deque = field(
         default_factory=lambda: deque(maxlen=LOOKUP_WINDOW)
     )
@@ -109,10 +132,12 @@ class KvStats:
                 "gets": self.gets,
                 "deletes": self.deletes,
                 "cache_hits": self.cache_hits,
+                "cache_invalidated": self.cache_invalidated,
                 "served_primary": self.served_primary,
                 "served_replica": self.served_replica,
                 "forwards": self.forwards,
                 "records_received": self.records_received,
+                "leave_stranded": self.leave_stranded,
             },
             "lookup_count": self.lookup_count,
             "lookup_mean_s": self.mean_lookup_time,
@@ -146,6 +171,13 @@ class DhtKeyValueStore:
         :meth:`ChimeraNode.nearest_peers`.  Both paths return identical
         peers (pinned by equality tests); the reference path is kept
         for A/B measurement.
+    storage:
+        Optional :class:`repro.storage.IStore` backend.  When set, the
+        primary/replica tables are bound through it (so every mutation
+        is journaled by durable backends) and deletes leave tombstones
+        for anti-entropy; when None (the default) the tables are plain
+        dictionaries and behaviour is byte-identical to before the
+        storage layer existed.
     """
 
     def __init__(
@@ -156,6 +188,7 @@ class DhtKeyValueStore:
         cache_capacity: int = 512,
         processing_s: float = 0.004,
         ring_scan_reference: bool = False,
+        storage=None,
     ) -> None:
         if replication_factor < 0:
             raise ValueError("replication_factor must be >= 0")
@@ -167,8 +200,18 @@ class DhtKeyValueStore:
         self.cache_capacity = cache_capacity
         self.processing_s = processing_s
         self.ring_scan_reference = ring_scan_reference
-        self.primary: dict[str, Record] = {}
-        self.replicas: dict[str, Record] = {}
+        self.storage = storage
+        if storage is None:
+            self.primary: dict[str, Record] = {}
+            self.replicas: dict[str, Record] = {}
+            #: key -> {"version": v, "at": t}; deletes leave tombstones
+            #: so a recovered node cannot resurrect a deleted key.
+            #: None when no backend is attached (feature off).
+            self.tombstones: Optional[dict] = None
+        else:
+            self.primary = storage.table("kv.primary", decode=Record.from_wire)
+            self.replicas = storage.table("kv.replicas", decode=Record.from_wire)
+            self.tombstones = storage.table("kv.tombstones")
         self.cache: "OrderedDict[str, Record]" = OrderedDict()
         #: Owner-side map: key -> names of nodes holding cached copies.
         self.cache_holders: dict[str, set[str]] = {}
@@ -244,6 +287,22 @@ class DhtKeyValueStore:
         record = yield from self.get_record(name, ctx=ctx)
         return record.latest.value
 
+    def invalidate_cached(self, name: "str | NodeId") -> bool:
+        """Drop this node's cached copy of ``name``'s record, if any.
+
+        Failure-triggered coherence: update pushes come from the owner
+        that registered us as a cache holder, so when that owner
+        crashes nobody will ever refresh the entry.  Callers that see
+        evidence of staleness — e.g. a fetch that had to fail over
+        because the recorded primary is unreachable — drop the entry
+        so the next read re-routes to the live owner.  Returns True
+        when an entry was actually dropped.
+        """
+        dropped = self.cache.pop(self.key_for(name).hex, None) is not None
+        if dropped:
+            self.stats.cache_invalidated += 1
+        return dropped
+
     def get_record(self, name: str, ctx=None):
         """Process: return the full :class:`Record` (with version chain)."""
         key = self.key_for(name)
@@ -296,7 +355,13 @@ class DhtKeyValueStore:
 
     def leave(self):
         """Process: hand every primary record to its new owner, then
-        leave the overlay gracefully."""
+        leave the overlay gracefully.
+
+        Records whose transfer target is unreachable leave the overlay
+        with us; that loss is counted (``stats.leave_stranded``, the
+        ``kv.leave.stranded`` counter) and surfaced as an error span
+        event instead of disappearing silently.
+        """
         outgoing: dict[str, list[dict]] = {}
         for key_hex, record in list(self.primary.items()):
             key = NodeId.from_hex(key_hex)
@@ -304,6 +369,7 @@ class DhtKeyValueStore:
             if target is None:
                 continue  # last node standing keeps its records
             outgoing.setdefault(target.name, []).append(record.wire())
+        stranded = 0
         for target_name, records in outgoing.items():
             try:
                 yield self.endpoint.call(
@@ -313,7 +379,22 @@ class DhtKeyValueStore:
                     size=payload_size(records),
                 )
             except (HostDownError, RpcTimeoutError, RemoteError):
+                stranded += len(records)
                 continue
+        if stranded:
+            self.stats.leave_stranded += stranded
+            tel = self.sim.telemetry
+            if tel is not None:
+                tel.metrics.counter("kv.leave.stranded", node=self.name).inc(
+                    stranded
+                )
+                tel.event(
+                    "kv.leave.stranded",
+                    layer="kvstore",
+                    node=self.name,
+                    status="error:RecordsStranded",
+                    count=stranded,
+                )
         # Our replica copies vanish with us: re-home them so keys whose
         # owner later crashes still have the promised redundancy.
         for key_hex, replica in list(self.replicas.items()):
@@ -382,10 +463,14 @@ class DhtKeyValueStore:
         record = self.primary.get(key_hex)
         if record is None:
             record = Record(key_hex=key_hex, name=body.get("name", ""))
-            self.primary[key_hex] = record
         elif policy is OverwritePolicy.ERROR:
             raise KeyExistsError(body.get("name") or key_hex)
         record.apply(body["value"], policy, self.sim.now)
+        # Inserted *after* the version is applied so a durable backend
+        # journals the post-write state, not an empty shell.
+        self.primary[key_hex] = record
+        if self.tombstones is not None:
+            self.tombstones.pop(key_hex, None)
         self._push_replicas(record)
         self._push_cache_updates(record)
         return {"record": record.wire(), "owner": self.name}
@@ -503,9 +588,15 @@ class DhtKeyValueStore:
                 tel.end(fwd)
             self.cache.pop(key_hex, None)
             return reply
-        if key_hex not in self.primary:
+        record = self.primary.get(key_hex)
+        if record is None:
             raise KeyNotFoundError(key_hex)
         del self.primary[key_hex]
+        if self.tombstones is not None:
+            self.tombstones[key_hex] = {
+                "version": record.version,
+                "at": self.sim.now,
+            }
         self.cache.pop(key_hex, None)
         for peer in self._replica_targets(key_hex):
             self._safe_notify(peer.name, MSG_REPLICA_DELETE, {"key": key_hex})
@@ -633,6 +724,8 @@ class DhtKeyValueStore:
         ep.register(MSG_CACHE_UPDATE, self._handle_cache_update)
         ep.register(MSG_CACHE_INVALIDATE, self._handle_cache_invalidate)
         ep.register(MSG_TRANSFER, self._handle_transfer)
+        ep.register(MSG_SYNC, self._handle_sync)
+        ep.register(MSG_SYNC_PUSH, self._handle_sync_push)
 
     def _handled(self, name: str, request: Request, inner, source_key: str = ""):
         """Process: run a local entry point under a ``kv.handle_*`` span.
@@ -681,10 +774,21 @@ class DhtKeyValueStore:
 
     def _handle_replica(self, request: Request) -> None:
         record = Record.from_wire(request.body["record"])
+        if self.tombstones is not None:
+            tomb = self.tombstones.get(record.key_hex)
+            if tomb is not None:
+                if tomb["at"] >= record.latest.updated_at:
+                    return  # replica of a write our tombstone deleted
+                self.tombstones.pop(record.key_hex, None)
         self.replicas[record.key_hex] = record
 
     def _handle_replica_delete(self, request: Request) -> None:
-        self.replicas.pop(request.body["key"], None)
+        removed = self.replicas.pop(request.body["key"], None)
+        if self.tombstones is not None:
+            self.tombstones[request.body["key"]] = {
+                "version": removed.version if removed is not None else 0,
+                "at": self.sim.now,
+            }
 
     def _handle_cache_update(self, request: Request) -> None:
         record = Record.from_wire(request.body["record"])
@@ -698,10 +802,281 @@ class DhtKeyValueStore:
         count = 0
         for wire in request.body["records"]:
             record = Record.from_wire(wire)
-            existing = self.primary.get(record.key_hex)
-            if existing is None or existing.version <= record.version:
-                self.primary[record.key_hex] = record
-            self.replicas.pop(record.key_hex, None)
+            absorb = True
+            if self.tombstones is not None:
+                tomb = self.tombstones.get(record.key_hex)
+                if tomb is not None:
+                    if tomb["at"] >= record.latest.updated_at:
+                        absorb = False  # transferred copy is pre-delete
+                    else:
+                        self.tombstones.pop(record.key_hex, None)
+            if absorb:
+                existing = self.primary.get(record.key_hex)
+                if existing is None or existing.version <= record.version:
+                    self.primary[record.key_hex] = record
+                self.replicas.pop(record.key_hex, None)
             count += 1
         self.stats.records_received += count
         return {"accepted": count}
+
+    # -- durability: crash recovery and anti-entropy -------------------------
+
+    def lose_memory(self) -> None:
+        """RAM loss on crash: wipe the volatile views of every table.
+
+        The backend's :meth:`~repro.storage.IStore.crash` wipes the
+        journaled tables without re-journaling the wipes; the caches
+        are plain volatile state and are cleared directly.
+        """
+        if self.storage is None:
+            self.primary.clear()
+            self.replicas.clear()
+        self.cache.clear()
+        self.cache_holders.clear()
+
+    def recover(self, ctx=None):
+        """Process: replay the durable backend into the live tables.
+
+        Charges the backend's replay cost through the event kernel and
+        returns the :class:`repro.storage.RecoveryReport`.  Replays
+        *every* table on the shared backend (vstore bin manifests
+        included), so call it once per device, before rejoining the
+        overlay; follow with :meth:`sync_with_peers` once joined.
+        """
+        if self.storage is None:
+            raise KvError("recover() requires a storage backend")
+        tel = self.sim.telemetry
+        span = (
+            tel.begin("kv.wal.replay", layer="kvstore", node=self.name, parent=ctx)
+            if tel is not None
+            else None
+        )
+        report = self.storage.replay()
+        cost = self.storage.replay_cost_s(report)
+        if cost > 0:
+            yield self.sim.timeout(cost)
+        if span is not None:
+            tel.end(
+                span,
+                records=report.records,
+                ops=report.ops_replayed,
+                bytes=round(report.bytes_replayed, 1),
+                cost_s=round(cost, 6),
+            )
+        return report
+
+    def sync_with_peers(self, fanout: Optional[int] = None, ctx=None):
+        """Process: one anti-entropy round with our ring neighbours.
+
+        Exchanges per-key digests with the ``fanout`` nodes nearest our
+        own id (the peers that replicate for us and that we replicate
+        for): pulls records written while we were down, pushes records
+        only we still hold, and applies tombstones for keys deleted in
+        our absence.  Winners are deterministic (see
+        :mod:`repro.kvstore.sync`).  Returns a summary dict.
+        """
+        summary = {"peers": 0, "pulled": 0, "pushed": 0, "deleted": 0}
+        if self.storage is None:
+            return summary
+        if fanout is None:
+            fanout = max(1, self.replication_factor + 1)
+        tel = self.sim.telemetry
+        span = (
+            tel.begin(
+                "kv.antientropy",
+                layer="kvstore",
+                node=self.name,
+                parent=ctx,
+                fanout=fanout,
+            )
+            if tel is not None
+            else None
+        )
+        digests: dict[str, dict] = {}
+        for key_hex in sorted(set(self.primary) | set(self.replicas)):
+            record = self.primary.get(key_hex) or self.replicas.get(key_hex)
+            digests[key_hex] = record_digest(record)
+        if self.tombstones is not None:
+            for key_hex in sorted(self.tombstones):
+                digests[key_hex] = tombstone_digest(self.tombstones[key_hex])
+        peers = self.chimera.nearest_peers(
+            self.chimera.id, fanout, reference=self.ring_scan_reference
+        )
+        for peer in peers:
+            body = {"requester": self.name, "digests": digests}
+            if span is not None:
+                body["span"] = span.ctx_wire()
+            try:
+                reply = yield self.endpoint.call(
+                    peer.name, MSG_SYNC, body, size=payload_size(digests)
+                )
+            except (HostDownError, RpcTimeoutError, RemoteError):
+                continue
+            summary["peers"] += 1
+            for wire in reply.get("records", ()):
+                if self._absorb_sync_record(Record.from_wire(wire)):
+                    summary["pulled"] += 1
+            for key_hex, tomb in sorted(reply.get("tombstoned", {}).items()):
+                if self._absorb_tombstone(key_hex, tomb):
+                    summary["deleted"] += 1
+            push_records: list[dict] = []
+            push_tombs: dict[str, dict] = {}
+            for key_hex in reply.get("want", ()):
+                record = self.primary.get(key_hex) or self.replicas.get(key_hex)
+                if record is not None:
+                    push_records.append(record.wire())
+                elif self.tombstones is not None and key_hex in self.tombstones:
+                    push_tombs[key_hex] = dict(self.tombstones[key_hex])
+            if push_records or push_tombs:
+                push_body = {
+                    "requester": self.name,
+                    "records": push_records,
+                    "tombstones": push_tombs,
+                }
+                if span is not None:
+                    push_body["span"] = span.ctx_wire()
+                try:
+                    yield self.endpoint.call(
+                        peer.name,
+                        MSG_SYNC_PUSH,
+                        push_body,
+                        size=payload_size(push_records),
+                    )
+                    summary["pushed"] += len(push_records) + len(push_tombs)
+                except (HostDownError, RpcTimeoutError, RemoteError):
+                    continue
+        if tel is not None:
+            for metric in ("pulled", "pushed", "deleted"):
+                if summary[metric]:
+                    tel.metrics.counter(f"kv.sync.{metric}", node=self.name).inc(
+                        summary[metric]
+                    )
+        if span is not None:
+            tel.end(span, **summary)
+        return summary
+
+    def _handle_sync(self, request: Request) -> dict:
+        """Peer side of a digest exchange (synchronous — no timing
+        impact on existing traffic).
+
+        Replies with records the requester is missing or holds stale,
+        a ``want`` list of keys where the requester's copy wins, and
+        tombstones for keys it should drop.  Also volunteers primaries
+        the requester *should* replicate but did not even mention —
+        the writes it missed entirely while down.
+        """
+        body = request.body
+        requester = body["requester"]
+        digests = body["digests"]
+        records_out: list[dict] = []
+        want: list[str] = []
+        tombstoned: dict[str, dict] = {}
+        for key_hex in sorted(digests):
+            remote = digests[key_hex]
+            local = self.primary.get(key_hex) or self.replicas.get(key_hex)
+            local_tomb = (
+                self.tombstones.get(key_hex) if self.tombstones is not None else None
+            )
+            if remote.get("t"):
+                # The requester holds a tombstone for this key.
+                if local is not None and tombstone_covers(
+                    remote, record_digest(local)
+                ):
+                    self._drop_local(key_hex)
+                    local = None
+                if local is not None:
+                    records_out.append(local.wire())  # write post-dates delete
+                elif self.tombstones is not None and (
+                    local_tomb is None or local_tomb["at"] < remote["u"]
+                ):
+                    self.tombstones[key_hex] = {
+                        "version": remote.get("v", 0),
+                        "at": remote["u"],
+                    }
+                continue
+            if local_tomb is not None and tombstone_covers(
+                tombstone_digest(local_tomb), remote
+            ):
+                tombstoned[key_hex] = dict(local_tomb)
+                continue
+            if local is None:
+                want.append(key_hex)
+            elif record_beats_digest(local, remote):
+                records_out.append(local.wire())
+            elif digest_beats(remote, record_digest(local)):
+                want.append(key_hex)
+        # Primaries the requester should replicate but did not mention.
+        for key_hex in sorted(self.primary):
+            if key_hex in digests:
+                continue
+            if any(p.name == requester for p in self._replica_targets(key_hex)):
+                records_out.append(self.primary[key_hex].wire())
+        # Replicas whose *owner* is the requester: after an owner
+        # crashes and rejoins empty-handed, its records survive only as
+        # replica copies on nodes like us — hand them back, or they
+        # stay orphaned where no lookup will ever route.
+        for key_hex in sorted(self.replicas):
+            if key_hex in digests:
+                continue
+            owner = self.chimera.closest_known(
+                NodeId.from_hex(key_hex), reference=self.ring_scan_reference
+            )
+            if owner.name == requester:
+                records_out.append(self.replicas[key_hex].wire())
+        return {"records": records_out, "want": want, "tombstoned": tombstoned}
+
+    def _handle_sync_push(self, request: Request) -> dict:
+        absorbed = 0
+        for wire in request.body.get("records", ()):
+            if self._absorb_sync_record(Record.from_wire(wire)):
+                absorbed += 1
+        for key_hex, tomb in sorted(request.body.get("tombstones", {}).items()):
+            if self._absorb_tombstone(key_hex, tomb):
+                absorbed += 1
+        return {"absorbed": absorbed}
+
+    def _absorb_sync_record(self, record: Record) -> bool:
+        """Accept a peer's record if it beats what we hold; file it as
+        primary or replica according to our current ring position."""
+        key_hex = record.key_hex
+        if self.tombstones is not None:
+            tomb = self.tombstones.get(key_hex)
+            if tomb is not None:
+                if tomb["at"] >= record.latest.updated_at:
+                    return False
+                self.tombstones.pop(key_hex, None)
+        local = self.primary.get(key_hex) or self.replicas.get(key_hex)
+        if local is not None and not record_beats_digest(
+            record, record_digest(local)
+        ):
+            return False
+        if self.is_owner(NodeId.from_hex(key_hex)):
+            self.primary[key_hex] = record
+            self.replicas.pop(key_hex, None)
+        else:
+            self.replicas[key_hex] = record
+            # Demote any stale primary copy: the ring says someone
+            # else owns this key now.
+            self.primary.pop(key_hex, None)
+        return True
+
+    def _absorb_tombstone(self, key_hex: str, tomb: dict) -> bool:
+        """Apply a peer's tombstone; returns True if a live copy died."""
+        local = self.primary.get(key_hex) or self.replicas.get(key_hex)
+        if local is not None and tomb["at"] < local.latest.updated_at:
+            return False  # our copy post-dates the delete
+        dropped = local is not None
+        self._drop_local(key_hex)
+        if self.tombstones is not None:
+            existing = self.tombstones.get(key_hex)
+            if existing is None or existing["at"] < tomb["at"]:
+                self.tombstones[key_hex] = {
+                    "version": tomb.get("version", 0),
+                    "at": tomb["at"],
+                }
+        return dropped
+
+    def _drop_local(self, key_hex: str) -> None:
+        self.primary.pop(key_hex, None)
+        self.replicas.pop(key_hex, None)
+        self.cache.pop(key_hex, None)

@@ -8,8 +8,16 @@ from repro.lint.rules import (  # noqa: F401  (imported for registration)
     config,
     rpc,
     sim_determinism,
+    sim_io,
     sim_structure,
     telemetry,
 )
 
-__all__ = ["config", "rpc", "sim_determinism", "sim_structure", "telemetry"]
+__all__ = [
+    "config",
+    "rpc",
+    "sim_determinism",
+    "sim_io",
+    "sim_structure",
+    "telemetry",
+]

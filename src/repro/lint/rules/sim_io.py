@@ -1,0 +1,108 @@
+"""SIM108: durability is simulated state, never real file I/O.
+
+The storage layer's whole point is that its WAL is a *model* of a disk
+journal — plain Python state whose crash/replay semantics the event
+kernel controls.  A real ``open()`` in the storage, sim, KV, or vstore
+packages would tie simulated durability to the host filesystem: runs
+would stop being hermetic, parallel workers would race on paths, and
+crash semantics would depend on the OS page cache instead of the
+simulated cost model.  This rule keeps the ban mechanical.
+
+Out of scope on purpose: the CLI and the telemetry flight recorder
+write artifacts for humans, and the lint engine reads the source tree
+it checks.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.registry import register_rule
+from repro.lint.rules.sim_determinism import _CallChainRule
+
+__all__ = ["RealFileIoRule"]
+
+#: Packages whose persistence must stay simulated.
+IO_SCOPE = (
+    "src/repro/storage",
+    "src/repro/sim",
+    "src/repro/kvstore",
+    "src/repro/vstore",
+)
+
+
+@register_rule
+class RealFileIoRule(_CallChainRule):
+    """SIM108: no real filesystem I/O where durability is simulated."""
+
+    code = "SIM108"
+    name = "no-real-file-io"
+    message = (
+        "real filesystem I/O inside simulated-durability code "
+        "(model persistence through repro.storage backends)"
+    )
+    scope = IO_SCOPE
+    banned_suffixes = (
+        "io.open",
+        "os.open",
+        "os.fdopen",
+        "os.remove",
+        "os.unlink",
+        "os.rename",
+        "os.replace",
+        "os.mkdir",
+        "os.makedirs",
+        "os.rmdir",
+        "os.fsync",
+        "os.fdatasync",
+        "os.write",
+        "os.truncate",
+        "shutil.copy",
+        "shutil.copy2",
+        "shutil.copyfile",
+        "shutil.copytree",
+        "shutil.move",
+        "shutil.rmtree",
+        "tempfile.mkstemp",
+        "tempfile.mkdtemp",
+        "tempfile.NamedTemporaryFile",
+        "tempfile.TemporaryFile",
+        "tempfile.TemporaryDirectory",
+        # pathlib.Path I/O methods: names distinctive enough to flag on
+        # any receiver (str.replace-style lookalikes are deliberately
+        # NOT listed).
+        "write_text",
+        "read_text",
+        "write_bytes",
+        "read_bytes",
+    )
+    banned_from_imports = {
+        "io": {"open"},
+        "os": {
+            "remove",
+            "unlink",
+            "rename",
+            "replace",
+            "mkdir",
+            "makedirs",
+            "rmdir",
+            "fsync",
+            "fdatasync",
+        },
+        "shutil": {"copy", "copy2", "copyfile", "copytree", "move", "rmtree"},
+        "tempfile": {
+            "mkstemp",
+            "mkdtemp",
+            "NamedTemporaryFile",
+            "TemporaryFile",
+            "TemporaryDirectory",
+        },
+    }
+
+    def visit_Call(self, node: ast.Call) -> None:
+        # The builtin open() is a bare Name, which the shared chain
+        # matcher never flags — handle it here.
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "open":
+            self.report(node, f"{self.message}: open()")
+        super().visit_Call(node)

@@ -55,6 +55,7 @@ class RepairAction:
     at: float
     object: str
     #: "replicate" | "promote" | "promote-cloud" | "lost" | "rebuild"
+    #: | "reattach" (a pruned holder returned with its payload intact)
     action: str
     detail: str = ""
     nodes: list[str] = field(default_factory=list)
@@ -70,6 +71,7 @@ class Repairer:
         period_s: float = 30.0,
         caller: Optional[ResilientCaller] = None,
         metrics=None,
+        track_lost: bool = False,
     ) -> None:
         if data_replicas < 0:
             raise ValueError("data_replicas must be >= 0")
@@ -80,6 +82,11 @@ class Repairer:
         self.period_s = period_s
         self.caller = caller
         self.metrics = metrics
+        #: Remember pruned holders in ``meta.lost_replicas`` and probe
+        #: them on later sweeps — on durable-storage deployments a
+        #: crashed holder can come back *with its payload*, and
+        #: reattaching it costs one ping instead of a full re-copy.
+        self.track_lost = track_lost
         self.repairs: list[RepairAction] = []
         self.scans = 0
         self._process = None
@@ -199,6 +206,29 @@ class Repairer:
                 live.append(holder)
 
         changed = False
+        if self.track_lost and meta.lost_replicas:
+            returned: list[str] = []
+            for holder in list(meta.lost_replicas):
+                if holder in live:
+                    meta.lost_replicas.remove(holder)
+                    changed = True
+                    continue
+                alive = yield from self._holds_object(holder, meta.name, span)
+                if alive:
+                    returned.append(holder)
+            if returned:
+                # The cheap recovery path: the holder replayed its WAL
+                # and still has the payload — reattach, zero bytes moved.
+                for holder in returned:
+                    meta.lost_replicas.remove(holder)
+                    live.append(holder)
+                self._log(
+                    "reattach",
+                    meta.name,
+                    f"{len(returned)} recovered holder(s) rejoined with data",
+                    returned,
+                )
+                changed = True
         if not meta.is_remote and meta.location not in live:
             # The primary is gone: promote a surviving replica, or fall
             # back to the cloud copy when one exists.
@@ -206,12 +236,14 @@ class Repairer:
                 old = meta.location
                 meta.location = live[0]
                 meta.bin_name = self._bin_of(live[0], meta.name)
+                self._note_lost(meta, [old])
                 self._log(
                     "promote", meta.name, f"{old} -> {live[0]}", [live[0]]
                 )
                 changed = True
             elif meta.url:
                 old = meta.location
+                self._note_lost(meta, [old, *meta.replicas])
                 meta.location = LOCATION_REMOTE
                 meta.bin_name = ""
                 meta.replicas = []
@@ -222,6 +254,10 @@ class Repairer:
                 self._log("lost", meta.name, "no live copy anywhere", [])
                 return False
         if meta.replicas != [n for n in live if n != meta.location]:
+            dead = [
+                n for n in meta.replicas if n not in live and n != meta.location
+            ]
+            self._note_lost(meta, dead)
             meta.replicas = [n for n in live if n != meta.location]
             changed = True
 
@@ -356,6 +392,17 @@ class Repairer:
         self._count("stripe.repair.rebuilt")
         yield from self._republish(meta, span)
         return True
+
+    def _note_lost(self, meta: ObjectMeta, nodes) -> None:
+        """Remember dead holders (durable deployments only) so a later
+        sweep can reattach them if they return with their data."""
+        if not self.track_lost:
+            return
+        for node in nodes:
+            if node and node != LOCATION_REMOTE and node not in meta.lost_replicas:
+                meta.lost_replicas.append(node)
+        # Bounded memory: only the most recent departures matter.
+        del meta.lost_replicas[:-8]
 
     def _replicate(self, meta: ObjectMeta, missing: int, span):
         """Process: pick targets and command a live holder to push copies."""

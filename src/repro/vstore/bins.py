@@ -16,14 +16,23 @@ __all__ = ["StorageBin"]
 
 
 class StorageBin:
-    """A capacity-bounded pool of locally stored objects."""
+    """A capacity-bounded pool of locally stored objects.
 
-    def __init__(self, name: str, capacity_mb: float) -> None:
+    ``manifest`` is an optional durable table (from a
+    :class:`repro.storage.IStore` backend) that mirrors the bin's
+    name→size map.  Payload *bytes* are not simulated — only the
+    manifest is journaled — so recovery restores which objects the bin
+    holds, matching how the simulator models objects everywhere else
+    (sizes, not contents).
+    """
+
+    def __init__(self, name: str, capacity_mb: float, manifest=None) -> None:
         if capacity_mb <= 0:
             raise ValueError("capacity_mb must be positive")
         self.name = name
         self.capacity_mb = float(capacity_mb)
         self._objects: dict[str, float] = {}
+        self._manifest = manifest
 
     @property
     def used_mb(self) -> float:
@@ -58,9 +67,31 @@ class StorageBin:
         if size_mb - previous > self.free_mb + 1e-9:
             raise BinFullError(self.name, size_mb, self.free_mb + previous)
         self._objects[name] = size_mb
+        if self._manifest is not None:
+            self._manifest[name] = size_mb
 
     def remove(self, name: str) -> float:
         """Delete an object, returning its size."""
         if name not in self._objects:
             raise ObjectNotFoundError(name)
+        if self._manifest is not None:
+            self._manifest.pop(name, None)
         return self._objects.pop(name)
+
+    # -- crash / recovery ---------------------------------------------------
+
+    def lose_contents(self) -> int:
+        """RAM loss on crash: wipe the live map, *not* the manifest
+        (the backend's ``crash()`` decides what the manifest keeps)."""
+        lost = len(self._objects)
+        self._objects.clear()
+        return lost
+
+    def restore_from_manifest(self) -> int:
+        """Adopt the replayed manifest as the bin's contents."""
+        if self._manifest is None:
+            return 0
+        self._objects = {
+            name: float(size) for name, size in sorted(self._manifest.items())
+        }
+        return len(self._objects)

@@ -139,14 +139,27 @@ class VStoreNode:
         data_replicas: int = 0,
         striping: Optional[StripingPolicy] = None,
         metrics=None,
+        storage=None,
     ) -> None:
         self.chimera = chimera
         self.kv = kv
         self.registry = registry
         self.decision = decision
         self.transfer = transfer
-        self.mandatory = StorageBin("mandatory", mandatory_mb)
-        self.voluntary = StorageBin("voluntary", voluntary_mb)
+        #: Optional :class:`repro.storage.IStore` backend shared with
+        #: the KV store.  When set, the bins journal their manifests
+        #: through it so a crashed node can recover its holdings.
+        self.storage = storage
+        self.mandatory = StorageBin(
+            "mandatory",
+            mandatory_mb,
+            manifest=storage.table("bin.mandatory") if storage is not None else None,
+        )
+        self.voluntary = StorageBin(
+            "voluntary",
+            voluntary_mb,
+            manifest=storage.table("bin.voluntary") if storage is not None else None,
+        )
         self.store_policy = store_policy or StorePolicy()
         self.guest_domain = guest_domain
         self.dom0_domain = dom0_domain
@@ -192,6 +205,22 @@ class VStoreNode:
     def snapshot(self) -> Optional[ResourceSnapshot]:
         """This node's current resource state (None if no sampler)."""
         return self.snapshot_fn() if self.snapshot_fn else None
+
+    # -- durability: crash / recovery ---------------------------------------
+
+    def lose_memory(self) -> None:
+        """RAM loss on crash: wipe staged objects and live bin maps."""
+        self.staged.clear()
+        self.mandatory.lose_contents()
+        self.voluntary.lose_contents()
+
+    def recover(self) -> dict:
+        """Adopt replayed bin manifests after the shared backend's WAL
+        replay (driven by ``kv.recover()``); returns restored counts."""
+        return {
+            "mandatory": self.mandatory.restore_from_manifest(),
+            "voluntary": self.voluntary.restore_from_manifest(),
+        }
 
     def _span(self, name: str, ctx, **attrs):
         """(telemetry, span) pair; (None, None) when telemetry is off."""
@@ -751,11 +780,14 @@ class VStoreNode:
             yield from self.cloud.fetch_remote(name, ctx=span)
             remote_s = self.sim.now - t0
             served_from = "remote-cloud"
-        elif meta.location == self.name:
-            # Local disk read.
+        elif meta.location == self.name and self.holds(name):
+            # Local disk read.  The holds() guard matters after a
+            # crash: metadata can outlive the payload (a revived node
+            # without a durable backend rejoins with empty bins), and a
+            # phantom local serve must fail over, not fabricate bytes.
             yield self.sim.timeout(meta.size_mb / self.disk_mb_s)
             served_from = "local"
-        elif self.caller is None and not meta.replicas:
+        elif self.caller is None and not meta.replicas and meta.location != self.name:
             # Single-homed, resilience off: the original one-shot path.
             t0 = self.sim.now
             body = {"name": name, "to": self.name}
@@ -803,6 +835,11 @@ class VStoreNode:
         t_start = self.sim.now
         sources = [meta.location]
         sources.extend(r for r in meta.replicas if r not in sources)
+        if self.name in sources and self.holds(meta.name):
+            # Serve our own copy before asking anyone else — a replica
+            # holder should never pull the payload over the network.
+            sources.remove(self.name)
+            sources.insert(0, self.name)
         last_exc = None
         for src in sources:
             if src == self.name:
@@ -820,6 +857,13 @@ class VStoreNode:
             except (HostDownError, RpcTimeoutError, RemoteError) as exc:
                 last_exc = exc
                 self._count("vstore.fetch.failover")
+                # An unreachable source is evidence the metadata we
+                # routed on may be a stale cached copy whose owner (the
+                # node that would push us updates) is gone.  Drop it so
+                # the next lookup re-routes to the live owner instead
+                # of failing over forever.
+                if self.kv.invalidate_cached(object_key(meta.name)):
+                    self._count("vstore.fetch.meta_invalidated")
                 continue
             if src != meta.location:
                 self._count("vstore.fetch.served_replica")

@@ -60,6 +60,10 @@ class ObjectMeta:
     #: Holder of chunk ``i`` — a home node name, or LOCATION_REMOTE for
     #: chunks spilled to the cloud.  Length k+m when striped, else empty.
     chunk_nodes: list[str] = field(default_factory=list)
+    #: Former holders pruned while unreachable (durable-storage
+    #: deployments only).  If one comes back with its payload intact,
+    #: the Repairer reattaches it instead of re-copying bytes.
+    lost_replicas: list[str] = field(default_factory=list)
 
     VALID_ACCESS = ("private", "home", "public")
 
@@ -136,6 +140,8 @@ class ObjectMeta:
         # change simulated timings for resilience-off deployments.
         if self.replicas:
             data["replicas"] = list(self.replicas)
+        if self.lost_replicas:
+            data["lost_replicas"] = list(self.lost_replicas)
         if self.stripe_k:
             data["stripe_k"] = self.stripe_k
             data["stripe_m"] = self.stripe_m

@@ -1,0 +1,11 @@
+# simlint-fixture-path: src/repro/storage/fixture.py
+# simlint-fixture-expect: SIM108 SIM108 SIM108
+import os
+from os import remove
+
+
+def persist(path, data):
+    with open(path, "w") as fh:
+        fh.write(data)
+    os.rename(path, path + ".bak")
+    remove(path)

@@ -1,0 +1,6 @@
+# simlint-fixture-path: src/repro/storage/fixture.py
+# simlint-fixture-expect:
+def persist(store, key, value):
+    # Durability goes through the simulated backend, never the host fs.
+    store.table("kv.primary")[key] = value
+    return "a-b".replace("-", "_")  # str.replace, not os.replace

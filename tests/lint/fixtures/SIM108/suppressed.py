@@ -1,0 +1,5 @@
+# simlint-fixture-path: src/repro/storage/fixture.py
+# simlint-fixture-expect:
+# simlint-fixture-expect-suppressed: SIM108
+def snapshot(path, data):
+    open(path, "w").write(data)  # simlint: ignore[SIM108]

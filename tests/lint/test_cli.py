@@ -42,6 +42,10 @@ FIXTURE_TREE = {
         "import random\nrng = random.Random()\n",
         ["SIM107"],
     ),
+    "src/repro/storage/journal.py": (
+        "def load(path):\n    return open(path).read()\n",
+        ["SIM108"],
+    ),
     "src/repro/vstore/emit.py": (
         "class N:\n"
         "    def serve(self):\n"

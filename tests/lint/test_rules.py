@@ -35,6 +35,7 @@ class TestFixtureCoverage:
             "SIM105",
             "SIM106",
             "SIM107",
+            "SIM108",
             "TEL201",
             "RPC301",
             "CFG401",

@@ -1,0 +1,134 @@
+"""Tests for the simulated-disk cost model and its background flusher."""
+
+import pytest
+
+from repro.sim import RandomSource, Simulator
+from repro.storage import SimDiskStore, StorageFlusher
+
+
+def test_appends_buffer_instead_of_syncing():
+    store = SimDiskStore()
+    tbl = store.table("t")
+    tbl["a"] = {"v": 1}
+    tbl["b"] = {"v": 2}
+    assert store.synced == 0
+    assert store.pending_bytes > 0
+
+
+def test_crash_before_any_flush_loses_everything():
+    store = SimDiskStore()
+    store.table("t")["a"] = 1
+    report = store.crash()
+    assert report["lost_ops"] == 1
+    assert store.pending_bytes == 0.0
+    replay = store.replay()
+    assert replay.records == 0
+    assert store.table("t") == {}
+
+
+def test_flush_protocol_makes_prefix_durable():
+    store = SimDiskStore()
+    tbl = store.table("t")
+    tbl["a"] = 1
+    mark, nbytes = store.begin_flush()
+    assert mark == 1
+    assert nbytes == store.pending_bytes
+    tbl["b"] = 2  # lands after the flush mark
+    store.commit_flush(mark, nbytes)
+    assert store.synced == 1
+    assert store.fsyncs == 1
+    report = store.crash()
+    assert report["lost_ops"] == 1  # only "b" lost
+    store.replay()
+    assert dict(tbl) == {"a": 1}
+
+
+def test_flush_cost_scales_with_bytes():
+    store = SimDiskStore(write_mb_s=1.0, fsync_s=0.0, jitter=0.0)
+    small = store.flush_cost_s(1024)
+    big = store.flush_cost_s(1024 * 1024)
+    assert big > small > 0
+    assert big == pytest.approx(1.0)
+
+
+def test_replay_cost_uses_replay_bandwidth():
+    store = SimDiskStore(replay_mb_s=2.0, fsync_s=0.5, jitter=0.0)
+    tbl = store.table("t")
+    tbl["a"] = 1
+    mark, nbytes = store.begin_flush()
+    store.commit_flush(mark, nbytes)
+    store.crash()
+    report = store.replay()
+    expected = report.bytes_replayed / (2.0 * 1024 * 1024) + 0.5
+    assert store.replay_cost_s(report) == pytest.approx(expected)
+
+
+def test_jitter_is_seeded_and_deterministic():
+    costs = []
+    for _ in range(2):
+        store = SimDiskStore(rng=RandomSource(99).fork("disk"), jitter=0.2)
+        store.table("t")["a"] = {"v": "x" * 100}
+        _, nbytes = store.begin_flush()
+        costs.append(store.flush_cost_s(nbytes))
+    assert costs[0] == costs[1]
+    nojitter = SimDiskStore(jitter=0.0)
+    nojitter.table("t")["a"] = {"v": "x" * 100}
+    _, nb = nojitter.begin_flush()
+    assert costs[0] != nojitter.flush_cost_s(nb)
+
+
+def test_invalid_parameters_raise():
+    with pytest.raises(ValueError):
+        SimDiskStore(write_mb_s=0)
+    with pytest.raises(ValueError):
+        SimDiskStore(fsync_s=-1)
+
+
+class TestStorageFlusher:
+    def test_periodic_flush_commits(self):
+        sim = Simulator()
+        store = SimDiskStore(jitter=0.0)
+        flusher = StorageFlusher(sim, store, period_s=0.25)
+        store.table("t")["a"] = 1
+        flusher.start()
+        sim.run(until=2.0)
+        assert store.synced == 1
+        assert store.pending_bytes == 0.0
+        assert flusher.flushes >= 1
+
+    def test_idle_periods_do_not_fsync(self):
+        sim = Simulator()
+        store = SimDiskStore(jitter=0.0)
+        flusher = StorageFlusher(sim, store, period_s=0.25)
+        flusher.start()
+        sim.run(until=5.0)
+        assert store.fsyncs == 0
+
+    def test_stop_interrupts_mid_flight_flush(self):
+        sim = Simulator()
+        # 1 MB at 1 MB/s: the flush charge takes ~1 simulated second.
+        store = SimDiskStore(write_mb_s=1.0, jitter=0.0)
+        store.table("t")["blob"] = {"v": "x" * (1024 * 1024)}
+        flusher = StorageFlusher(sim, store, period_s=0.25)
+        flusher.start()
+        sim.run(until=0.5)  # flush began at 0.25, still charging
+        flusher.stop()
+        report = store.crash()
+        sim.run(until=5.0)
+        assert store.synced == 0  # the interrupted flush never committed
+        assert report["lost_ops"] == 1
+        assert not flusher.running
+
+    def test_start_is_idempotent(self):
+        sim = Simulator()
+        store = SimDiskStore(jitter=0.0)
+        flusher = StorageFlusher(sim, store, period_s=0.25)
+        flusher.start()
+        proc = flusher._process
+        flusher.start()
+        assert flusher._process is proc
+
+    def test_period_must_be_positive(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            StorageFlusher(sim, SimDiskStore(), period_s=0)
