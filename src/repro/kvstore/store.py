@@ -929,7 +929,6 @@ class DhtKeyValueStore:
                     push_tombs[key_hex] = dict(self.tombstones[key_hex])
             if push_records or push_tombs:
                 push_body = {
-                    "requester": self.name,
                     "records": push_records,
                     "tombstones": push_tombs,
                 }

@@ -17,7 +17,19 @@ Rule families (see docs/STATIC_ANALYSIS.md for the full catalogue):
 - ``RPC3xx`` — RPC: handler exceptions stay inside the repro error
   hierarchy so retry/breaker policy can classify them.
 - ``CFG4xx`` — configuration: new ``ClusterConfig`` fields default to
-  feature-off, keeping pinned goldens valid.
+  feature-off (CFG401), and feature code in the builder stays behind
+  its flag's guard (CFG402, whole-program).
+- ``WIRE5xx`` — wire contracts (whole-program): every message type has
+  both sender and handler, required fields are always sent, no dead
+  wire fields, handlers of one message agree across device classes.
+- ``FLOW6xx`` — dataflow: every sim RNG forks off the configured
+  ``RandomSource`` tree instead of a literal seed.
+
+The ``WIRE``/``CFG402`` rules are :class:`ProjectRule` subclasses: the
+engine parses every file once into a shared cache, builds a
+:class:`ProjectIndex` of RPC call sites, handler registrations, and
+field reads over it, and runs the cross-file rules in a second phase
+(``python -m repro lint --wire-report`` dumps the recovered protocol).
 
 Findings are suppressed inline with ``# simlint: ignore[CODE]`` or
 grandfathered in a committed baseline (``.simlint-baseline.json``),
@@ -33,7 +45,14 @@ from repro.lint.engine import (
     run_lint,
 )
 from repro.lint.findings import Finding
-from repro.lint.registry import Rule, all_rules, get_rule, register_rule
+from repro.lint.index import ProjectIndex
+from repro.lint.registry import (
+    ProjectRule,
+    Rule,
+    all_rules,
+    get_rule,
+    register_rule,
+)
 
 __all__ = [
     "Baseline",
@@ -41,6 +60,8 @@ __all__ = [
     "DEFAULT_PATHS",
     "Finding",
     "LintReport",
+    "ProjectIndex",
+    "ProjectRule",
     "Rule",
     "all_rules",
     "get_rule",

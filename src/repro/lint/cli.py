@@ -8,11 +8,16 @@ Modes:
   parse error, or stale baseline entry.
 - ``repro lint --update-baseline`` — rewrite the baseline from the
   current findings (grandfathering everything still unfixed).
+- ``repro lint --wire-report`` — dump the recovered RPC protocol
+  (msg_type -> senders / handlers / field schema) and exit.
+- ``repro lint --format json`` — machine-readable output (findings +
+  wire report) for CI artifacts and tooling.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 from pathlib import Path
 
 from repro.lint.baseline import Baseline
@@ -75,6 +80,76 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="also list suppressed and baselined findings",
     )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="output_format",
+        help="output format (json: stable schema with findings + "
+        "wire report, for CI artifacts)",
+    )
+    parser.add_argument(
+        "--wire-report",
+        action="store_true",
+        help="print the recovered RPC protocol map "
+        "(msg_type -> senders/handlers/field schema) and exit",
+    )
+
+
+#: Version tag for the ``--format json`` output; bump on breaking
+#: shape changes so CI consumers can pin.
+JSON_SCHEMA = "simlint/1"
+
+
+def _finding_status(finding) -> str:
+    if finding.suppressed:
+        return "suppressed"
+    if finding.baselined:
+        return "baselined"
+    return "active"
+
+
+def _report_as_json(report) -> dict:
+    return {
+        "schema": JSON_SCHEMA,
+        "n_files": report.n_files,
+        "clean": report.clean,
+        "findings": [
+            {
+                "code": f.code,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+                "source": f.source,
+                "status": _finding_status(f),
+            }
+            for f in report.findings
+        ],
+        "errors": [{"path": p, "error": e} for p, e in report.errors],
+        "stale_baseline": [
+            {"code": e.code, "path": e.path, "source": e.source}
+            for e in report.stale_baseline
+        ],
+        "wire_report": report.wire_report,
+    }
+
+
+def _print_wire_report(report) -> None:
+    for msg, entry in report.wire_report.items():
+        print(msg)
+        for role in ("senders", "handlers"):
+            for who in entry[role]:
+                print(f"  {role[:-1]:8s} {who}")
+        sent = ", ".join(entry["sent"]) or "-"
+        if entry["open"]:
+            sent += "  (+open: some sender forwards an unknown dict)"
+        print(f"  sent     {sent}")
+        required = ", ".join(entry["required"]) or "-"
+        if entry["reads_all"]:
+            required += "  (+reads-all: some handler consumes the whole body)"
+        print(f"  required {required}")
+        print(f"  optional {', '.join(entry['optional']) or '-'}")
 
 
 def _list_rules() -> int:
@@ -115,6 +190,17 @@ def run(args: argparse.Namespace) -> int:
         return 0
 
     report = run_lint(root, paths, baseline_path=baseline_path, codes=codes)
+
+    if args.wire_report:
+        if args.output_format == "json":
+            print(json.dumps(report.wire_report, indent=2, sort_keys=True))
+        else:
+            _print_wire_report(report)
+        return 0
+
+    if args.output_format == "json":
+        print(json.dumps(_report_as_json(report), indent=2, sort_keys=True))
+        return 1 if args.check and not report.clean else 0
 
     for finding in report.active:
         print(finding.render())

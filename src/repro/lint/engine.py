@@ -1,9 +1,24 @@
 """The simlint engine: walk files, run rules, apply suppressions/baseline.
 
+Runs in two phases over a shared parse cache (each file is read and
+``ast.parse``d exactly once per run):
+
+1. **per-file** — every applicable :class:`~repro.lint.registry.Rule`
+   visits each file's AST independently;
+2. **whole-program** — a :class:`~repro.lint.index.ProjectIndex` is
+   built over all parsed files and every
+   :class:`~repro.lint.registry.ProjectRule` (wire contracts, config
+   reachability) runs once over it.
+
+Inline suppressions apply to both phases through the context of the
+file each finding anchors to, so a cross-file ``WIRE502`` is silenced
+at the handler, never at the caller.
+
 Entry points:
 
 - :func:`lint_source` — lint one in-memory source blob under a virtual
-  repo-relative path (drives the fixture-based rule tests).
+  repo-relative path (drives the fixture-based rule tests); the blob is
+  its own single-file project for phase two.
 - :func:`lint_paths` — lint ``.py`` files under a root directory.
 - :func:`run_lint` — the full pipeline (walk + suppress + baseline)
   returning a :class:`LintReport`; what the CLI calls.
@@ -18,7 +33,8 @@ from pathlib import Path, PurePosixPath
 from repro.lint.baseline import Baseline, BaselineEntry
 from repro.lint.context import FileContext
 from repro.lint.findings import Finding
-from repro.lint.registry import rules_for
+from repro.lint.index import ProjectIndex
+from repro.lint.registry import project_rules_for, rules_for
 
 __all__ = ["LintReport", "lint_source", "lint_paths", "run_lint", "DEFAULT_PATHS"]
 
@@ -38,6 +54,9 @@ class LintReport:
     errors: list[tuple[str, str]] = field(default_factory=list)
     stale_baseline: list[BaselineEntry] = field(default_factory=list)
     n_files: int = 0
+    #: Recovered protocol map (msg_type -> senders/handlers/schema);
+    #: see :meth:`repro.lint.index.ProjectIndex.wire_report`.
+    wire_report: dict = field(default_factory=dict)
 
     @property
     def active(self) -> list[Finding]:
@@ -60,25 +79,42 @@ def _normalize(path: str) -> str:
     return str(PurePosixPath(path.replace(os.sep, "/")))
 
 
+def _run_phases(
+    contexts: dict[str, FileContext], codes: set[str] | None
+) -> tuple[list[Finding], ProjectIndex]:
+    """Both analysis phases over an already-parsed set of files."""
+    findings: list[Finding] = []
+    for path in sorted(contexts):
+        for rule in rules_for(path, codes=codes):
+            findings.extend(rule.run(contexts[path]))
+    index = ProjectIndex(contexts)
+    for rule in project_rules_for(codes=codes):
+        findings.extend(rule.run_project(index))
+    for finding in findings:
+        anchor = contexts.get(finding.path)
+        if anchor is None:
+            continue
+        codes_here = anchor.suppressions.get(finding.line, set())
+        if "*" in codes_here or finding.code in codes_here:
+            finding.suppressed = True
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings, index
+
+
 def lint_source(
     source: str, path: str, codes: set[str] | None = None
 ) -> list[Finding]:
     """Lint one source blob as if it lived at repo-relative ``path``.
 
-    Inline suppressions are applied; baselining is the caller's job.
+    The blob forms a single-file project, so whole-program rules run
+    over it too.  Inline suppressions are applied; baselining is the
+    caller's job.
     """
     path = _normalize(path)
     ctx = FileContext(source, path)
     if ctx.skip_file:
         return []
-    findings: list[Finding] = []
-    for rule in rules_for(path, codes=codes):
-        findings.extend(rule.run(ctx))
-    for finding in findings:
-        codes_here = ctx.suppressions.get(finding.line, set())
-        if "*" in codes_here or finding.code in codes_here:
-            finding.suppressed = True
-    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    findings, _ = _run_phases({path: ctx}, codes)
     return findings
 
 
@@ -108,19 +144,27 @@ def lint_paths(
     paths: tuple[str, ...] = DEFAULT_PATHS,
     codes: set[str] | None = None,
 ) -> LintReport:
-    """Lint every ``.py`` file under ``root``/``paths``."""
+    """Lint every ``.py`` file under ``root``/``paths``.
+
+    Each file is parsed exactly once; the resulting contexts feed both
+    the per-file rules and the whole-program index.
+    """
     root = Path(root)
     report = LintReport()
+    contexts: dict[str, FileContext] = {}
     for abspath, relpath in iter_python_files(root, paths):
         try:
             source = abspath.read_text(encoding="utf-8")
-            findings = lint_source(source, relpath, codes=codes)
+            ctx = FileContext(source, relpath)
         except (SyntaxError, UnicodeDecodeError) as exc:
             report.errors.append((relpath, str(exc)))
             continue
         report.n_files += 1
-        report.findings.extend(findings)
-    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+        if not ctx.skip_file:
+            contexts[relpath] = ctx
+    findings, index = _run_phases(contexts, codes)
+    report.findings = findings
+    report.wire_report = index.wire_report()
     return report
 
 

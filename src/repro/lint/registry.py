@@ -15,7 +15,16 @@ import ast
 from repro.lint.context import FileContext
 from repro.lint.findings import Finding
 
-__all__ = ["Rule", "register_rule", "all_rules", "rules_for", "get_rule"]
+__all__ = [
+    "ProjectRule",
+    "Rule",
+    "all_rules",
+    "code_selected",
+    "get_rule",
+    "project_rules_for",
+    "register_rule",
+    "rules_for",
+]
 
 #: code -> rule class
 _REGISTRY: dict[str, type["Rule"]] = {}
@@ -35,6 +44,9 @@ class Rule(ast.NodeVisitor):
     message: str = ""
     scope: tuple[str, ...] = ("src/repro",)
     exclude: tuple[str, ...] = ()
+    #: Project rules run once over the whole-program index (phase two)
+    #: instead of once per file; see :class:`ProjectRule`.
+    is_project: bool = False
 
     def __init__(self) -> None:
         self.ctx: FileContext | None = None
@@ -68,6 +80,40 @@ class Rule(ast.NodeVisitor):
         )
 
 
+class ProjectRule(Rule):
+    """One cross-file invariant over the whole-program index.
+
+    Subclasses override :meth:`run_project` and report through
+    :meth:`report_in`, anchoring each finding to a node in whichever
+    file owns the contract (for wire rules: the handler site), so the
+    baseline key and inline suppressions live where the fix belongs.
+    """
+
+    is_project = True
+
+    def run(self, ctx: FileContext) -> list[Finding]:  # pragma: no cover
+        raise TypeError(f"{self.code} is a project rule; use run_project()")
+
+    def run_project(self, index) -> list[Finding]:
+        raise NotImplementedError
+
+    def report_in(
+        self, ctx: FileContext, node: ast.AST, message: str | None = None, **extra
+    ) -> None:
+        line = getattr(node, "lineno", 1)
+        self.findings.append(
+            Finding(
+                code=self.code,
+                path=ctx.path,
+                line=line,
+                col=getattr(node, "col_offset", 0) + 1,
+                message=message or self.message,
+                source=ctx.source_line(line),
+                extra=extra,
+            )
+        )
+
+
 def register_rule(cls: type[Rule]) -> type[Rule]:
     """Class decorator: add a rule to the global registry."""
     if not cls.code:
@@ -93,10 +139,26 @@ def get_rule(code: str) -> type[Rule]:
     return _REGISTRY[code]
 
 
+def code_selected(code: str, codes: set[str] | None) -> bool:
+    """Prefix-aware ``--select`` matching: ``WIRE`` hits ``WIRE501``."""
+    if codes is None:
+        return True
+    return any(code == sel or code.startswith(sel) for sel in codes)
+
+
 def rules_for(path: str, codes: set[str] | None = None) -> list[Rule]:
-    """Fresh rule instances applicable to ``path``."""
+    """Fresh per-file rule instances applicable to ``path``."""
     return [
         cls()
         for code, cls in all_rules().items()
-        if (codes is None or code in codes) and cls.applies_to(path)
+        if not cls.is_project and code_selected(code, codes) and cls.applies_to(path)
+    ]
+
+
+def project_rules_for(codes: set[str] | None = None) -> list[ProjectRule]:
+    """Fresh whole-program rule instances (phase two)."""
+    return [
+        cls()
+        for code, cls in all_rules().items()
+        if cls.is_project and code_selected(code, codes)
     ]

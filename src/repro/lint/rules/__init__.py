@@ -6,18 +6,22 @@ via :func:`repro.lint.registry.all_rules`.
 
 from repro.lint.rules import (  # noqa: F401  (imported for registration)
     config,
+    flow,
     rpc,
     sim_determinism,
     sim_io,
     sim_structure,
     telemetry,
+    wire,
 )
 
 __all__ = [
     "config",
+    "flow",
     "rpc",
     "sim_determinism",
     "sim_io",
     "sim_structure",
     "telemetry",
+    "wire",
 ]

@@ -1,0 +1,10 @@
+# simlint-fixture-path: src/repro/cluster/builder.py
+# simlint-fixture-expect: CFG402
+from repro.resilience import ResilientCaller
+
+
+class Builder:
+    def build(self, endpoint):
+        # Resilience machinery wired in with no config.resilience guard
+        # anywhere on the path: feature-off runs still pay for it.
+        return ResilientCaller(endpoint)

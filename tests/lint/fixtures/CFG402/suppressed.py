@@ -1,0 +1,10 @@
+# simlint-fixture-path: src/repro/cluster/builder.py
+# simlint-fixture-expect:
+# simlint-fixture-expect-suppressed: CFG402
+from repro.resilience import ResilientCaller
+
+
+class Builder:
+    def build(self, endpoint):
+        # Diagnostics-only harness: always-on by design.
+        return ResilientCaller(endpoint)  # simlint: ignore[CFG402]

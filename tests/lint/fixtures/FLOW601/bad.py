@@ -1,0 +1,17 @@
+# simlint-fixture-path: src/repro/workloads/fixture.py
+# simlint-fixture-expect: FLOW601 FLOW601 FLOW601
+import random
+
+from repro.sim.random import RandomSource
+
+
+def jitter():
+    return random.Random(7)  # literal seed: untraceable stream
+
+
+def stream():
+    return RandomSource(0)  # literal root seed outside the seed tree
+
+
+def lazy():
+    return RandomSource()  # default seed: same problem

@@ -1,0 +1,19 @@
+# simlint-fixture-path: src/repro/workloads/fixture.py
+# simlint-fixture-expect:
+import random
+
+from repro.sim.random import RandomSource
+
+
+def forked(parent):
+    return parent.fork("workload")  # the sanctioned derivation
+
+
+def rooted(config):
+    # The configured root seed is where the tree legitimately starts.
+    return RandomSource(config.seed, "root")
+
+
+def wrapped(seed):
+    # Variable seed threaded from config: traceable provenance.
+    return random.Random(seed)

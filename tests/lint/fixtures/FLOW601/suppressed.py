@@ -1,0 +1,9 @@
+# simlint-fixture-path: src/repro/workloads/fixture.py
+# simlint-fixture-expect:
+# simlint-fixture-expect-suppressed: FLOW601
+from repro.sim.random import RandomSource
+
+
+def standalone():
+    # Ad-hoc model exploration outside any simulation run.
+    return RandomSource(0)  # simlint: ignore[FLOW601]

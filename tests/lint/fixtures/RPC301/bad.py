@@ -11,3 +11,9 @@ class Store:
     def _on_put(self, request):
         # Registered under a non-conventional name: still a handler.
         raise ValueError("bad value")
+
+    def fetch(self, endpoint, dst):
+        return endpoint.call(dst, "kv.get", {"key": "a"})
+
+    def store(self, endpoint, dst):
+        return endpoint.call(dst, "kv.put", {})

@@ -10,3 +10,6 @@ class Store:
     def helper(self):
         # Not a handler: builtins are fine outside the RPC surface.
         raise ValueError("local misuse")
+
+    def fetch(self, endpoint, dst):
+        return endpoint.call(dst, "kv.get", {"key": "a"})

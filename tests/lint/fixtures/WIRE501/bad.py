@@ -1,0 +1,13 @@
+# simlint-fixture-path: src/repro/overlay/fixture.py
+# simlint-fixture-expect: WIRE501 WIRE501
+class Node:
+    def __init__(self, endpoint):
+        # Registered but no caller anywhere: a dead endpoint.
+        endpoint.register("overlay.unused", self._handle_unused)
+
+    def _handle_unused(self, request):
+        return None
+
+    def probe(self, endpoint, dst):
+        # Sent but no handler anywhere: the message vanishes.
+        return endpoint.call(dst, "overlay.ghost", {"seq": 1})

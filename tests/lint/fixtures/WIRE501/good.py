@@ -1,0 +1,11 @@
+# simlint-fixture-path: src/repro/overlay/fixture.py
+# simlint-fixture-expect:
+class Node:
+    def __init__(self, endpoint):
+        endpoint.register("overlay.probe", self._handle_probe)
+
+    def _handle_probe(self, request):
+        return request.body["peer"]
+
+    def probe(self, endpoint, dst):
+        return endpoint.call(dst, "overlay.probe", {"peer": "a"})

@@ -1,0 +1,7 @@
+# simlint-fixture-path: src/repro/overlay/fixture.py
+# simlint-fixture-expect:
+# simlint-fixture-expect-suppressed: WIRE501
+class Node:
+    def probe(self, endpoint, dst):
+        # Handler lives in a plugin outside src/repro.
+        return endpoint.call(dst, "overlay.ghost", {"seq": 1})  # simlint: ignore[WIRE501]

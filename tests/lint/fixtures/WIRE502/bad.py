@@ -1,0 +1,12 @@
+# simlint-fixture-path: src/repro/kvstore/fixture.py
+# simlint-fixture-expect: WIRE502
+class Store:
+    def __init__(self, endpoint):
+        endpoint.register("kv.probe", self._handle_probe)
+
+    def _handle_probe(self, request):
+        # Requires 'key', but the caller below ships an empty body.
+        return request.body["key"]
+
+    def probe(self, endpoint, dst):
+        return endpoint.call(dst, "kv.probe", {})

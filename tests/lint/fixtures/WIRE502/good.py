@@ -1,0 +1,18 @@
+# simlint-fixture-path: src/repro/kvstore/fixture.py
+# simlint-fixture-expect:
+class Store:
+    def __init__(self, endpoint):
+        endpoint.register("kv.probe", self._handle_probe)
+
+    def _handle_probe(self, request):
+        key = request.body["key"]
+        hint = request.body.get("hint")  # optional: absence is fine
+        return key, hint
+
+    def probe(self, endpoint, dst):
+        return endpoint.call(dst, "kv.probe", {"key": "a"})
+
+    def forward(self, endpoint, dst, body):
+        # Open schema ({**body}): absence of 'key' is not provable,
+        # so this caller never triggers WIRE502.
+        return endpoint.call(dst, "kv.probe", {**body, "hop": 1})

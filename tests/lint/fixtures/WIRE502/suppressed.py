@@ -1,0 +1,13 @@
+# simlint-fixture-path: src/repro/kvstore/fixture.py
+# simlint-fixture-expect:
+# simlint-fixture-expect-suppressed: WIRE502
+class Store:
+    def __init__(self, endpoint):
+        endpoint.register("kv.probe", self._handle_probe)
+
+    def _handle_probe(self, request):
+        # The caller is migrating; it always sends 'key' in practice.
+        return request.body["key"]  # simlint: ignore[WIRE502]
+
+    def probe(self, endpoint, dst):
+        return endpoint.call(dst, "kv.probe", {})

@@ -1,0 +1,12 @@
+# simlint-fixture-path: src/repro/vstore/fixture.py
+# simlint-fixture-expect: WIRE503
+class Node:
+    def __init__(self, endpoint):
+        endpoint.register("vstore.stat", self._handle_stat)
+
+    def _handle_stat(self, request):
+        return request.body["name"]
+
+    def stat(self, endpoint, dst):
+        # 'junk' rides on every send but nothing ever reads it.
+        return endpoint.call(dst, "vstore.stat", {"name": "x", "junk": 1})

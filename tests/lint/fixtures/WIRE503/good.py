@@ -1,0 +1,18 @@
+# simlint-fixture-path: src/repro/vstore/fixture.py
+# simlint-fixture-expect:
+class Node:
+    def __init__(self, endpoint):
+        endpoint.register("vstore.stat", self._handle_stat)
+
+    def _handle_stat(self, request):
+        name = request.body["name"]
+        depth = request.body.get("depth")  # optional reads count too
+        return name, depth
+
+    def stat(self, endpoint, dst, span):
+        # 'span' is the telemetry context: exempt from dead-field
+        # analysis (the _handled plumbing reads it generically).
+        body = {"name": "x", "depth": 2}
+        if span is not None:
+            body["span"] = span
+        return endpoint.call(dst, "vstore.stat", body)

@@ -1,0 +1,13 @@
+# simlint-fixture-path: src/repro/vstore/fixture.py
+# simlint-fixture-expect:
+# simlint-fixture-expect-suppressed: WIRE503
+class Node:
+    def __init__(self, endpoint):
+        endpoint.register("vstore.stat", self._handle_stat)
+
+    def _handle_stat(self, request):  # simlint: ignore[WIRE503]
+        # 'junk' is read reflectively by a debug dumper.
+        return request.body["name"]
+
+    def stat(self, endpoint, dst):
+        return endpoint.call(dst, "vstore.stat", {"name": "x", "junk": 1})

@@ -1,0 +1,22 @@
+# simlint-fixture-path: src/repro/cluster/fixture.py
+# simlint-fixture-expect: WIRE504
+class HomeGateway:
+    def __init__(self, endpoint):
+        endpoint.register("fed.sync", self._handle_sync)
+
+    def _handle_sync(self, request):
+        return request.body["alpha"]
+
+
+class CloudGateway:
+    def __init__(self, endpoint):
+        endpoint.register("fed.sync", self._handle_sync)
+
+    def _handle_sync(self, request):
+        # Same message, different device class, different contract.
+        return request.body["beta"]
+
+
+class Caller:
+    def sync(self, endpoint, dst):
+        return endpoint.call(dst, "fed.sync", {"alpha": 1, "beta": 2})

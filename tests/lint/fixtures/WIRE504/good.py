@@ -1,0 +1,22 @@
+# simlint-fixture-path: src/repro/cluster/fixture.py
+# simlint-fixture-expect:
+class HomeGateway:
+    def __init__(self, endpoint):
+        endpoint.register("fed.sync", self._handle_sync)
+
+    def _handle_sync(self, request):
+        return request.body["epoch"]
+
+
+class CloudGateway:
+    def __init__(self, endpoint):
+        endpoint.register("fed.sync", self._handle_sync)
+
+    def _handle_sync(self, request):
+        # Same required set; extra *optional* reads are compatible.
+        return request.body["epoch"], request.body.get("hint")
+
+
+class Caller:
+    def sync(self, endpoint, dst):
+        return endpoint.call(dst, "fed.sync", {"epoch": 1, "hint": 2})

@@ -63,6 +63,63 @@ FIXTURE_TREE = {
         "class ClusterConfig:\n    newflag: bool = True\n",
         ["CFG401"],
     ),
+    # -- whole-program rules: each file is self-contained so the one
+    #    cross-file violation it seeds is the only finding it adds. --
+    "src/repro/overlay/orphan.py": (
+        "class Prober:\n"
+        "    def ping(self, endpoint, dst):\n"
+        "        return endpoint.call(dst, 'overlay.orphan', {'seq': 1})\n",
+        ["WIRE501"],
+    ),
+    "src/repro/kvstore/drift.py": (
+        "class Drifted:\n"
+        "    def __init__(self, endpoint):\n"
+        "        endpoint.register('kv.drift', self._handle_drift)\n"
+        "    def _handle_drift(self, request):\n"
+        "        return request.body['key']\n"
+        "    def poke(self, endpoint, dst):\n"
+        "        return endpoint.call(dst, 'kv.drift', {})\n",
+        ["WIRE502"],
+    ),
+    "src/repro/vstore/dead.py": (
+        "class DeadField:\n"
+        "    def __init__(self, endpoint):\n"
+        "        endpoint.register('vstore.dead', self._handle_dead)\n"
+        "    def _handle_dead(self, request):\n"
+        "        return request.body['name']\n"
+        "    def send(self, endpoint, dst):\n"
+        "        return endpoint.call(\n"
+        "            dst, 'vstore.dead', {'name': 'x', 'junk': 1})\n",
+        ["WIRE503"],
+    ),
+    "src/repro/cluster/split.py": (
+        "class AlphaGateway:\n"
+        "    def __init__(self, endpoint):\n"
+        "        endpoint.register('fed.split', self._handle_split)\n"
+        "    def _handle_split(self, request):\n"
+        "        return request.body['alpha']\n"
+        "class BetaGateway:\n"
+        "    def __init__(self, endpoint):\n"
+        "        endpoint.register('fed.split', self._handle_split)\n"
+        "    def _handle_split(self, request):\n"
+        "        return request.body['beta']\n"
+        "class Caller:\n"
+        "    def ping(self, endpoint, dst):\n"
+        "        return endpoint.call(\n"
+        "            dst, 'fed.split', {'alpha': 1, 'beta': 2})\n",
+        ["WIRE504"],
+    ),
+    "src/repro/cluster/builder.py": (
+        "from repro.resilience import ResilientCaller\n"
+        "class Builder:\n"
+        "    def build(self, endpoint):\n"
+        "        return ResilientCaller(endpoint)\n",
+        ["CFG402"],
+    ),
+    "src/repro/workloads/jitter.py": (
+        "import random\nrng = random.Random(7)\n",
+        ["FLOW601"],
+    ),
 }
 
 
@@ -174,6 +231,59 @@ def test_explicit_paths_narrow_the_walk(dirty_tree):
         ]
     )
     assert rc == 0  # no SIM101 violations under src/repro/net
+
+
+def test_json_format_is_machine_readable(dirty_tree, capsys):
+    rc = main(
+        ["lint", "--root", str(dirty_tree), "--format", "json", "--check"]
+    )
+    assert rc == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == "simlint/1"
+    assert payload["clean"] is False
+    assert payload["n_files"] == len(FIXTURE_TREE)
+    statuses = {f["status"] for f in payload["findings"]}
+    assert statuses == {"active"}
+    codes = {f["code"] for f in payload["findings"]}
+    assert codes == set(all_rules())
+    # The wire report rides along for CI artifact consumers.
+    assert "kv.drift" in payload["wire_report"]
+    assert payload["wire_report"]["kv.drift"]["required"] == ["key"]
+
+
+def test_json_format_reports_baselined_status(dirty_tree, capsys):
+    main(["lint", "--root", str(dirty_tree), "--update-baseline"])
+    capsys.readouterr()
+    rc = main(
+        ["lint", "--root", str(dirty_tree), "--format", "json", "--check"]
+    )
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["clean"] is True
+    assert {f["status"] for f in payload["findings"]} == {"baselined"}
+
+
+def test_wire_report_text_mode(dirty_tree, capsys):
+    assert main(["lint", "--root", str(dirty_tree), "--wire-report"]) == 0
+    out = capsys.readouterr().out
+    assert "kv.drift" in out
+    assert "src/repro/kvstore/drift.py::Drifted.poke" in out
+
+
+def test_wire_report_json_mode(dirty_tree, capsys):
+    rc = main(
+        [
+            "lint",
+            "--root",
+            str(dirty_tree),
+            "--wire-report",
+            "--format",
+            "json",
+        ]
+    )
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["vstore.dead"]["sent"] == ["junk", "name"]
 
 
 def test_list_rules(capsys):

@@ -155,3 +155,61 @@ class TestReportShape:
         assert len(report.suppressed) == 1
         assert len(report.baselined) == 1
         assert not report.clean
+
+
+class TestSharedParseCache:
+    def test_each_file_is_parsed_exactly_once(self, tmp_path, monkeypatch):
+        """Both phases (per-file rules + project index) share one AST
+        per file: ast.parse runs exactly once per source file."""
+        import ast
+        from collections import Counter
+
+        tree = {
+            "src/repro/sim/clock.py": BAD_SIM,
+            "src/repro/kvstore/pair.py": (
+                "class S:\n"
+                "    def __init__(self, endpoint):\n"
+                "        endpoint.register('kv.x', self._handle_x)\n"
+                "    def _handle_x(self, request):\n"
+                "        return request.body['key']\n"
+                "    def go(self, endpoint, dst):\n"
+                "        endpoint.call(dst, 'kv.x', {'key': 1})\n"
+            ),
+            "src/repro/net/wait.py": "import time\ntime.sleep(1)\n",
+        }
+        for relpath, source in tree.items():
+            target = tmp_path / relpath
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(source)
+
+        real_parse = ast.parse
+        counts = Counter()
+
+        def counting_parse(source, filename="<unknown>", *args, **kwargs):
+            counts[filename] += 1
+            return real_parse(source, filename, *args, **kwargs)
+
+        monkeypatch.setattr(ast, "parse", counting_parse)
+        report = run_lint(tmp_path)
+        assert report.n_files == len(tree)
+        assert counts == Counter(
+            {relpath: 1 for relpath in tree}
+        ), "a rule or phase re-parsed a file instead of sharing the cache"
+
+
+class TestWireReportOnReport:
+    def test_lint_paths_attaches_the_recovered_protocol(self, tmp_path):
+        target = tmp_path / "src" / "repro" / "kvstore" / "pair.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(
+            "class S:\n"
+            "    def __init__(self, endpoint):\n"
+            "        endpoint.register('kv.x', self._handle_x)\n"
+            "    def _handle_x(self, request):\n"
+            "        return request.body['key']\n"
+            "    def go(self, endpoint, dst):\n"
+            "        endpoint.call(dst, 'kv.x', {'key': 1})\n"
+        )
+        report = lint_paths(tmp_path)
+        assert list(report.wire_report) == ["kv.x"]
+        assert report.wire_report["kv.x"]["required"] == ["key"]

@@ -39,6 +39,12 @@ class TestFixtureCoverage:
             "TEL201",
             "RPC301",
             "CFG401",
+            "CFG402",
+            "WIRE501",
+            "WIRE502",
+            "WIRE503",
+            "WIRE504",
+            "FLOW601",
         }
 
 

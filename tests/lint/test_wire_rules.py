@@ -1,0 +1,284 @@
+"""Cross-file rule semantics: WIRE5xx / CFG402 over multi-file trees,
+plus suppression and baseline behaviour for findings whose cause and
+anchor live in different files."""
+
+from repro.lint import Baseline, lint_paths
+
+CALLER = (
+    "class Client:\n"
+    "    def probe(self, endpoint, dst):\n"
+    "        return endpoint.call(dst, 'kv.probe', {})\n"
+)
+
+HANDLER = (
+    "class Server:\n"
+    "    def __init__(self, endpoint):\n"
+    "        endpoint.register('kv.probe', self._handle_probe)\n"
+    "    def _handle_probe(self, request):\n"
+    "        return request.body['key']\n"
+)
+
+
+def run_tree(tmp_path, files: dict, codes=None):
+    for relpath, source in files.items():
+        target = tmp_path / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+    return lint_paths(tmp_path, codes=codes)
+
+
+class TestWire501:
+    def test_sent_but_unregistered_anchors_at_call(self, tmp_path):
+        report = run_tree(
+            tmp_path, {"src/repro/kvstore/client.py": CALLER}
+        )
+        (finding,) = [f for f in report.findings if f.code == "WIRE501"]
+        assert finding.path == "src/repro/kvstore/client.py"
+        assert "no handler" in finding.message
+
+    def test_registered_but_never_sent_anchors_at_registration(
+        self, tmp_path
+    ):
+        report = run_tree(
+            tmp_path, {"src/repro/kvstore/server.py": HANDLER}
+        )
+        (finding,) = [f for f in report.findings if f.code == "WIRE501"]
+        assert finding.path == "src/repro/kvstore/server.py"
+        assert "never sent" in finding.message
+
+    def test_dynamic_send_disables_the_never_sent_direction(self, tmp_path):
+        dynamic = (
+            "class Fan:\n"
+            "    def fan(self, endpoint, dst, which):\n"
+            "        return endpoint.call(dst, which, {})\n"
+        )
+        report = run_tree(
+            tmp_path,
+            {
+                "src/repro/kvstore/server.py": HANDLER,
+                "src/repro/kvstore/fan.py": dynamic,
+            },
+        )
+        assert [f for f in report.findings if f.code == "WIRE501"] == []
+
+
+class TestWire502CrossFile:
+    FILES = {
+        "src/repro/kvstore/client.py": CALLER,
+        "src/repro/kvstore/server.py": HANDLER,
+    }
+
+    def test_fires_and_anchors_at_the_handler_file(self, tmp_path):
+        report = run_tree(tmp_path, dict(self.FILES))
+        (finding,) = [f for f in report.findings if f.code == "WIRE502"]
+        assert finding.path == "src/repro/kvstore/server.py"
+        assert finding.line == 5  # the request.body['key'] read
+        assert "client.py:3" in finding.message
+
+    def test_handler_side_ignore_silences(self, tmp_path):
+        files = dict(self.FILES)
+        files["src/repro/kvstore/server.py"] = files[
+            "src/repro/kvstore/server.py"
+        ].replace(
+            "return request.body['key']",
+            "return request.body['key']  # simlint: ignore[WIRE502]",
+        )
+        report = run_tree(tmp_path, files)
+        (finding,) = [f for f in report.findings if f.code == "WIRE502"]
+        assert finding.suppressed
+
+    def test_caller_side_ignore_does_not_silence(self, tmp_path):
+        files = dict(self.FILES)
+        files["src/repro/kvstore/client.py"] = files[
+            "src/repro/kvstore/client.py"
+        ].replace(
+            "return endpoint.call(dst, 'kv.probe', {})",
+            "return endpoint.call(dst, 'kv.probe', {})"
+            "  # simlint: ignore[WIRE502]",
+        )
+        report = run_tree(tmp_path, files)
+        (finding,) = [f for f in report.findings if f.code == "WIRE502"]
+        assert not finding.suppressed
+
+    def test_baseline_key_survives_line_drift_in_the_other_file(
+        self, tmp_path, tmp_path_factory
+    ):
+        report = run_tree(tmp_path, dict(self.FILES))
+        wire = [f for f in report.findings if f.code == "WIRE502"]
+        baseline = Baseline.from_findings(wire)
+        # The caller file grows; the handler file is untouched, so the
+        # finding's (code, path, source-line) key must still match.
+        drifted = dict(self.FILES)
+        drifted["src/repro/kvstore/client.py"] = (
+            "import repro\n\n\n" + drifted["src/repro/kvstore/client.py"]
+        )
+        other = tmp_path_factory.mktemp("drifted")
+        report2 = run_tree(other, drifted)
+        stale = baseline.apply(report2.findings)
+        (finding,) = [f for f in report2.findings if f.code == "WIRE502"]
+        assert finding.baselined
+        assert stale == []
+
+
+class TestWire503:
+    def test_field_sent_by_only_some_callers_is_not_dead(self, tmp_path):
+        files = {
+            "src/repro/kvstore/server.py": (
+                "class Server:\n"
+                "    def __init__(self, endpoint):\n"
+                "        endpoint.register('kv.x', self._handle_x)\n"
+                "    def _handle_x(self, request):\n"
+                "        return request.body['key']\n"
+            ),
+            "src/repro/kvstore/clients.py": (
+                "class A:\n"
+                "    def go(self, endpoint, dst):\n"
+                "        endpoint.call(dst, 'kv.x',"
+                " {'key': 1, 'debug': 2})\n"
+                "class B:\n"
+                "    def go(self, endpoint, dst):\n"
+                "        endpoint.call(dst, 'kv.x', {'key': 1})\n"
+            ),
+        }
+        report = run_tree(tmp_path, files)
+        assert [f for f in report.findings if f.code == "WIRE503"] == []
+
+    def test_reads_all_handler_disables_dead_field_claims(self, tmp_path):
+        files = {
+            "src/repro/kvstore/server.py": (
+                "class Server:\n"
+                "    def __init__(self, endpoint):\n"
+                "        endpoint.register('kv.x', self._handle_x)\n"
+                "    def _handle_x(self, request):\n"
+                "        return dict(request.body)\n"
+            ),
+            "src/repro/kvstore/client.py": (
+                "class A:\n"
+                "    def go(self, endpoint, dst):\n"
+                "        endpoint.call(dst, 'kv.x', {'anything': 1})\n"
+            ),
+        }
+        report = run_tree(tmp_path, files)
+        assert [f for f in report.findings if f.code == "WIRE503"] == []
+
+
+class TestWire504:
+    def test_reads_all_summaries_are_excluded(self, tmp_path):
+        files = {
+            "src/repro/cluster/gateways.py": (
+                "class Home:\n"
+                "    def __init__(self, endpoint):\n"
+                "        endpoint.register('fed.x', self._handle_x)\n"
+                "    def _handle_x(self, request):\n"
+                "        return request.body['alpha']\n"
+                "class Cloud:\n"
+                "    def __init__(self, endpoint):\n"
+                "        endpoint.register('fed.x', self._handle_x)\n"
+                "    def _handle_x(self, request):\n"
+                "        return dict(request.body)\n"  # unknowable
+                "class Caller:\n"
+                "    def go(self, endpoint, dst):\n"
+                "        endpoint.call(dst, 'fed.x', {'alpha': 1})\n"
+            ),
+        }
+        report = run_tree(tmp_path, files)
+        assert [f for f in report.findings if f.code == "WIRE504"] == []
+
+
+class TestCfg402:
+    def builder(self, body):
+        return "from repro.resilience import ResilientCaller\n" + body
+
+    def test_module_level_use_fires(self, tmp_path):
+        files = {
+            "src/repro/cluster/builder.py": self.builder(
+                "caller = ResilientCaller(None)\n"
+            )
+        }
+        report = run_tree(tmp_path, files)
+        (finding,) = [f for f in report.findings if f.code == "CFG402"]
+        assert "config.resilience" in finding.message
+
+    def test_unguarded_helper_with_all_call_sites_guarded_is_clean(
+        self, tmp_path
+    ):
+        files = {
+            "src/repro/cluster/builder.py": self.builder(
+                "class B:\n"
+                "    def build(self):\n"
+                "        if self.config.resilience:\n"
+                "            self._wire()\n"
+                "    def _wire(self):\n"
+                "        return ResilientCaller(None)\n"
+            )
+        }
+        report = run_tree(tmp_path, files)
+        assert [f for f in report.findings if f.code == "CFG402"] == []
+
+    def test_one_unguarded_call_site_escalates(self, tmp_path):
+        files = {
+            "src/repro/cluster/builder.py": self.builder(
+                "class B:\n"
+                "    def build(self):\n"
+                "        if self.config.resilience:\n"
+                "            self._wire()\n"
+                "    def sneak(self):\n"
+                "        self._wire()\n"  # bypasses the flag
+                "    def _wire(self):\n"
+                "        return ResilientCaller(None)\n"
+            )
+        }
+        report = run_tree(tmp_path, files)
+        assert [f.code for f in report.findings if f.code == "CFG402"] == [
+            "CFG402"
+        ]
+
+    def test_wrong_flag_does_not_guard(self, tmp_path):
+        files = {
+            "src/repro/cluster/builder.py": self.builder(
+                "class B:\n"
+                "    def build(self):\n"
+                "        if self.config.striping:\n"  # wrong feature
+                "            return ResilientCaller(None)\n"
+            )
+        }
+        report = run_tree(tmp_path, files)
+        assert [f.code for f in report.findings if f.code == "CFG402"] == [
+            "CFG402"
+        ]
+
+    def test_feature_symbols_scanned_from_indexed_modules(self, tmp_path):
+        # A symbol not in the static seed map is classified because its
+        # defining module sits under a feature path in the same index.
+        files = {
+            "src/repro/resilience/widget.py": "class NovelWidget:\n    pass\n",
+            "src/repro/cluster/builder.py": (
+                "from repro.resilience.widget import NovelWidget\n"
+                "w = NovelWidget()\n"
+            ),
+        }
+        report = run_tree(tmp_path, files)
+        assert [f.code for f in report.findings if f.code == "CFG402"] == [
+            "CFG402"
+        ]
+
+    def test_outside_the_builder_is_out_of_scope(self, tmp_path):
+        files = {
+            "src/repro/cluster/other.py": self.builder(
+                "caller = ResilientCaller(None)\n"
+            )
+        }
+        report = run_tree(tmp_path, files)
+        assert [f for f in report.findings if f.code == "CFG402"] == []
+
+
+class TestSelection:
+    def test_prefix_select_matches_rule_families(self, tmp_path):
+        files = {
+            "src/repro/kvstore/client.py": CALLER,
+            "src/repro/kvstore/wall.py": "import time\nt = time.time()\n",
+        }
+        report = run_tree(tmp_path, files, codes={"WIRE"})
+        assert {f.code for f in report.findings} == {"WIRE501"}
+        report = run_tree(tmp_path, files, codes={"SIM101"})
+        assert {f.code for f in report.findings} == {"SIM101"}
